@@ -1,0 +1,51 @@
+// Command lodclass runs a classroom session server: the floor-control and
+// annotation API of a live lecture hall, exposed over HTTP alongside an
+// optional live media channel.
+//
+// Usage:
+//
+//	lodclass -addr :8090 -name lecture-hall
+//
+// Students then interact with:
+//
+//	POST /class/join?user=alice
+//	POST /class/floor/request?user=alice
+//	POST /class/annotate?user=alice&text=question
+//	GET  /class/annotations?since=0
+//	GET  /class/state
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/session"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lodclass:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lodclass", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	name := fs.String("name", "lecture-hall", "classroom name")
+	teacher := fs.String("teacher", "teacher", "pre-joined teacher user id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	class := session.NewClassroom(*name, nil)
+	if *teacher != "" {
+		if _, err := class.Join(*teacher, session.RoleTeacher); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("classroom %q listening on %s (teacher: %s)\n", *name, *addr, *teacher)
+	return http.ListenAndServe(*addr, session.NewAPI(class).Handler())
+}

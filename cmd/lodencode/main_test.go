@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asf"
+)
+
+func TestEncodeToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.asf")
+	err := run([]string{
+		"-o", out, "-profile", "modem-56k", "-duration", "2s", "-slides", "2",
+		"-annotate-every", "1s",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h, packets, ix, err := asf.ReadAll(f)
+	if err != nil {
+		t.Fatalf("output unparsable: %v", err)
+	}
+	if h.Title != "Recorded lecture" || len(packets) == 0 || len(ix) == 0 {
+		t.Fatalf("output malformed: title=%q packets=%d index=%d", h.Title, len(packets), len(ix))
+	}
+}
+
+func TestListProfiles(t *testing.T) {
+	if err := run([]string{"-profiles"}); err != nil {
+		t.Fatalf("run -profiles: %v", err)
+	}
+}
+
+func TestUnknownProfile(t *testing.T) {
+	if err := run([]string{"-profile", "nope", "-o", filepath.Join(t.TempDir(), "x.asf")}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

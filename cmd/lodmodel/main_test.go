@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestDotOutputForEachModel(t *testing.T) {
+	for _, m := range []string{"ocpn", "xocpn", "extended"} {
+		if err := run([]string{"-model", m, "-slides", "2", "-duration", "10s"}); err != nil {
+			t.Errorf("model %s: %v", m, err)
+		}
+	}
+}
+
+func TestAnalyzeLectureNet(t *testing.T) {
+	if err := run([]string{"-model", "extended", "-slides", "2", "-duration", "10s", "-analyze"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeFloorNet(t *testing.T) {
+	if err := run([]string{"-floor", "2", "-analyze"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	if err := run([]string{"-model", "bogus"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Command lodplay is the headless player: it fetches a stream from a file
+// or HTTP URL, executes its script commands, and reports render metrics
+// (frames, slide flips, annotations, skew, stalls).
+//
+// Usage:
+//
+//	lodplay -in published.asf
+//	lodplay -url http://localhost:8080/vod/lecture1 -realtime
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/player"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lodplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lodplay", flag.ContinueOnError)
+	in := fs.String("in", "", "stored container to play")
+	url := fs.String("url", "", "HTTP URL to play (e.g. http://host:8080/vod/name)")
+	realtime := fs.Bool("realtime", false, "present at PTS on the wall clock")
+	jitter := fs.Int("jitter-buffer", 0, "jitter buffer depth in packets")
+	drm := fs.Bool("license", false, "hold a DRM playback license")
+	verbose := fs.Bool("v", false, "print every slide flip and annotation")
+	start := fs.Duration("start", 0, "seek a -url VOD stream to this offset (server-side)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*in == "") == (*url == "") {
+		return fmt.Errorf("exactly one of -in or -url is required")
+	}
+	if *start > 0 {
+		if *url == "" {
+			return fmt.Errorf("-start requires -url")
+		}
+		*url = fmt.Sprintf("%s?start=%s", *url, *start)
+	}
+
+	pl := player.New(player.Options{
+		Realtime:          *realtime,
+		JitterBufferDepth: *jitter,
+		LicenseDRM:        *drm,
+	})
+
+	var m *player.Metrics
+	var err error
+	if *url != "" {
+		m, err = pl.PlayURL(*url)
+	} else {
+		var f *os.File
+		f, err = os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			_ = f.Close()
+		}()
+		m, err = pl.Play(bufio.NewReader(f))
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("played: %d video frames (%d decodable, %d broken), %d audio blocks\n",
+		m.VideoFrames, m.Decodable, m.BrokenFrames, m.AudioBlocks)
+	fmt.Printf("scripts: %d slide flips, %d annotations\n", m.SlidesShown, m.Annotations)
+	fmt.Printf("bytes: %d, stalls: %d (%v total)\n", m.BytesRead, m.Stalls, m.StallTime)
+	if *realtime {
+		fmt.Printf("skew: max %v, mean %v\n", m.MaxSkew, m.MeanSkew)
+	}
+	if *verbose {
+		for _, e := range m.Events {
+			if e.Kind == player.EventSlideShown || e.Kind == player.EventAnnotation {
+				fmt.Printf("  %-10s pts=%-8v %q\n", e.Kind, e.PTS, e.Param)
+			}
+		}
+	}
+	return nil
+}

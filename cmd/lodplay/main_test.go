@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/encoder"
+)
+
+func encodeTemp(t *testing.T) string {
+	t.Helper()
+	p, err := codec.ByName("modem-56k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := capture.NewLecture(capture.LectureConfig{
+		Title: "cli play", Duration: 2 * time.Second, Profile: p, SlideCount: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lec.asf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{}, bw); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPlayFile(t *testing.T) {
+	if err := run([]string{"-in", encodeTemp(t), "-v"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestPlayArgumentValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run([]string{"-in", "a", "-url", "b"}); err == nil {
+		t.Fatal("both inputs accepted")
+	}
+	if err := run([]string{"-in", "x", "-start", "5s"}); err == nil {
+		t.Fatal("-start without -url accepted")
+	}
+	if err := run([]string{"-in", "/does/not/exist"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Command lodpublish is the web publishing manager CLI (§3, Figure 5): it
+// takes the path of a recorded video container and a directory of slides
+// and produces one synchronized container with temporal script commands,
+// printing the resulting multi-level content tree.
+//
+// Usage:
+//
+//	lodpublish -video video.asf -slides slides/ -o published.asf
+//	lodpublish -demo -dir work/   # generate demo inputs first, then publish
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/publish"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lodpublish:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lodpublish", flag.ContinueOnError)
+	video := fs.String("video", "", "path of the recorded video container")
+	slides := fs.String("slides", "", "directory of the presented slides")
+	out := fs.String("o", "published.asf", "output path")
+	title := fs.String("title", "", "published title (defaults to the recording's)")
+	demo := fs.Bool("demo", false, "generate demo recording + slides first")
+	dir := fs.String("dir", "wmps-demo", "working directory for -demo")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *demo {
+		profile, err := codec.ByName("dsl-300k")
+		if err != nil {
+			return err
+		}
+		lec, err := capture.NewLecture(capture.LectureConfig{
+			Title: "Demo lecture", Duration: 60 * time.Second, Profile: profile,
+			SlideCount: 12, AnnotationEvery: 20 * time.Second, Seed: 2002,
+		})
+		if err != nil {
+			return err
+		}
+		paths, err := publish.WriteRawLecture(lec, *dir)
+		if err != nil {
+			return err
+		}
+		*video = paths.VideoPath
+		*slides = paths.SlidesDir
+		if *out == "published.asf" {
+			*out = filepath.Join(*dir, "published.asf")
+		}
+		fmt.Printf("demo inputs written under %s\n", *dir)
+	}
+	if *video == "" || *slides == "" {
+		return fmt.Errorf("both -video and -slides are required (or use -demo)")
+	}
+
+	res, err := publish.Publish(publish.Request{
+		Title:      *title,
+		VideoPath:  *video,
+		SlidesDir:  *slides,
+		OutputPath: *out,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published %s: %d slides, %d script commands, %v total\n",
+		res.AssetPath, res.Slides, res.Scripts, res.Duration)
+	fmt.Println("content tree of the published presentation:")
+	fmt.Print(res.Tree.String())
+	for q, d := range res.Tree.LevelNodes() {
+		fmt.Printf("  level %d presentation time: %v\n", q, d)
+	}
+	return nil
+}

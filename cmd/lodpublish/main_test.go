@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asf"
+)
+
+func TestDemoPublish(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-demo", "-dir", dir}); err != nil {
+		t.Fatalf("run -demo: %v", err)
+	}
+	out := filepath.Join(dir, "published.asf")
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("published output missing: %v", err)
+	}
+	defer f.Close()
+	h, packets, _, err := asf.ReadAll(f)
+	if err != nil {
+		t.Fatalf("published output unparsable: %v", err)
+	}
+	if len(h.Scripts) == 0 || len(packets) == 0 {
+		t.Fatalf("published output malformed: scripts=%d packets=%d", len(h.Scripts), len(packets))
+	}
+}
+
+func TestMissingArguments(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -video/-slides accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Command lodserver runs the Lecture-on-Demand streaming server: stored
+// assets are served at /vod/{name}, live channels at /live/{channel}, with
+// JSON listings at /assets and /channels.
+//
+// Usage:
+//
+//	lodserver -addr :8080 -asset lecture1=published.asf
+//	lodserver -addr :8080 -demo            # generate and serve a demo asset
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/encoder"
+	"repro/internal/streaming"
+)
+
+// assetFlags collects repeated -asset name=path flags.
+type assetFlags map[string]string
+
+func (a assetFlags) String() string { return fmt.Sprintf("%v", map[string]string(a)) }
+
+func (a assetFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	a[parts[0]] = parts[1]
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lodserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lodserver", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	demo := fs.Bool("demo", false, "register a generated demo asset as 'demo'")
+	pacing := fs.Bool("pacing", true, "pace VOD packets by their send times")
+	assets := assetFlags{}
+	fs.Var(assets, "asset", "register a stored asset, name=path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := streaming.NewServer(nil)
+	srv.Pacing = *pacing
+
+	for name, path := range assets {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("open asset %s: %w", name, err)
+		}
+		_, err = srv.RegisterAsset(name, asf.NewReader(bufio.NewReader(f)))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("register %s: %w", name, err)
+		}
+		fmt.Printf("registered asset %q from %s\n", name, path)
+	}
+
+	if *demo {
+		if err := registerDemo(srv); err != nil {
+			return err
+		}
+		fmt.Println("registered generated asset \"demo\"")
+	}
+
+	fmt.Printf("LOD server listening on %s (assets: %v)\n", *addr, srv.AssetNames())
+	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+func registerDemo(srv *streaming.Server) error {
+	profile, err := codec.ByName("dsl-300k")
+	if err != nil {
+		return err
+	}
+	lec, err := capture.NewLecture(capture.LectureConfig{
+		Title: "Demo lecture", Duration: 60 * time.Second, Profile: profile,
+		SlideCount: 12, AnnotationEvery: 20 * time.Second, Seed: 2002,
+	})
+	if err != nil {
+		return err
+	}
+	pr, pw := newPipe()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := encoder.EncodeLecture(lec, encoder.Config{LeadTime: time.Second}, pw)
+		pw.CloseWithError(err)
+		errc <- err
+	}()
+	if _, err := srv.RegisterAsset("demo", asf.NewReader(pr)); err != nil {
+		return err
+	}
+	return <-errc
+}

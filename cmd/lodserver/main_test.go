@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/streaming"
+)
+
+func TestRegisterDemo(t *testing.T) {
+	srv := streaming.NewServer(nil)
+	if err := registerDemo(srv); err != nil {
+		t.Fatalf("registerDemo: %v", err)
+	}
+	a, ok := srv.Asset("demo")
+	if !ok {
+		t.Fatal("demo asset not registered")
+	}
+	if a.Header.Title != "Demo lecture" || len(a.Packets) == 0 {
+		t.Fatalf("demo asset malformed: %q, %d packets", a.Header.Title, len(a.Packets))
+	}
+}
+
+func TestAssetFlagParsing(t *testing.T) {
+	flags := assetFlags{}
+	if err := flags.Set("name=path.asf"); err != nil {
+		t.Fatal(err)
+	}
+	if flags["name"] != "path.asf" {
+		t.Fatalf("flags = %v", flags)
+	}
+	for _, bad := range []string{"nopath", "=x", "y="} {
+		if err := flags.Set(bad); err == nil {
+			t.Errorf("bad flag %q accepted", bad)
+		}
+	}
+	if flags.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestRunRejectsMissingAssetFile(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:0", "-asset", "x=/does/not/exist"}); err == nil {
+		t.Fatal("missing asset file accepted")
+	}
+}

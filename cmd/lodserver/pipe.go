@@ -1,0 +1,6 @@
+package main
+
+import "io"
+
+// newPipe aliases io.Pipe for readability at the call site.
+func newPipe() (*io.PipeReader, *io.PipeWriter) { return io.Pipe() }

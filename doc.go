@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Implementing a
+// Distributed Lecture-on-Demand Multimedia Presentation System" (Deng,
+// Shih, Shiau, Chang, Liu — ICDCS Workshops 2002): the WMPS web-based
+// multimedia presentation system, including the extended timed Petri net
+// synchronization model, the multiple-level content tree, an open ASF-like
+// stream container with script commands, simulated codecs with the
+// bandwidth profile ladder, an HTTP streaming server, an instrumented
+// player, and multi-user floor control.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured record, and README.md for a quickstart. The root
+// package holds the benchmark harness (bench_test.go) that regenerates the
+// paper's tables and figures; the library lives under internal/ and the
+// runnable tools under cmd/ and examples/.
+package repro

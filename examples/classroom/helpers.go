@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// bytesBuffer aliases bytes.Buffer for the example's readability.
+type bytesBuffer = bytes.Buffer
+
+func newBytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// instantClock satisfies vclock.Clock but never blocks, so the example's
+// broadcast completes immediately while exercising the paced code path.
+type instantClock struct{}
+
+var _ vclock.Clock = instantClock{}
+
+func (instantClock) Now() time.Time { return time.Unix(0, 0) }
+
+func (instantClock) After(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- time.Unix(0, 0)
+	return ch
+}
+
+func (instantClock) Sleep(time.Duration) {}

@@ -1,0 +1,73 @@
+// Quickstart: the minimal WMPS loop — record a short lecture, publish it,
+// and replay it, printing what the student would see.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/player"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	workDir, err := os.MkdirTemp("", "wmps-quickstart-")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = os.RemoveAll(workDir)
+	}()
+
+	sys := core.NewSystem(nil)
+
+	// 1. Record: the teacher gives a 20-second lecture with 4 slides.
+	profile, err := codec.ByName("dsl-300k")
+	if err != nil {
+		return err
+	}
+	lec, err := sys.RecordLecture(capture.LectureConfig{
+		Title:           "Quickstart: Petri nets in 20 seconds",
+		Duration:        20 * time.Second,
+		Profile:         profile,
+		SlideCount:      4,
+		AnnotationEvery: 8 * time.Second,
+		Seed:            1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %q: %d video frames, %d audio blocks, %d slides\n",
+		lec.Title, len(lec.Video), len(lec.Audio), len(lec.Slides))
+
+	// 2. Publish: synchronize video and slides with script commands.
+	res, err := sys.PublishLecture(lec, workDir, "quickstart")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published %s (%d script commands)\n", res.AssetPath, res.Scripts)
+	fmt.Println("content tree:")
+	fmt.Print(res.Tree.String())
+
+	// 3. Replay: a student watches the lecture on demand.
+	m, err := sys.Replay("quickstart", player.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed: %d frames, %d slide flips, %d annotations\n",
+		m.VideoFrames, m.SlidesShown, m.Annotations)
+	for _, e := range m.SlideEvents() {
+		fmt.Printf("  slide %q shown at %v\n", e.Param, e.PTS)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/encoder"
+	"repro/internal/player"
+	"repro/internal/publish"
+	"repro/internal/session"
+)
+
+// TestFullDistributedPipeline is the end-to-end integration test: record a
+// lecture, publish it, serve it over a real HTTP socket at two bitrates,
+// replay it (full and seeked), run the live classroom with floor control
+// over the REST API, and cross-check every artifact.
+func TestFullDistributedPipeline(t *testing.T) {
+	workDir := t.TempDir()
+	sys := core.NewSystem(nil)
+	sys.Server.Pacing = false // wall-clock pacing is covered elsewhere
+
+	// --- Record and publish. ---
+	profile, err := codec.ByName("modem-56k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := sys.RecordLecture(capture.LectureConfig{
+		Title: "Integration lecture", Duration: 12 * time.Second, Profile: profile,
+		SlideCount: 4, AnnotationEvery: 5 * time.Second, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubRes, err := sys.PublishLecture(lec, workDir, "integration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubRes.Slides != 4 {
+		t.Fatalf("published %d slides", pubRes.Slides)
+	}
+
+	// --- A second, richer variant forms a multi-rate group. ---
+	rich, err := codec.ByName("dsl-300k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	richLec, err := sys.RecordLecture(capture.LectureConfig{
+		Title: "Integration lecture", Duration: 12 * time.Second, Profile: rich,
+		SlideCount: 4, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var richBuf bytes.Buffer
+	if _, err := encoder.EncodeLecture(richLec, encoder.Config{}, &richBuf); err != nil {
+		t.Fatal(err)
+	}
+	richAsset, err := sys.Server.RegisterAsset("integration-rich", asf.NewReader(bytes.NewReader(richBuf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := sys.Server.CreateRateGroup("integration-group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAsset, _ := sys.Server.Asset("integration")
+	group.AddVariant(baseAsset)
+	group.AddVariant(richAsset)
+
+	// --- Serve over a real socket. ---
+	ts := httptest.NewServer(sys.Server.Handler())
+	defer ts.Close()
+
+	// Full VOD replay over HTTP.
+	m, err := player.New(player.Options{}).PlayURL(ts.URL + "/vod/integration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SlidesShown != 4 || m.BrokenFrames != 0 {
+		t.Fatalf("VOD replay: slides=%d broken=%d", m.SlidesShown, m.BrokenFrames)
+	}
+
+	// Seeked replay delivers strictly fewer packets but still works.
+	seeked, err := player.New(player.Options{}).PlayURL(ts.URL + "/vod/integration?start=6s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeked.BytesRead >= m.BytesRead {
+		t.Fatalf("seeked replay read %d bytes, full read %d", seeked.BytesRead, m.BytesRead)
+	}
+
+	// Multi-rate selection: modem bandwidth gets the lean variant.
+	lean, err := player.New(player.Options{}).PlayURL(ts.URL + "/group/integration-group?bw=60000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fat, err := player.New(player.Options{}).PlayURL(ts.URL + "/group/integration-group?bw=5000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lean.BytesRead >= fat.BytesRead {
+		t.Fatalf("rate selection broken: lean %d bytes, fat %d bytes", lean.BytesRead, fat.BytesRead)
+	}
+
+	// --- Live broadcast to concurrent students. ---
+	liveLec, err := sys.RecordLecture(capture.LectureConfig{
+		Title: "Live integration", Duration: 3 * time.Second, Profile: profile,
+		SlideCount: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.BroadcastLecture(liveLec, "live-int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const students = 4
+	var wg sync.WaitGroup
+	results := make([]*player.Metrics, students)
+	errs := make([]error, students)
+	for i := 0; i < students; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id], errs[id] = player.New(player.Options{}).PlayURL(ts.URL + "/live/live-int")
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Channel.ClientCount() < students && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-b.Done():
+	case <-time.After(30 * time.Second):
+		_ = b.Stop()
+		t.Fatal("broadcast did not finish")
+	}
+	wg.Wait()
+	for i := 0; i < students; i++ {
+		if errs[i] != nil {
+			t.Fatalf("student %d: %v", i, errs[i])
+		}
+		if results[i].SlidesShown != 2 {
+			t.Fatalf("student %d saw %d slides", i, results[i].SlidesShown)
+		}
+	}
+
+	// --- Classroom REST API with floor control. ---
+	class := session.NewClassroom("integration", nil)
+	api := httptest.NewServer(session.NewAPI(class).Handler())
+	defer api.Close()
+	httpPost := func(path string, params url.Values) int {
+		resp, err := api.Client().Post(api.URL+path+"?"+params.Encode(), "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := httpPost("/class/join", url.Values{"user": {"prof"}, "role": {"teacher"}}); code != 200 {
+		t.Fatalf("teacher join: %d", code)
+	}
+	for i := 0; i < students; i++ {
+		if code := httpPost("/class/join", url.Values{"user": {fmt.Sprintf("s%d", i)}}); code != 200 {
+			t.Fatalf("student join: %d", code)
+		}
+	}
+	if code := httpPost("/class/annotate", url.Values{"user": {"prof"}, "text": {"welcome"}}); code != 204 {
+		t.Fatalf("teacher annotate: %d", code)
+	}
+	if code := httpPost("/class/floor/request", url.Values{"user": {"s0"}}); code != 200 {
+		t.Fatalf("floor request: %d", code)
+	}
+	if code := httpPost("/class/annotate", url.Values{"user": {"s0"}, "text": {"question"}}); code != 204 {
+		t.Fatalf("holder annotate: %d", code)
+	}
+	if code := httpPost("/class/floor/release", url.Values{"user": {"s0"}}); code != 200 {
+		t.Fatalf("floor release: %d", code)
+	}
+	resp, err := api.Client().Get(api.URL + "/class/annotations?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anns []map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&anns); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(anns) != 2 {
+		t.Fatalf("annotations = %d, want 2", len(anns))
+	}
+	if err := class.Floor.VerifyAgainstModel(); err != nil {
+		t.Fatalf("floor log deviates from Petri model: %v", err)
+	}
+
+	// --- The content tree of the published lecture matches the recording. ---
+	tree, err := publish.BuildContentTree(lec.Title, lec.Slides, lec.Duration, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.PresentationTime(tree.HighestLevel()) != lec.Duration {
+		t.Fatal("content tree does not cover the lecture")
+	}
+	// Server statistics reflect the sessions we ran.
+	st := sys.Server.Stats()
+	if st.VODSessions < 4 || st.LiveSessions != students {
+		t.Fatalf("server stats = %+v", st)
+	}
+}

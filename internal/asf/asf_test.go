@@ -1,0 +1,465 @@
+package asf
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/media"
+)
+
+func sampleHeader() Header {
+	return Header{
+		Title:       "Lecture 1: Petri Nets",
+		Duration:    60 * time.Second,
+		PacketAlign: 1400,
+		Streams: []StreamProps{
+			{ID: media.StreamVideo, Kind: media.KindVideo, Codec: "sim-mpeg4", BitsPerSecond: 300_000,
+				MaxSkew: 80 * time.Millisecond, MaxJitter: 20 * time.Millisecond},
+			{ID: media.StreamAudio, Kind: media.KindAudio, Codec: "sim-acelp", BitsPerSecond: 16_000,
+				MaxSkew: 80 * time.Millisecond},
+			{ID: media.StreamScript, Kind: media.KindScript, Codec: "script"},
+		},
+		Scripts: []ScriptCommand{
+			{At: 0, Type: "slide", Param: "slide01.png"},
+			{At: 20 * time.Second, Type: "slide", Param: "slide02.png"},
+			{At: 30 * time.Second, Type: "annotation", Param: "see chapter 3"},
+		},
+	}
+}
+
+func samplePackets() []Packet {
+	return []Packet{
+		{Stream: media.StreamVideo, Kind: media.KindVideo, Flags: PacketKeyframe,
+			PTS: 0, Dur: 40 * time.Millisecond, SendAt: 0, Payload: bytes.Repeat([]byte{0xAB}, 512)},
+		{Stream: media.StreamAudio, Kind: media.KindAudio, Flags: PacketKeyframe,
+			PTS: 0, Dur: 100 * time.Millisecond, SendAt: 0, Payload: bytes.Repeat([]byte{0x01}, 64)},
+		{Stream: media.StreamVideo, Kind: media.KindVideo,
+			PTS: 40 * time.Millisecond, Dur: 40 * time.Millisecond, SendAt: 10 * time.Millisecond,
+			Payload: bytes.Repeat([]byte{0xCD}, 128)},
+		{Stream: media.StreamVideo, Kind: media.KindVideo, Flags: PacketKeyframe | PacketLast,
+			PTS: 80 * time.Millisecond, Dur: 40 * time.Millisecond, SendAt: 40 * time.Millisecond,
+			Payload: []byte{}},
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	data, err := EncodeHeader(h)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	r := NewReader(bytes.NewReader(data))
+	got, err := r.ReadHeader()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Title != h.Title || got.Duration != h.Duration || got.PacketAlign != h.PacketAlign {
+		t.Fatalf("header mismatch: %+v vs %+v", got, h)
+	}
+	if len(got.Streams) != 3 || len(got.Scripts) != 3 {
+		t.Fatalf("streams=%d scripts=%d, want 3,3", len(got.Streams), len(got.Scripts))
+	}
+	if got.Streams[0].Codec != "sim-mpeg4" || got.Streams[0].MaxSkew != 80*time.Millisecond {
+		t.Fatalf("stream[0] = %+v", got.Streams[0])
+	}
+	if got.Scripts[1].Param != "slide02.png" || got.Scripts[1].At != 20*time.Second {
+		t.Fatalf("script[1] = %+v", got.Scripts[1])
+	}
+}
+
+func TestHeaderFlags(t *testing.T) {
+	h := Header{Flags: FlagLive | FlagDRM}
+	if !h.Live() || !h.DRM() {
+		t.Fatal("flag accessors broken")
+	}
+	var plain Header
+	if plain.Live() || plain.DRM() {
+		t.Fatal("zero header reports flags")
+	}
+}
+
+func TestHeaderValidate(t *testing.T) {
+	good := sampleHeader()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	dup := sampleHeader()
+	dup.Streams = append(dup.Streams, dup.Streams[0])
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate stream accepted")
+	}
+	badKind := sampleHeader()
+	badKind.Streams[0].Kind = media.Kind(0)
+	if err := badKind.Validate(); err == nil {
+		t.Error("invalid stream kind accepted")
+	}
+	badScript := sampleHeader()
+	badScript.Scripts[0].Type = ""
+	if err := badScript.Validate(); err == nil {
+		t.Error("empty script type accepted")
+	}
+	negDur := sampleHeader()
+	negDur.Duration = -time.Second
+	if err := negDur.Validate(); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestStreamByID(t *testing.T) {
+	h := sampleHeader()
+	if st, ok := h.StreamByID(media.StreamAudio); !ok || st.Codec != "sim-acelp" {
+		t.Fatalf("StreamByID(audio) = %+v,%v", st, ok)
+	}
+	if _, ok := h.StreamByID(77); ok {
+		t.Fatal("found non-existent stream")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range samplePackets() {
+		if _, err := w.WritePacket(p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if w.PacketCount() != 4 {
+		t.Fatalf("PacketCount = %d, want 4", w.PacketCount())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := r.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Packet
+	for {
+		p, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, p)
+	}
+	want := samplePackets()
+	if len(got) != len(want) {
+		t.Fatalf("read %d packets, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Stream != want[i].Stream || got[i].PTS != want[i].PTS ||
+			!bytes.Equal(got[i].Payload, want[i].Payload) || got[i].Flags != want[i].Flags {
+			t.Errorf("packet %d mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+		if got[i].Seq != uint32(i) {
+			t.Errorf("packet %d has seq %d", i, got[i].Seq)
+		}
+	}
+	// Index has entries for the three keyframes.
+	ix := r.Index()
+	if len(ix) != 3 {
+		t.Fatalf("index has %d entries, want 3", len(ix))
+	}
+	// Two keyframes share PTS 0 (video seq 0, audio seq 1); Locate returns
+	// the last keyframe at or before the requested time.
+	if seq, ok := ix.Locate(50 * time.Millisecond); !ok || seq != 1 {
+		t.Fatalf("Locate(50ms) = %d,%v; want 1,true", seq, ok)
+	}
+	if seq, ok := ix.Locate(90 * time.Millisecond); !ok || seq != 3 {
+		t.Fatalf("Locate(90ms) = %d,%v; want 3,true", seq, ok)
+	}
+}
+
+func TestIndexLocateBeforeFirst(t *testing.T) {
+	ix := Index{{PTS: 10 * time.Second, Seq: 5}}
+	if _, ok := ix.Locate(5 * time.Second); ok {
+		t.Fatal("Locate before first entry must fail")
+	}
+}
+
+func TestLiveStreamOmitsIndex(t *testing.T) {
+	h := sampleHeader()
+	h.Flags |= FlagLive
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WritePacket(samplePackets()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := r.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := r.ReadPacket(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(r.Index()) != 0 {
+		t.Fatal("live stream has an index")
+	}
+}
+
+func TestWriterClosedRejectsWrites(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WritePacket(samplePackets()[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close = %v, want ErrClosed", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close = %v, want ErrClosed", err)
+	}
+}
+
+func TestReadPacketBeforeHeader(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.ReadPacket(); !errors.Is(err, ErrNoHeader) {
+		t.Fatalf("err = %v, want ErrNoHeader", err)
+	}
+}
+
+func TestCorruptionDetection(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WritePacket(samplePackets()[0]); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte inside the payload (near the end of the buffer).
+	data[len(data)-10] ^= 0xFF
+	r := NewReader(bytes.NewReader(data))
+	if _, err := r.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted packet err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestBadMagicDetection(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOPE....")))
+	if _, err := r.ReadHeader(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	h := sampleHeader()
+	data, err := EncodeHeader(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(data[:len(data)-5]))
+	if _, err := r.ReadHeader(); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestPacketValidate(t *testing.T) {
+	bad := []Packet{
+		{Kind: media.Kind(0)},
+		{Kind: media.KindVideo, PTS: -1},
+		{Kind: media.KindVideo, Dur: -1},
+		{Kind: media.KindVideo, SendAt: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad packet %d accepted", i)
+		}
+	}
+}
+
+func TestPacketFlagHelpers(t *testing.T) {
+	p := Packet{Flags: PacketKeyframe}
+	if !p.Keyframe() || p.Last() {
+		t.Fatal("flag helpers broken")
+	}
+	p.Flags = PacketLast
+	if p.Keyframe() || !p.Last() {
+		t.Fatal("flag helpers broken")
+	}
+}
+
+func TestScriptPacketRoundTrip(t *testing.T) {
+	cmd := ScriptCommand{At: 12 * time.Second, Type: "slide", Param: "intro.png"}
+	pkt, err := ScriptPacket(cmd, media.StreamScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.PTS != cmd.At || pkt.SendAt != cmd.At || !pkt.Keyframe() {
+		t.Fatalf("script packet timing wrong: %+v", pkt)
+	}
+	got, err := ParseScriptPacket(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cmd {
+		t.Fatalf("round trip = %+v, want %+v", got, cmd)
+	}
+}
+
+func TestScriptPacketValidation(t *testing.T) {
+	if _, err := ScriptPacket(ScriptCommand{Type: ""}, media.StreamScript); err == nil {
+		t.Error("empty type accepted")
+	}
+	if _, err := ScriptPacket(ScriptCommand{Type: "x", At: -time.Second}, media.StreamScript); err == nil {
+		t.Error("negative time accepted")
+	}
+	notScript := Packet{Kind: media.KindVideo}
+	if _, err := ParseScriptPacket(notScript); err == nil {
+		t.Error("non-script packet parsed")
+	}
+}
+
+func TestIndexerMergesScripts(t *testing.T) {
+	// Build a source file with one header script.
+	var src bytes.Buffer
+	h := sampleHeader()
+	h.Scripts = h.Scripts[:1]
+	w, err := NewWriter(&src, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range samplePackets() {
+		if _, err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var dst bytes.Buffer
+	ixer := Indexer{}
+	n, err := ixer.AddScripts(bytes.NewReader(src.Bytes()), &dst, []ScriptCommand{
+		{At: 10 * time.Second, Type: "slide", Param: "added.png"},
+		{At: 5 * time.Second, Type: "annotation", Param: "hello"},
+	})
+	if err != nil {
+		t.Fatalf("AddScripts: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("merged count = %d, want 3", n)
+	}
+
+	r := NewReader(bytes.NewReader(dst.Bytes()))
+	got, err := r.ReadHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Scripts) != 3 {
+		t.Fatalf("rewritten header has %d scripts, want 3", len(got.Scripts))
+	}
+	// Sorted by time: 0s, 5s, 10s.
+	for i := 1; i < len(got.Scripts); i++ {
+		if got.Scripts[i].At < got.Scripts[i-1].At {
+			t.Fatal("scripts not sorted by time")
+		}
+	}
+	// All original packets preserved.
+	count := 0
+	for {
+		if _, err := r.ReadPacket(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != len(samplePackets()) {
+		t.Fatalf("rewritten file has %d packets, want %d", count, len(samplePackets()))
+	}
+}
+
+func TestIndexerInBand(t *testing.T) {
+	var src bytes.Buffer
+	w, err := NewWriter(&src, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range samplePackets() {
+		if _, err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var dst bytes.Buffer
+	ixer := Indexer{InBand: true, ScriptStream: uint16(media.StreamScript)}
+	if _, err := ixer.AddScripts(bytes.NewReader(src.Bytes()), &dst, []ScriptCommand{
+		{At: 5 * time.Millisecond, Type: "slide", Param: "mid.png"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(dst.Bytes()))
+	if _, err := r.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	scriptSeen := false
+	total := 0
+	for {
+		p, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if p.Kind == media.KindScript {
+			scriptSeen = true
+			cmd, err := ParseScriptPacket(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmd.Param != "mid.png" {
+				t.Fatalf("in-band command = %+v", cmd)
+			}
+		}
+	}
+	if !scriptSeen {
+		t.Fatal("no in-band script packet written")
+	}
+	if total != len(samplePackets())+1 {
+		t.Fatalf("total packets = %d, want %d", total, len(samplePackets())+1)
+	}
+}
+
+func TestIndexerValidation(t *testing.T) {
+	var dst bytes.Buffer
+	ixer := Indexer{}
+	if _, err := ixer.AddScripts(bytes.NewReader(nil), &dst, []ScriptCommand{{At: -1, Type: "x"}}); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := ixer.AddScripts(bytes.NewReader(nil), &dst, []ScriptCommand{{At: 1, Type: ""}}); err == nil {
+		t.Error("empty type accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package asf
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/media"
+)
+
+// FuzzReader feeds arbitrary bytes to the container reader; it must never
+// panic or allocate unboundedly, only return errors or packets.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid small file.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{
+		Title: "seed",
+		Streams: []StreamProps{
+			{ID: media.StreamVideo, Kind: media.KindVideo, Codec: "c", BitsPerSecond: 1000},
+		},
+		Scripts: []ScriptCommand{{At: time.Second, Type: "slide", Param: "s.png"}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := w.WritePacket(Packet{
+		Stream: media.StreamVideo, Kind: media.KindVideo, Flags: PacketKeyframe,
+		PTS: time.Second, Payload: []byte("data"),
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("WMP1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		if _, err := r.ReadHeader(); err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := r.ReadPacket(); err != nil {
+				if err != io.EOF {
+					return
+				}
+				break
+			}
+		}
+	})
+}
+
+// FuzzScriptPacket feeds arbitrary payloads to the script parser.
+func FuzzScriptPacket(f *testing.F) {
+	good, err := encodeScriptPayload(ScriptCommand{At: time.Second, Type: "slide", Param: "x"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		pkt := Packet{Kind: media.KindScript, PTS: time.Second, Payload: payload}
+		_, _ = ParseScriptPacket(pkt)
+	})
+}

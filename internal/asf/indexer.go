@@ -1,0 +1,94 @@
+package asf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Indexer is the stored-file post-processing utility of §2.1: "Script
+// commands can be … added to stored files through either Windows Media ASF
+// Indexer or the command-line utilities." It rewrites a stored container,
+// merging new script commands into the header table and optionally
+// emitting them in-band on the script stream.
+type Indexer struct {
+	// InBand controls whether merged commands are also written as packets
+	// on the script stream (in addition to the header table). In-band
+	// commands survive mid-stream joins of live broadcasts; header-table
+	// commands are only visible to clients that saw the header.
+	InBand bool
+	// ScriptStream is the stream ID used for in-band commands.
+	ScriptStream ScriptStreamID
+}
+
+// ScriptStreamID aliases the media stream id type for the indexer options.
+type ScriptStreamID = uint16
+
+// AddScripts copies the container from src to dst, merging the given
+// commands into the header's script table (kept sorted by time). It
+// returns the total number of script commands in the rewritten header.
+func (ix Indexer) AddScripts(src io.Reader, dst io.Writer, cmds []ScriptCommand) (int, error) {
+	for i, c := range cmds {
+		if c.At < 0 {
+			return 0, fmt.Errorf("asf: indexer: command %d at negative time %v", i, c.At)
+		}
+		if c.Type == "" {
+			return 0, fmt.Errorf("asf: indexer: command %d has empty type", i)
+		}
+	}
+	r := NewReader(src)
+	h, err := r.ReadHeader()
+	if err != nil {
+		return 0, fmt.Errorf("asf: indexer: %w", err)
+	}
+	merged := make([]ScriptCommand, 0, len(h.Scripts)+len(cmds))
+	merged = append(merged, h.Scripts...)
+	merged = append(merged, cmds...)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].At < merged[j].At })
+	h.Scripts = merged
+
+	w, err := NewWriter(dst, h)
+	if err != nil {
+		return 0, fmt.Errorf("asf: indexer: %w", err)
+	}
+
+	// Interleave in-band script packets by send time with copied packets.
+	pending := make([]ScriptCommand, 0, len(cmds))
+	if ix.InBand {
+		pending = append(pending, cmds...)
+		sort.SliceStable(pending, func(i, j int) bool { return pending[i].At < pending[j].At })
+	}
+	flushScripts := func(upTo time.Duration) error {
+		for len(pending) > 0 && pending[0].At <= upTo {
+			if err := WriteScriptPacket(w, pending[0], ix.ScriptStream); err != nil {
+				return err
+			}
+			pending = pending[1:]
+		}
+		return nil
+	}
+
+	for {
+		p, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("asf: indexer: read: %w", err)
+		}
+		if err := flushScripts(p.SendAt); err != nil {
+			return 0, err
+		}
+		if _, err := w.WritePacket(p); err != nil {
+			return 0, fmt.Errorf("asf: indexer: copy packet: %w", err)
+		}
+	}
+	if err := flushScripts(1<<62 - 1); err != nil {
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, fmt.Errorf("asf: indexer: finalize: %w", err)
+	}
+	return len(merged), nil
+}

@@ -1,0 +1,275 @@
+// Package capture provides simulated live media sources: the "attached
+// devices (video camera or microphone)" the paper's configuration module
+// lets the user encode from (§2.5), and a synthetic lecture generator that
+// stands in for the MPEG-4 lecture video plus slide directory the
+// publishing workflow of §3 consumes.
+//
+// All sources are deterministic given their seed, so experiments that
+// re-run a capture reproduce byte-identical streams.
+package capture
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/media"
+)
+
+// Device identifies a simulated capture device.
+type Device int
+
+// Devices.
+const (
+	DeviceCamera Device = iota + 1
+	DeviceMicrophone
+)
+
+// String implements fmt.Stringer.
+func (d Device) String() string {
+	switch d {
+	case DeviceCamera:
+		return "camera"
+	case DeviceMicrophone:
+		return "microphone"
+	default:
+		return fmt.Sprintf("device(%d)", int(d))
+	}
+}
+
+// Source produces timed samples up to a duration. Implementations are not
+// safe for concurrent use.
+type Source interface {
+	// Next returns the next sample, or false when the source is exhausted.
+	Next() (media.Sample, bool)
+	// Kind is the medium the source produces.
+	Kind() media.Kind
+}
+
+// CameraSource simulates a camera by driving the simulated video encoder.
+// It emits exactly duration/frameInterval frames so captures of the same
+// nominal length always hold the same frame count regardless of how the
+// interval rounds.
+type CameraSource struct {
+	enc       *codec.VideoEncoder
+	remaining int
+}
+
+var _ Source = (*CameraSource)(nil)
+
+// NewCamera creates a camera capture lasting the given duration, encoded
+// with the profile.
+func NewCamera(p codec.Profile, duration time.Duration, seed int64) (*CameraSource, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("capture: non-positive duration %v", duration)
+	}
+	enc, err := codec.NewVideoEncoder(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &CameraSource{enc: enc, remaining: int(duration / p.FrameInterval())}, nil
+}
+
+// Next implements Source.
+func (c *CameraSource) Next() (media.Sample, bool) {
+	if c.remaining <= 0 {
+		return media.Sample{}, false
+	}
+	c.remaining--
+	return c.enc.NextFrame(), true
+}
+
+// Kind implements Source.
+func (c *CameraSource) Kind() media.Kind { return media.KindVideo }
+
+// MicrophoneSource simulates a microphone via the simulated audio encoder.
+type MicrophoneSource struct {
+	enc       *codec.AudioEncoder
+	remaining int
+}
+
+var _ Source = (*MicrophoneSource)(nil)
+
+// NewMicrophone creates a microphone capture lasting the given duration.
+func NewMicrophone(p codec.Profile, duration time.Duration) (*MicrophoneSource, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("capture: non-positive duration %v", duration)
+	}
+	enc, err := codec.NewAudioEncoder(p)
+	if err != nil {
+		return nil, err
+	}
+	return &MicrophoneSource{enc: enc, remaining: int(duration / p.AudioBlock)}, nil
+}
+
+// Next implements Source.
+func (m *MicrophoneSource) Next() (media.Sample, bool) {
+	if m.remaining <= 0 {
+		return media.Sample{}, false
+	}
+	m.remaining--
+	return m.enc.NextBlock(), true
+}
+
+// Kind implements Source.
+func (m *MicrophoneSource) Kind() media.Kind { return media.KindAudio }
+
+// Slide is one presentation slide with its display time.
+type Slide struct {
+	// Name is the slide file name, e.g. "slide03.png".
+	Name string
+	// At is the presentation time at which the slide is shown.
+	At time.Duration
+	// Image is the (synthetic) slide image payload.
+	Image []byte
+}
+
+// Annotation is a timed annotation/comment the teacher makes while
+// lecturing (§ abstract: "all the annotations/comments").
+type Annotation struct {
+	At   time.Duration
+	Text string
+}
+
+// Lecture is a complete synthetic lecture: the recorded AV plus the slide
+// deck and annotations the publishing manager synchronizes.
+type Lecture struct {
+	Title       string
+	Duration    time.Duration
+	Profile     codec.Profile
+	Video       []media.Sample
+	Audio       []media.Sample
+	Slides      []Slide
+	Annotations []Annotation
+}
+
+// LectureConfig parameterizes the synthetic lecture generator.
+type LectureConfig struct {
+	Title    string
+	Duration time.Duration
+	Profile  codec.Profile
+	// SlideCount is the number of slides, spread evenly across the run.
+	SlideCount int
+	// AnnotationEvery inserts an annotation at this interval; zero
+	// disables annotations.
+	AnnotationEvery time.Duration
+	// SlideBytes is the synthetic image size per slide.
+	SlideBytes int
+	Seed       int64
+}
+
+// NewLecture generates the synthetic lecture.
+func NewLecture(cfg LectureConfig) (*Lecture, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("capture: lecture duration %v", cfg.Duration)
+	}
+	if cfg.SlideCount < 1 {
+		return nil, fmt.Errorf("capture: lecture needs at least one slide, got %d", cfg.SlideCount)
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SlideBytes <= 0 {
+		cfg.SlideBytes = 24 << 10
+	}
+	if cfg.Title == "" {
+		cfg.Title = "Untitled lecture"
+	}
+
+	cam, err := NewCamera(cfg.Profile, cfg.Duration, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	mic, err := NewMicrophone(cfg.Profile, cfg.Duration)
+	if err != nil {
+		return nil, err
+	}
+	lec := &Lecture{Title: cfg.Title, Duration: cfg.Duration, Profile: cfg.Profile}
+	for {
+		s, ok := cam.Next()
+		if !ok {
+			break
+		}
+		lec.Video = append(lec.Video, s)
+	}
+	for {
+		s, ok := mic.Next()
+		if !ok {
+			break
+		}
+		lec.Audio = append(lec.Audio, s)
+	}
+
+	interval := cfg.Duration / time.Duration(cfg.SlideCount)
+	for i := 0; i < cfg.SlideCount; i++ {
+		img := make([]byte, cfg.SlideBytes)
+		for j := range img {
+			img[j] = byte(int(cfg.Seed) + i*131 + j*7)
+		}
+		lec.Slides = append(lec.Slides, Slide{
+			Name:  fmt.Sprintf("slide%02d.png", i+1),
+			At:    time.Duration(i) * interval,
+			Image: img,
+		})
+	}
+	if cfg.AnnotationEvery > 0 {
+		idx := 1
+		for at := cfg.AnnotationEvery; at < cfg.Duration; at += cfg.AnnotationEvery {
+			lec.Annotations = append(lec.Annotations, Annotation{
+				At:   at,
+				Text: fmt.Sprintf("annotation %d: see slide notes", idx),
+			})
+			idx++
+		}
+	}
+	return lec, nil
+}
+
+// SlideAt returns the slide visible at the given presentation time.
+func (l *Lecture) SlideAt(at time.Duration) (Slide, bool) {
+	var cur Slide
+	found := false
+	for _, s := range l.Slides {
+		if s.At <= at {
+			cur = s
+			found = true
+		}
+	}
+	return cur, found
+}
+
+// ToPresentation converts the lecture into the flat segment model used by
+// the content tree and synchronization builders: one video segment per
+// slide interval (so slide flips are synchronization points) plus image
+// segments for the slides.
+func (l *Lecture) ToPresentation() media.Presentation {
+	p := media.Presentation{Title: l.Title}
+	for i, s := range l.Slides {
+		end := l.Duration
+		if i+1 < len(l.Slides) {
+			end = l.Slides[i+1].At
+		}
+		p.Segments = append(p.Segments, media.Segment{
+			ID:       fmt.Sprintf("video%02d", i+1),
+			Kind:     media.KindVideo,
+			Stream:   media.StreamVideo,
+			Start:    s.At,
+			Duration: end - s.At,
+			QoS: media.QoS{
+				BitsPerSecond: l.Profile.VideoBitsPerSecond,
+				MaxSkew:       80 * time.Millisecond,
+				MaxJitter:     40 * time.Millisecond,
+			},
+		})
+		p.Segments = append(p.Segments, media.Segment{
+			ID:       fmt.Sprintf("slide%02d", i+1),
+			Kind:     media.KindImage,
+			Stream:   media.StreamImage,
+			Start:    s.At,
+			Duration: end - s.At,
+			Payload:  []byte(s.Name),
+			QoS:      media.QoS{MaxSkew: 500 * time.Millisecond},
+		})
+	}
+	return p
+}

@@ -1,0 +1,222 @@
+package capture
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/media"
+)
+
+func testProfile(t *testing.T) codec.Profile {
+	t.Helper()
+	p, err := codec.ByName("dsl-300k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDeviceString(t *testing.T) {
+	if DeviceCamera.String() != "camera" || DeviceMicrophone.String() != "microphone" {
+		t.Fatal("device names wrong")
+	}
+	if got := Device(9).String(); got != "device(9)" {
+		t.Fatalf("unknown device = %q", got)
+	}
+}
+
+func TestCameraProducesFullDuration(t *testing.T) {
+	p := testProfile(t)
+	cam, err := NewCamera(p, 2*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cam.Kind() != media.KindVideo {
+		t.Fatal("camera kind wrong")
+	}
+	var n int
+	var last media.Sample
+	for {
+		s, ok := cam.Next()
+		if !ok {
+			break
+		}
+		last = s
+		n++
+	}
+	if want := 2 * p.FrameRate; n != want {
+		t.Fatalf("camera produced %d frames, want %d", n, want)
+	}
+	if lastEnd := last.PTS + last.Duration; lastEnd != 2*time.Second {
+		t.Fatalf("last frame ends at %v, want 2s", lastEnd)
+	}
+	// Exhausted source stays exhausted.
+	if _, ok := cam.Next(); ok {
+		t.Fatal("camera produced after exhaustion")
+	}
+}
+
+func TestMicrophoneProducesFullDuration(t *testing.T) {
+	p := testProfile(t)
+	mic, err := NewMicrophone(p, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mic.Kind() != media.KindAudio {
+		t.Fatal("microphone kind wrong")
+	}
+	var n int
+	for {
+		_, ok := mic.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if want := int(2 * time.Second / p.AudioBlock); n != want {
+		t.Fatalf("microphone produced %d blocks, want %d", n, want)
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	p := testProfile(t)
+	if _, err := NewCamera(p, 0, 1); err == nil {
+		t.Error("zero-duration camera accepted")
+	}
+	if _, err := NewMicrophone(p, -time.Second); err == nil {
+		t.Error("negative-duration microphone accepted")
+	}
+	if _, err := NewCamera(codec.Profile{}, time.Second, 1); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func defaultLectureConfig(t *testing.T) LectureConfig {
+	return LectureConfig{
+		Title:           "Distributed Systems 101",
+		Duration:        60 * time.Second,
+		Profile:         testProfile(t),
+		SlideCount:      6,
+		AnnotationEvery: 25 * time.Second,
+		Seed:            42,
+	}
+}
+
+func TestNewLectureShape(t *testing.T) {
+	lec, err := NewLecture(defaultLectureConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testProfile(t)
+	if got, want := len(lec.Video), 60*p.FrameRate; got != want {
+		t.Errorf("video frames = %d, want %d", got, want)
+	}
+	if got, want := len(lec.Audio), int(60*time.Second/p.AudioBlock); got != want {
+		t.Errorf("audio blocks = %d, want %d", got, want)
+	}
+	if len(lec.Slides) != 6 {
+		t.Errorf("slides = %d, want 6", len(lec.Slides))
+	}
+	// Slides every 10 s.
+	for i, s := range lec.Slides {
+		if want := time.Duration(i) * 10 * time.Second; s.At != want {
+			t.Errorf("slide %d at %v, want %v", i, s.At, want)
+		}
+		if len(s.Image) == 0 {
+			t.Errorf("slide %d has empty image", i)
+		}
+	}
+	// Annotations at 25 s and 50 s.
+	if len(lec.Annotations) != 2 {
+		t.Fatalf("annotations = %d, want 2", len(lec.Annotations))
+	}
+	if lec.Annotations[1].At != 50*time.Second {
+		t.Errorf("annotation[1] at %v", lec.Annotations[1].At)
+	}
+}
+
+func TestNewLectureValidation(t *testing.T) {
+	cfg := defaultLectureConfig(t)
+	cfg.Duration = 0
+	if _, err := NewLecture(cfg); err == nil {
+		t.Error("zero duration accepted")
+	}
+	cfg = defaultLectureConfig(t)
+	cfg.SlideCount = 0
+	if _, err := NewLecture(cfg); err == nil {
+		t.Error("zero slides accepted")
+	}
+	cfg = defaultLectureConfig(t)
+	cfg.Profile = codec.Profile{}
+	if _, err := NewLecture(cfg); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestLectureDeterministic(t *testing.T) {
+	a, err := NewLecture(defaultLectureConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLecture(defaultLectureConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Video) != len(b.Video) {
+		t.Fatal("video lengths differ")
+	}
+	for i := range a.Video {
+		if len(a.Video[i].Data) != len(b.Video[i].Data) {
+			t.Fatalf("frame %d size differs", i)
+		}
+	}
+	if string(a.Slides[3].Image) != string(b.Slides[3].Image) {
+		t.Fatal("slide images differ across identical seeds")
+	}
+}
+
+func TestSlideAt(t *testing.T) {
+	lec, err := NewLecture(defaultLectureConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := lec.SlideAt(25 * time.Second)
+	if !ok || s.Name != "slide03.png" {
+		t.Fatalf("SlideAt(25s) = %v,%v; want slide03", s.Name, ok)
+	}
+	s, ok = lec.SlideAt(0)
+	if !ok || s.Name != "slide01.png" {
+		t.Fatalf("SlideAt(0) = %v,%v", s.Name, ok)
+	}
+}
+
+func TestToPresentation(t *testing.T) {
+	lec, err := NewLecture(defaultLectureConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lec.ToPresentation()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("presentation invalid: %v", err)
+	}
+	// 6 video segments + 6 slide segments.
+	if len(p.Segments) != 12 {
+		t.Fatalf("segments = %d, want 12", len(p.Segments))
+	}
+	if p.Duration() != 60*time.Second {
+		t.Fatalf("duration = %v, want 60s", p.Duration())
+	}
+	// Video and slide segments pair up in time.
+	by := p.ByStream()
+	videos := by[media.StreamVideo]
+	slides := by[media.StreamImage]
+	if len(videos) != 6 || len(slides) != 6 {
+		t.Fatalf("videos=%d slides=%d", len(videos), len(slides))
+	}
+	for i := range videos {
+		if videos[i].Start != slides[i].Start {
+			t.Errorf("pair %d misaligned: video %v slide %v", i, videos[i].Start, slides[i].Start)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/media"
+)
+
+// AudioCodecName stands in for the paper's Sipro Labs ACELP / MP3 audio
+// codecs.
+const AudioCodecName = "sim-acelp"
+
+// audioHeaderSize is the embedded per-block header: u32 block index,
+// u32 body length.
+const audioHeaderSize = 4 + 4
+
+// AudioEncoder is a deterministic simulated audio encoder producing
+// constant-bit-rate access units; every block is independently decodable
+// (audio has no prediction chain in this simulation).
+type AudioEncoder struct {
+	profile  Profile
+	blockIdx int
+}
+
+// NewAudioEncoder creates an encoder for the profile.
+func NewAudioEncoder(p Profile) (*AudioEncoder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &AudioEncoder{profile: p}, nil
+}
+
+// BlockBytes is the constant encoded size of one audio block.
+func (e *AudioEncoder) BlockBytes() int {
+	bytesPerSecond := float64(e.profile.AudioBitsPerSecond) / 8
+	n := int(bytesPerSecond * e.profile.AudioBlock.Seconds())
+	if n < audioHeaderSize {
+		n = audioHeaderSize
+	}
+	return n
+}
+
+// NextBlock encodes and returns the next audio block.
+func (e *AudioEncoder) NextBlock() media.Sample {
+	size := e.BlockBytes()
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.blockIdx))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(size-audioHeaderSize))
+	for i := audioHeaderSize; i < size; i++ {
+		buf[i] = byte(e.blockIdx*31 + i)
+	}
+	s := media.Sample{
+		Stream:   media.StreamAudio,
+		Kind:     media.KindAudio,
+		PTS:      time.Duration(e.blockIdx) * e.profile.AudioBlock,
+		Duration: e.profile.AudioBlock,
+		Keyframe: true,
+		Data:     buf,
+	}
+	e.blockIdx++
+	return s
+}
+
+// EncodeDuration produces all blocks covering the given duration.
+func (e *AudioEncoder) EncodeDuration(d time.Duration) []media.Sample {
+	blocks := int(d / e.profile.AudioBlock)
+	out := make([]media.Sample, 0, blocks)
+	for i := 0; i < blocks; i++ {
+		out = append(out, e.NextBlock())
+	}
+	return out
+}
+
+// ErrTruncatedBlock reports an audio payload shorter than its header.
+var ErrTruncatedBlock = errors.New("codec: truncated audio block")
+
+// DecodeAudioBlock validates one audio block payload and returns its index.
+func DecodeAudioBlock(data []byte) (uint32, error) {
+	if len(data) < audioHeaderSize {
+		return 0, ErrTruncatedBlock
+	}
+	idx := binary.LittleEndian.Uint32(data[0:4])
+	bodyLen := binary.LittleEndian.Uint32(data[4:8])
+	if int(bodyLen) != len(data)-audioHeaderSize {
+		return 0, ErrTruncatedBlock
+	}
+	return idx, nil
+}

@@ -1,0 +1,169 @@
+// Package codec provides the system's bandwidth profiles and deterministic
+// simulated codecs. The paper uses the Windows Media codec family purely as
+// a bandwidth-shaping black box: the user "can select the profile that best
+// describes the content", where a higher bit rate yields higher-resolution
+// content (§2.5). These simulated codecs reproduce the externally visible
+// behaviour — rate control, GOP structure, frame sizing, decoder loss
+// handling — without any proprietary compression, so the mux, pacing, and
+// synchronization paths above them are exercised exactly as with real
+// codecs.
+package codec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Profile is one entry of the encoder's bandwidth ladder (§2.5 "the
+// different bandwidth profile selection window").
+type Profile struct {
+	// Name identifies the profile, e.g. "dsl-300k".
+	Name string
+	// Audience describes the target connection.
+	Audience string
+	// VideoBitsPerSecond is the video substream budget.
+	VideoBitsPerSecond int64
+	// AudioBitsPerSecond is the audio substream budget.
+	AudioBitsPerSecond int64
+	// Width and Height are the encoded video resolution.
+	Width, Height int
+	// FrameRate is frames per second.
+	FrameRate int
+	// GOPFrames is the I-frame interval in frames.
+	GOPFrames int
+	// AudioBlock is the duration of one audio access unit.
+	AudioBlock time.Duration
+}
+
+// TotalBitsPerSecond is the profile's aggregate media bit rate.
+func (p Profile) TotalBitsPerSecond() int64 {
+	return p.VideoBitsPerSecond + p.AudioBitsPerSecond
+}
+
+// FrameInterval is the duration of one video frame.
+func (p Profile) FrameInterval() time.Duration {
+	return time.Second / time.Duration(p.FrameRate)
+}
+
+// Validate checks the profile for usability.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("codec: profile with empty name")
+	case p.VideoBitsPerSecond <= 0:
+		return fmt.Errorf("codec: profile %s: video bit rate %d", p.Name, p.VideoBitsPerSecond)
+	case p.AudioBitsPerSecond <= 0:
+		return fmt.Errorf("codec: profile %s: audio bit rate %d", p.Name, p.AudioBitsPerSecond)
+	case p.Width <= 0 || p.Height <= 0:
+		return fmt.Errorf("codec: profile %s: resolution %dx%d", p.Name, p.Width, p.Height)
+	case p.FrameRate <= 0:
+		return fmt.Errorf("codec: profile %s: frame rate %d", p.Name, p.FrameRate)
+	case p.GOPFrames <= 0:
+		return fmt.Errorf("codec: profile %s: GOP %d", p.Name, p.GOPFrames)
+	case p.AudioBlock <= 0:
+		return fmt.Errorf("codec: profile %s: audio block %v", p.Name, p.AudioBlock)
+	}
+	return nil
+}
+
+// The standard ladder, ordered by total bit rate. The 2002-era audiences
+// mirror the profiles Windows Media Encoder offered.
+var ladder = []Profile{
+	{
+		Name: "modem-28k", Audience: "28.8 kbps dial-up",
+		VideoBitsPerSecond: 20_000, AudioBitsPerSecond: 8_000,
+		Width: 160, Height: 120, FrameRate: 8, GOPFrames: 40,
+		AudioBlock: 200 * time.Millisecond,
+	},
+	{
+		Name: "modem-56k", Audience: "56 kbps dial-up",
+		VideoBitsPerSecond: 37_000, AudioBitsPerSecond: 11_000,
+		Width: 176, Height: 144, FrameRate: 10, GOPFrames: 50,
+		AudioBlock: 200 * time.Millisecond,
+	},
+	{
+		Name: "isdn-128k", Audience: "dual ISDN",
+		VideoBitsPerSecond: 100_000, AudioBitsPerSecond: 16_000,
+		Width: 240, Height: 180, FrameRate: 15, GOPFrames: 75,
+		AudioBlock: 100 * time.Millisecond,
+	},
+	{
+		Name: "dsl-300k", Audience: "DSL / cable",
+		VideoBitsPerSecond: 268_000, AudioBitsPerSecond: 32_000,
+		Width: 320, Height: 240, FrameRate: 25, GOPFrames: 100,
+		AudioBlock: 100 * time.Millisecond,
+	},
+	{
+		Name: "dsl-768k", Audience: "fast DSL",
+		VideoBitsPerSecond: 700_000, AudioBitsPerSecond: 64_000,
+		Width: 480, Height: 360, FrameRate: 25, GOPFrames: 100,
+		AudioBlock: 50 * time.Millisecond,
+	},
+	{
+		Name: "lan-1.5m", Audience: "campus LAN",
+		VideoBitsPerSecond: 1_400_000, AudioBitsPerSecond: 96_000,
+		Width: 640, Height: 480, FrameRate: 30, GOPFrames: 120,
+		AudioBlock: 50 * time.Millisecond,
+	},
+	{
+		Name: "lan-10m", Audience: "switched LAN / studio",
+		VideoBitsPerSecond: 9_800_000, AudioBitsPerSecond: 192_000,
+		Width: 720, Height: 576, FrameRate: 30, GOPFrames: 120,
+		AudioBlock: 50 * time.Millisecond,
+	},
+}
+
+// Ladder returns the standard profiles ordered by ascending total bit rate.
+func Ladder() []Profile {
+	out := make([]Profile, len(ladder))
+	copy(out, ladder)
+	return out
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range ladder {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("codec: unknown profile %q", name)
+}
+
+// ForBandwidth returns the richest profile whose total bit rate fits within
+// the given link bandwidth, falling back to the smallest profile.
+func ForBandwidth(bitsPerSecond int64) Profile {
+	best := ladder[0]
+	for _, p := range ladder {
+		if p.TotalBitsPerSecond() <= bitsPerSecond {
+			best = p
+		}
+	}
+	return best
+}
+
+// Quality returns a PSNR-like quality proxy in dB for the profile,
+// combining a resolution term (richer profiles encode more pixels) with a
+// bits-per-pixel term (how generously those pixels are coded), calibrated
+// so the ladder spans roughly 37–49 dB monotonically. It exists to give E8
+// a "higher bit rate ⇒ higher quality/resolution" column, as §2.5 claims
+// qualitatively.
+func (p Profile) Quality() float64 {
+	pixelsPerSecond := float64(p.Width*p.Height) * float64(p.FrameRate)
+	bpp := float64(p.VideoBitsPerSecond) / pixelsPerSecond
+	resolution := 2.2 * math.Log2(float64(p.Height)/120)
+	return 30.0 + resolution + 14.0*logistic(6*(bpp-0.12))
+}
+
+func logistic(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// SortByRate sorts profiles ascending by total bit rate (in place).
+func SortByRate(ps []Profile) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		return ps[i].TotalBitsPerSecond() < ps[j].TotalBitsPerSecond()
+	})
+}

@@ -1,0 +1,513 @@
+// Package contenttree implements the multiple-level content tree of the
+// paper's §2.2–2.4: the Abstractor's internal data structure for organizing
+// a web-based multimedia presentation at several abstraction levels.
+//
+// A content tree is a finite set of one or more nodes with a designated
+// root at level 0; the children of a level-q node are at level q+1, and
+// siblings ordered left to right represent the presentation sequence. A
+// node is a presentation segment. The presentation at level q plays, in
+// pre-order, every segment whose level is at most q, so higher levels give
+// longer (more detailed) presentations and lower levels give summaries.
+//
+// Interpretation notes, pinned by the paper's worked examples:
+//
+//   - LevelNodes[q] (the paper's "LevelNodes[q]->value") is the cumulative
+//     presentation time of all nodes at level <= q. In the §2.3 build the
+//     five segments S0..S4 (20 time units each, levels 0,1,2,1,2) yield
+//     LevelNodes = {20, 60, 100}.
+//   - Attach adds the new node as the rightmost child of the rightmost
+//     node at level-1 (building the presentation left to right).
+//   - Insert (Fig 3) places the new node at an existing node's position;
+//     the displaced node and its children all become children of the new
+//     node. Inserting S5 at level 1 over S3 turns {S0;S1,S3;S2,S4} into
+//     {S0;S1,S5;S2,S3,S4}: LevelNodes goes {20,60,100} -> {20,60,120} with
+//     the highest level still 2, exactly as Figure 3 reports.
+//   - Delete (Fig 4) removes a node and its children are adopted by the
+//     left sibling (the paper: "the S5's children will be adopted by S5's
+//     siblings S1"); with no left sibling the right sibling adopts them.
+package contenttree
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sentinel errors reported by tree operations.
+var (
+	// ErrNotFound is returned when a referenced node ID does not exist.
+	ErrNotFound = errors.New("contenttree: node not found")
+	// ErrDuplicateID is returned when adding a node whose ID already exists.
+	ErrDuplicateID = errors.New("contenttree: duplicate node id")
+	// ErrNoParent is returned when attaching at a level with no candidate
+	// parent at level-1.
+	ErrNoParent = errors.New("contenttree: no parent exists at level-1")
+	// ErrHasRoot is returned when attaching a second level-0 node.
+	ErrHasRoot = errors.New("contenttree: tree already has a root")
+	// ErrDeleteRoot is returned when deleting or displacing the root.
+	ErrDeleteRoot = errors.New("contenttree: cannot remove the root")
+	// ErrNoAdopter is returned when a deleted node's children have no
+	// sibling to adopt them.
+	ErrNoAdopter = errors.New("contenttree: deleted node's children have no sibling to adopt them")
+	// ErrEmpty is returned for operations that need a non-empty tree.
+	ErrEmpty = errors.New("contenttree: tree is empty")
+)
+
+// Node is one presentation segment in the content tree.
+type Node struct {
+	// ID is the segment identifier ("S0", "S1", … in the paper).
+	ID string
+	// Duration is the segment's presentation time.
+	Duration time.Duration
+	// Children are ordered left to right (presentation sequence).
+	Children []*Node
+
+	parent *Node
+}
+
+// Parent returns the node's parent, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Level returns the node's level: root is 0, children of level q are q+1.
+func (n *Node) Level() int {
+	lvl := 0
+	for p := n.parent; p != nil; p = p.parent {
+		lvl++
+	}
+	return lvl
+}
+
+// Tree is a multiple-level content tree. The zero value is an empty tree
+// ready for use.
+type Tree struct {
+	root  *Node
+	index map[string]*Node
+}
+
+// New returns an empty content tree.
+func New() *Tree {
+	return &Tree{index: make(map[string]*Node)}
+}
+
+// ensureIndex lazily initializes the index so the zero value works.
+func (t *Tree) ensureIndex() {
+	if t.index == nil {
+		t.index = make(map[string]*Node)
+	}
+}
+
+// Root returns the root node, or nil for an empty tree.
+func (t *Tree) Root() *Node { return t.root }
+
+// Len returns the number of nodes in the tree.
+func (t *Tree) Len() int { return len(t.index) }
+
+// Find returns the node with the given ID, or nil.
+func (t *Tree) Find(id string) *Node {
+	t.ensureIndex()
+	return t.index[id]
+}
+
+// HighestLevel returns the deepest level present (the paper's
+// "highestLevel"), or -1 for an empty tree.
+func (t *Tree) HighestLevel() int {
+	if t.root == nil {
+		return -1
+	}
+	deepest := 0
+	t.walk(t.root, 0, func(_ *Node, lvl int) bool {
+		if lvl > deepest {
+			deepest = lvl
+		}
+		return true
+	})
+	return deepest
+}
+
+// Attach adds a segment at the given level, following the paper's build
+// procedure (§2.3): level 0 creates the root; level q>0 appends the node as
+// the rightmost child of the rightmost node at level q-1.
+func (t *Tree) Attach(id string, dur time.Duration, level int) error {
+	t.ensureIndex()
+	if id == "" {
+		return errors.New("contenttree: empty node id")
+	}
+	if dur < 0 {
+		return fmt.Errorf("contenttree: node %s has negative duration %v", id, dur)
+	}
+	if level < 0 {
+		return fmt.Errorf("contenttree: negative level %d", level)
+	}
+	if _, exists := t.index[id]; exists {
+		return fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	n := &Node{ID: id, Duration: dur}
+	if level == 0 {
+		if t.root != nil {
+			return ErrHasRoot
+		}
+		t.root = n
+		t.index[id] = n
+		return nil
+	}
+	parent := t.rightmostAtLevel(level - 1)
+	if parent == nil {
+		return fmt.Errorf("%w (attaching %s at level %d)", ErrNoParent, id, level)
+	}
+	n.parent = parent
+	parent.Children = append(parent.Children, n)
+	t.index[id] = n
+	return nil
+}
+
+// rightmostAtLevel returns the rightmost node at exactly the given level.
+func (t *Tree) rightmostAtLevel(level int) *Node {
+	var found *Node
+	t.walk(t.root, 0, func(n *Node, lvl int) bool {
+		if lvl == level {
+			found = n // pre-order keeps overwriting; last one is rightmost
+		}
+		return true
+	})
+	return found
+}
+
+// Insert places a new segment at the tree position currently occupied by
+// target (Fig 3): the new node takes target's slot at target's level, and
+// target together with target's children become the new node's children.
+// The root cannot be displaced.
+func (t *Tree) Insert(id string, dur time.Duration, targetID string) error {
+	t.ensureIndex()
+	if _, exists := t.index[id]; exists {
+		return fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	if dur < 0 {
+		return fmt.Errorf("contenttree: node %s has negative duration %v", id, dur)
+	}
+	target := t.index[targetID]
+	if target == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, targetID)
+	}
+	if target == t.root {
+		return ErrDeleteRoot
+	}
+	parent := target.parent
+	slot := childIndex(parent, target)
+	n := &Node{ID: id, Duration: dur, parent: parent}
+	parent.Children[slot] = n
+
+	// Target is demoted one level; its former children are adopted by the
+	// new node as target's right siblings, keeping the highest level bound.
+	adopted := target.Children
+	target.Children = nil
+	target.parent = n
+	n.Children = append(n.Children, target)
+	for _, c := range adopted {
+		c.parent = n
+		n.Children = append(n.Children, c)
+	}
+	t.index[id] = n
+	return nil
+}
+
+// Delete removes the node with the given ID (Fig 4). Its children are
+// adopted by the left sibling, or by the right sibling when there is no
+// left sibling, preserving presentation order. Deleting the root is only
+// allowed when the root is the sole node.
+func (t *Tree) Delete(id string) error {
+	t.ensureIndex()
+	n := t.index[id]
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if n == t.root {
+		if len(n.Children) > 0 {
+			return ErrDeleteRoot
+		}
+		t.root = nil
+		delete(t.index, id)
+		return nil
+	}
+	parent := n.parent
+	slot := childIndex(parent, n)
+	if len(n.Children) > 0 {
+		var adopter *Node
+		switch {
+		case slot > 0:
+			adopter = parent.Children[slot-1]
+		case slot+1 < len(parent.Children):
+			adopter = parent.Children[slot+1]
+		default:
+			return fmt.Errorf("%w (deleting %s)", ErrNoAdopter, id)
+		}
+		if slot > 0 {
+			// Left sibling adopts: children append on its right.
+			for _, c := range n.Children {
+				c.parent = adopter
+				adopter.Children = append(adopter.Children, c)
+			}
+		} else {
+			// Right sibling adopts: children prepend, preserving sequence.
+			for _, c := range n.Children {
+				c.parent = adopter
+			}
+			adopter.Children = append(append([]*Node{}, n.Children...), adopter.Children...)
+		}
+		n.Children = nil
+	}
+	parent.Children = append(parent.Children[:slot], parent.Children[slot+1:]...)
+	n.parent = nil
+	delete(t.index, id)
+	return nil
+}
+
+// Detach removes the node and its entire subtree from the tree.
+func (t *Tree) Detach(id string) error {
+	t.ensureIndex()
+	n := t.index[id]
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if n == t.root {
+		t.root = nil
+		t.index = make(map[string]*Node)
+		return nil
+	}
+	parent := n.parent
+	slot := childIndex(parent, n)
+	parent.Children = append(parent.Children[:slot], parent.Children[slot+1:]...)
+	n.parent = nil
+	t.walk(n, 0, func(d *Node, _ int) bool {
+		delete(t.index, d.ID)
+		return true
+	})
+	return nil
+}
+
+func childIndex(parent, child *Node) int {
+	for i, c := range parent.Children {
+		if c == child {
+			return i
+		}
+	}
+	return -1
+}
+
+// PresentationTime returns the total presentation time at the given level:
+// the sum of durations of every node whose level is at most level (the
+// paper's LevelNodes[level]->value). Levels beyond the highest level return
+// the full presentation time.
+func (t *Tree) PresentationTime(level int) time.Duration {
+	var total time.Duration
+	t.walk(t.root, 0, func(n *Node, lvl int) bool {
+		if lvl <= level {
+			total += n.Duration
+		}
+		return lvl < level // no need to descend past the requested level
+	})
+	return total
+}
+
+// LevelNodes returns the cumulative presentation time per level, index q
+// holding the paper's LevelNodes[q]->value. Empty trees return nil.
+func (t *Tree) LevelNodes() []time.Duration {
+	highest := t.HighestLevel()
+	if highest < 0 {
+		return nil
+	}
+	out := make([]time.Duration, highest+1)
+	t.walk(t.root, 0, func(n *Node, lvl int) bool {
+		for q := lvl; q <= highest; q++ {
+			out[q] += n.Duration
+		}
+		return true
+	})
+	return out
+}
+
+// ExtractLevel returns the presentation at the given abstraction level: the
+// pre-order sequence of every node with level <= level. This is the
+// "flexible teaching material" of §2.2 — level 0 is the shortest summary.
+func (t *Tree) ExtractLevel(level int) []*Node {
+	var seq []*Node
+	t.walk(t.root, 0, func(n *Node, lvl int) bool {
+		if lvl <= level {
+			seq = append(seq, n)
+		}
+		return lvl < level
+	})
+	return seq
+}
+
+// ExtractLevelIDs is ExtractLevel projected to node IDs, convenient for
+// assertions and display.
+func (t *Tree) ExtractLevelIDs(level int) []string {
+	nodes := t.ExtractLevel(level)
+	ids := make([]string, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.ID
+	}
+	return ids
+}
+
+// Walk visits every node in pre-order with its level, stopping early if fn
+// returns false for descending into a subtree's children.
+func (t *Tree) Walk(fn func(n *Node, level int) bool) {
+	t.walk(t.root, 0, fn)
+}
+
+func (t *Tree) walk(n *Node, lvl int, fn func(*Node, int) bool) {
+	if n == nil {
+		return
+	}
+	descend := fn(n, lvl)
+	if !descend {
+		return
+	}
+	for _, c := range n.Children {
+		t.walk(c, lvl+1, fn)
+	}
+}
+
+// Validate checks the "well-defined" property of Fig 2: the index matches
+// the structure, parent pointers are consistent, IDs are unique and
+// non-empty, and durations are non-negative.
+func (t *Tree) Validate() error {
+	t.ensureIndex()
+	if t.root == nil {
+		if len(t.index) != 0 {
+			return fmt.Errorf("contenttree: empty tree with %d indexed nodes", len(t.index))
+		}
+		return nil
+	}
+	if t.root.parent != nil {
+		return errors.New("contenttree: root has a parent")
+	}
+	seen := make(map[string]bool, len(t.index))
+	var problem error
+	t.walk(t.root, 0, func(n *Node, _ int) bool {
+		if problem != nil {
+			return false
+		}
+		switch {
+		case n.ID == "":
+			problem = errors.New("contenttree: node with empty id")
+		case seen[n.ID]:
+			problem = fmt.Errorf("%w in structure: %s", ErrDuplicateID, n.ID)
+		case t.index[n.ID] != n:
+			problem = fmt.Errorf("contenttree: node %s missing from index", n.ID)
+		case n.Duration < 0:
+			problem = fmt.Errorf("contenttree: node %s has negative duration", n.ID)
+		}
+		seen[n.ID] = true
+		for _, c := range n.Children {
+			if c.parent != n {
+				problem = fmt.Errorf("contenttree: node %s has wrong parent pointer", c.ID)
+			}
+		}
+		return problem == nil
+	})
+	if problem != nil {
+		return problem
+	}
+	if len(seen) != len(t.index) {
+		return fmt.Errorf("contenttree: index has %d nodes, structure has %d", len(t.index), len(seen))
+	}
+	return nil
+}
+
+// String renders the tree as an indented outline, one node per line:
+//
+//	S0 (20s)
+//	  S1 (20s)
+//	    S2 (20s)
+func (t *Tree) String() string {
+	if t.root == nil {
+		return "(empty)"
+	}
+	var b strings.Builder
+	t.walk(t.root, 0, func(n *Node, lvl int) bool {
+		fmt.Fprintf(&b, "%s%s (%v)\n", strings.Repeat("  ", lvl), n.ID, n.Duration)
+		return true
+	})
+	return b.String()
+}
+
+// nodeJSON is the serialized node form.
+type nodeJSON struct {
+	ID          string     `json:"id"`
+	DurationSec float64    `json:"durationSec"`
+	Children    []nodeJSON `json:"children,omitempty"`
+}
+
+// MarshalJSON encodes the tree structure.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	if t.root == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(toJSON(t.root))
+}
+
+func toJSON(n *Node) nodeJSON {
+	j := nodeJSON{ID: n.ID, DurationSec: n.Duration.Seconds()}
+	for _, c := range n.Children {
+		j.Children = append(j.Children, toJSON(c))
+	}
+	return j
+}
+
+// UnmarshalJSON decodes a tree previously produced by MarshalJSON.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	t.root = nil
+	t.index = make(map[string]*Node)
+	var j *nodeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("contenttree: decode: %w", err)
+	}
+	if j == nil {
+		return nil
+	}
+	root, err := fromJSON(*j, nil, t.index)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	return nil
+}
+
+func fromJSON(j nodeJSON, parent *Node, index map[string]*Node) (*Node, error) {
+	if j.ID == "" {
+		return nil, errors.New("contenttree: decode: node with empty id")
+	}
+	if _, dup := index[j.ID]; dup {
+		return nil, fmt.Errorf("contenttree: decode: %w: %s", ErrDuplicateID, j.ID)
+	}
+	n := &Node{
+		ID:       j.ID,
+		Duration: time.Duration(j.DurationSec * float64(time.Second)),
+		parent:   parent,
+	}
+	index[j.ID] = n
+	for _, cj := range j.Children {
+		c, err := fromJSON(cj, n, index)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
+}
+
+// IDs returns the sorted set of node IDs (diagnostics helper).
+func (t *Tree) IDs() []string {
+	t.ensureIndex()
+	ids := make([]string, 0, len(t.index))
+	for id := range t.index {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

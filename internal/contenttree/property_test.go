@@ -1,0 +1,212 @@
+package contenttree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomTree builds a pseudo-random valid tree from a seed: a root plus up
+// to n attaches at levels chosen to always have a parent.
+func randomTree(seed int64, n int) *Tree {
+	rng := rand.New(rand.NewSource(seed))
+	tree := New()
+	_ = tree.Attach("n0", time.Duration(1+rng.Intn(60))*time.Second, 0)
+	for i := 1; i <= n; i++ {
+		level := 1 + rng.Intn(tree.HighestLevel()+1) // ≤ highest+1, so a parent exists
+		id := "n" + itoa(i)
+		_ = tree.Attach(id, time.Duration(1+rng.Intn(60))*time.Second, level)
+	}
+	return tree
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// TestLevelTimeMonotone is the E11 property: "the higher level gives the
+// longer presentation" — LevelNodes must be non-decreasing in level, and
+// strictly increasing whenever the deeper level is non-empty with positive
+// durations.
+func TestLevelTimeMonotone(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		tree := randomTree(seed, int(sz%40)+1)
+		lv := tree.LevelNodes()
+		for q := 1; q < len(lv); q++ {
+			if lv[q] < lv[q-1] {
+				return false
+			}
+			// Levels present in a tree built by Attach always hold at least
+			// one node with positive duration, so the increase is strict.
+			if lv[q] == lv[q-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttachAlwaysValid checks that any sequence of valid attaches keeps the
+// well-defined property.
+func TestAttachAlwaysValid(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		tree := randomTree(seed, int(sz%50)+1)
+		return tree.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertPreservesTotalTimePlusNew checks the Fig 3 accounting property:
+// an insert adds exactly the new node's duration to the full presentation
+// time and never deepens the tree by more than one level.
+func TestInsertPreservesTotalTimePlusNew(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(seed, int(sz%30)+2)
+		before := tree.PresentationTime(tree.HighestLevel())
+		depthBefore := tree.HighestLevel()
+
+		// Pick any non-root node as the target.
+		ids := tree.IDs()
+		var target string
+		for _, id := range ids {
+			n := tree.Find(id)
+			if n != tree.Root() && rng.Intn(3) == 0 {
+				target = id
+				break
+			}
+		}
+		if target == "" {
+			for _, id := range ids {
+				if tree.Find(id) != tree.Root() {
+					target = id
+					break
+				}
+			}
+		}
+		if target == "" {
+			return true // single-node tree: nothing to insert over
+		}
+		newDur := time.Duration(1+rng.Intn(30)) * time.Second
+		if err := tree.Insert("inserted", newDur, target); err != nil {
+			return false
+		}
+		if tree.Validate() != nil {
+			return false
+		}
+		after := tree.PresentationTime(tree.HighestLevel())
+		if after != before+newDur {
+			return false
+		}
+		return tree.HighestLevel() <= depthBefore+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeletePreservesOtherNodes checks that deleting a node removes exactly
+// that node's duration and keeps every other node reachable.
+func TestDeletePreservesOtherNodes(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		tree := randomTree(seed, int(sz%30)+2)
+		ids := tree.IDs()
+		victimIdx := rng.Intn(len(ids))
+		victim := ids[victimIdx]
+		node := tree.Find(victim)
+		if node == tree.Root() {
+			return true // covered by dedicated root tests
+		}
+		total := tree.PresentationTime(tree.HighestLevel())
+		count := tree.Len()
+		err := tree.Delete(victim)
+		if err != nil {
+			// The only acceptable failure is a childful node with no
+			// adopting sibling.
+			return len(node.Children) > 0
+		}
+		if tree.Validate() != nil {
+			return false
+		}
+		if tree.Len() != count-1 {
+			return false
+		}
+		newTotal := tree.PresentationTime(tree.HighestLevel() + 10)
+		return newTotal == total-node.Duration
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtractLevelPrefixProperty checks that lower-level extractions are
+// subsequences of higher-level ones (the summary is always contained in the
+// detailed presentation, in order).
+func TestExtractLevelPrefixProperty(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		tree := randomTree(seed, int(sz%40)+1)
+		high := tree.HighestLevel()
+		full := tree.ExtractLevelIDs(high)
+		for q := 0; q < high; q++ {
+			if !isSubsequence(tree.ExtractLevelIDs(q), full) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isSubsequence(sub, full []string) bool {
+	i := 0
+	for _, s := range full {
+		if i < len(sub) && sub[i] == s {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+// TestJSONRoundTripProperty checks marshal/unmarshal identity on random trees.
+func TestJSONRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		tree := randomTree(seed, int(sz%40)+1)
+		data, err := tree.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		restored := New()
+		if err := restored.UnmarshalJSON(data); err != nil {
+			return false
+		}
+		if restored.Validate() != nil {
+			return false
+		}
+		h := tree.HighestLevel()
+		return reflect.DeepEqual(restored.ExtractLevelIDs(h), tree.ExtractLevelIDs(h)) &&
+			reflect.DeepEqual(restored.LevelNodes(), tree.LevelNodes())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

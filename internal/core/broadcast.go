@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/capture"
+	"repro/internal/encoder"
+	"repro/internal/streaming"
+)
+
+// Broadcast is a managed live lecture broadcast: it owns the publishing
+// goroutine and exposes Stop/Done per the goroutine-lifecycle conventions.
+type Broadcast struct {
+	Channel *streaming.Channel
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+}
+
+// BroadcastLecture encodes the lecture as a live stream and starts
+// publishing it to a new channel on the system's server, paced by packet
+// send times on the system clock. The returned Broadcast must be stopped
+// (or allowed to finish) by the caller.
+func (s *System) BroadcastLecture(lec *capture.Lecture, channelName string) (*Broadcast, error) {
+	var buf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{Live: true, LeadTime: time.Second}, &buf); err != nil {
+		return nil, err
+	}
+	h, packets, _, err := asf.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("core: broadcast read: %w", err)
+	}
+	ch, err := s.Server.CreateChannel(channelName, h)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &Broadcast{Channel: ch, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(b.done)
+		defer ch.Close()
+		if err := ch.PublishPaced(ctx, s.clock, packets); err != nil && !errors.Is(err, context.Canceled) {
+			b.err = err
+		}
+	}()
+	return b, nil
+}
+
+// Done is closed when the broadcast has finished (all packets published or
+// stopped).
+func (b *Broadcast) Done() <-chan struct{} { return b.done }
+
+// Stop cancels the broadcast and waits for the publisher to exit. It
+// returns any publishing error.
+func (b *Broadcast) Stop() error {
+	b.cancel()
+	<-b.done
+	return b.err
+}
+
+// Err returns the publishing error after Done is closed.
+func (b *Broadcast) Err() error {
+	select {
+	case <-b.done:
+		return b.err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/netsim"
+	"repro/internal/player"
+)
+
+func lectureConfig(t *testing.T, dur time.Duration, slides int) capture.LectureConfig {
+	t.Helper()
+	p, err := codec.ByName("modem-56k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return capture.LectureConfig{
+		Title: "core test", Duration: dur, Profile: p,
+		SlideCount: slides, AnnotationEvery: dur / 2, Seed: 9,
+	}
+}
+
+func TestRecordPublishReplayPipeline(t *testing.T) {
+	sys := NewSystem(nil)
+	lec, err := sys.RecordLecture(lectureConfig(t, 4*time.Second, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.PublishLecture(lec, t.TempDir(), "lecture1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slides != 4 {
+		t.Fatalf("published %d slides", res.Slides)
+	}
+	if res.Tree == nil || res.Tree.Len() != 4 {
+		t.Fatalf("content tree missing or wrong size")
+	}
+	// The asset is registered and replayable.
+	if _, ok := sys.Server.Asset("lecture1"); !ok {
+		t.Fatal("asset not registered")
+	}
+	m, err := sys.Replay("lecture1", player.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SlidesShown != 4 {
+		t.Fatalf("replay showed %d slides", m.SlidesShown)
+	}
+	if m.VideoFrames != len(lec.Video) {
+		t.Fatalf("replay frames = %d, want %d", m.VideoFrames, len(lec.Video))
+	}
+	if m.BrokenFrames != 0 {
+		t.Fatalf("broken frames on clean pipeline: %d", m.BrokenFrames)
+	}
+}
+
+func TestReplayUnknownAsset(t *testing.T) {
+	sys := NewSystem(nil)
+	if _, err := sys.Replay("ghost", player.Options{}); err == nil {
+		t.Fatal("unknown asset replayed")
+	}
+}
+
+func TestPublishLectureValidation(t *testing.T) {
+	sys := NewSystem(nil)
+	lec, err := sys.RecordLecture(lectureConfig(t, time.Second, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.PublishLecture(lec, t.TempDir(), ""); err == nil {
+		t.Fatal("empty asset name accepted")
+	}
+}
+
+func TestServeAssetFileMissing(t *testing.T) {
+	sys := NewSystem(nil)
+	if err := sys.ServeAssetFile("x", "/does/not/exist"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestFigure7EndToEnd is the E7 experiment: over a clean LAN the whole
+// presentation is synchronized within tight tolerances; over a congested
+// modem at a too-rich profile it is not.
+func TestFigure7EndToEnd(t *testing.T) {
+	cfg := E2EConfig{
+		Lecture:      lectureConfig(t, 10*time.Second, 5),
+		Link:         netsim.LinkLAN,
+		StartupDelay: 500 * time.Millisecond,
+		LeadTime:     500 * time.Millisecond,
+	}
+	res, err := RunEndToEnd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("LAN lost %d packets", res.Lost)
+	}
+	if !res.Synchronized(80*time.Millisecond, 500*time.Millisecond) {
+		t.Fatalf("LAN run not synchronized: maxSkew=%v slideSkew=%v", res.MaxSkew, res.MaxSlideSkew)
+	}
+	if res.SlideFlips != 5 {
+		t.Fatalf("slide flips = %d", res.SlideFlips)
+	}
+	if res.DecodableFrac != 1.0 {
+		t.Fatalf("decodable frac = %v", res.DecodableFrac)
+	}
+
+	// Same lecture at a DSL-class profile over a 56k modem: starved.
+	rich := cfg
+	richProfile, err := codec.ByName("dsl-300k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rich.Lecture.Profile = richProfile
+	rich.Link = netsim.LinkModem56k
+	starved, err := RunEndToEnd(rich)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.Synchronized(80*time.Millisecond, 500*time.Millisecond) {
+		t.Fatal("over-bandwidth run reported synchronized")
+	}
+	if starved.MaxSkew <= res.MaxSkew {
+		t.Fatalf("starved skew %v not worse than LAN %v", starved.MaxSkew, res.MaxSkew)
+	}
+}
+
+func TestEndToEndLossReducesDecodability(t *testing.T) {
+	cfg := E2EConfig{
+		Lecture:      lectureConfig(t, 10*time.Second, 2),
+		Link:         netsim.Link{BitsPerSecond: 10_000_000, LossRate: 0.10, Seed: 4},
+		StartupDelay: 200 * time.Millisecond,
+	}
+	res, err := RunEndToEnd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost == 0 {
+		t.Fatal("lossy link lost nothing")
+	}
+	if res.DecodableFrac >= 1.0 || res.DecodableFrac <= 0 {
+		t.Fatalf("decodable frac = %v, want in (0,1)", res.DecodableFrac)
+	}
+}
+
+func TestEndToEndStartupDelayAbsorbsJitter(t *testing.T) {
+	base := E2EConfig{
+		Lecture: lectureConfig(t, 8*time.Second, 2),
+		Link: netsim.Link{
+			BitsPerSecond: 1_000_000, Latency: 50 * time.Millisecond,
+			Jitter: 200 * time.Millisecond, Seed: 6,
+		},
+		LeadTime: 0,
+	}
+	noBuffer := base
+	noBuffer.StartupDelay = 0
+	withBuffer := base
+	withBuffer.StartupDelay = time.Second
+
+	r0, err := RunEndToEnd(noBuffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := RunEndToEnd(withBuffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LateEvents >= r0.LateEvents && r0.LateEvents > 0 {
+		t.Fatalf("startup delay did not reduce lateness: %d -> %d", r0.LateEvents, r1.LateEvents)
+	}
+	if r1.MaxSkew > r0.MaxSkew {
+		t.Fatalf("buffered skew %v worse than unbuffered %v", r1.MaxSkew, r0.MaxSkew)
+	}
+}
+
+func TestEndToEndValidation(t *testing.T) {
+	bad := E2EConfig{
+		Lecture: lectureConfig(t, time.Second, 1),
+		Link:    netsim.Link{BitsPerSecond: -1},
+	}
+	if _, err := RunEndToEnd(bad); err == nil {
+		t.Fatal("invalid link accepted")
+	}
+	neg := E2EConfig{Lecture: lectureConfig(t, time.Second, 1), StartupDelay: -1}
+	if _, err := RunEndToEnd(neg); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}

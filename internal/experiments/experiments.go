@@ -1,0 +1,173 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the E1–E12 index in DESIGN.md). Each Run* function is
+// deterministic, returns both structured results and a formatted text
+// block, and is exercised by cmd/lodbench and the repository benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/contenttree"
+)
+
+// Result is one regenerated experiment artifact.
+type Result struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// render formats rows as an aligned table.
+func render(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+const paperUnit = 20 * time.Second
+
+// paperTree builds the §2.3 example tree S0(S1(S2), S3(S4)).
+func paperTree() (*contenttree.Tree, error) {
+	tree := contenttree.New()
+	steps := []struct {
+		id    string
+		level int
+	}{
+		{"S0", 0}, {"S1", 1}, {"S2", 2}, {"S3", 1}, {"S4", 2},
+	}
+	for _, s := range steps {
+		if err := tree.Attach(s.id, paperUnit, s.level); err != nil {
+			return nil, err
+		}
+	}
+	return tree, nil
+}
+
+func levelRow(tree *contenttree.Tree) []string {
+	lv := tree.LevelNodes()
+	out := make([]string, len(lv))
+	for i, d := range lv {
+		out[i] = fmt.Sprintf("LevelNodes[%d]=%.0f", i, d.Seconds())
+	}
+	return out
+}
+
+// RunE1 regenerates Figures 1 and 2: the multiple-level content tree shape
+// and its well-definedness.
+func RunE1() (*Result, error) {
+	tree, err := paperTree()
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: E1 tree not well-defined: %w", err)
+	}
+	var b strings.Builder
+	b.WriteString("Multiple-level content tree (Figure 1/2):\n")
+	b.WriteString(tree.String())
+	fmt.Fprintf(&b, "highestLevel = %d\n", tree.HighestLevel())
+	fmt.Fprintf(&b, "%s\n", strings.Join(levelRow(tree), "  "))
+	fmt.Fprintf(&b, "level extractions: L0=%v L1=%v L2=%v\n",
+		tree.ExtractLevelIDs(0), tree.ExtractLevelIDs(1), tree.ExtractLevelIDs(2))
+	return &Result{ID: "E1", Title: "Content tree shape (Fig 1, Fig 2)", Text: b.String()}, nil
+}
+
+// RunE2 regenerates the §2.3 build-step table: the LevelNodes values after
+// each add, matching the paper's published numbers.
+func RunE2() (*Result, error) {
+	tree := contenttree.New()
+	type step struct {
+		name  string
+		id    string
+		level int
+	}
+	steps := []step{
+		{"Step 1: add S0", "S0", 0},
+		{"Step 2: add S1", "S1", 1},
+		{"Step 3: add S2", "S2", 2},
+		{"Step 4: add S3", "S3", 1},
+		{"Step 4: add S4", "S4", 2},
+	}
+	rows := make([][]string, 0, len(steps))
+	for _, s := range steps {
+		if err := tree.Attach(s.id, paperUnit, s.level); err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			s.name,
+			fmt.Sprintf("highestLevel=%d", tree.HighestLevel()),
+			strings.Join(levelRow(tree), " "),
+		})
+	}
+	// Verify against the paper's stated values.
+	want := []float64{20, 60, 100}
+	lv := tree.LevelNodes()
+	for q, w := range want {
+		if lv[q].Seconds() != w {
+			return nil, fmt.Errorf("experiments: E2 LevelNodes[%d] = %v, paper says %v", q, lv[q].Seconds(), w)
+		}
+	}
+	return &Result{
+		ID: "E2", Title: "§2.3 build steps (paper: final LevelNodes {20,60,100})",
+		Text: render([]string{"step", "highestLevel", "LevelNodes"}, rows),
+	}, nil
+}
+
+// RunE3 regenerates Figure 3: inserting S5 at level 1 over S3 yields
+// LevelNodes {20, 60, 120} with highestLevel still 2.
+func RunE3() (*Result, error) {
+	tree, err := paperTree()
+	if err != nil {
+		return nil, err
+	}
+	before := strings.Join(levelRow(tree), " ")
+	if err := tree.Insert("S5", paperUnit, "S3"); err != nil {
+		return nil, err
+	}
+	after := strings.Join(levelRow(tree), " ")
+	lv := tree.LevelNodes()
+	want := []float64{20, 60, 120}
+	for q, w := range want {
+		if lv[q].Seconds() != w {
+			return nil, fmt.Errorf("experiments: E3 LevelNodes[%d] = %v, paper says %v", q, lv[q].Seconds(), w)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "before insert: %s\n", before)
+	fmt.Fprintf(&b, "insert S5 (level 1) over S3\n")
+	fmt.Fprintf(&b, "after insert:  %s  highestLevel=%d\n", after, tree.HighestLevel())
+	b.WriteString(tree.String())
+	return &Result{ID: "E3", Title: "Figure 3 insert (paper: {20,60,120}, highestLevel 2)", Text: b.String()}, nil
+}
+
+// RunE4 regenerates Figure 4: deleting S5 hands its children to sibling S1.
+func RunE4() (*Result, error) {
+	tree, err := paperTree()
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Insert("S5", paperUnit, "S3"); err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("before delete:\n")
+	b.WriteString(tree.String())
+	if err := tree.Delete("S5"); err != nil {
+		return nil, err
+	}
+	b.WriteString("delete S5 (level 1) — children adopted by sibling S1:\n")
+	b.WriteString(tree.String())
+	s1 := tree.Find("S1")
+	if s1 == nil || len(s1.Children) != 3 {
+		return nil, fmt.Errorf("experiments: E4 adoption failed")
+	}
+	return &Result{ID: "E4", Title: "Figure 4 delete (children adopted by S1)", Text: b.String()}, nil
+}

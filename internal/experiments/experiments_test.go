@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllExperiments(t *testing.T) {
+	results, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 16 {
+		t.Fatalf("ran %d experiments, want 16", len(results))
+	}
+	for _, r := range results {
+		if r.Text == "" {
+			t.Errorf("%s produced no output", r.ID)
+		}
+		if r.Title == "" {
+			t.Errorf("%s has no title", r.ID)
+		}
+	}
+}
+
+func TestE2MatchesPaperValues(t *testing.T) {
+	res, err := RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"LevelNodes[0]=20", "LevelNodes[1]=60", "LevelNodes[2]=100"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("E2 output missing %q:\n%s", want, res.Text)
+		}
+	}
+}
+
+func TestE3MatchesPaperValues(t *testing.T) {
+	res, err := RunE3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "LevelNodes[2]=120") {
+		t.Errorf("E3 output missing post-insert value:\n%s", res.Text)
+	}
+}
+
+func TestE9ShowsModelOrdering(t *testing.T) {
+	res, err := RunE9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extended model's row must report 0 mis-schedules.
+	lines := strings.Split(res.Text, "\n")
+	var extLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "ExtendedTimedPN") {
+			extLine = l
+		}
+	}
+	if extLine == "" {
+		t.Fatalf("no extended model row:\n%s", res.Text)
+	}
+	if !strings.Contains(extLine, "0/") {
+		t.Errorf("extended model mis-scheduled: %s", extLine)
+	}
+}
+
+func TestE10SmallAndLarge(t *testing.T) {
+	for _, n := range []int{2, 5, 32} {
+		if _, err := RunE10(n); err != nil {
+			t.Errorf("E10(%d): %v", n, err)
+		}
+	}
+}
+
+func TestE12SmallScale(t *testing.T) {
+	res, err := RunE12(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "clients") {
+		t.Fatalf("E12 output malformed:\n%s", res.Text)
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 16 || ids[0] != "E1" || ids[15] != "E16" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}

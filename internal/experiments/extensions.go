@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/capture"
+	"repro/internal/dynamic"
+	"repro/internal/encoder"
+	"repro/internal/media"
+	"repro/internal/ocpn"
+	"repro/internal/player"
+	"repro/internal/publish"
+	"repro/internal/streaming"
+)
+
+// RunE13 exercises the extension experiment: interactive playback controls
+// (the §1 "dynamical operations of users") on a stored lecture — pause
+// shifts the tail, seek jumps to a keyframe, and every wall timeline stays
+// ordered.
+func RunE13() (*Result, error) {
+	cfg, err := stdLecture("modem-56k", 30*time.Second, 6)
+	if err != nil {
+		return nil, err
+	}
+	lec, err := capture.NewLecture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{}, &buf); err != nil {
+		return nil, err
+	}
+	header, packets, ix, err := asf.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+
+	scenarios := []struct {
+		name     string
+		controls []player.Control
+	}{
+		{"uncontrolled", nil},
+		{"pause 10s→15s", []player.Control{
+			{Kind: player.CtlPause, At: 10 * time.Second},
+			{Kind: player.CtlResume, At: 15 * time.Second},
+		}},
+		{"seek to 20s at wall 5s", []player.Control{
+			{Kind: player.CtlSeek, At: 5 * time.Second, Target: 20 * time.Second},
+		}},
+		{"seek back to 0 at wall 25s", []player.Control{
+			{Kind: player.CtlSeek, At: 25 * time.Second, Target: 0},
+		}},
+	}
+	rows := make([][]string, 0, len(scenarios))
+	for _, sc := range scenarios {
+		res, err := player.RunSession(header, packets, ix, sc.controls)
+		if err != nil {
+			return nil, err
+		}
+		ordered := "yes"
+		if !res.EventsInWallOrder() {
+			ordered = "NO"
+		}
+		rows = append(rows, []string{
+			sc.name,
+			fmt.Sprintf("%d", len(res.Events)),
+			fmt.Sprintf("%d", len(res.SlideFlips)),
+			res.TotalPaused.String(),
+			fmt.Sprintf("%d", res.Seeks),
+			res.EndedAt.String(),
+			ordered,
+		})
+	}
+	text := render([]string{"scenario", "events", "flips", "paused", "seeks", "ended", "ordered"}, rows)
+	return &Result{ID: "E13", Title: "Interactive playback controls (extension)", Text: text}, nil
+}
+
+// RunE14 exercises the extension experiment: composing a presentation from
+// Allen temporal relations and scheduling it with OCPN.
+func RunE14() (*Result, error) {
+	s := time.Second
+	segs := []media.Segment{
+		{ID: "video", Kind: media.KindVideo, Duration: 30 * s},
+		{ID: "audio", Kind: media.KindAudio, Duration: 30 * s},
+		{ID: "slide1", Kind: media.KindImage, Duration: 10 * s},
+		{ID: "slide2", Kind: media.KindImage, Duration: 10 * s},
+		{ID: "slide3", Kind: media.KindImage, Duration: 10 * s},
+		{ID: "caption", Kind: media.KindText, Duration: 4 * s},
+	}
+	constraints := []ocpn.Constraint{
+		{Rel: ocpn.RelEquals, A: "video", B: "audio"},
+		{Rel: ocpn.RelStarts, A: "slide1", B: "video"},
+		{Rel: ocpn.RelMeets, A: "slide1", B: "slide2"},
+		{Rel: ocpn.RelMeets, A: "slide2", B: "slide3"},
+		{Rel: ocpn.RelDuring, A: "video", B: "caption", Offset: 13 * s},
+	}
+	p, err := ocpn.Compose("composed lecture", segs, constraints)
+	if err != nil {
+		return nil, err
+	}
+	model, err := ocpn.Build(ocpn.OCPN, p)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := model.Simulate(ocpn.Scenario{})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([][]string, 0, len(p.Segments))
+	for _, seg := range p.Segments {
+		rows = append(rows, []string{seg.ID, seg.Start.String(), seg.End().String()})
+	}
+	var b strings.Builder
+	b.WriteString("constraints: audio equals video; slide1 starts video; slide1→slide2→slide3 meet; caption during video @13s\n")
+	b.WriteString(render([]string{"segment", "start", "end"}, rows))
+	fmt.Fprintf(&b, "OCPN schedule of the composed presentation: %d/%d segments on time\n",
+		len(rep.Segments)-rep.MisScheduled, len(rep.Segments))
+	return &Result{ID: "E14", Title: "Allen-relation composition (extension)", Text: b.String()}, nil
+}
+
+// RunE15 exercises the extension experiment: XOCPN-style call admission at
+// the server. With capacity for N modem sessions, session N+1 is refused
+// instead of degrading everyone.
+func RunE15() (*Result, error) {
+	cfg, err := stdLecture("modem-56k", 5*time.Second, 2)
+	if err != nil {
+		return nil, err
+	}
+	lec, err := capture.NewLecture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{}, &buf); err != nil {
+		return nil, err
+	}
+	header, _, _, err := asf.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	var rate int64
+	for _, st := range header.Streams {
+		rate += st.BitsPerSecond
+	}
+
+	rows := make([][]string, 0, 4)
+	for _, capSessions := range []int{1, 2, 4, 8} {
+		adm := streaming.NewAdmission(int64(capSessions) * rate)
+		admitted := 0
+		var tokens []string
+		for i := 0; i < 10; i++ {
+			token, err := adm.Reserve(rate)
+			if err != nil {
+				continue
+			}
+			admitted++
+			tokens = append(tokens, token)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d sessions (%d kbps)", capSessions, int64(capSessions)*rate/1000),
+			fmt.Sprintf("%d/10", admitted),
+			fmt.Sprintf("%d", adm.Rejected()),
+		})
+		for _, tok := range tokens {
+			adm.Release(tok)
+		}
+	}
+	text := render([]string{"uplink capacity", "admitted", "rejected"}, rows)
+	text += fmt.Sprintf("\nper-session QoS requirement: %d kbps (from stream properties)\n", rate/1000)
+	return &Result{ID: "E15", Title: "Bandwidth admission control (extension)", Text: text}, nil
+}
+
+// RunE16 exercises the "dynamic presentations" differentiator (§1): the
+// same published lecture is fitted to audiences with different time and
+// bandwidth budgets — each audience watches a different presentation.
+func RunE16() (*Result, error) {
+	cfg, err := stdLecture("dsl-300k", 60*time.Second, 9)
+	if err != nil {
+		return nil, err
+	}
+	lec, err := capture.NewLecture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := publish.BuildContentTree(lec.Title, lec.Slides, lec.Duration, 0)
+	if err != nil {
+		return nil, err
+	}
+	audiences := []struct {
+		name string
+		aud  dynamic.Audience
+	}{
+		{"browsing (10 s, modem)", dynamic.Audience{AvailableTime: 10 * time.Second, BandwidthBps: 56_000}},
+		{"revision (30 s, DSL)", dynamic.Audience{AvailableTime: 30 * time.Second, BandwidthBps: 768_000}},
+		{"full course (unlimited, LAN)", dynamic.Audience{}},
+	}
+	rows := make([][]string, 0, len(audiences))
+	for _, a := range audiences {
+		plan, err := dynamic.PlanFor(tree, lec.Slides, lec.Duration, a.aud)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			a.name,
+			fmt.Sprintf("%d", plan.Level),
+			plan.Duration.String(),
+			plan.Profile.Name,
+			fmt.Sprintf("%d segments, %d controls", len(plan.SegmentIDs), len(plan.Controls)),
+		})
+	}
+	text := render([]string{"audience", "level", "duration", "profile", "plan"}, rows)
+	text += "\nsame stored lecture; each audience receives a different presentation\n"
+	return &Result{ID: "E16", Title: "Dynamic presentations per audience (extension)", Text: text}, nil
+}

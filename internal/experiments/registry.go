@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment with default parameters.
+type Runner func() (*Result, error)
+
+// Registry maps experiment IDs to their runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"E1":  RunE1,
+		"E2":  RunE2,
+		"E3":  RunE3,
+		"E4":  RunE4,
+		"E5":  func() (*Result, error) { return RunE5("") },
+		"E6":  RunE6,
+		"E7":  RunE7,
+		"E8":  RunE8,
+		"E9":  RunE9,
+		"E10": func() (*Result, error) { return RunE10(8) },
+		"E11": func() (*Result, error) { return RunE11(500) },
+		"E12": func() (*Result, error) { return RunE12(128) },
+		"E13": RunE13,
+		"E14": RunE14,
+		"E15": RunE15,
+		"E16": RunE16,
+	}
+}
+
+// IDs returns the experiment IDs in numeric order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(ids[i], "E%d", &a)
+		fmt.Sscanf(ids[j], "E%d", &b)
+		return a < b
+	})
+	return ids
+}
+
+// RunAll executes every experiment in order.
+func RunAll() ([]*Result, error) {
+	var out []*Result
+	reg := Registry()
+	for _, id := range IDs() {
+		res, err := reg[id]()
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

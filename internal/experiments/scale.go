@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"bytes"
+	"math/rand"
+
+	"repro/internal/asf"
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/contenttree"
+	"repro/internal/encoder"
+	"repro/internal/session"
+	"repro/internal/streaming"
+	"repro/internal/vclock"
+)
+
+// RunE10 regenerates the floor-control experiment: n students contend for
+// the floor on a virtual clock; the arbiter must grant fairly (FIFO), keep
+// mutual exclusion, and match the Petri-net model.
+func RunE10(users int) (*Result, error) {
+	if users < 2 {
+		users = 8
+	}
+	clk := vclock.NewVirtual()
+	floor := session.NewFloor(clk)
+
+	// Everyone requests at t=0; the floor rotates every 2 s.
+	order := make([]string, 0, users)
+	for i := 0; i < users; i++ {
+		u := fmt.Sprintf("student%02d", i)
+		order = append(order, u)
+		if _, err := floor.Request(u); err != nil {
+			return nil, err
+		}
+	}
+	var grantOrder []string
+	for i := 0; i < users; i++ {
+		holder := floor.Holder()
+		grantOrder = append(grantOrder, holder)
+		clk.Advance(2 * time.Second)
+		if err := floor.Release(holder); err != nil {
+			return nil, err
+		}
+	}
+	// FIFO fairness: grant order equals request order.
+	for i := range order {
+		if grantOrder[i] != order[i] {
+			return nil, fmt.Errorf("experiments: E10 fairness violated: %v vs %v", grantOrder, order)
+		}
+	}
+	if err := floor.VerifyAgainstModel(); err != nil {
+		return nil, fmt.Errorf("experiments: E10 model deviation: %w", err)
+	}
+	st := floor.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "users=%d grants=%d revocations=%d\n", users, st.Grants, st.Revocations)
+	fmt.Fprintf(&b, "max wait=%v mean wait=%v\n", st.MaxWait, st.TotalWait/time.Duration(st.Grants))
+	fmt.Fprintf(&b, "grant order FIFO-fair: yes; trace verified against Petri-net model: yes\n")
+	return &Result{ID: "E10", Title: fmt.Sprintf("Floor control with %d users", users), Text: b.String()}, nil
+}
+
+// RunE11 regenerates the §2.2 Abstractor property: across random content
+// trees, the presentation time is strictly monotone in the level ("the
+// higher level gives the longer presentation").
+func RunE11(trees int) (*Result, error) {
+	if trees <= 0 {
+		trees = 500
+	}
+	rng := rand.New(rand.NewSource(2002))
+	checked, maxDepth := 0, 0
+	for i := 0; i < trees; i++ {
+		tree := contenttree.New()
+		if err := tree.Attach("n0", time.Duration(1+rng.Intn(30))*time.Second, 0); err != nil {
+			return nil, err
+		}
+		n := 1 + rng.Intn(40)
+		for j := 1; j <= n; j++ {
+			level := 1 + rng.Intn(tree.HighestLevel()+1)
+			if err := tree.Attach(fmt.Sprintf("n%d", j), time.Duration(1+rng.Intn(30))*time.Second, level); err != nil {
+				return nil, err
+			}
+		}
+		lv := tree.LevelNodes()
+		for q := 1; q < len(lv); q++ {
+			if lv[q] <= lv[q-1] {
+				return nil, fmt.Errorf("experiments: E11 monotonicity violated in tree %d: %v", i, lv)
+			}
+		}
+		if d := tree.HighestLevel(); d > maxDepth {
+			maxDepth = d
+		}
+		checked++
+	}
+	text := fmt.Sprintf("checked %d random trees (max depth %d): presentation time strictly increases with level\n",
+		checked, maxDepth)
+	return &Result{ID: "E11", Title: "Abstractor monotonicity property", Text: text}, nil
+}
+
+// E12Row is one scalability measurement.
+type E12Row struct {
+	Clients   int
+	Packets   int64
+	Delivered int64
+	Dropped   int64
+	Wall      time.Duration
+}
+
+// RunE12 regenerates the live-broadcast scalability experiment: one
+// channel, 1→maxClients concurrent subscribers, all packets of a 10 s
+// lecture fanned out; reports delivery and wall time per packet-delivery.
+func RunE12(maxClients int) (*Result, error) {
+	if maxClients <= 0 {
+		maxClients = 128
+	}
+	p, err := codec.ByName("modem-56k")
+	if err != nil {
+		return nil, err
+	}
+	lec, err := capture.NewLecture(capture.LectureConfig{
+		Title: "scale", Duration: 10 * time.Second, Profile: p, SlideCount: 2, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{Live: true}, &buf); err != nil {
+		return nil, err
+	}
+	packets, header, err := decodeAll(buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+
+	var rows [][]string
+	var data []E12Row
+	for clients := 1; clients <= maxClients; clients *= 2 {
+		row, err := FanOut(header, packets, clients)
+		if err != nil {
+			return nil, err
+		}
+		data = append(data, row)
+		perDelivery := time.Duration(0)
+		if row.Delivered > 0 {
+			perDelivery = row.Wall / time.Duration(row.Delivered)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Clients),
+			fmt.Sprintf("%d", row.Packets),
+			fmt.Sprintf("%d", row.Delivered),
+			fmt.Sprintf("%d", row.Dropped),
+			row.Wall.Truncate(time.Microsecond).String(),
+			perDelivery.Truncate(time.Nanosecond).String(),
+		})
+	}
+	_ = data
+	text := render([]string{"clients", "packets", "delivered", "dropped", "wall", "per delivery"}, rows)
+	return &Result{ID: "E12", Title: "Live broadcast scalability (in-memory fan-out)", Text: text}, nil
+}
+
+func decodeAll(data []byte) ([]asf.Packet, asf.Header, error) {
+	h, pkts, _, err := asf.ReadAll(bytes.NewReader(data))
+	return pkts, h, err
+}
+
+// FanOut publishes all packets to a channel with the given number of
+// actively draining subscribers and measures the wall time.
+func FanOut(h asf.Header, packets []asf.Packet, clients int) (E12Row, error) {
+	ch, err := streaming.NewChannel("scale", h)
+	if err != nil {
+		return E12Row{}, err
+	}
+	var delivered int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		sub, err := ch.Subscribe()
+		if err != nil {
+			return E12Row{}, err
+		}
+		wg.Add(1)
+		go func(s *streaming.Subscriber) {
+			defer wg.Done()
+			defer s.Close()
+			count := int64(len(s.Backlog))
+			for range s.C {
+				count++
+			}
+			mu.Lock()
+			delivered += count
+			mu.Unlock()
+		}(sub)
+	}
+	start := time.Now()
+	for _, p := range packets {
+		if err := ch.Publish(p); err != nil {
+			return E12Row{}, err
+		}
+	}
+	ch.Close()
+	wg.Wait()
+	wall := time.Since(start)
+	return E12Row{
+		Clients:   clients,
+		Packets:   int64(len(packets)),
+		Delivered: delivered,
+		Dropped:   ch.Dropped(),
+		Wall:      wall,
+	}, nil
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/encoder"
+	"repro/internal/netsim"
+	"repro/internal/ocpn"
+	"repro/internal/player"
+	"repro/internal/publish"
+)
+
+// stdLecture is the reference lecture used by the system experiments: the
+// paper's motivating scenario, a one-hour lecture scaled to 60 s with 12
+// slides and periodic annotations.
+func stdLecture(profileName string, dur time.Duration, slides int) (capture.LectureConfig, error) {
+	p, err := codec.ByName(profileName)
+	if err != nil {
+		return capture.LectureConfig{}, err
+	}
+	return capture.LectureConfig{
+		Title:           "Distributed Systems — Lecture 1",
+		Duration:        dur,
+		Profile:         p,
+		SlideCount:      slides,
+		AnnotationEvery: dur / 4,
+		Seed:            2002,
+	}, nil
+}
+
+// RunE5 regenerates Figure 5: publish a recorded lecture (video path +
+// slide directory) into a synchronized container, then replay it and
+// verify every slide flips at its recorded instant.
+func RunE5(workDir string) (*Result, error) {
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "wmps-e5-")
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			_ = os.RemoveAll(dir)
+		}()
+		workDir = dir
+	}
+	cfg, err := stdLecture("dsl-300k", 60*time.Second, 12)
+	if err != nil {
+		return nil, err
+	}
+	sys := core.NewSystem(nil)
+	lec, err := sys.RecordLecture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.PublishLecture(lec, workDir, "lecture1")
+	if err != nil {
+		return nil, err
+	}
+	m, err := sys.Replay("lecture1", player.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([][]string, 0, len(m.SlideEvents()))
+	for i, fl := range m.SlideEvents() {
+		want := lec.Slides[i].At
+		ok := "OK"
+		if fl.PTS != want || fl.Param != lec.Slides[i].Name {
+			ok = "MISMATCH"
+		}
+		rows = append(rows, []string{
+			fl.Param, want.String(), fl.PTS.String(), ok,
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "published %s: %d packets, %d scripts, %.1f kB\n",
+		res.AssetPath, res.Stats.Packets, res.Scripts, float64(res.Stats.Bytes)/1000)
+	b.WriteString(render([]string{"slide", "recorded at", "replayed at", "sync"}, rows))
+	fmt.Fprintf(&b, "replay: %d video frames, %d audio blocks, %d annotations, %d broken frames\n",
+		m.VideoFrames, m.AudioBlocks, m.Annotations, m.BrokenFrames)
+	return &Result{ID: "E5", Title: "Figure 5 publish + replay", Text: b.String()}, nil
+}
+
+// RunE6 regenerates Figure 6: the multi-level content tree of the
+// published presentation.
+func RunE6() (*Result, error) {
+	cfg, err := stdLecture("dsl-300k", 60*time.Second, 12)
+	if err != nil {
+		return nil, err
+	}
+	lec, err := capture.NewLecture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := publish.BuildContentTree(lec.Title, lec.Slides, lec.Duration, 0)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString(tree.String())
+	lv := tree.LevelNodes()
+	for q, d := range lv {
+		fmt.Fprintf(&b, "presentation at level %d: %v (%v)\n", q, d, tree.ExtractLevelIDs(q))
+	}
+	return &Result{ID: "E6", Title: "Figure 6 published content tree", Text: b.String()}, nil
+}
+
+// RunE7 regenerates Figure 7: end-to-end synchronized playback across a
+// sweep of network links, reporting skew, lateness, and decodability.
+func RunE7() (*Result, error) {
+	cfg, err := stdLecture("modem-56k", 30*time.Second, 6)
+	if err != nil {
+		return nil, err
+	}
+	links := []struct {
+		name string
+		link netsim.Link
+	}{
+		{"lan-10m", netsim.LinkLAN},
+		{"dsl-768k", netsim.LinkDSL},
+		{"modem-56k", netsim.LinkModem56k},
+		{"lossy-wifi", netsim.LinkLossyWiFi},
+	}
+	rows := make([][]string, 0, len(links))
+	for _, l := range links {
+		res, err := core.RunEndToEnd(core.E2EConfig{
+			Lecture:      cfg,
+			Link:         l.link,
+			StartupDelay: time.Second,
+			LeadTime:     time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sync := "yes"
+		if !res.Synchronized(80*time.Millisecond, 500*time.Millisecond) {
+			sync = "no"
+		}
+		rows = append(rows, []string{
+			l.name,
+			fmt.Sprintf("%d/%d", res.Packets-res.Lost, res.Packets),
+			res.MaxSkew.Truncate(time.Millisecond).String(),
+			res.MeanSkew.Truncate(time.Millisecond).String(),
+			fmt.Sprintf("%d", res.LateEvents),
+			fmt.Sprintf("%.3f", res.DecodableFrac),
+			res.MaxSlideSkew.Truncate(time.Millisecond).String(),
+			sync,
+		})
+	}
+	text := render([]string{
+		"link", "delivered", "max skew", "mean skew", "late", "decodable", "slide skew", "in sync",
+	}, rows)
+	return &Result{ID: "E7", Title: "Figure 7 end-to-end synchronized playback", Text: text}, nil
+}
+
+// RunE8 regenerates the §2.1/§2.5 profile ladder: the same lecture encoded
+// at every bandwidth profile, reporting size, achieved rate, resolution,
+// and the quality proxy ("more high bit rate means … more high-resolution
+// content").
+func RunE8() (*Result, error) {
+	rows := make([][]string, 0, len(codec.Ladder()))
+	for _, p := range codec.Ladder() {
+		lec, err := capture.NewLecture(capture.LectureConfig{
+			Title: "ladder", Duration: 30 * time.Second, Profile: p,
+			SlideCount: 6, Seed: 2002,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		stats, err := encoder.EncodeLecture(lec, encoder.Config{}, &buf)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			p.Name,
+			p.Audience,
+			fmt.Sprintf("%dx%d@%d", p.Width, p.Height, p.FrameRate),
+			fmt.Sprintf("%d", p.TotalBitsPerSecond()/1000),
+			fmt.Sprintf("%d", stats.MediaBitsPerSecond()/1000),
+			fmt.Sprintf("%.1f", float64(buf.Len())/1024),
+			fmt.Sprintf("%.1f", p.Quality()),
+		})
+	}
+	text := render([]string{
+		"profile", "audience", "video", "target kbps", "achieved media kbps", "file KiB", "quality dB",
+	}, rows)
+	return &Result{ID: "E8", Title: "Bandwidth profile ladder (30 s lecture)", Text: text}, nil
+}
+
+// RunE9 regenerates the §1 model comparison: the same presentation and
+// scenario (user pause + one late segment) under OCPN, XOCPN, and the
+// extended timed Petri net, counting mis-scheduled segments.
+func RunE9() (*Result, error) {
+	cfg, err := stdLecture("modem-56k", 60*time.Second, 6)
+	if err != nil {
+		return nil, err
+	}
+	lec, err := capture.NewLecture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := lec.ToPresentation()
+	sc := ocpn.Scenario{
+		Interactions: []ocpn.Interaction{
+			{Kind: ocpn.Pause, At: 15 * time.Second},
+			{Kind: ocpn.Resume, At: 25 * time.Second},
+			{Kind: ocpn.Skip, At: 5 * time.Second, SegmentID: "video05"},
+			{Kind: ocpn.Skip, At: 5 * time.Second, SegmentID: "slide05"},
+		},
+		Arrivals: []ocpn.Arrival{
+			{SegmentID: "video03", At: 24 * time.Second},
+		},
+	}
+	reports, err := ocpn.CompareModels(p, sc)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, 3)
+	for _, kind := range []ocpn.ModelKind{ocpn.OCPN, ocpn.XOCPN, ocpn.Extended} {
+		rep := reports[kind]
+		var reasons []string
+		for _, s := range rep.Segments {
+			if s.MisScheduled {
+				reasons = append(reasons, fmt.Sprintf("%s(%s)", s.ID, s.Reason))
+			}
+		}
+		detail := strings.Join(reasons, "; ")
+		if detail == "" {
+			detail = "-"
+		}
+		rows = append(rows, []string{
+			kind.String(),
+			fmt.Sprintf("%d/%d", rep.MisScheduled, len(rep.Segments)),
+			detail,
+		})
+	}
+	text := render([]string{"model", "mis-scheduled", "deviations"}, rows)
+	text += "\nscenario: pause 15s→25s, skip segment 5, segment video03 data 9s late\n"
+	return &Result{ID: "E9", Title: "Synchronization model comparison (OCPN vs XOCPN vs extended)", Text: text}, nil
+}

@@ -1,0 +1,215 @@
+// Package media defines the multimedia object model shared by the whole
+// Lecture-on-Demand system: segment kinds (video, audio, image, text,
+// annotation), stream identities, timed samples, and the QoS specification
+// the XOCPN-style channel set-up uses when reserving network resources.
+package media
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Kind enumerates the media object types the paper's presentations combine
+// ("collection of text, video, audio, image…").
+type Kind int
+
+// Media object kinds.
+const (
+	KindVideo Kind = iota + 1
+	KindAudio
+	KindImage
+	KindText
+	KindAnnotation
+	KindScript
+)
+
+var kindNames = map[Kind]string{
+	KindVideo:      "video",
+	KindAudio:      "audio",
+	KindImage:      "image",
+	KindText:       "text",
+	KindAnnotation: "annotation",
+	KindScript:     "script",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Valid reports whether k is a defined media kind.
+func (k Kind) Valid() bool {
+	_, ok := kindNames[k]
+	return ok
+}
+
+// StreamID identifies one elementary stream inside a multiplexed asset.
+// Stream 0 is reserved for container control traffic.
+type StreamID uint16
+
+// Conventional stream numbering used by the encoder and publisher.
+const (
+	StreamControl StreamID = 0
+	StreamVideo   StreamID = 1
+	StreamAudio   StreamID = 2
+	StreamScript  StreamID = 3
+	StreamImage   StreamID = 4
+)
+
+// QoS captures the per-stream quality-of-service requirements that XOCPN
+// channel set-up negotiates before a presentation starts.
+type QoS struct {
+	// BitsPerSecond is the sustained bandwidth the stream needs.
+	BitsPerSecond int64
+	// MaxSkew is the largest tolerable presentation-time offset between this
+	// stream and the presentation master clock (lip-sync bound).
+	MaxSkew time.Duration
+	// MaxJitter is the largest tolerable inter-packet delay variation.
+	MaxJitter time.Duration
+	// MaxLossRate is the tolerable fraction of lost packets in [0, 1].
+	MaxLossRate float64
+}
+
+// Validate checks the QoS values for internal consistency.
+func (q QoS) Validate() error {
+	if q.BitsPerSecond < 0 {
+		return fmt.Errorf("qos: negative bandwidth %d", q.BitsPerSecond)
+	}
+	if q.MaxSkew < 0 {
+		return fmt.Errorf("qos: negative max skew %v", q.MaxSkew)
+	}
+	if q.MaxJitter < 0 {
+		return fmt.Errorf("qos: negative max jitter %v", q.MaxJitter)
+	}
+	if q.MaxLossRate < 0 || q.MaxLossRate > 1 {
+		return fmt.Errorf("qos: loss rate %v outside [0,1]", q.MaxLossRate)
+	}
+	return nil
+}
+
+// Segment is one presentation segment: a contiguous run of a single medium
+// with a start offset and duration on the presentation timeline. Segments
+// are the atoms both the content tree and the Petri-net models schedule.
+type Segment struct {
+	// ID is a presentation-unique label, e.g. "S0" in the paper's examples.
+	ID string
+	// Kind is the medium of this segment.
+	Kind Kind
+	// Stream is the elementary stream carrying the segment's samples.
+	Stream StreamID
+	// Start is the offset from presentation start at which this segment
+	// becomes active.
+	Start time.Duration
+	// Duration is how long the segment plays.
+	Duration time.Duration
+	// QoS are the transport requirements for this segment's stream.
+	QoS QoS
+	// Payload optionally carries the literal content (slide text, annotation
+	// body); bulk audio/video data travels as Samples instead.
+	Payload []byte
+}
+
+// End returns the presentation time at which the segment finishes.
+func (s Segment) End() time.Duration { return s.Start + s.Duration }
+
+// Validate checks the segment for structural problems.
+func (s Segment) Validate() error {
+	if s.ID == "" {
+		return errors.New("segment: empty ID")
+	}
+	if !s.Kind.Valid() {
+		return fmt.Errorf("segment %s: invalid kind %d", s.ID, int(s.Kind))
+	}
+	if s.Start < 0 {
+		return fmt.Errorf("segment %s: negative start %v", s.ID, s.Start)
+	}
+	if s.Duration < 0 {
+		return fmt.Errorf("segment %s: negative duration %v", s.ID, s.Duration)
+	}
+	if err := s.QoS.Validate(); err != nil {
+		return fmt.Errorf("segment %s: %w", s.ID, err)
+	}
+	return nil
+}
+
+// Overlaps reports whether two segments overlap in presentation time.
+func (s Segment) Overlaps(o Segment) bool {
+	return s.Start < o.End() && o.Start < s.End()
+}
+
+// Sample is one timed unit of media data: a compressed video frame, an audio
+// block, an image, or a script payload, stamped with its presentation time.
+type Sample struct {
+	Stream StreamID
+	Kind   Kind
+	// PTS is the presentation timestamp relative to presentation start.
+	PTS time.Duration
+	// Duration is how long the sample covers (frame interval, audio block).
+	Duration time.Duration
+	// Keyframe marks samples a decoder can start from (video I-frames,
+	// images, every audio block).
+	Keyframe bool
+	// Data is the (simulated) compressed payload.
+	Data []byte
+}
+
+// Validate checks sample invariants.
+func (s Sample) Validate() error {
+	if !s.Kind.Valid() {
+		return fmt.Errorf("sample: invalid kind %d", int(s.Kind))
+	}
+	if s.PTS < 0 {
+		return fmt.Errorf("sample: negative pts %v", s.PTS)
+	}
+	if s.Duration < 0 {
+		return fmt.Errorf("sample: negative duration %v", s.Duration)
+	}
+	return nil
+}
+
+// Presentation is an ordered collection of segments with a title, the flat
+// form from which both the content tree and the synchronization model are
+// built.
+type Presentation struct {
+	Title    string
+	Segments []Segment
+}
+
+// Duration returns the end time of the latest-ending segment.
+func (p Presentation) Duration() time.Duration {
+	var max time.Duration
+	for _, s := range p.Segments {
+		if s.End() > max {
+			max = s.End()
+		}
+	}
+	return max
+}
+
+// Validate checks every segment and that IDs are unique.
+func (p Presentation) Validate() error {
+	seen := make(map[string]bool, len(p.Segments))
+	for _, s := range p.Segments {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("presentation %q: %w", p.Title, err)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("presentation %q: duplicate segment id %q", p.Title, s.ID)
+		}
+		seen[s.ID] = true
+	}
+	return nil
+}
+
+// ByStream groups the presentation's segments per stream.
+func (p Presentation) ByStream() map[StreamID][]Segment {
+	out := make(map[StreamID][]Segment)
+	for _, s := range p.Segments {
+		out[s.Stream] = append(out[s.Stream], s)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package media
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindVideo, "video"},
+		{KindAudio, "audio"},
+		{KindImage, "image"},
+		{KindText, "text"},
+		{KindAnnotation, "annotation"},
+		{KindScript, "script"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	if Kind(0).Valid() {
+		t.Error("zero Kind must be invalid")
+	}
+	if !KindVideo.Valid() {
+		t.Error("KindVideo must be valid")
+	}
+	if Kind(42).Valid() {
+		t.Error("Kind(42) must be invalid")
+	}
+}
+
+func TestQoSValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		qos     QoS
+		wantErr string
+	}{
+		{"zero value", QoS{}, ""},
+		{"good", QoS{BitsPerSecond: 300_000, MaxSkew: 80 * time.Millisecond, MaxJitter: 20 * time.Millisecond, MaxLossRate: 0.01}, ""},
+		{"negative bandwidth", QoS{BitsPerSecond: -1}, "negative bandwidth"},
+		{"negative skew", QoS{MaxSkew: -time.Second}, "negative max skew"},
+		{"negative jitter", QoS{MaxJitter: -time.Second}, "negative max jitter"},
+		{"loss above one", QoS{MaxLossRate: 1.5}, "outside [0,1]"},
+		{"loss below zero", QoS{MaxLossRate: -0.1}, "outside [0,1]"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.qos.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSegmentEndAndOverlap(t *testing.T) {
+	a := Segment{ID: "a", Kind: KindVideo, Start: 0, Duration: 10 * time.Second}
+	b := Segment{ID: "b", Kind: KindAudio, Start: 5 * time.Second, Duration: 10 * time.Second}
+	c := Segment{ID: "c", Kind: KindImage, Start: 10 * time.Second, Duration: time.Second}
+
+	if got, want := a.End(), 10*time.Second; got != want {
+		t.Errorf("a.End() = %v, want %v", got, want)
+	}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b must overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c touch at boundary only; must not overlap")
+	}
+}
+
+func TestSegmentValidate(t *testing.T) {
+	good := Segment{ID: "S0", Kind: KindVideo, Duration: time.Second}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid segment rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		seg  Segment
+	}{
+		{"empty id", Segment{Kind: KindVideo}},
+		{"bad kind", Segment{ID: "x", Kind: Kind(0)}},
+		{"negative start", Segment{ID: "x", Kind: KindVideo, Start: -1}},
+		{"negative duration", Segment{ID: "x", Kind: KindVideo, Duration: -1}},
+		{"bad qos", Segment{ID: "x", Kind: KindVideo, QoS: QoS{BitsPerSecond: -5}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.seg.Validate(); err == nil {
+				t.Fatal("Validate() accepted an invalid segment")
+			}
+		})
+	}
+}
+
+func TestSampleValidate(t *testing.T) {
+	good := Sample{Kind: KindVideo, PTS: time.Second, Duration: 40 * time.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid sample rejected: %v", err)
+	}
+	bad := []Sample{
+		{Kind: Kind(0)},
+		{Kind: KindVideo, PTS: -time.Second},
+		{Kind: KindVideo, Duration: -time.Second},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad sample %d accepted", i)
+		}
+	}
+}
+
+func TestPresentationDuration(t *testing.T) {
+	p := Presentation{
+		Title: "demo",
+		Segments: []Segment{
+			{ID: "a", Kind: KindVideo, Start: 0, Duration: 30 * time.Second},
+			{ID: "b", Kind: KindImage, Start: 25 * time.Second, Duration: 10 * time.Second},
+		},
+	}
+	if got, want := p.Duration(), 35*time.Second; got != want {
+		t.Fatalf("Duration() = %v, want %v", got, want)
+	}
+	var empty Presentation
+	if empty.Duration() != 0 {
+		t.Fatal("empty presentation must have zero duration")
+	}
+}
+
+func TestPresentationValidateDuplicateID(t *testing.T) {
+	p := Presentation{
+		Title: "dup",
+		Segments: []Segment{
+			{ID: "a", Kind: KindVideo, Duration: time.Second},
+			{ID: "a", Kind: KindAudio, Duration: time.Second},
+		},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("duplicate segment IDs accepted")
+	}
+}
+
+func TestPresentationByStream(t *testing.T) {
+	p := Presentation{
+		Segments: []Segment{
+			{ID: "v1", Kind: KindVideo, Stream: StreamVideo, Duration: time.Second},
+			{ID: "v2", Kind: KindVideo, Stream: StreamVideo, Start: time.Second, Duration: time.Second},
+			{ID: "a1", Kind: KindAudio, Stream: StreamAudio, Duration: 2 * time.Second},
+		},
+	}
+	by := p.ByStream()
+	if len(by[StreamVideo]) != 2 {
+		t.Errorf("video stream has %d segments, want 2", len(by[StreamVideo]))
+	}
+	if len(by[StreamAudio]) != 1 {
+		t.Errorf("audio stream has %d segments, want 1", len(by[StreamAudio]))
+	}
+}

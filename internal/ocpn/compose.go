@@ -1,0 +1,182 @@
+package ocpn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/media"
+)
+
+// Constraint relates two segments by an Allen relation, the authoring
+// vocabulary OCPN composition uses: instead of absolute start times, the
+// presentation designer states "audio equals video", "slide2 meets
+// slide1", "caption during video" and the composer solves the timeline.
+type Constraint struct {
+	// Rel is the temporal relation of A with respect to B.
+	Rel Relation
+	// A and B are segment IDs.
+	A, B string
+	// Gap applies to RelBefore: the silence between A's end and B's start.
+	Gap time.Duration
+	// Offset applies to RelOverlaps and RelDuring: B starts Offset after A.
+	Offset time.Duration
+}
+
+// Errors returned by Compose.
+var (
+	ErrUnknownSegment   = errors.New("ocpn: constraint references unknown segment")
+	ErrInconsistent     = errors.New("ocpn: inconsistent temporal constraints")
+	ErrUnderConstrained = errors.New("ocpn: segments unreachable from the anchor")
+)
+
+// Compose solves a set of Allen-relation constraints over the given
+// segments (whose Start fields are ignored) and returns a presentation
+// with concrete start times, anchored so the earliest segment starts at
+// zero. Every segment must be connected to the first segment through
+// constraints, and cyclic constraints must agree.
+func Compose(title string, segments []media.Segment, constraints []Constraint) (media.Presentation, error) {
+	var p media.Presentation
+	if len(segments) == 0 {
+		return p, errors.New("ocpn: no segments to compose")
+	}
+	byID := make(map[string]media.Segment, len(segments))
+	order := make([]string, 0, len(segments))
+	for _, s := range segments {
+		if _, dup := byID[s.ID]; dup {
+			return p, fmt.Errorf("ocpn: duplicate segment %q", s.ID)
+		}
+		byID[s.ID] = s
+		order = append(order, s.ID)
+	}
+
+	// Each constraint fixes startB - startA = delta(rel, durations).
+	type edge struct {
+		to    string
+		delta time.Duration
+	}
+	adj := make(map[string][]edge, len(segments))
+	addEdge := func(a, b string, delta time.Duration) {
+		adj[a] = append(adj[a], edge{to: b, delta: delta})
+		adj[b] = append(adj[b], edge{to: a, delta: -delta})
+	}
+	for i, c := range constraints {
+		sa, okA := byID[c.A]
+		sb, okB := byID[c.B]
+		if !okA || !okB {
+			return p, fmt.Errorf("%w: constraint %d (%s,%s)", ErrUnknownSegment, i, c.A, c.B)
+		}
+		delta, err := relationDelta(c, sa, sb)
+		if err != nil {
+			return p, fmt.Errorf("ocpn: constraint %d: %w", i, err)
+		}
+		addEdge(c.A, c.B, delta)
+	}
+
+	// Propagate from the first segment.
+	starts := map[string]time.Duration{order[0]: 0}
+	queue := []string{order[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			want := starts[cur] + e.delta
+			if got, seen := starts[e.to]; seen {
+				if got != want {
+					return p, fmt.Errorf("%w: %s would start at both %v and %v",
+						ErrInconsistent, e.to, got, want)
+				}
+				continue
+			}
+			starts[e.to] = want
+			queue = append(queue, e.to)
+		}
+	}
+	if len(starts) != len(segments) {
+		var missing []string
+		for _, id := range order {
+			if _, ok := starts[id]; !ok {
+				missing = append(missing, id)
+			}
+		}
+		sort.Strings(missing)
+		return p, fmt.Errorf("%w: %v", ErrUnderConstrained, missing)
+	}
+
+	// Normalize: earliest start becomes zero.
+	min := starts[order[0]]
+	for _, s := range starts {
+		if s < min {
+			min = s
+		}
+	}
+	p.Title = title
+	for _, id := range order {
+		s := byID[id]
+		s.Start = starts[id] - min
+		p.Segments = append(p.Segments, s)
+	}
+
+	// Verify every constraint actually holds on the solved timeline.
+	solved := make(map[string]media.Segment, len(p.Segments))
+	for _, s := range p.Segments {
+		solved[s.ID] = s
+	}
+	for i, c := range constraints {
+		rel, swapped := Classify(solved[c.A], solved[c.B])
+		if rel != c.Rel || swapped {
+			return media.Presentation{}, fmt.Errorf(
+				"%w: constraint %d solved to %s (swapped=%v), want %s",
+				ErrInconsistent, i, rel, swapped, c.Rel)
+		}
+	}
+	return p, nil
+}
+
+// relationDelta converts one constraint into the start-time difference
+// startB - startA, validating relation-specific preconditions.
+func relationDelta(c Constraint, a, b media.Segment) (time.Duration, error) {
+	switch c.Rel {
+	case RelEquals:
+		if a.Duration != b.Duration {
+			return 0, fmt.Errorf("equals requires equal durations (%v vs %v)", a.Duration, b.Duration)
+		}
+		return 0, nil
+	case RelStarts:
+		if a.Duration >= b.Duration {
+			return 0, fmt.Errorf("starts requires %s shorter than %s", a.ID, b.ID)
+		}
+		return 0, nil
+	case RelFinishes:
+		if b.Duration >= a.Duration {
+			return 0, fmt.Errorf("finishes requires %s shorter than %s", b.ID, a.ID)
+		}
+		return a.Duration - b.Duration, nil
+	case RelMeets:
+		return a.Duration, nil
+	case RelBefore:
+		if c.Gap <= 0 {
+			return 0, errors.New("before requires a positive Gap")
+		}
+		return a.Duration + c.Gap, nil
+	case RelOverlaps:
+		if c.Offset <= 0 || c.Offset >= a.Duration {
+			return 0, fmt.Errorf("overlaps requires Offset in (0,%v)", a.Duration)
+		}
+		if c.Offset+b.Duration <= a.Duration {
+			return 0, errors.New("overlaps requires B to end after A")
+		}
+		return c.Offset, nil
+	case RelDuring:
+		if c.Offset <= 0 {
+			return 0, errors.New("during requires a positive Offset")
+		}
+		if c.Offset+b.Duration >= a.Duration {
+			return 0, errors.New("during requires B to end before A")
+		}
+		return c.Offset, nil
+	default:
+		return 0, fmt.Errorf("unsupported relation %s", c.Rel)
+	}
+}

@@ -1,0 +1,175 @@
+package ocpn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/media"
+)
+
+func composeSegs() []media.Segment {
+	s := time.Second
+	return []media.Segment{
+		{ID: "video", Kind: media.KindVideo, Duration: 30 * s},
+		{ID: "audio", Kind: media.KindAudio, Duration: 30 * s},
+		{ID: "slide1", Kind: media.KindImage, Duration: 10 * s},
+		{ID: "slide2", Kind: media.KindImage, Duration: 20 * s},
+		{ID: "caption", Kind: media.KindText, Duration: 5 * s},
+	}
+}
+
+func TestComposeLectureTimeline(t *testing.T) {
+	s := time.Second
+	p, err := Compose("composed", composeSegs(), []Constraint{
+		{Rel: RelEquals, A: "video", B: "audio"},  // lip sync
+		{Rel: RelStarts, A: "slide1", B: "video"}, // slide1 with video start
+		{Rel: RelMeets, A: "slide1", B: "slide2"}, // slide2 follows slide1
+		{Rel: RelDuring, A: "video", B: "caption", Offset: 12 * s},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[string]time.Duration{}
+	for _, seg := range p.Segments {
+		starts[seg.ID] = seg.Start
+	}
+	if starts["video"] != 0 || starts["audio"] != 0 {
+		t.Fatalf("AV not aligned at 0: %v", starts)
+	}
+	if starts["slide1"] != 0 {
+		t.Fatalf("slide1 start = %v", starts["slide1"])
+	}
+	if starts["slide2"] != 10*s {
+		t.Fatalf("slide2 start = %v, want 10s", starts["slide2"])
+	}
+	if starts["caption"] != 12*s {
+		t.Fatalf("caption start = %v, want 12s", starts["caption"])
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The composed presentation is directly buildable and schedulable.
+	model, err := Build(OCPN, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := model.Simulate(Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MisScheduled != 0 {
+		t.Fatalf("composed presentation mis-scheduled: %+v", rep.Segments)
+	}
+}
+
+func TestComposeNormalizesNegativeStarts(t *testing.T) {
+	s := time.Second
+	segs := []media.Segment{
+		{ID: "b", Kind: media.KindVideo, Duration: 5 * s},
+		{ID: "a", Kind: media.KindAudio, Duration: 5 * s},
+	}
+	// "a before b" with the anchor being b: a solves to a negative start,
+	// which normalization shifts to zero.
+	p, err := Compose("norm", segs, []Constraint{{Rel: RelBefore, A: "a", B: "b", Gap: 2 * s}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[string]time.Duration{}
+	for _, seg := range p.Segments {
+		starts[seg.ID] = seg.Start
+	}
+	if starts["a"] != 0 || starts["b"] != 7*s {
+		t.Fatalf("starts = %v, want a=0 b=7s", starts)
+	}
+}
+
+func TestComposeInconsistentCycle(t *testing.T) {
+	s := time.Second
+	segs := []media.Segment{
+		{ID: "x", Kind: media.KindVideo, Duration: 10 * s},
+		{ID: "y", Kind: media.KindVideo, Duration: 10 * s},
+	}
+	_, err := Compose("bad", segs, []Constraint{
+		{Rel: RelMeets, A: "x", B: "y"},
+		{Rel: RelEquals, A: "x", B: "y"},
+	})
+	if !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("err = %v, want ErrInconsistent", err)
+	}
+}
+
+func TestComposeUnderConstrained(t *testing.T) {
+	segs := composeSegs()
+	_, err := Compose("loose", segs, []Constraint{
+		{Rel: RelEquals, A: "video", B: "audio"},
+	})
+	if !errors.Is(err, ErrUnderConstrained) {
+		t.Fatalf("err = %v, want ErrUnderConstrained", err)
+	}
+}
+
+func TestComposeUnknownSegment(t *testing.T) {
+	_, err := Compose("ghost", composeSegs(), []Constraint{
+		{Rel: RelMeets, A: "video", B: "nope"},
+	})
+	if !errors.Is(err, ErrUnknownSegment) {
+		t.Fatalf("err = %v, want ErrUnknownSegment", err)
+	}
+}
+
+func TestComposeRelationPreconditions(t *testing.T) {
+	s := time.Second
+	segs := []media.Segment{
+		{ID: "long", Kind: media.KindVideo, Duration: 20 * s},
+		{ID: "short", Kind: media.KindText, Duration: 5 * s},
+	}
+	bad := []Constraint{
+		{Rel: RelEquals, A: "long", B: "short"},                   // unequal durations
+		{Rel: RelStarts, A: "long", B: "short"},                   // A not shorter
+		{Rel: RelFinishes, A: "short", B: "long"},                 // B not shorter
+		{Rel: RelBefore, A: "long", B: "short"},                   // missing gap
+		{Rel: RelOverlaps, A: "long", B: "short", Offset: 0},      // bad offset
+		{Rel: RelOverlaps, A: "long", B: "short", Offset: 10 * s}, // B ends inside A
+		{Rel: RelDuring, A: "long", B: "short", Offset: 18 * s},   // B ends past A
+		{Rel: RelUnrelated, A: "long", B: "short"},                // unsupported
+	}
+	for i, c := range bad {
+		if _, err := Compose("t", segs, []Constraint{c}); err == nil {
+			t.Errorf("bad constraint %d accepted", i)
+		}
+	}
+}
+
+func TestComposeDuplicateSegments(t *testing.T) {
+	s := time.Second
+	segs := []media.Segment{
+		{ID: "a", Kind: media.KindVideo, Duration: s},
+		{ID: "a", Kind: media.KindVideo, Duration: s},
+	}
+	if _, err := Compose("dup", segs, nil); err == nil {
+		t.Fatal("duplicate segments accepted")
+	}
+	if _, err := Compose("empty", nil, nil); err == nil {
+		t.Fatal("empty segments accepted")
+	}
+}
+
+func TestComposeRedundantConsistentConstraints(t *testing.T) {
+	s := time.Second
+	segs := []media.Segment{
+		{ID: "a", Kind: media.KindVideo, Duration: 10 * s},
+		{ID: "b", Kind: media.KindVideo, Duration: 10 * s},
+	}
+	// meets stated twice: consistent, accepted.
+	p, err := Compose("redundant", segs, []Constraint{
+		{Rel: RelMeets, A: "a", B: "b"},
+		{Rel: RelMeets, A: "a", B: "b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Segments[1].Start != 10*s {
+		t.Fatalf("b start = %v", p.Segments[1].Start)
+	}
+}

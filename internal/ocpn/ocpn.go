@@ -1,0 +1,246 @@
+// Package ocpn builds the three multimedia synchronization models the paper
+// discusses on top of the petri substrate:
+//
+//   - OCPN (Little & Ghafoor): media places with playout durations, fork and
+//     join transitions encoding temporal relations among pre-orchestrated
+//     media. No notion of transport or user interaction.
+//   - XOCPN (Woo, Qazi & Ghafoor): OCPN plus per-segment channel places, so
+//     a segment's playout also waits for its data to arrive over a network
+//     channel set up with the segment's QoS.
+//   - Extended timed Petri net (this paper): XOCPN plus user-interaction
+//     places (pause/resume/skip) and floor control, covering exactly the
+//     two deficiencies §1 identifies in OCPN/XOCPN — "lack methods to
+//     describe … synchronization across distributed platforms and do not
+//     deal with the schedule change caused by user interactions".
+//
+// The three models share one construction skeleton so experiment E9 can
+// compare them on identical presentations, interactions, and network
+// arrival schedules.
+//
+// Pause semantics: this package implements deferred-start pause — while
+// paused, no new segment may start; segments whose nominal start falls
+// inside a pause window start at the resume instant. Segments already
+// playing finish (the paper's player flips slides between video segments,
+// so segment-granularity gating matches the implementation in §3).
+package ocpn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/media"
+	"repro/internal/petri"
+)
+
+// ModelKind selects which synchronization model to build.
+type ModelKind int
+
+// Model kinds, in historical order.
+const (
+	OCPN ModelKind = iota + 1
+	XOCPN
+	Extended
+)
+
+var modelNames = map[ModelKind]string{
+	OCPN:     "OCPN",
+	XOCPN:    "XOCPN",
+	Extended: "ExtendedTimedPN",
+}
+
+// String implements fmt.Stringer.
+func (k ModelKind) String() string {
+	if s, ok := modelNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("model(%d)", int(k))
+}
+
+// Well-known place and transition naming used by the generated nets.
+const (
+	placeStart     petri.PlaceID      = "start"
+	placeDone      petri.PlaceID      = "done"
+	placePaused    petri.PlaceID      = "paused"
+	placePauseReq  petri.PlaceID      = "pauseReq"
+	placeResumeReq petri.PlaceID      = "resumeReq"
+	transFork      petri.TransitionID = "fork"
+	transJoin      petri.TransitionID = "join"
+	transPause     petri.TransitionID = "tPause"
+	transResume    petri.TransitionID = "tResume"
+)
+
+func delayPlace(id string) petri.PlaceID      { return petri.PlaceID("delay_" + id) }
+func mediaPlace(id string) petri.PlaceID      { return petri.PlaceID("media_" + id) }
+func donePlace(id string) petri.PlaceID       { return petri.PlaceID("done_" + id) }
+func chanPlace(id string) petri.PlaceID       { return petri.PlaceID("chan_" + id) }
+func skipPlace(id string) petri.PlaceID       { return petri.PlaceID("skip_" + id) }
+func startTrans(id string) petri.TransitionID { return petri.TransitionID("tStart_" + id) }
+func doneTrans(id string) petri.TransitionID  { return petri.TransitionID("tDone_" + id) }
+func skipTrans(id string) petri.TransitionID  { return petri.TransitionID("tSkip_" + id) }
+
+// Model is a constructed synchronization net for one presentation.
+type Model struct {
+	Kind         ModelKind
+	Net          *petri.Net
+	Initial      petri.Marking
+	Presentation media.Presentation
+
+	segments []media.Segment // sorted by (Start, ID)
+}
+
+// Build constructs the synchronization model of the given kind for a
+// presentation.
+func Build(kind ModelKind, p media.Presentation) (*Model, error) {
+	if kind != OCPN && kind != XOCPN && kind != Extended {
+		return nil, fmt.Errorf("ocpn: unknown model kind %d", int(kind))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("ocpn: %w", err)
+	}
+	if len(p.Segments) == 0 {
+		return nil, errors.New("ocpn: presentation has no segments")
+	}
+
+	segs := make([]media.Segment, len(p.Segments))
+	copy(segs, p.Segments)
+	sort.SliceStable(segs, func(i, j int) bool {
+		if segs[i].Start != segs[j].Start {
+			return segs[i].Start < segs[j].Start
+		}
+		return segs[i].ID < segs[j].ID
+	})
+
+	n := petri.NewNet(fmt.Sprintf("%s(%s)", kind, p.Title))
+	m := &Model{Kind: kind, Net: n, Presentation: p, segments: segs}
+
+	if err := m.buildSkeleton(); err != nil {
+		return nil, err
+	}
+	if kind == XOCPN || kind == Extended {
+		if err := m.addChannels(); err != nil {
+			return nil, err
+		}
+	}
+	if kind == Extended {
+		if err := m.addInteractions(); err != nil {
+			return nil, err
+		}
+	}
+	m.Initial = petri.Marking{placeStart: 1}
+	return m, nil
+}
+
+// buildSkeleton creates the shared OCPN core: a fork distributing a token
+// to a per-segment delay place (duration = nominal start), a start
+// transition into the media place (duration = segment duration), a done
+// transition into the per-segment done place, and a final join.
+func (m *Model) buildSkeleton() error {
+	n := m.Net
+	if err := n.AddPlace(petri.Place{ID: placeStart}); err != nil {
+		return err
+	}
+	if err := n.AddPlace(petri.Place{ID: placeDone}); err != nil {
+		return err
+	}
+	if err := n.AddTransition(petri.Transition{ID: transFork}); err != nil {
+		return err
+	}
+	if err := n.AddTransition(petri.Transition{ID: transJoin}); err != nil {
+		return err
+	}
+	if err := n.AddInput(placeStart, transFork, 1); err != nil {
+		return err
+	}
+	if err := n.AddOutput(transJoin, placeDone, 1); err != nil {
+		return err
+	}
+	for _, s := range m.segments {
+		steps := []error{
+			n.AddPlace(petri.Place{ID: delayPlace(s.ID), Duration: s.Start, Label: "delay for " + s.ID}),
+			n.AddPlace(petri.Place{ID: mediaPlace(s.ID), Kind: petri.PlaceMedia, Duration: s.Duration, Label: s.ID}),
+			n.AddPlace(petri.Place{ID: donePlace(s.ID)}),
+			n.AddTransition(petri.Transition{ID: startTrans(s.ID), Label: "start " + s.ID}),
+			n.AddTransition(petri.Transition{ID: doneTrans(s.ID), Label: "finish " + s.ID}),
+			n.AddOutput(transFork, delayPlace(s.ID), 1),
+			n.AddInput(delayPlace(s.ID), startTrans(s.ID), 1),
+			n.AddOutput(startTrans(s.ID), mediaPlace(s.ID), 1),
+			n.AddInput(mediaPlace(s.ID), doneTrans(s.ID), 1),
+			n.AddOutput(doneTrans(s.ID), donePlace(s.ID), 1),
+			n.AddInput(donePlace(s.ID), transJoin, 1),
+		}
+		for _, err := range steps {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addChannels adds the XOCPN channel place per segment: the start transition
+// additionally consumes a token representing the segment's data having
+// arrived over its QoS channel.
+func (m *Model) addChannels() error {
+	n := m.Net
+	for _, s := range m.segments {
+		if err := n.AddPlace(petri.Place{
+			ID:    chanPlace(s.ID),
+			Kind:  petri.PlaceChannel,
+			Label: fmt.Sprintf("channel %s (%d bps)", s.ID, s.QoS.BitsPerSecond),
+		}); err != nil {
+			return err
+		}
+		if err := n.AddInput(chanPlace(s.ID), startTrans(s.ID), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addInteractions adds the extended model's user-interaction machinery:
+// a global paused place inhibiting every segment start, pause/resume
+// request places with high-priority control transitions, and per-segment
+// skip places with bypass transitions.
+func (m *Model) addInteractions() error {
+	n := m.Net
+	steps := []error{
+		n.AddPlace(petri.Place{ID: placePaused, Kind: petri.PlaceResource}),
+		n.AddPlace(petri.Place{ID: placePauseReq}),
+		n.AddPlace(petri.Place{ID: placeResumeReq}),
+		n.AddTransition(petri.Transition{ID: transPause, Priority: 100}),
+		n.AddTransition(petri.Transition{ID: transResume, Priority: 100}),
+		n.AddInput(placePauseReq, transPause, 1),
+		n.AddOutput(transPause, placePaused, 1),
+		n.AddInput(placeResumeReq, transResume, 1),
+		n.AddInput(placePaused, transResume, 1),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return err
+		}
+	}
+	for _, s := range m.segments {
+		steps := []error{
+			n.AddInhibitor(placePaused, startTrans(s.ID), 1),
+			n.AddPlace(petri.Place{ID: skipPlace(s.ID)}),
+			n.AddTransition(petri.Transition{ID: skipTrans(s.ID), Priority: 50}),
+			n.AddInput(delayPlace(s.ID), skipTrans(s.ID), 1),
+			n.AddInput(skipPlace(s.ID), skipTrans(s.ID), 1),
+			n.AddOutput(skipTrans(s.ID), donePlace(s.ID), 1),
+		}
+		for _, err := range steps {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Segments returns the model's segments in schedule order.
+func (m *Model) Segments() []media.Segment {
+	out := make([]media.Segment, len(m.segments))
+	copy(out, m.segments)
+	return out
+}

@@ -1,0 +1,323 @@
+package ocpn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/petri"
+)
+
+// lecture returns a small lecture presentation: video in three segments
+// with slide images meeting the video boundaries.
+func lecture() media.Presentation {
+	return media.Presentation{
+		Title: "lecture",
+		Segments: []media.Segment{
+			{ID: "video1", Kind: media.KindVideo, Stream: media.StreamVideo, Start: 0, Duration: 10 * time.Second},
+			{ID: "video2", Kind: media.KindVideo, Stream: media.StreamVideo, Start: 10 * time.Second, Duration: 10 * time.Second},
+			{ID: "video3", Kind: media.KindVideo, Stream: media.StreamVideo, Start: 20 * time.Second, Duration: 10 * time.Second},
+			{ID: "slide1", Kind: media.KindImage, Stream: media.StreamImage, Start: 0, Duration: 10 * time.Second},
+			{ID: "slide2", Kind: media.KindImage, Stream: media.StreamImage, Start: 10 * time.Second, Duration: 10 * time.Second},
+			{ID: "slide3", Kind: media.KindImage, Stream: media.StreamImage, Start: 20 * time.Second, Duration: 10 * time.Second},
+		},
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	if OCPN.String() != "OCPN" || XOCPN.String() != "XOCPN" || Extended.String() != "ExtendedTimedPN" {
+		t.Fatal("model names wrong")
+	}
+	if got := ModelKind(9).String(); got != "model(9)" {
+		t.Fatalf("unknown model = %q", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(ModelKind(0), lecture()); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := Build(OCPN, media.Presentation{Title: "empty"}); err == nil {
+		t.Error("empty presentation accepted")
+	}
+	bad := media.Presentation{Segments: []media.Segment{{ID: "", Kind: media.KindVideo}}}
+	if _, err := Build(OCPN, bad); err == nil {
+		t.Error("invalid presentation accepted")
+	}
+}
+
+func TestBuildStructuresPerKind(t *testing.T) {
+	p := lecture()
+	ocpnModel, err := Build(OCPN, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ocpnModel.Net.Place("chan_video1") != nil {
+		t.Error("OCPN must not have channel places")
+	}
+	if ocpnModel.Net.Place("paused") != nil {
+		t.Error("OCPN must not have a paused place")
+	}
+
+	xModel, err := Build(XOCPN, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xModel.Net.Place("chan_video1") == nil {
+		t.Error("XOCPN missing channel place")
+	}
+	if xModel.Net.Place("paused") != nil {
+		t.Error("XOCPN must not have a paused place")
+	}
+
+	eModel, err := Build(Extended, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []petri.PlaceID{"chan_video1", "paused", "pauseReq", "resumeReq", "skip_video1"} {
+		if eModel.Net.Place(id) == nil {
+			t.Errorf("Extended missing place %s", id)
+		}
+	}
+	if err := eModel.Net.Validate(); err != nil {
+		t.Errorf("extended net invalid: %v", err)
+	}
+}
+
+func TestOCPNNominalPlayout(t *testing.T) {
+	model, err := Build(OCPN, lecture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := model.Simulate(Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MisScheduled != 0 {
+		t.Fatalf("nominal OCPN run mis-scheduled %d segments: %+v", rep.MisScheduled, rep.Segments)
+	}
+	pi, ok := rep.Trace.PlayoutOf("media_video2")
+	if !ok {
+		t.Fatal("video2 never played")
+	}
+	if pi.Start != 10*time.Second || pi.End != 20*time.Second {
+		t.Fatalf("video2 playout [%v,%v], want [10s,20s]", pi.Start, pi.End)
+	}
+}
+
+func TestOCPNIsSafeAndDeadlockFree(t *testing.T) {
+	model, err := Build(OCPN, lecture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe, complete := model.Net.IsSafe(model.Initial, 100_000)
+	if !safe || !complete {
+		t.Fatalf("OCPN net safe=%v complete=%v, want true,true", safe, complete)
+	}
+	bad := model.Net.DeadlocksExcept(model.Initial, "done", 100_000)
+	if len(bad) != 0 {
+		t.Fatalf("OCPN net has %d unexpected deadlocks", len(bad))
+	}
+}
+
+func TestXOCPNWaitsForLateData(t *testing.T) {
+	sc := Scenario{
+		Arrivals: []Arrival{{SegmentID: "video2", At: 14 * time.Second}},
+	}
+	xModel, err := Build(XOCPN, lecture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := xModel.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XOCPN handles transport: video2 starts exactly at its data arrival.
+	if rep.MisScheduled != 0 {
+		t.Fatalf("XOCPN mis-scheduled %d under late data: %+v", rep.MisScheduled, rep.Segments)
+	}
+	pi, _ := rep.Trace.PlayoutOf("media_video2")
+	if pi.Start != 14*time.Second {
+		t.Fatalf("video2 started at %v, want 14s", pi.Start)
+	}
+
+	// OCPN plays at the nominal time regardless — a mis-schedule.
+	oModel, err := Build(OCPN, lecture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oRep, err := oModel.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oRep.MisScheduled == 0 {
+		t.Fatal("OCPN reported no mis-schedule under late data")
+	}
+}
+
+func TestExtendedHandlesPause(t *testing.T) {
+	sc := Scenario{
+		Interactions: []Interaction{
+			{Kind: Pause, At: 8 * time.Second},
+			{Kind: Resume, At: 13 * time.Second},
+		},
+	}
+	eModel, err := Build(Extended, lecture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eModel.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MisScheduled != 0 {
+		t.Fatalf("extended model mis-scheduled %d under pause: %+v", rep.MisScheduled, rep.Segments)
+	}
+	// video2 nominal 10s falls inside the pause window [8s,13s): deferred
+	// to 13s.
+	pi, _ := rep.Trace.PlayoutOf("media_video2")
+	if pi.Start != 13*time.Second {
+		t.Fatalf("video2 started at %v, want 13s (deferred by pause)", pi.Start)
+	}
+	// video3 nominal 20s is outside the window: unaffected.
+	pi3, _ := rep.Trace.PlayoutOf("media_video3")
+	if pi3.Start != 20*time.Second {
+		t.Fatalf("video3 started at %v, want 20s", pi3.Start)
+	}
+
+	// Baselines ignore the pause and mis-schedule the deferred segments.
+	for _, kind := range []ModelKind{OCPN, XOCPN} {
+		m, err := Build(kind, lecture())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Simulate(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MisScheduled == 0 {
+			t.Errorf("%s reported no mis-schedule under pause", kind)
+		}
+	}
+}
+
+func TestExtendedHandlesSkip(t *testing.T) {
+	sc := Scenario{
+		Interactions: []Interaction{{Kind: Skip, At: 2 * time.Second, SegmentID: "video2"}},
+	}
+	eModel, err := Build(Extended, lecture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eModel.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MisScheduled != 0 {
+		t.Fatalf("extended model mis-scheduled %d under skip: %+v", rep.MisScheduled, rep.Segments)
+	}
+	if _, played := rep.Trace.PlayoutOf("media_video2"); played {
+		t.Fatal("skipped segment video2 played anyway")
+	}
+	// The presentation still completes: done place marked.
+	if rep.Trace.Final["done"] != 1 {
+		t.Fatalf("final marking %v, want done=1", rep.Trace.Final)
+	}
+}
+
+func TestCompareModelsE9Shape(t *testing.T) {
+	// The E9 scenario: a pause window plus one late segment.
+	sc := Scenario{
+		Interactions: []Interaction{
+			{Kind: Pause, At: 8 * time.Second},
+			{Kind: Resume, At: 13 * time.Second},
+		},
+		Arrivals: []Arrival{{SegmentID: "video3", At: 24 * time.Second}},
+	}
+	reports, err := CompareModels(lecture(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, x, e := reports[OCPN].MisScheduled, reports[XOCPN].MisScheduled, reports[Extended].MisScheduled
+	if e != 0 {
+		t.Errorf("Extended mis-scheduled %d, want 0", e)
+	}
+	if x == 0 {
+		t.Error("XOCPN should mis-schedule under interaction")
+	}
+	if o <= x {
+		t.Errorf("OCPN (%d) should mis-schedule at least as much as XOCPN (%d) plus transport misses", o, x)
+	}
+}
+
+func TestIntendedScheduleUnmatchedPause(t *testing.T) {
+	segs := lecture().Segments
+	plan := IntendedSchedule(segs, Scenario{
+		Interactions: []Interaction{{Kind: Pause, At: 15 * time.Second}},
+	})
+	if plan["video1"].Play != true {
+		t.Error("video1 starts before the pause; must play")
+	}
+	if plan["video3"].Play {
+		t.Error("video3 starts after an unmatched pause; must not play")
+	}
+}
+
+func TestIntendedScheduleChainedPauses(t *testing.T) {
+	segs := []media.Segment{
+		{ID: "s", Kind: media.KindVideo, Start: 5 * time.Second, Duration: time.Second},
+	}
+	plan := IntendedSchedule(segs, Scenario{
+		Interactions: []Interaction{
+			{Kind: Pause, At: 4 * time.Second},
+			{Kind: Resume, At: 6 * time.Second},
+			{Kind: Pause, At: 6 * time.Second},
+			{Kind: Resume, At: 9 * time.Second},
+		},
+	})
+	// Deferred from 5s to 6s by the first window, which lands inside the
+	// second window, deferring again to 9s.
+	if got := plan["s"].Start; got != 9*time.Second {
+		t.Fatalf("chained defer start = %v, want 9s", got)
+	}
+}
+
+func TestSimulateUnknownInteraction(t *testing.T) {
+	eModel, err := Build(Extended, lecture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eModel.Simulate(Scenario{
+		Interactions: []Interaction{{Kind: InteractionKind(99), At: time.Second}},
+	})
+	if err == nil {
+		t.Fatal("unknown interaction accepted")
+	}
+}
+
+func TestInteractionKindString(t *testing.T) {
+	if Pause.String() != "pause" || Resume.String() != "resume" || Skip.String() != "skip" {
+		t.Fatal("interaction names wrong")
+	}
+	if got := InteractionKind(7).String(); got != "interaction(7)" {
+		t.Fatalf("unknown interaction = %q", got)
+	}
+}
+
+func TestSegmentsAccessorSorted(t *testing.T) {
+	p := media.Presentation{
+		Title: "unsorted",
+		Segments: []media.Segment{
+			{ID: "b", Kind: media.KindVideo, Start: 10 * time.Second, Duration: time.Second},
+			{ID: "a", Kind: media.KindVideo, Start: 0, Duration: time.Second},
+		},
+	}
+	m, err := Build(OCPN, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := m.Segments()
+	if segs[0].ID != "a" || segs[1].ID != "b" {
+		t.Fatalf("segments not sorted by start: %v, %v", segs[0].ID, segs[1].ID)
+	}
+}

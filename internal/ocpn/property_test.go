@@ -1,0 +1,137 @@
+package ocpn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/media"
+)
+
+// randomPresentation builds a valid random presentation of sequential and
+// overlapping segments.
+func randomPresentation(seed int64, n int) media.Presentation {
+	rng := rand.New(rand.NewSource(seed))
+	p := media.Presentation{Title: "random"}
+	var cursor time.Duration
+	for i := 0; i < n; i++ {
+		dur := time.Duration(1+rng.Intn(20)) * time.Second
+		start := cursor
+		if i > 0 && rng.Intn(3) == 0 {
+			// Overlap with the previous segment.
+			back := time.Duration(rng.Intn(5)) * time.Second
+			if back > start {
+				back = start
+			}
+			start -= back
+		}
+		p.Segments = append(p.Segments, media.Segment{
+			ID:       fmt.Sprintf("seg%02d", i),
+			Kind:     media.KindVideo,
+			Start:    start,
+			Duration: dur,
+		})
+		if end := start + dur; end > cursor {
+			cursor = end
+		}
+	}
+	return p
+}
+
+// TestAllModelsSafeOnRandomPresentations: every generated net is 1-bounded
+// (safe) from its initial marking — the standard OCPN well-formedness
+// property — and has no unexpected deadlocks.
+func TestAllModelsSafeOnRandomPresentations(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		p := randomPresentation(seed, int(sz%6)+2)
+		for _, kind := range []ModelKind{OCPN, XOCPN, Extended} {
+			model, err := Build(kind, p)
+			if err != nil {
+				return false
+			}
+			// For XOCPN/Extended the channel tokens arrive by injection;
+			// for the structural safety check, mark them present.
+			initial := model.Initial.Clone()
+			if kind != OCPN {
+				for _, s := range model.Segments() {
+					initial[chanPlace(s.ID)] = 1
+				}
+			}
+			safe, _ := model.Net.IsSafe(initial, 50_000)
+			if !safe {
+				return false
+			}
+			bad := model.Net.DeadlocksExcept(initial, placeDone, 50_000)
+			if len(bad) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNominalScenarioNeverMisSchedules: with no interactions and on-time
+// data, every model reproduces the nominal schedule exactly.
+func TestNominalScenarioNeverMisSchedules(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		p := randomPresentation(seed, int(sz%6)+2)
+		reports, err := CompareModels(p, Scenario{})
+		if err != nil {
+			return false
+		}
+		for _, rep := range reports {
+			if rep.MisScheduled != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtendedAlwaysMatchesIntended: under random pause windows and late
+// arrivals, the extended model matches the ground-truth intended schedule
+// while OCPN never beats it.
+func TestExtendedAlwaysMatchesIntended(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x7a11))
+		p := randomPresentation(seed, int(sz%5)+2)
+		total := p.Duration()
+		if total == 0 {
+			return true
+		}
+		var sc Scenario
+		// One random pause window.
+		pauseAt := time.Duration(rng.Int63n(int64(total)))
+		resumeAt := pauseAt + time.Duration(1+rng.Intn(10))*time.Second
+		sc.Interactions = []Interaction{
+			{Kind: Pause, At: pauseAt},
+			{Kind: Resume, At: resumeAt},
+		}
+		// One random late arrival.
+		seg := p.Segments[rng.Intn(len(p.Segments))]
+		sc.Arrivals = []Arrival{{
+			SegmentID: seg.ID,
+			At:        seg.Start + time.Duration(rng.Intn(8))*time.Second,
+		}}
+
+		reports, err := CompareModels(p, sc)
+		if err != nil {
+			return false
+		}
+		if reports[Extended].MisScheduled != 0 {
+			return false
+		}
+		return reports[OCPN].MisScheduled >= reports[Extended].MisScheduled
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

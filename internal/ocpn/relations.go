@@ -1,0 +1,150 @@
+package ocpn
+
+import (
+	"fmt"
+
+	"repro/internal/media"
+	"repro/internal/petri"
+)
+
+// Relation enumerates Allen's interval relations between two media
+// segments, the vocabulary OCPN uses to express temporal composition
+// (Little & Ghafoor's seven relations; inverses are obtained by swapping
+// the operands).
+type Relation int
+
+// Allen relations (a Relation b).
+const (
+	RelBefore    Relation = iota + 1 // a ends strictly before b starts
+	RelMeets                         // a ends exactly when b starts
+	RelOverlaps                      // a starts first; b starts during a; a ends during b
+	RelDuring                        // b lies strictly inside a
+	RelStarts                        // same start; a ends first
+	RelFinishes                      // same end; b starts first... see Classify
+	RelEquals                        // identical intervals
+	RelUnrelated                     // none of the above (after considering swap)
+)
+
+var relationNames = map[Relation]string{
+	RelBefore:    "before",
+	RelMeets:     "meets",
+	RelOverlaps:  "overlaps",
+	RelDuring:    "during",
+	RelStarts:    "starts",
+	RelFinishes:  "finishes",
+	RelEquals:    "equals",
+	RelUnrelated: "unrelated",
+}
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	if s, ok := relationNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("relation(%d)", int(r))
+}
+
+// Classify determines the Allen relation of a with respect to b. The
+// returned swapped flag is true when the relation holds for (b, a) instead
+// — i.e. the inverse relation holds for (a, b).
+func Classify(a, b media.Segment) (rel Relation, swapped bool) {
+	if r := classifyOrdered(a, b); r != RelUnrelated {
+		return r, false
+	}
+	if r := classifyOrdered(b, a); r != RelUnrelated {
+		return r, true
+	}
+	return RelUnrelated, false
+}
+
+func classifyOrdered(a, b media.Segment) Relation {
+	switch {
+	case a.Start == b.Start && a.End() == b.End():
+		return RelEquals
+	case a.Start == b.Start && a.End() < b.End():
+		return RelStarts
+	case a.End() == b.End() && a.Start < b.Start:
+		return RelFinishes
+	case a.End() < b.Start:
+		return RelBefore
+	case a.End() == b.Start:
+		return RelMeets
+	case a.Start < b.Start && b.Start < a.End() && a.End() < b.End():
+		return RelOverlaps
+	case a.Start < b.Start && b.End() < a.End():
+		return RelDuring
+	default:
+		return RelUnrelated
+	}
+}
+
+// FromRelation builds the textbook two-segment OCPN for a given Allen
+// relation. The segments' Start/Duration fields must actually satisfy the
+// relation (verified); the net is then the standard fork/delay/media/join
+// construction whose simulated playout reproduces the intervals.
+func FromRelation(rel Relation, a, b media.Segment) (*Model, error) {
+	got, swapped := Classify(a, b)
+	if got != rel || swapped {
+		return nil, fmt.Errorf("ocpn: segments %s,%s realize %q (swapped=%v), not %q",
+			a.ID, b.ID, got, swapped, rel)
+	}
+	p := media.Presentation{
+		Title:    fmt.Sprintf("%s %s %s", a.ID, rel, b.ID),
+		Segments: []media.Segment{a, b},
+	}
+	return Build(OCPN, p)
+}
+
+// FloorControlNet builds the floor-control Petri net of the paper's
+// multi-user distance-learning scenario: n user subnets contend for a
+// single floor token (a PlaceResource), guaranteeing mutual exclusion. The
+// returned marking is the idle state: floor free, every user thinking.
+//
+// Per user i the net has places user<i>_idle, user<i>_waiting,
+// user<i>_speaking and transitions user<i>_request, user<i>_grant,
+// user<i>_release, and user<i>_cancel (withdrawing a pending request).
+func FloorControlNet(n int) (*petri.Net, petri.Marking, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("ocpn: floor control needs at least one user, got %d", n)
+	}
+	net := petri.NewNet(fmt.Sprintf("floor-control-%d", n))
+	if err := net.AddPlace(petri.Place{ID: "floor", Kind: petri.PlaceResource}); err != nil {
+		return nil, nil, err
+	}
+	marking := petri.Marking{"floor": 1}
+	for i := 0; i < n; i++ {
+		idle := petri.PlaceID(fmt.Sprintf("user%d_idle", i))
+		waiting := petri.PlaceID(fmt.Sprintf("user%d_waiting", i))
+		speaking := petri.PlaceID(fmt.Sprintf("user%d_speaking", i))
+		request := petri.TransitionID(fmt.Sprintf("user%d_request", i))
+		grant := petri.TransitionID(fmt.Sprintf("user%d_grant", i))
+		release := petri.TransitionID(fmt.Sprintf("user%d_release", i))
+		cancel := petri.TransitionID(fmt.Sprintf("user%d_cancel", i))
+		steps := []error{
+			net.AddPlace(petri.Place{ID: idle}),
+			net.AddPlace(petri.Place{ID: waiting}),
+			net.AddPlace(petri.Place{ID: speaking}),
+			net.AddTransition(petri.Transition{ID: request}),
+			net.AddTransition(petri.Transition{ID: grant}),
+			net.AddTransition(petri.Transition{ID: release}),
+			net.AddInput(idle, request, 1),
+			net.AddOutput(request, waiting, 1),
+			net.AddInput(waiting, grant, 1),
+			net.AddInput("floor", grant, 1),
+			net.AddOutput(grant, speaking, 1),
+			net.AddInput(speaking, release, 1),
+			net.AddOutput(release, idle, 1),
+			net.AddOutput(release, "floor", 1),
+			net.AddTransition(petri.Transition{ID: cancel}),
+			net.AddInput(waiting, cancel, 1),
+			net.AddOutput(cancel, idle, 1),
+		}
+		for _, err := range steps {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		marking[idle] = 1
+	}
+	return net, marking, nil
+}

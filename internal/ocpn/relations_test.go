@@ -1,0 +1,182 @@
+package ocpn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/petri"
+)
+
+func seg(id string, start, dur time.Duration) media.Segment {
+	return media.Segment{ID: id, Kind: media.KindVideo, Start: start, Duration: dur}
+}
+
+func TestClassifyAllRelations(t *testing.T) {
+	s := time.Second
+	tests := []struct {
+		name    string
+		a, b    media.Segment
+		want    Relation
+		swapped bool
+	}{
+		{"before", seg("a", 0, 2*s), seg("b", 5*s, 2*s), RelBefore, false},
+		{"meets", seg("a", 0, 5*s), seg("b", 5*s, 2*s), RelMeets, false},
+		{"overlaps", seg("a", 0, 5*s), seg("b", 3*s, 5*s), RelOverlaps, false},
+		{"during", seg("a", 0, 10*s), seg("b", 3*s, 2*s), RelDuring, false},
+		{"starts", seg("a", 0, 3*s), seg("b", 0, 7*s), RelStarts, false},
+		{"finishes", seg("a", 0, 10*s), seg("b", 6*s, 4*s), RelFinishes, false},
+		{"equals", seg("a", 2*s, 5*s), seg("b", 2*s, 5*s), RelEquals, false},
+		{"before swapped", seg("a", 5*s, 2*s), seg("b", 0, 2*s), RelBefore, true},
+		{"meets swapped", seg("a", 5*s, 2*s), seg("b", 0, 5*s), RelMeets, true},
+		{"during swapped", seg("a", 3*s, 2*s), seg("b", 0, 10*s), RelDuring, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rel, swapped := Classify(tt.a, tt.b)
+			if rel != tt.want || swapped != tt.swapped {
+				t.Fatalf("Classify = %v,%v; want %v,%v", rel, swapped, tt.want, tt.swapped)
+			}
+		})
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if RelBefore.String() != "before" || RelEquals.String() != "equals" {
+		t.Fatal("relation names wrong")
+	}
+	if got := Relation(42).String(); got != "relation(42)" {
+		t.Fatalf("unknown relation = %q", got)
+	}
+}
+
+func TestFromRelationBuildsCorrectPlayout(t *testing.T) {
+	a := seg("a", 0, 5*time.Second)
+	b := seg("b", 5*time.Second, 3*time.Second)
+	model, err := FromRelation(RelMeets, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := model.Simulate(Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := rep.Trace.PlayoutOf("media_a")
+	pb, _ := rep.Trace.PlayoutOf("media_b")
+	if pa.End != pb.Start {
+		t.Fatalf("meets violated: a ends %v, b starts %v", pa.End, pb.Start)
+	}
+}
+
+func TestFromRelationRejectsMismatch(t *testing.T) {
+	a := seg("a", 0, 2*time.Second)
+	b := seg("b", 10*time.Second, 2*time.Second)
+	if _, err := FromRelation(RelMeets, a, b); err == nil {
+		t.Fatal("mismatched relation accepted")
+	}
+	// Swapped operands must be rejected too.
+	if _, err := FromRelation(RelBefore, b, a); err == nil {
+		t.Fatal("swapped relation accepted")
+	}
+}
+
+func TestFloorControlNetMutualExclusion(t *testing.T) {
+	net, initial, err := FloorControlNet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In every reachable marking at most one user is speaking.
+	res := net.Reachability(initial, 100_000)
+	if res.Truncated {
+		t.Fatal("floor net exploration truncated")
+	}
+	// Check mutual exclusion by walking all reachable markings again.
+	seen := map[string]bool{initial.Key(): true}
+	queue := []petri.Marking{initial}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		speaking := m["user0_speaking"] + m["user1_speaking"] + m["user2_speaking"]
+		if speaking > 1 {
+			t.Fatalf("marking %v has %d speakers", m, speaking)
+		}
+		if speaking == 1 && m["floor"] != 0 {
+			t.Fatalf("marking %v: floor token present while someone speaks", m)
+		}
+		for _, tr := range net.Enabled(m) {
+			next, err := net.Fire(m, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seen[next.Key()] {
+				seen[next.Key()] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+}
+
+func TestFloorControlNetPInvariants(t *testing.T) {
+	net, initial, err := FloorControlNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P-invariants: floor + all speaking = 1, and per user
+	// idle + waiting + speaking = 1, in every reachable marking.
+	seen := map[string]bool{initial.Key(): true}
+	queue := []petri.Marking{initial}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		if m["floor"]+m["user0_speaking"]+m["user1_speaking"] != 1 {
+			t.Fatalf("floor invariant violated in %v", m)
+		}
+		for _, u := range []string{"user0", "user1"} {
+			if m[petri.PlaceID(u+"_idle")]+m[petri.PlaceID(u+"_waiting")]+m[petri.PlaceID(u+"_speaking")] != 1 {
+				t.Fatalf("user invariant violated for %s in %v", u, m)
+			}
+		}
+		for _, tr := range net.Enabled(m) {
+			next, err := net.Fire(m, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seen[next.Key()] {
+				seen[next.Key()] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	// No deadlocks: someone can always act.
+	if net.HasDeadlock(initial, 100_000) {
+		t.Fatal("floor-control net deadlocks")
+	}
+}
+
+func TestFloorControlNetValidation(t *testing.T) {
+	if _, _, err := FloorControlNet(0); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}
+
+func TestFloorControlGrantSequence(t *testing.T) {
+	net, initial, err := FloorControlNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := net.FireSequence(initial, "user0_request", "user0_grant", "user1_request")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// user1 cannot be granted while user0 holds the floor.
+	if net.EnabledIn(m, "user1_grant") {
+		t.Fatal("user1 granted while user0 speaks")
+	}
+	m, err = net.FireSequence(m, "user0_release", "user1_grant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["user1_speaking"] != 1 {
+		t.Fatalf("marking %v: user1 not speaking after release+grant", m)
+	}
+}

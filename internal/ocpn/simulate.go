@@ -1,0 +1,270 @@
+package ocpn
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/petri"
+)
+
+// InteractionKind enumerates the user interactions of the extended model.
+type InteractionKind int
+
+// User interactions.
+const (
+	Pause InteractionKind = iota + 1
+	Resume
+	Skip
+)
+
+var interactionNames = map[InteractionKind]string{
+	Pause:  "pause",
+	Resume: "resume",
+	Skip:   "skip",
+}
+
+// String implements fmt.Stringer.
+func (k InteractionKind) String() string {
+	if s, ok := interactionNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("interaction(%d)", int(k))
+}
+
+// Interaction is a timed user action on the presentation.
+type Interaction struct {
+	Kind InteractionKind
+	At   time.Duration
+	// SegmentID applies to Skip only.
+	SegmentID string
+}
+
+// Arrival records when a segment's data becomes available at the client
+// (the XOCPN channel token). Segments without an explicit arrival are
+// assumed on time (arrival at nominal start).
+type Arrival struct {
+	SegmentID string
+	At        time.Duration
+}
+
+// Scenario bundles the external events a simulation is subjected to.
+type Scenario struct {
+	Interactions []Interaction
+	Arrivals     []Arrival
+	// Horizon bounds the run; zero runs to quiescence.
+	Horizon time.Duration
+}
+
+// SegmentOutcome compares a segment's intended schedule with what the
+// model actually did.
+type SegmentOutcome struct {
+	ID      string
+	Nominal time.Duration
+	// Intended is when the segment should start under the ground-truth
+	// semantics (deferred-start pause + wait-for-data + skip).
+	Intended time.Duration
+	// IntendedPlay is false when the ground truth says the segment must
+	// not play at all (it was skipped).
+	IntendedPlay bool
+	// Actual is when the model started the segment (valid when Played).
+	Actual time.Duration
+	Played bool
+	// MisScheduled is true when the model deviates from the ground truth.
+	MisScheduled bool
+	Reason       string
+}
+
+// Report is the outcome of simulating one model under one scenario.
+type Report struct {
+	Model    ModelKind
+	Segments []SegmentOutcome
+	// MisScheduled counts deviating segments.
+	MisScheduled int
+	Trace        *petri.Trace
+}
+
+// Simulate runs the model under the scenario and scores every segment
+// against the ground-truth intended schedule. Models that lack places for
+// an event class simply never see those events: OCPN ignores both arrivals
+// and interactions, XOCPN sees arrivals only.
+func (m *Model) Simulate(sc Scenario) (*Report, error) {
+	sim := petri.NewSimulator(m.Net, m.Initial)
+
+	// Channel arrivals: XOCPN and Extended consume them; on-time arrivals
+	// are synthesized for segments without an explicit entry.
+	if m.Kind == XOCPN || m.Kind == Extended {
+		explicit := make(map[string]time.Duration, len(sc.Arrivals))
+		for _, a := range sc.Arrivals {
+			explicit[a.SegmentID] = a.At
+		}
+		for _, s := range m.segments {
+			at, ok := explicit[s.ID]
+			if !ok {
+				at = s.Start
+			}
+			if err := sim.Schedule(petri.Injection{At: at, Place: chanPlace(s.ID), Tokens: 1}); err != nil {
+				return nil, fmt.Errorf("ocpn: schedule arrival for %s: %w", s.ID, err)
+			}
+		}
+	}
+
+	// Interactions: only the extended model has the machinery.
+	if m.Kind == Extended {
+		for _, ia := range sc.Interactions {
+			var place petri.PlaceID
+			switch ia.Kind {
+			case Pause:
+				place = placePauseReq
+			case Resume:
+				place = placeResumeReq
+			case Skip:
+				place = skipPlace(ia.SegmentID)
+			default:
+				return nil, fmt.Errorf("ocpn: unknown interaction kind %d", int(ia.Kind))
+			}
+			if err := sim.Schedule(petri.Injection{At: ia.At, Place: place, Tokens: 1}); err != nil {
+				return nil, fmt.Errorf("ocpn: schedule %s: %w", ia.Kind, err)
+			}
+		}
+	}
+
+	trace, err := sim.Run(sc.Horizon)
+	if err != nil {
+		return nil, fmt.Errorf("ocpn: simulate %s: %w", m.Kind, err)
+	}
+	return m.score(sc, trace), nil
+}
+
+// score compares the trace against the intended schedule.
+func (m *Model) score(sc Scenario, trace *petri.Trace) *Report {
+	intended := IntendedSchedule(m.segments, sc)
+	rep := &Report{Model: m.Kind, Trace: trace}
+	for _, s := range m.segments {
+		out := SegmentOutcome{ID: s.ID, Nominal: s.Start}
+		plan := intended[s.ID]
+		out.Intended = plan.Start
+		out.IntendedPlay = plan.Play
+
+		if pi, ok := trace.PlayoutOf(mediaPlace(s.ID)); ok {
+			out.Played = true
+			out.Actual = pi.Start
+		}
+
+		switch {
+		case out.IntendedPlay && !out.Played:
+			out.MisScheduled = true
+			out.Reason = "segment never played"
+		case !out.IntendedPlay && out.Played:
+			out.MisScheduled = true
+			out.Reason = "skipped segment played anyway"
+		case out.IntendedPlay && out.Played && out.Actual != out.Intended:
+			out.MisScheduled = true
+			if out.Actual < out.Intended {
+				out.Reason = fmt.Sprintf("started %v early (data/interaction ignored)", out.Intended-out.Actual)
+			} else {
+				out.Reason = fmt.Sprintf("started %v late", out.Actual-out.Intended)
+			}
+		}
+		if out.MisScheduled {
+			rep.MisScheduled++
+		}
+		rep.Segments = append(rep.Segments, out)
+	}
+	return rep
+}
+
+// Planned is the ground-truth plan for one segment.
+type Planned struct {
+	Start time.Duration
+	Play  bool
+}
+
+// IntendedSchedule computes the ground-truth schedule: each segment starts
+// at the latest of its nominal start, its data arrival, and the end of any
+// pause window covering that instant (deferred-start pause). Skipped
+// segments do not play. The computation is independent of any Petri net so
+// every model is judged against the same reference.
+func IntendedSchedule(segments []media.Segment, sc Scenario) map[string]Planned {
+	arrival := make(map[string]time.Duration, len(segments))
+	for _, s := range segments {
+		arrival[s.ID] = s.Start
+	}
+	for _, a := range sc.Arrivals {
+		arrival[a.SegmentID] = a.At
+	}
+	skipped := make(map[string]bool)
+	type window struct{ from, to time.Duration }
+	var windows []window
+	var pending *time.Duration
+	ias := make([]Interaction, len(sc.Interactions))
+	copy(ias, sc.Interactions)
+	sort.SliceStable(ias, func(i, j int) bool { return ias[i].At < ias[j].At })
+	for _, ia := range ias {
+		switch ia.Kind {
+		case Pause:
+			if pending == nil {
+				at := ia.At
+				pending = &at
+			}
+		case Resume:
+			if pending != nil {
+				windows = append(windows, window{*pending, ia.At})
+				pending = nil
+			}
+		case Skip:
+			skipped[ia.SegmentID] = true
+		}
+	}
+
+	out := make(map[string]Planned, len(segments))
+	for _, s := range segments {
+		if skipped[s.ID] {
+			out[s.ID] = Planned{Play: false}
+			continue
+		}
+		start := s.Start
+		if at := arrival[s.ID]; at > start {
+			start = at
+		}
+		// Apply pause windows repeatedly: deferring into a later window
+		// defers again.
+		moved := true
+		for moved {
+			moved = false
+			for _, w := range windows {
+				if start >= w.from && start < w.to {
+					start = w.to
+					moved = true
+				}
+			}
+		}
+		// An unmatched pause at the end freezes everything after it.
+		if pending != nil && start >= *pending {
+			out[s.ID] = Planned{Play: false}
+			continue
+		}
+		out[s.ID] = Planned{Start: start, Play: true}
+	}
+	return out
+}
+
+// CompareModels builds all three models for the presentation, runs the same
+// scenario through each, and returns the reports keyed by model kind. This
+// is the E9 harness.
+func CompareModels(p media.Presentation, sc Scenario) (map[ModelKind]*Report, error) {
+	out := make(map[ModelKind]*Report, 3)
+	for _, kind := range []ModelKind{OCPN, XOCPN, Extended} {
+		model, err := Build(kind, p)
+		if err != nil {
+			return nil, fmt.Errorf("ocpn: build %s: %w", kind, err)
+		}
+		rep, err := model.Simulate(sc)
+		if err != nil {
+			return nil, err
+		}
+		out[kind] = rep
+	}
+	return out, nil
+}

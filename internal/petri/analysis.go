@@ -1,0 +1,179 @@
+package petri
+
+import (
+	"fmt"
+)
+
+// ReachabilityResult summarizes a bounded reachability exploration.
+type ReachabilityResult struct {
+	// States is the number of distinct markings found (including initial).
+	States int
+	// Truncated reports whether exploration stopped at the state limit.
+	Truncated bool
+	// Deadlocks are reachable markings with no enabled transition.
+	Deadlocks []Marking
+	// MaxTokens is the largest token count observed in any single place.
+	MaxTokens int
+}
+
+// Reachability explores the reachability graph from the initial marking
+// using breadth-first search, visiting at most maxStates distinct markings.
+// maxStates <= 0 defaults to 10_000.
+func (n *Net) Reachability(initial Marking, maxStates int) ReachabilityResult {
+	if maxStates <= 0 {
+		maxStates = 10_000
+	}
+	seen := map[string]bool{initial.Key(): true}
+	queue := []Marking{initial.Clone()}
+	res := ReachabilityResult{States: 1}
+	for _, v := range initial {
+		if v > res.MaxTokens {
+			res.MaxTokens = v
+		}
+	}
+
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		enabled := n.Enabled(m)
+		if len(enabled) == 0 {
+			res.Deadlocks = append(res.Deadlocks, m)
+			continue
+		}
+		for _, t := range enabled {
+			next, err := n.Fire(m, t)
+			if err != nil {
+				continue // capacity-violating successor: treat as disabled
+			}
+			key := next.Key()
+			if seen[key] {
+				continue
+			}
+			if res.States >= maxStates {
+				res.Truncated = true
+				return res
+			}
+			seen[key] = true
+			res.States++
+			for _, v := range next {
+				if v > res.MaxTokens {
+					res.MaxTokens = v
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return res
+}
+
+// IsKBounded reports whether every place holds at most k tokens in every
+// reachable marking (within the exploration limit). The second return is
+// false when the exploration was truncated, meaning the answer is only a
+// lower-bound observation.
+func (n *Net) IsKBounded(initial Marking, k, maxStates int) (bounded, complete bool) {
+	res := n.Reachability(initial, maxStates)
+	return res.MaxTokens <= k, !res.Truncated
+}
+
+// IsSafe reports whether the net is 1-bounded (safe) from the initial
+// marking, the standard property for OCPN presentation nets.
+func (n *Net) IsSafe(initial Marking, maxStates int) (safe, complete bool) {
+	return n.IsKBounded(initial, 1, maxStates)
+}
+
+// HasDeadlock reports whether any reachable marking enables no transition.
+// A final "sink" marking is a deadlock by this definition; callers that
+// have a designated final place should use DeadlocksExcept.
+func (n *Net) HasDeadlock(initial Marking, maxStates int) bool {
+	res := n.Reachability(initial, maxStates)
+	return len(res.Deadlocks) > 0
+}
+
+// DeadlocksExcept returns reachable dead markings that are NOT the expected
+// terminal marking (a token in the final place and nothing else pending).
+// Presentation nets terminate intentionally; only other dead states are
+// synchronization bugs.
+func (n *Net) DeadlocksExcept(initial Marking, final PlaceID, maxStates int) []Marking {
+	res := n.Reachability(initial, maxStates)
+	var bad []Marking
+	for _, d := range res.Deadlocks {
+		if d[final] >= 1 && d.Total() == d[final] {
+			continue
+		}
+		bad = append(bad, d)
+	}
+	return bad
+}
+
+// Conservative reports whether the total token count is invariant across
+// all reachable markings (token conservation), a property of resource
+// (floor-control) subnets.
+func (n *Net) Conservative(initial Marking, maxStates int) bool {
+	want := initial.Total()
+	seen := map[string]bool{initial.Key(): true}
+	queue := []Marking{initial.Clone()}
+	visited := 1
+	for len(queue) > 0 && visited < maxStates {
+		m := queue[0]
+		queue = queue[1:]
+		for _, t := range n.Enabled(m) {
+			next, err := n.Fire(m, t)
+			if err != nil {
+				continue
+			}
+			if next.Total() != want {
+				return false
+			}
+			key := next.Key()
+			if !seen[key] {
+				seen[key] = true
+				visited++
+				queue = append(queue, next)
+			}
+		}
+	}
+	return true
+}
+
+// LiveTransitions returns the set of transitions that fire in at least one
+// reachable marking (L1-liveness). Transitions absent from the result are
+// dead from the initial marking.
+func (n *Net) LiveTransitions(initial Marking, maxStates int) map[TransitionID]bool {
+	live := make(map[TransitionID]bool)
+	seen := map[string]bool{initial.Key(): true}
+	queue := []Marking{initial.Clone()}
+	visited := 1
+	for len(queue) > 0 && visited < maxStates {
+		m := queue[0]
+		queue = queue[1:]
+		for _, t := range n.Enabled(m) {
+			live[t] = true
+			next, err := n.Fire(m, t)
+			if err != nil {
+				continue
+			}
+			key := next.Key()
+			if !seen[key] {
+				seen[key] = true
+				visited++
+				queue = append(queue, next)
+			}
+		}
+	}
+	return live
+}
+
+// FireSequence fires the given transitions in order from the initial
+// marking, returning the final marking or an error identifying the first
+// transition that was not enabled.
+func (n *Net) FireSequence(initial Marking, seq ...TransitionID) (Marking, error) {
+	m := initial.Clone()
+	for i, t := range seq {
+		next, err := n.Fire(m, t)
+		if err != nil {
+			return m, fmt.Errorf("step %d (%s): %w", i, t, err)
+		}
+		m = next
+	}
+	return m, nil
+}

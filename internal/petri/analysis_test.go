@@ -1,0 +1,145 @@
+package petri
+
+import (
+	"testing"
+)
+
+// buildCycleNet builds a two-place cycle: p1 -> t12 -> p2 -> t21 -> p1.
+func buildCycleNet(t *testing.T) *Net {
+	t.Helper()
+	n := NewNet("cycle")
+	mustAdd(t, n.AddPlace(Place{ID: "p1"}))
+	mustAdd(t, n.AddPlace(Place{ID: "p2"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t12"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t21"}))
+	mustAdd(t, n.AddInput("p1", "t12", 1))
+	mustAdd(t, n.AddOutput("t12", "p2", 1))
+	mustAdd(t, n.AddInput("p2", "t21", 1))
+	mustAdd(t, n.AddOutput("t21", "p1", 1))
+	return n
+}
+
+func TestReachabilityLinear(t *testing.T) {
+	n := buildSimpleNet(t)
+	res := n.Reachability(Marking{"p1": 1}, 0)
+	if res.States != 2 {
+		t.Fatalf("States = %d, want 2", res.States)
+	}
+	if res.Truncated {
+		t.Fatal("tiny net truncated")
+	}
+	if len(res.Deadlocks) != 1 {
+		t.Fatalf("Deadlocks = %d, want 1 (terminal marking)", len(res.Deadlocks))
+	}
+	if !res.Deadlocks[0].Equal(Marking{"p2": 1}) {
+		t.Fatalf("deadlock marking = %v, want p2=1", res.Deadlocks[0])
+	}
+}
+
+func TestReachabilityCycleHasNoDeadlock(t *testing.T) {
+	n := buildCycleNet(t)
+	res := n.Reachability(Marking{"p1": 1}, 0)
+	if res.States != 2 {
+		t.Fatalf("States = %d, want 2", res.States)
+	}
+	if len(res.Deadlocks) != 0 {
+		t.Fatalf("cycle reported %d deadlocks", len(res.Deadlocks))
+	}
+	if n.HasDeadlock(Marking{"p1": 1}, 0) {
+		t.Fatal("HasDeadlock true for live cycle")
+	}
+}
+
+func TestReachabilityTruncation(t *testing.T) {
+	// Unbounded producer: t consumes from p and puts 2 back.
+	n := NewNet("unbounded")
+	mustAdd(t, n.AddPlace(Place{ID: "p"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t"}))
+	mustAdd(t, n.AddInput("p", "t", 1))
+	mustAdd(t, n.AddOutput("t", "p", 2))
+	res := n.Reachability(Marking{"p": 1}, 10)
+	if !res.Truncated {
+		t.Fatal("unbounded net not truncated at limit")
+	}
+	if res.States > 10 {
+		t.Fatalf("visited %d states, limit 10", res.States)
+	}
+}
+
+func TestIsKBoundedAndSafe(t *testing.T) {
+	n := buildCycleNet(t)
+	safe, complete := n.IsSafe(Marking{"p1": 1}, 0)
+	if !safe || !complete {
+		t.Fatalf("IsSafe = %v,%v; want true,true", safe, complete)
+	}
+	bounded, _ := n.IsKBounded(Marking{"p1": 2}, 1, 0)
+	if bounded {
+		t.Fatal("2-token cycle reported 1-bounded")
+	}
+	bounded, complete = n.IsKBounded(Marking{"p1": 2}, 2, 0)
+	if !bounded || !complete {
+		t.Fatal("2-token cycle must be 2-bounded")
+	}
+}
+
+func TestDeadlocksExcept(t *testing.T) {
+	n := buildSimpleNet(t)
+	bad := n.DeadlocksExcept(Marking{"p1": 1}, "p2", 0)
+	if len(bad) != 0 {
+		t.Fatalf("terminal marking flagged as bad deadlock: %v", bad)
+	}
+	bad = n.DeadlocksExcept(Marking{"p1": 1}, "p1", 0)
+	if len(bad) != 1 {
+		t.Fatalf("unexpected deadlock not reported; got %v", bad)
+	}
+}
+
+func TestConservative(t *testing.T) {
+	if !buildCycleNet(t).Conservative(Marking{"p1": 1}, 1000) {
+		t.Fatal("token-preserving cycle reported non-conservative")
+	}
+	// A net that duplicates tokens is not conservative.
+	n := NewNet("dup")
+	mustAdd(t, n.AddPlace(Place{ID: "a"}))
+	mustAdd(t, n.AddPlace(Place{ID: "b"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t"}))
+	mustAdd(t, n.AddInput("a", "t", 1))
+	mustAdd(t, n.AddOutput("t", "b", 2))
+	if n.Conservative(Marking{"a": 1}, 1000) {
+		t.Fatal("duplicating net reported conservative")
+	}
+}
+
+func TestLiveTransitions(t *testing.T) {
+	n := NewNet("live")
+	mustAdd(t, n.AddPlace(Place{ID: "p1"}))
+	mustAdd(t, n.AddPlace(Place{ID: "p2"}))
+	mustAdd(t, n.AddPlace(Place{ID: "never"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t1"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tDead"}))
+	mustAdd(t, n.AddInput("p1", "t1", 1))
+	mustAdd(t, n.AddOutput("t1", "p2", 1))
+	mustAdd(t, n.AddInput("never", "tDead", 1))
+
+	live := n.LiveTransitions(Marking{"p1": 1}, 1000)
+	if !live["t1"] {
+		t.Fatal("t1 should be live")
+	}
+	if live["tDead"] {
+		t.Fatal("tDead should be dead")
+	}
+}
+
+func TestFireSequence(t *testing.T) {
+	n := buildCycleNet(t)
+	final, err := n.FireSequence(Marking{"p1": 1}, "t12", "t21", "t12")
+	if err != nil {
+		t.Fatalf("FireSequence: %v", err)
+	}
+	if !final.Equal(Marking{"p2": 1}) {
+		t.Fatalf("final = %v, want p2=1", final)
+	}
+	if _, err := n.FireSequence(Marking{"p1": 1}, "t21"); err == nil {
+		t.Fatal("disabled sequence accepted")
+	}
+}

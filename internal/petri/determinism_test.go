@@ -1,0 +1,97 @@
+package petri
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomTimedNet builds a random fork/join style timed net.
+func randomTimedNet(seed int64) (*Net, Marking) {
+	rng := rand.New(rand.NewSource(seed))
+	n := NewNet("rand")
+	_ = n.AddPlace(Place{ID: "start"})
+	_ = n.AddPlace(Place{ID: "end"})
+	_ = n.AddTransition(Transition{ID: "fork"})
+	_ = n.AddTransition(Transition{ID: "join"})
+	_ = n.AddInput("start", "fork", 1)
+	_ = n.AddOutput("join", "end", 1)
+	branches := 2 + rng.Intn(4)
+	for i := 0; i < branches; i++ {
+		pid := PlaceID("m" + string(rune('a'+i)))
+		_ = n.AddPlace(Place{
+			ID:       pid,
+			Kind:     PlaceMedia,
+			Duration: time.Duration(1+rng.Intn(10)) * time.Second,
+		})
+		_ = n.AddOutput("fork", pid, 1)
+		_ = n.AddInput(pid, "join", 1)
+	}
+	return n, Marking{"start": 1}
+}
+
+// TestSimulatorDeterministic: identical nets and schedules produce
+// identical traces, run after run.
+func TestSimulatorDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		n1, m1 := randomTimedNet(seed)
+		n2, m2 := randomTimedNet(seed)
+		s1 := NewSimulator(n1, m1)
+		s2 := NewSimulator(n2, m2)
+		inj := Injection{At: 2 * time.Second, Place: "start", Tokens: 1}
+		if err := s1.Schedule(inj); err != nil {
+			return false
+		}
+		if err := s2.Schedule(inj); err != nil {
+			return false
+		}
+		t1, err1 := s1.Run(0)
+		t2, err2 := s2.Run(0)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if len(t1.Fires) != len(t2.Fires) || len(t1.Playouts) != len(t2.Playouts) {
+			return false
+		}
+		for i := range t1.Fires {
+			if t1.Fires[i] != t2.Fires[i] {
+				return false
+			}
+		}
+		for i := range t1.Playouts {
+			if t1.Playouts[i] != t2.Playouts[i] {
+				return false
+			}
+		}
+		return t1.EndedAt == t2.EndedAt && t1.Final.Equal(t2.Final)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulatorJoinFiresAtMaxBranch: the join of a random fork/join net
+// always fires at the maximum branch duration — the OCPN synchronization
+// point semantics.
+func TestSimulatorJoinFiresAtMaxBranch(t *testing.T) {
+	prop := func(seed int64) bool {
+		n, m := randomTimedNet(seed)
+		sim := NewSimulator(n, m)
+		tr, err := sim.Run(0)
+		if err != nil {
+			return false
+		}
+		var maxEnd time.Duration
+		for _, p := range tr.Playouts {
+			if p.End > maxEnd {
+				maxEnd = p.End
+			}
+		}
+		at, ok := tr.FiredAt("join")
+		return ok && at == maxEnd
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package petri
+
+import (
+	"testing"
+)
+
+func TestIncidenceMatrix(t *testing.T) {
+	n := buildCycleNet(t) // p1 -> t12 -> p2 -> t21 -> p1
+	c := n.IncidenceMatrix()
+	// Rows: p1, p2. Cols: t12, t21.
+	want := [][]int{
+		{-1, 1},
+		{1, -1},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if c[i][j] != want[i][j] {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, c[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestIncidenceMatrixIgnoresInhibitors(t *testing.T) {
+	n := NewNet("inh")
+	mustAdd(t, n.AddPlace(Place{ID: "p"}))
+	mustAdd(t, n.AddPlace(Place{ID: "q"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t"}))
+	mustAdd(t, n.AddInput("p", "t", 1))
+	mustAdd(t, n.AddInhibitor("q", "t", 1))
+	c := n.IncidenceMatrix()
+	if c[1][0] != 0 {
+		t.Fatalf("inhibitor arc moved tokens: C[q][t] = %d", c[1][0])
+	}
+}
+
+func TestPInvariantsCycle(t *testing.T) {
+	n := buildCycleNet(t)
+	invs := n.PInvariants()
+	if len(invs) == 0 {
+		t.Fatal("cycle has no P-invariant")
+	}
+	// The cycle's invariant is p1 + p2 = const.
+	found := false
+	for _, inv := range invs {
+		if inv["p1"] == 1 && inv["p2"] == 1 && len(inv) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected invariant p1+p2; got %v", invs)
+	}
+	// Check the invariant over an actual firing.
+	m0 := Marking{"p1": 1}
+	m1, err := n.Fire(m0, "t12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inv := range invs {
+		if !CheckPInvariant(inv, m0, m1) {
+			t.Fatalf("invariant %v violated by firing", inv)
+		}
+	}
+}
+
+func TestPInvariantsLinearNetHasNoneCoveringAll(t *testing.T) {
+	// p1 -> t -> p2 -> t2 -> p3 (a pure pipeline still conserves p1+p2+p3).
+	n := NewNet("line")
+	mustAdd(t, n.AddPlace(Place{ID: "p1"}))
+	mustAdd(t, n.AddPlace(Place{ID: "p2"}))
+	mustAdd(t, n.AddPlace(Place{ID: "p3"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t1"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t2"}))
+	mustAdd(t, n.AddInput("p1", "t1", 1))
+	mustAdd(t, n.AddOutput("t1", "p2", 1))
+	mustAdd(t, n.AddInput("p2", "t2", 1))
+	mustAdd(t, n.AddOutput("t2", "p3", 1))
+	invs := n.PInvariants()
+	found := false
+	for _, inv := range invs {
+		if inv["p1"] == 1 && inv["p2"] == 1 && inv["p3"] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pipeline invariant p1+p2+p3 not found: %v", invs)
+	}
+}
+
+func TestPInvariantsWeighted(t *testing.T) {
+	// t consumes 1 from a and produces 2 into b: invariant 2a + b.
+	n := NewNet("weighted")
+	mustAdd(t, n.AddPlace(Place{ID: "a"}))
+	mustAdd(t, n.AddPlace(Place{ID: "b"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t"}))
+	mustAdd(t, n.AddInput("a", "t", 1))
+	mustAdd(t, n.AddOutput("t", "b", 2))
+	invs := n.PInvariants()
+	found := false
+	for _, inv := range invs {
+		if inv["a"] == 2 && inv["b"] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("weighted invariant 2a+b not found: %v", invs)
+	}
+	m0 := Marking{"a": 3}
+	m1, err := n.Fire(m0, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if InvariantSum(map[PlaceID]int{"a": 2, "b": 1}, m0) != InvariantSum(map[PlaceID]int{"a": 2, "b": 1}, m1) {
+		t.Fatal("weighted sum changed across firing")
+	}
+}
+
+func TestPInvariantsSourceSinkHasNone(t *testing.T) {
+	// A transition that only produces (no conservation possible over its
+	// output place).
+	n := NewNet("sink")
+	mustAdd(t, n.AddPlace(Place{ID: "in"}))
+	mustAdd(t, n.AddPlace(Place{ID: "gone"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t"}))
+	mustAdd(t, n.AddInput("in", "t", 1))
+	// no outputs: tokens vanish
+	invs := n.PInvariants()
+	for _, inv := range invs {
+		if inv["in"] != 0 {
+			t.Fatalf("token-destroying place appears in invariant: %v", inv)
+		}
+	}
+}
+
+// TestFloorControlInvariantsDiscovered ties the invariant computation to
+// the paper's floor-control net: the computed basis must include the
+// mutual-exclusion invariant (floor + all speaking places) and each user's
+// state invariant.
+func TestFloorControlInvariantsDiscovered(t *testing.T) {
+	n := NewNet("floor2")
+	mustAdd(t, n.AddPlace(Place{ID: "floor"}))
+	for _, u := range []string{"u0", "u1"} {
+		mustAdd(t, n.AddPlace(Place{ID: PlaceID(u + "_idle")}))
+		mustAdd(t, n.AddPlace(Place{ID: PlaceID(u + "_wait")}))
+		mustAdd(t, n.AddPlace(Place{ID: PlaceID(u + "_speak")}))
+		mustAdd(t, n.AddTransition(Transition{ID: TransitionID(u + "_req")}))
+		mustAdd(t, n.AddTransition(Transition{ID: TransitionID(u + "_grant")}))
+		mustAdd(t, n.AddTransition(Transition{ID: TransitionID(u + "_rel")}))
+		mustAdd(t, n.AddInput(PlaceID(u+"_idle"), TransitionID(u+"_req"), 1))
+		mustAdd(t, n.AddOutput(TransitionID(u+"_req"), PlaceID(u+"_wait"), 1))
+		mustAdd(t, n.AddInput(PlaceID(u+"_wait"), TransitionID(u+"_grant"), 1))
+		mustAdd(t, n.AddInput("floor", TransitionID(u+"_grant"), 1))
+		mustAdd(t, n.AddOutput(TransitionID(u+"_grant"), PlaceID(u+"_speak"), 1))
+		mustAdd(t, n.AddInput(PlaceID(u+"_speak"), TransitionID(u+"_rel"), 1))
+		mustAdd(t, n.AddOutput(TransitionID(u+"_rel"), PlaceID(u+"_idle"), 1))
+		mustAdd(t, n.AddOutput(TransitionID(u+"_rel"), "floor", 1))
+	}
+	invs := n.PInvariants()
+	hasMutex, hasUser0 := false, false
+	for _, inv := range invs {
+		if inv["floor"] == 1 && inv["u0_speak"] == 1 && inv["u1_speak"] == 1 &&
+			inv["u0_idle"] == 0 && inv["u1_idle"] == 0 {
+			hasMutex = true
+		}
+		if inv["u0_idle"] == 1 && inv["u0_wait"] == 1 && inv["u0_speak"] == 1 && inv["floor"] == 0 {
+			hasUser0 = true
+		}
+	}
+	if !hasMutex {
+		t.Errorf("mutual-exclusion invariant not discovered in %v", invs)
+	}
+	if !hasUser0 {
+		t.Errorf("user-state invariant not discovered in %v", invs)
+	}
+}
+
+func TestTInvariantsCycle(t *testing.T) {
+	n := buildCycleNet(t)
+	invs := n.TInvariants()
+	found := false
+	for _, inv := range invs {
+		if inv["t12"] == 1 && inv["t21"] == 1 && len(inv) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cycle T-invariant t12+t21 not found: %v", invs)
+	}
+	// Firing the invariant reproduces the marking.
+	m0 := Marking{"p1": 1}
+	m1, err := n.FireSequence(m0, "t12", "t21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m0.Equal(m1) {
+		t.Fatal("firing the T-invariant did not reproduce the marking")
+	}
+}
+
+func TestTInvariantsAcyclicNetHasNone(t *testing.T) {
+	n := buildSimpleNet(t) // p1 -> t1 -> p2, no cycle
+	if invs := n.TInvariants(); len(invs) != 0 {
+		t.Fatalf("acyclic net reported T-invariants: %v", invs)
+	}
+}
+
+func TestTInvariantsFloorRotation(t *testing.T) {
+	// One user's request+grant+release is a T-invariant of the floor net.
+	n := NewNet("floor1")
+	mustAdd(t, n.AddPlace(Place{ID: "floor"}))
+	mustAdd(t, n.AddPlace(Place{ID: "idle"}))
+	mustAdd(t, n.AddPlace(Place{ID: "wait"}))
+	mustAdd(t, n.AddPlace(Place{ID: "speak"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "req"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "grant"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "rel"}))
+	mustAdd(t, n.AddInput("idle", "req", 1))
+	mustAdd(t, n.AddOutput("req", "wait", 1))
+	mustAdd(t, n.AddInput("wait", "grant", 1))
+	mustAdd(t, n.AddInput("floor", "grant", 1))
+	mustAdd(t, n.AddOutput("grant", "speak", 1))
+	mustAdd(t, n.AddInput("speak", "rel", 1))
+	mustAdd(t, n.AddOutput("rel", "idle", 1))
+	mustAdd(t, n.AddOutput("rel", "floor", 1))
+
+	invs := n.TInvariants()
+	found := false
+	for _, inv := range invs {
+		if inv["req"] == 1 && inv["grant"] == 1 && inv["rel"] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("floor rotation T-invariant not found: %v", invs)
+	}
+	m0 := Marking{"floor": 1, "idle": 1}
+	m1, err := n.FireSequence(m0, "req", "grant", "rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m0.Equal(m1) {
+		t.Fatal("floor rotation did not reproduce the marking")
+	}
+}

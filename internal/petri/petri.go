@@ -1,0 +1,388 @@
+// Package petri implements the Petri-net machinery underlying the paper's
+// synchronization models: classic place/transition nets, timed semantics
+// (tokens mature in a place for the place's duration, modelling media
+// playout as in OCPN), structural analysis (boundedness, reachability,
+// deadlock detection), and a deterministic event-driven simulator on a
+// virtual clock.
+//
+// Model lineage (paper §1): Petri net → timed Petri net → OCPN → XOCPN →
+// the paper's extended timed Petri net. This package provides the common
+// substrate; package ocpn builds the three concrete models on top of it.
+package petri
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PlaceID names a place.
+type PlaceID string
+
+// TransitionID names a transition.
+type TransitionID string
+
+// PlaceKind classifies places for model construction and rendering.
+type PlaceKind int
+
+// Place kinds.
+const (
+	// PlaceMedia represents active playout of a media segment; its duration
+	// is the segment duration (OCPN semantics).
+	PlaceMedia PlaceKind = iota + 1
+	// PlaceControl is an instantaneous control/synchronization place.
+	PlaceControl
+	// PlaceResource models a shared resource (floor token, decoder).
+	PlaceResource
+	// PlaceChannel models an XOCPN network channel buffer.
+	PlaceChannel
+)
+
+var placeKindNames = map[PlaceKind]string{
+	PlaceMedia:    "media",
+	PlaceControl:  "control",
+	PlaceResource: "resource",
+	PlaceChannel:  "channel",
+}
+
+// String implements fmt.Stringer.
+func (k PlaceKind) String() string {
+	if s, ok := placeKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("placekind(%d)", int(k))
+}
+
+// Place is a node holding tokens. Duration is how long an arriving token
+// takes to mature (become available to output transitions); zero means
+// immediately available. Capacity 0 means unbounded.
+type Place struct {
+	ID       PlaceID
+	Kind     PlaceKind
+	Duration time.Duration
+	Capacity int
+	// Label is a free-form annotation (e.g. the media segment ID).
+	Label string
+}
+
+// Transition is an instantaneous firing node. Priority breaks conflicts:
+// higher priorities fire first (the prioritized-PN extension the paper
+// cites from Guan et al.). Ties break lexicographically by ID so runs are
+// deterministic.
+type Transition struct {
+	ID       TransitionID
+	Priority int
+	// Label is a free-form annotation.
+	Label string
+}
+
+// Arc connects a place to a transition (input) or a transition to a place
+// (output) with a weight (tokens consumed/produced per firing).
+type Arc struct {
+	Place      PlaceID
+	Transition TransitionID
+	Weight     int
+	// ToTransition is true for input arcs (place→transition) and false for
+	// output arcs (transition→place).
+	ToTransition bool
+	// Inhibitor marks an inhibitor arc: the transition is enabled only if
+	// the place holds fewer than Weight tokens. Only valid for input arcs.
+	Inhibitor bool
+}
+
+// Errors returned by net construction and firing.
+var (
+	ErrUnknownPlace      = errors.New("petri: unknown place")
+	ErrUnknownTransition = errors.New("petri: unknown transition")
+	ErrDuplicate         = errors.New("petri: duplicate id")
+	ErrNotEnabled        = errors.New("petri: transition not enabled")
+	ErrCapacity          = errors.New("petri: place capacity exceeded")
+)
+
+// Net is an immutable-after-build Petri net structure. Build with NewNet
+// and the Add* methods; run markings through Enabled/Fire or a Simulator.
+type Net struct {
+	Name        string
+	places      map[PlaceID]*Place
+	transitions map[TransitionID]*Transition
+	inputs      map[TransitionID][]Arc // place→transition arcs
+	outputs     map[TransitionID][]Arc // transition→place arcs
+	placeOrder  []PlaceID
+	transOrder  []TransitionID
+}
+
+// NewNet returns an empty net with the given name.
+func NewNet(name string) *Net {
+	return &Net{
+		Name:        name,
+		places:      make(map[PlaceID]*Place),
+		transitions: make(map[TransitionID]*Transition),
+		inputs:      make(map[TransitionID][]Arc),
+		outputs:     make(map[TransitionID][]Arc),
+	}
+}
+
+// AddPlace adds a place to the net.
+func (n *Net) AddPlace(p Place) error {
+	if p.ID == "" {
+		return errors.New("petri: empty place id")
+	}
+	if _, ok := n.places[p.ID]; ok {
+		return fmt.Errorf("%w: place %s", ErrDuplicate, p.ID)
+	}
+	if p.Duration < 0 {
+		return fmt.Errorf("petri: place %s has negative duration", p.ID)
+	}
+	if p.Capacity < 0 {
+		return fmt.Errorf("petri: place %s has negative capacity", p.ID)
+	}
+	if p.Kind == 0 {
+		p.Kind = PlaceControl
+	}
+	cp := p
+	n.places[p.ID] = &cp
+	n.placeOrder = append(n.placeOrder, p.ID)
+	return nil
+}
+
+// AddTransition adds a transition to the net.
+func (n *Net) AddTransition(t Transition) error {
+	if t.ID == "" {
+		return errors.New("petri: empty transition id")
+	}
+	if _, ok := n.transitions[t.ID]; ok {
+		return fmt.Errorf("%w: transition %s", ErrDuplicate, t.ID)
+	}
+	ct := t
+	n.transitions[t.ID] = &ct
+	n.transOrder = append(n.transOrder, t.ID)
+	return nil
+}
+
+// AddInput adds a place→transition arc with the given weight (≥1).
+func (n *Net) AddInput(p PlaceID, t TransitionID, weight int) error {
+	return n.addArc(Arc{Place: p, Transition: t, Weight: weight, ToTransition: true})
+}
+
+// AddInhibitor adds an inhibitor arc: t is enabled only while p holds fewer
+// than weight tokens.
+func (n *Net) AddInhibitor(p PlaceID, t TransitionID, weight int) error {
+	return n.addArc(Arc{Place: p, Transition: t, Weight: weight, ToTransition: true, Inhibitor: true})
+}
+
+// AddOutput adds a transition→place arc with the given weight (≥1).
+func (n *Net) AddOutput(t TransitionID, p PlaceID, weight int) error {
+	return n.addArc(Arc{Place: p, Transition: t, Weight: weight, ToTransition: false})
+}
+
+func (n *Net) addArc(a Arc) error {
+	if a.Weight < 1 {
+		return fmt.Errorf("petri: arc weight %d < 1", a.Weight)
+	}
+	if _, ok := n.places[a.Place]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPlace, a.Place)
+	}
+	if _, ok := n.transitions[a.Transition]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTransition, a.Transition)
+	}
+	if a.ToTransition {
+		n.inputs[a.Transition] = append(n.inputs[a.Transition], a)
+	} else {
+		n.outputs[a.Transition] = append(n.outputs[a.Transition], a)
+	}
+	return nil
+}
+
+// Place returns the place with the given ID, or nil.
+func (n *Net) Place(id PlaceID) *Place { return n.places[id] }
+
+// Transition returns the transition with the given ID, or nil.
+func (n *Net) Transition(id TransitionID) *Transition { return n.transitions[id] }
+
+// Places returns place IDs in insertion order.
+func (n *Net) Places() []PlaceID {
+	out := make([]PlaceID, len(n.placeOrder))
+	copy(out, n.placeOrder)
+	return out
+}
+
+// Transitions returns transition IDs in insertion order.
+func (n *Net) Transitions() []TransitionID {
+	out := make([]TransitionID, len(n.transOrder))
+	copy(out, n.transOrder)
+	return out
+}
+
+// Inputs returns the input arcs of a transition.
+func (n *Net) Inputs(t TransitionID) []Arc {
+	arcs := n.inputs[t]
+	out := make([]Arc, len(arcs))
+	copy(out, arcs)
+	return out
+}
+
+// Outputs returns the output arcs of a transition.
+func (n *Net) Outputs(t TransitionID) []Arc {
+	arcs := n.outputs[t]
+	out := make([]Arc, len(arcs))
+	copy(out, arcs)
+	return out
+}
+
+// Validate checks structural sanity: every transition has at least one arc,
+// and arc endpoints exist (guaranteed by construction, re-checked for
+// defence in depth).
+func (n *Net) Validate() error {
+	for _, tid := range n.transOrder {
+		if len(n.inputs[tid]) == 0 && len(n.outputs[tid]) == 0 {
+			return fmt.Errorf("petri: transition %s has no arcs", tid)
+		}
+	}
+	return nil
+}
+
+// Marking maps each place to its token count. Missing entries mean zero.
+type Marking map[PlaceID]int
+
+// Clone returns a deep copy of the marking.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	for k, v := range m {
+		if v != 0 {
+			c[k] = v
+		}
+	}
+	return c
+}
+
+// Total returns the total token count.
+func (m Marking) Total() int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Equal reports whether two markings assign identical counts.
+func (m Marking) Equal(o Marking) bool {
+	for k, v := range m {
+		if o[k] != v {
+			return false
+		}
+	}
+	for k, v := range o {
+		if m[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for reachability sets.
+func (m Marking) Key() string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v != 0 {
+			keys = append(keys, fmt.Sprintf("%s=%d", k, v))
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// EnabledIn reports whether transition t is enabled in marking m
+// (untimed semantics: all tokens immediately available).
+func (n *Net) EnabledIn(m Marking, t TransitionID) bool {
+	arcs, ok := n.inputs[t]
+	if !ok || n.transitions[t] == nil {
+		return false
+	}
+	if len(arcs) == 0 {
+		return false // source transitions are disallowed in this system
+	}
+	for _, a := range arcs {
+		have := m[a.Place]
+		if a.Inhibitor {
+			if have >= a.Weight {
+				return false
+			}
+		} else if have < a.Weight {
+			return false
+		}
+	}
+	return true
+}
+
+// Enabled returns all transitions enabled in m, ordered by descending
+// priority then ascending ID (the deterministic conflict-resolution order).
+func (n *Net) Enabled(m Marking) []TransitionID {
+	var out []TransitionID
+	for _, tid := range n.transOrder {
+		if n.EnabledIn(m, tid) {
+			out = append(out, tid)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := n.transitions[out[i]].Priority, n.transitions[out[j]].Priority
+		if pi != pj {
+			return pi > pj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Fire fires transition t in marking m, returning the successor marking.
+// The input marking is not modified.
+func (n *Net) Fire(m Marking, t TransitionID) (Marking, error) {
+	if !n.EnabledIn(m, t) {
+		return nil, fmt.Errorf("%w: %s", ErrNotEnabled, t)
+	}
+	next := m.Clone()
+	for _, a := range n.inputs[t] {
+		if a.Inhibitor {
+			continue
+		}
+		next[a.Place] -= a.Weight
+		if next[a.Place] == 0 {
+			delete(next, a.Place)
+		}
+	}
+	for _, a := range n.outputs[t] {
+		next[a.Place] += a.Weight
+		if cap := n.places[a.Place].Capacity; cap > 0 && next[a.Place] > cap {
+			return nil, fmt.Errorf("%w: %s (firing %s)", ErrCapacity, a.Place, t)
+		}
+	}
+	return next, nil
+}
+
+// Dot renders the net in Graphviz dot format for documentation.
+func (n *Net) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", n.Name)
+	for _, pid := range n.placeOrder {
+		p := n.places[pid]
+		fmt.Fprintf(&b, "  %q [shape=circle,label=\"%s\\n%v\"];\n", string(pid), pid, p.Duration)
+	}
+	for _, tid := range n.transOrder {
+		fmt.Fprintf(&b, "  %q [shape=box,style=filled,fillcolor=gray];\n", string(tid))
+	}
+	for _, tid := range n.transOrder {
+		for _, a := range n.inputs[tid] {
+			style := ""
+			if a.Inhibitor {
+				style = ",arrowhead=odot"
+			}
+			fmt.Fprintf(&b, "  %q -> %q [label=\"%d\"%s];\n", string(a.Place), string(tid), a.Weight, style)
+		}
+		for _, a := range n.outputs[tid] {
+			fmt.Fprintf(&b, "  %q -> %q [label=\"%d\"];\n", string(tid), string(a.Place), a.Weight)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,240 @@
+package petri
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSimpleNet returns p1 -> t1 -> p2, with p1 initially marked.
+func buildSimpleNet(t *testing.T) *Net {
+	t.Helper()
+	n := NewNet("simple")
+	mustAdd(t, n.AddPlace(Place{ID: "p1"}))
+	mustAdd(t, n.AddPlace(Place{ID: "p2"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t1"}))
+	mustAdd(t, n.AddInput("p1", "t1", 1))
+	mustAdd(t, n.AddOutput("t1", "p2", 1))
+	return n
+}
+
+func mustAdd(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddDuplicates(t *testing.T) {
+	n := NewNet("dup")
+	mustAdd(t, n.AddPlace(Place{ID: "p"}))
+	if err := n.AddPlace(Place{ID: "p"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate place = %v, want ErrDuplicate", err)
+	}
+	mustAdd(t, n.AddTransition(Transition{ID: "t"}))
+	if err := n.AddTransition(Transition{ID: "t"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate transition = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestAddArcValidation(t *testing.T) {
+	n := NewNet("arcs")
+	mustAdd(t, n.AddPlace(Place{ID: "p"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t"}))
+	if err := n.AddInput("missing", "t", 1); !errors.Is(err, ErrUnknownPlace) {
+		t.Errorf("unknown place = %v, want ErrUnknownPlace", err)
+	}
+	if err := n.AddInput("p", "missing", 1); !errors.Is(err, ErrUnknownTransition) {
+		t.Errorf("unknown transition = %v, want ErrUnknownTransition", err)
+	}
+	if err := n.AddInput("p", "t", 0); err == nil {
+		t.Error("zero-weight arc accepted")
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	n := NewNet("pv")
+	if err := n.AddPlace(Place{ID: ""}); err == nil {
+		t.Error("empty place id accepted")
+	}
+	if err := n.AddPlace(Place{ID: "x", Duration: -time.Second}); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if err := n.AddPlace(Place{ID: "y", Capacity: -1}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestEnabledAndFire(t *testing.T) {
+	n := buildSimpleNet(t)
+	m := Marking{"p1": 1}
+	enabled := n.Enabled(m)
+	if len(enabled) != 1 || enabled[0] != "t1" {
+		t.Fatalf("Enabled = %v, want [t1]", enabled)
+	}
+	next, err := n.Fire(m, "t1")
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if next["p1"] != 0 || next["p2"] != 1 {
+		t.Fatalf("after fire marking = %v, want p2=1", next)
+	}
+	// Original marking untouched.
+	if m["p1"] != 1 {
+		t.Fatal("Fire mutated the input marking")
+	}
+	if _, err := n.Fire(next, "t1"); !errors.Is(err, ErrNotEnabled) {
+		t.Fatalf("fire disabled = %v, want ErrNotEnabled", err)
+	}
+}
+
+func TestFireWeights(t *testing.T) {
+	n := NewNet("weights")
+	mustAdd(t, n.AddPlace(Place{ID: "in"}))
+	mustAdd(t, n.AddPlace(Place{ID: "out"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t"}))
+	mustAdd(t, n.AddInput("in", "t", 2))
+	mustAdd(t, n.AddOutput("t", "out", 3))
+
+	if n.EnabledIn(Marking{"in": 1}, "t") {
+		t.Fatal("enabled with insufficient tokens")
+	}
+	next, err := n.Fire(Marking{"in": 2}, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next["out"] != 3 {
+		t.Fatalf("out = %d, want 3", next["out"])
+	}
+}
+
+func TestInhibitorArc(t *testing.T) {
+	n := NewNet("inhibit")
+	mustAdd(t, n.AddPlace(Place{ID: "go"}))
+	mustAdd(t, n.AddPlace(Place{ID: "blocker"}))
+	mustAdd(t, n.AddPlace(Place{ID: "done"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t"}))
+	mustAdd(t, n.AddInput("go", "t", 1))
+	mustAdd(t, n.AddInhibitor("blocker", "t", 1))
+	mustAdd(t, n.AddOutput("t", "done", 1))
+
+	if n.EnabledIn(Marking{"go": 1, "blocker": 1}, "t") {
+		t.Fatal("enabled despite inhibitor")
+	}
+	if !n.EnabledIn(Marking{"go": 1}, "t") {
+		t.Fatal("not enabled with empty inhibitor place")
+	}
+	next, err := n.Fire(Marking{"go": 1}, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next["done"] != 1 || next["blocker"] != 0 {
+		t.Fatalf("marking = %v", next)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	n := NewNet("cap")
+	mustAdd(t, n.AddPlace(Place{ID: "src"}))
+	mustAdd(t, n.AddPlace(Place{ID: "dst", Capacity: 1}))
+	mustAdd(t, n.AddTransition(Transition{ID: "t"}))
+	mustAdd(t, n.AddInput("src", "t", 1))
+	mustAdd(t, n.AddOutput("t", "dst", 1))
+
+	if _, err := n.Fire(Marking{"src": 1, "dst": 1}, "t"); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("capacity fire = %v, want ErrCapacity", err)
+	}
+}
+
+func TestPriorityConflictResolution(t *testing.T) {
+	n := NewNet("conflict")
+	mustAdd(t, n.AddPlace(Place{ID: "p"}))
+	mustAdd(t, n.AddPlace(Place{ID: "a"}))
+	mustAdd(t, n.AddPlace(Place{ID: "b"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tLow", Priority: 1}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tHigh", Priority: 9}))
+	mustAdd(t, n.AddInput("p", "tLow", 1))
+	mustAdd(t, n.AddInput("p", "tHigh", 1))
+	mustAdd(t, n.AddOutput("tLow", "a", 1))
+	mustAdd(t, n.AddOutput("tHigh", "b", 1))
+
+	enabled := n.Enabled(Marking{"p": 1})
+	if len(enabled) != 2 || enabled[0] != "tHigh" {
+		t.Fatalf("Enabled = %v, want tHigh first", enabled)
+	}
+}
+
+func TestMarkingHelpers(t *testing.T) {
+	m := Marking{"a": 2, "b": 1}
+	c := m.Clone()
+	c["a"] = 5
+	if m["a"] != 2 {
+		t.Fatal("Clone shares storage")
+	}
+	if m.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", m.Total())
+	}
+	if !m.Equal(Marking{"a": 2, "b": 1, "c": 0}) {
+		t.Fatal("Equal must ignore zero entries")
+	}
+	if m.Equal(Marking{"a": 2}) {
+		t.Fatal("Equal missed a difference")
+	}
+	if m.Key() != "a=2,b=1" {
+		t.Fatalf("Key = %q", m.Key())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := NewNet("v")
+	mustAdd(t, n.AddTransition(Transition{ID: "orphan"}))
+	if err := n.Validate(); err == nil {
+		t.Fatal("orphan transition accepted")
+	}
+	n2 := buildSimpleNet(t)
+	if err := n2.Validate(); err != nil {
+		t.Fatalf("valid net rejected: %v", err)
+	}
+}
+
+func TestDotRendering(t *testing.T) {
+	n := buildSimpleNet(t)
+	dot := n.Dot()
+	for _, want := range []string{"digraph", `"p1"`, `"t1"`, "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	n := buildSimpleNet(t)
+	if got := n.Places(); len(got) != 2 || got[0] != "p1" {
+		t.Fatalf("Places = %v", got)
+	}
+	if got := n.Transitions(); len(got) != 1 || got[0] != "t1" {
+		t.Fatalf("Transitions = %v", got)
+	}
+	if n.Place("p1") == nil || n.Place("nope") != nil {
+		t.Fatal("Place lookup broken")
+	}
+	if n.Transition("t1") == nil || n.Transition("nope") != nil {
+		t.Fatal("Transition lookup broken")
+	}
+	if got := n.Inputs("t1"); len(got) != 1 || got[0].Place != "p1" {
+		t.Fatalf("Inputs = %v", got)
+	}
+	if got := n.Outputs("t1"); len(got) != 1 || got[0].Place != "p2" {
+		t.Fatalf("Outputs = %v", got)
+	}
+}
+
+func TestPlaceKindString(t *testing.T) {
+	if PlaceMedia.String() != "media" || PlaceChannel.String() != "channel" {
+		t.Fatal("kind names wrong")
+	}
+	if got := PlaceKind(42).String(); got != "placekind(42)" {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}

@@ -1,0 +1,286 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// FireEvent records one transition firing during simulation.
+type FireEvent struct {
+	At         time.Duration
+	Transition TransitionID
+}
+
+// PlayoutInterval records a token's residence in a media place: the
+// half-open interval [Start, Start+Duration) during which the segment the
+// place models is being presented.
+type PlayoutInterval struct {
+	Place PlaceID
+	Start time.Duration
+	End   time.Duration
+}
+
+// Injection schedules external token arrivals, the mechanism by which user
+// interactions (pause/resume/skip) and network events (packet arrival)
+// enter the extended timed model.
+type Injection struct {
+	At     time.Duration
+	Place  PlaceID
+	Tokens int
+}
+
+// Trace is the full record of one simulation run.
+type Trace struct {
+	Fires    []FireEvent
+	Playouts []PlayoutInterval
+	// Final is the marking when the run stopped.
+	Final Marking
+	// EndedAt is the simulation time when the run stopped.
+	EndedAt time.Duration
+	// Quiescent reports whether the run ended because nothing remained to
+	// do (as opposed to hitting the horizon or step limit).
+	Quiescent bool
+}
+
+// FiredAt returns the first firing time of the given transition and true,
+// or zero and false if it never fired.
+func (tr *Trace) FiredAt(t TransitionID) (time.Duration, bool) {
+	for _, f := range tr.Fires {
+		if f.Transition == t {
+			return f.At, true
+		}
+	}
+	return 0, false
+}
+
+// PlayoutOf returns the first playout interval of the given place.
+func (tr *Trace) PlayoutOf(p PlaceID) (PlayoutInterval, bool) {
+	for _, pi := range tr.Playouts {
+		if pi.Place == p {
+			return pi, true
+		}
+	}
+	return PlayoutInterval{}, false
+}
+
+// Simulator executes a timed Petri net deterministically. Tokens arriving
+// in a place mature after the place's Duration; a transition fires as soon
+// as every input place holds enough mature tokens (and inhibitor conditions
+// hold), with conflicts resolved by priority then transition ID.
+type Simulator struct {
+	net *Net
+	// tokens[p] holds the ready-times of tokens currently in p, sorted.
+	tokens     map[PlaceID][]time.Duration
+	injections []Injection
+	now        time.Duration
+	trace      Trace
+	// MaxSteps bounds total firings to guard against non-terminating nets;
+	// zero means the default of 1_000_000.
+	MaxSteps int
+}
+
+// NewSimulator creates a simulator with the initial marking; initial tokens
+// arrive at time zero and mature through their place's duration.
+func NewSimulator(n *Net, initial Marking) *Simulator {
+	s := &Simulator{
+		net:    n,
+		tokens: make(map[PlaceID][]time.Duration),
+	}
+	for pid, count := range initial {
+		p := n.Place(pid)
+		if p == nil {
+			continue
+		}
+		for i := 0; i < count; i++ {
+			s.addToken(pid, 0)
+		}
+	}
+	return s
+}
+
+// Schedule queues an external token injection. Must be called before Run.
+func (s *Simulator) Schedule(inj Injection) error {
+	if s.net.Place(inj.Place) == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownPlace, inj.Place)
+	}
+	if inj.Tokens < 1 {
+		return fmt.Errorf("petri: injection of %d tokens", inj.Tokens)
+	}
+	if inj.At < 0 {
+		return fmt.Errorf("petri: injection at negative time %v", inj.At)
+	}
+	s.injections = append(s.injections, inj)
+	return nil
+}
+
+func (s *Simulator) addToken(pid PlaceID, arrival time.Duration) {
+	p := s.net.Place(pid)
+	ready := arrival + p.Duration
+	list := s.tokens[pid]
+	idx := sort.Search(len(list), func(i int) bool { return list[i] > ready })
+	list = append(list, 0)
+	copy(list[idx+1:], list[idx:])
+	list[idx] = ready
+	s.tokens[pid] = list
+	if p.Kind == PlaceMedia {
+		s.trace.Playouts = append(s.trace.Playouts, PlayoutInterval{
+			Place: pid, Start: arrival, End: ready,
+		})
+	}
+}
+
+// matureCount returns how many tokens in p are mature at time t.
+func (s *Simulator) matureCount(pid PlaceID, t time.Duration) int {
+	list := s.tokens[pid]
+	return sort.Search(len(list), func(i int) bool { return list[i] > t })
+}
+
+// enabledAt reports whether transition tid can fire at time t.
+func (s *Simulator) enabledAt(tid TransitionID, t time.Duration) bool {
+	arcs := s.net.inputs[tid]
+	if len(arcs) == 0 {
+		return false
+	}
+	for _, a := range arcs {
+		if a.Inhibitor {
+			if len(s.tokens[a.Place]) >= a.Weight {
+				return false
+			}
+		} else if s.matureCount(a.Place, t) < a.Weight {
+			return false
+		}
+	}
+	return true
+}
+
+// fireAt consumes and produces tokens for transition tid at time t.
+func (s *Simulator) fireAt(tid TransitionID, t time.Duration) {
+	for _, a := range s.net.inputs[tid] {
+		if a.Inhibitor {
+			continue
+		}
+		// Consume the earliest-mature tokens.
+		s.tokens[a.Place] = s.tokens[a.Place][a.Weight:]
+	}
+	for _, a := range s.net.outputs[tid] {
+		for i := 0; i < a.Weight; i++ {
+			s.addToken(a.Place, t)
+		}
+	}
+	s.trace.Fires = append(s.trace.Fires, FireEvent{At: t, Transition: tid})
+}
+
+// Run executes the net until the horizon, quiescence, or the step limit,
+// and returns the trace. A zero horizon means run to quiescence (bounded by
+// MaxSteps).
+func (s *Simulator) Run(horizon time.Duration) (*Trace, error) {
+	maxSteps := s.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	sort.SliceStable(s.injections, func(i, j int) bool {
+		return s.injections[i].At < s.injections[j].At
+	})
+	injIdx := 0
+	steps := 0
+
+	for {
+		// Deliver injections due now.
+		for injIdx < len(s.injections) && s.injections[injIdx].At <= s.now {
+			inj := s.injections[injIdx]
+			for i := 0; i < inj.Tokens; i++ {
+				s.addToken(inj.Place, inj.At)
+			}
+			injIdx++
+		}
+
+		// Fire everything enabled at the current time, deterministically.
+		fired := true
+		for fired {
+			fired = false
+			for _, tid := range s.enabledOrder(s.now) {
+				if steps >= maxSteps {
+					return s.finish(false), fmt.Errorf("petri: step limit %d reached", maxSteps)
+				}
+				if s.enabledAt(tid, s.now) {
+					s.fireAt(tid, s.now)
+					steps++
+					fired = true
+					break // re-evaluate enablement from scratch
+				}
+			}
+		}
+
+		// Find the next interesting instant: earliest immature token or
+		// pending injection.
+		next, ok := s.nextInstant(injIdx)
+		if !ok {
+			return s.finish(true), nil
+		}
+		if horizon > 0 && next > horizon {
+			s.now = horizon
+			return s.finish(false), nil
+		}
+		s.now = next
+	}
+}
+
+// enabledOrder returns transitions in deterministic firing order at time t.
+func (s *Simulator) enabledOrder(t time.Duration) []TransitionID {
+	var out []TransitionID
+	for _, tid := range s.net.transOrder {
+		if s.enabledAt(tid, t) {
+			out = append(out, tid)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := s.net.transitions[out[i]].Priority, s.net.transitions[out[j]].Priority
+		if pi != pj {
+			return pi > pj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+func (s *Simulator) nextInstant(injIdx int) (time.Duration, bool) {
+	var next time.Duration
+	found := false
+	for _, list := range s.tokens {
+		for _, ready := range list {
+			if ready > s.now {
+				if !found || ready < next {
+					next, found = ready, true
+				}
+				break // list is sorted
+			}
+		}
+	}
+	if injIdx < len(s.injections) {
+		at := s.injections[injIdx].At
+		if at > s.now && (!found || at < next) {
+			next, found = at, true
+		}
+	}
+	return next, found
+}
+
+func (s *Simulator) finish(quiescent bool) *Trace {
+	final := make(Marking)
+	for pid, list := range s.tokens {
+		if len(list) > 0 {
+			final[pid] = len(list)
+		}
+	}
+	s.trace.Final = final
+	s.trace.EndedAt = s.now
+	s.trace.Quiescent = quiescent
+	sort.SliceStable(s.trace.Playouts, func(i, j int) bool {
+		if s.trace.Playouts[i].Start != s.trace.Playouts[j].Start {
+			return s.trace.Playouts[i].Start < s.trace.Playouts[j].Start
+		}
+		return s.trace.Playouts[i].Place < s.trace.Playouts[j].Place
+	})
+	return &s.trace
+}

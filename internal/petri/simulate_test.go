@@ -1,0 +1,236 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSequenceNet models two media segments in sequence:
+// start(marked) -> tStart -> mediaA(3s) -> tAB -> mediaB(2s) -> tEnd -> done.
+func buildSequenceNet(t *testing.T) *Net {
+	t.Helper()
+	n := NewNet("sequence")
+	mustAdd(t, n.AddPlace(Place{ID: "start"}))
+	mustAdd(t, n.AddPlace(Place{ID: "mediaA", Kind: PlaceMedia, Duration: 3 * time.Second}))
+	mustAdd(t, n.AddPlace(Place{ID: "mediaB", Kind: PlaceMedia, Duration: 2 * time.Second}))
+	mustAdd(t, n.AddPlace(Place{ID: "done"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tStart"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tAB"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tEnd"}))
+	mustAdd(t, n.AddInput("start", "tStart", 1))
+	mustAdd(t, n.AddOutput("tStart", "mediaA", 1))
+	mustAdd(t, n.AddInput("mediaA", "tAB", 1))
+	mustAdd(t, n.AddOutput("tAB", "mediaB", 1))
+	mustAdd(t, n.AddInput("mediaB", "tEnd", 1))
+	mustAdd(t, n.AddOutput("tEnd", "done", 1))
+	return n
+}
+
+func TestSimulateSequenceTiming(t *testing.T) {
+	n := buildSequenceNet(t)
+	sim := NewSimulator(n, Marking{"start": 1})
+	tr, err := sim.Run(0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !tr.Quiescent {
+		t.Fatal("run did not reach quiescence")
+	}
+	if !tr.Final.Equal(Marking{"done": 1}) {
+		t.Fatalf("final marking = %v, want done=1", tr.Final)
+	}
+	if at, ok := tr.FiredAt("tStart"); !ok || at != 0 {
+		t.Errorf("tStart fired at %v, want 0", at)
+	}
+	if at, ok := tr.FiredAt("tAB"); !ok || at != 3*time.Second {
+		t.Errorf("tAB fired at %v, want 3s", at)
+	}
+	if at, ok := tr.FiredAt("tEnd"); !ok || at != 5*time.Second {
+		t.Errorf("tEnd fired at %v, want 5s", at)
+	}
+	if tr.EndedAt != 5*time.Second {
+		t.Errorf("EndedAt = %v, want 5s", tr.EndedAt)
+	}
+}
+
+func TestSimulatePlayoutIntervals(t *testing.T) {
+	n := buildSequenceNet(t)
+	sim := NewSimulator(n, Marking{"start": 1})
+	tr, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := tr.PlayoutOf("mediaA")
+	if !ok {
+		t.Fatal("no playout for mediaA")
+	}
+	if a.Start != 0 || a.End != 3*time.Second {
+		t.Errorf("mediaA playout [%v,%v], want [0,3s]", a.Start, a.End)
+	}
+	b, ok := tr.PlayoutOf("mediaB")
+	if !ok {
+		t.Fatal("no playout for mediaB")
+	}
+	if b.Start != 3*time.Second || b.End != 5*time.Second {
+		t.Errorf("mediaB playout [%v,%v], want [3s,5s]", b.Start, b.End)
+	}
+}
+
+// TestSimulateParallelJoin models the OCPN lip-sync pattern: video (4s) and
+// audio (3s) fork from one start transition and join at the end; the join
+// must fire at max(4s, 3s) = 4s.
+func TestSimulateParallelJoin(t *testing.T) {
+	n := NewNet("parallel")
+	mustAdd(t, n.AddPlace(Place{ID: "start"}))
+	mustAdd(t, n.AddPlace(Place{ID: "video", Kind: PlaceMedia, Duration: 4 * time.Second}))
+	mustAdd(t, n.AddPlace(Place{ID: "audio", Kind: PlaceMedia, Duration: 3 * time.Second}))
+	mustAdd(t, n.AddPlace(Place{ID: "done"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "fork"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "join"}))
+	mustAdd(t, n.AddInput("start", "fork", 1))
+	mustAdd(t, n.AddOutput("fork", "video", 1))
+	mustAdd(t, n.AddOutput("fork", "audio", 1))
+	mustAdd(t, n.AddInput("video", "join", 1))
+	mustAdd(t, n.AddInput("audio", "join", 1))
+	mustAdd(t, n.AddOutput("join", "done", 1))
+
+	sim := NewSimulator(n, Marking{"start": 1})
+	tr, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, ok := tr.FiredAt("join"); !ok || at != 4*time.Second {
+		t.Fatalf("join fired at %v, want 4s", at)
+	}
+}
+
+func TestSimulateInjectionDelaysFiring(t *testing.T) {
+	// tGo needs both "ready" (immediate) and "grant" (injected at 7s).
+	n := NewNet("inject")
+	mustAdd(t, n.AddPlace(Place{ID: "ready"}))
+	mustAdd(t, n.AddPlace(Place{ID: "grant"}))
+	mustAdd(t, n.AddPlace(Place{ID: "out"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tGo"}))
+	mustAdd(t, n.AddInput("ready", "tGo", 1))
+	mustAdd(t, n.AddInput("grant", "tGo", 1))
+	mustAdd(t, n.AddOutput("tGo", "out", 1))
+
+	sim := NewSimulator(n, Marking{"ready": 1})
+	if err := sim.Schedule(Injection{At: 7 * time.Second, Place: "grant", Tokens: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, ok := tr.FiredAt("tGo"); !ok || at != 7*time.Second {
+		t.Fatalf("tGo fired at %v, want 7s", at)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	n := buildSimpleNet(t)
+	sim := NewSimulator(n, nil)
+	if err := sim.Schedule(Injection{Place: "nope", Tokens: 1}); err == nil {
+		t.Error("unknown place accepted")
+	}
+	if err := sim.Schedule(Injection{Place: "p1", Tokens: 0}); err == nil {
+		t.Error("zero tokens accepted")
+	}
+	if err := sim.Schedule(Injection{Place: "p1", Tokens: 1, At: -time.Second}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestSimulateHorizonStopsRun(t *testing.T) {
+	n := buildSequenceNet(t)
+	sim := NewSimulator(n, Marking{"start": 1})
+	tr, err := sim.Run(1 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Quiescent {
+		t.Fatal("truncated run reported quiescent")
+	}
+	if _, fired := tr.FiredAt("tEnd"); fired {
+		t.Fatal("tEnd fired before the horizon allows")
+	}
+	if tr.EndedAt != 1*time.Second {
+		t.Fatalf("EndedAt = %v, want 1s", tr.EndedAt)
+	}
+}
+
+func TestSimulateStepLimit(t *testing.T) {
+	// Zero-duration cycle fires forever; the step limit must stop it.
+	n := buildCycleNet(t)
+	sim := NewSimulator(n, Marking{"p1": 1})
+	sim.MaxSteps = 10
+	_, err := sim.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v, want step limit error", err)
+	}
+}
+
+func TestSimulatePriorityWithinInstant(t *testing.T) {
+	n := NewNet("prio")
+	mustAdd(t, n.AddPlace(Place{ID: "p"}))
+	mustAdd(t, n.AddPlace(Place{ID: "low"}))
+	mustAdd(t, n.AddPlace(Place{ID: "high"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tLow", Priority: 0}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tHigh", Priority: 5}))
+	mustAdd(t, n.AddInput("p", "tLow", 1))
+	mustAdd(t, n.AddInput("p", "tHigh", 1))
+	mustAdd(t, n.AddOutput("tLow", "low", 1))
+	mustAdd(t, n.AddOutput("tHigh", "high", 1))
+
+	sim := NewSimulator(n, Marking{"p": 1})
+	tr, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Final["high"] != 1 || tr.Final["low"] != 0 {
+		t.Fatalf("final = %v; high-priority transition must win the conflict", tr.Final)
+	}
+}
+
+func TestSimulateInhibitorHoldsUntilDrained(t *testing.T) {
+	// tRun is inhibited while "paused" holds a token; a drain transition
+	// consumes the pause token when "resume" is injected.
+	n := NewNet("pause")
+	mustAdd(t, n.AddPlace(Place{ID: "job"}))
+	mustAdd(t, n.AddPlace(Place{ID: "paused"}))
+	mustAdd(t, n.AddPlace(Place{ID: "resume"}))
+	mustAdd(t, n.AddPlace(Place{ID: "out"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tRun"}))
+	mustAdd(t, n.AddTransition(Transition{ID: "tResume", Priority: 10}))
+	mustAdd(t, n.AddInput("job", "tRun", 1))
+	mustAdd(t, n.AddInhibitor("paused", "tRun", 1))
+	mustAdd(t, n.AddOutput("tRun", "out", 1))
+	mustAdd(t, n.AddInput("paused", "tResume", 1))
+	mustAdd(t, n.AddInput("resume", "tResume", 1))
+
+	sim := NewSimulator(n, Marking{"job": 1, "paused": 1})
+	if err := sim.Schedule(Injection{At: 4 * time.Second, Place: "resume", Tokens: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, ok := tr.FiredAt("tRun"); !ok || at != 4*time.Second {
+		t.Fatalf("tRun fired at %v, want 4s (after resume)", at)
+	}
+}
+
+func TestSimulatorIgnoresUnknownInitialPlaces(t *testing.T) {
+	n := buildSimpleNet(t)
+	sim := NewSimulator(n, Marking{"ghost": 3, "p1": 1})
+	tr, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Final.Equal(Marking{"p2": 1}) {
+		t.Fatalf("final = %v", tr.Final)
+	}
+}

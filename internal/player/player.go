@@ -1,0 +1,308 @@
+// Package player implements the client side of the Lecture-on-Demand
+// system: it fetches a container stream (from an io.Reader or an HTTP URL),
+// demultiplexes packets, executes script commands (slide flips,
+// annotations) in time with the media, and records exactly what would have
+// been rendered and when, so synchronization skew is measurable.
+//
+// The paper's player is "the browser with the windows media services"; the
+// substitution here replaces pixels with an instrumented event log — the
+// timing behaviour, which is what the experiments measure, is identical.
+package player
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/codec"
+	"repro/internal/media"
+	"repro/internal/vclock"
+)
+
+// Errors.
+var (
+	// ErrDRMNotLicensed is returned when content requires rights management
+	// and the player has no license callback (rendering DRM is mandatory
+	// per §2.1).
+	ErrDRMNotLicensed = errors.New("player: content requires DRM license")
+)
+
+// EventKind classifies render-log entries.
+type EventKind int
+
+// Event kinds.
+const (
+	EventVideoFrame EventKind = iota + 1
+	EventAudioBlock
+	EventSlideShown
+	EventAnnotation
+	EventScript
+	EventStall
+)
+
+var eventNames = map[EventKind]string{
+	EventVideoFrame: "video",
+	EventAudioBlock: "audio",
+	EventSlideShown: "slide",
+	EventAnnotation: "annotation",
+	EventScript:     "script",
+	EventStall:      "stall",
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one rendered item: what was presented, when the media timeline
+// said it should appear (PTS), and when the player actually presented it
+// (At, on the playback clock).
+type Event struct {
+	Kind  EventKind
+	PTS   time.Duration
+	At    time.Duration
+	Param string
+	Bytes int
+}
+
+// Skew is the presentation lateness: At - PTS (never negative; the player
+// does not present early).
+func (e Event) Skew() time.Duration { return e.At - e.PTS }
+
+// Metrics summarizes a playback session.
+type Metrics struct {
+	Events       []Event
+	VideoFrames  int
+	AudioBlocks  int
+	SlidesShown  int
+	Annotations  int
+	Stalls       int
+	StallTime    time.Duration
+	MaxSkew      time.Duration
+	MeanSkew     time.Duration
+	Decodable    int
+	BrokenFrames int
+	BytesRead    int64
+	Duration     time.Duration
+}
+
+// SlideEvents returns the slide-flip events in order.
+func (m *Metrics) SlideEvents() []Event {
+	var out []Event
+	for _, e := range m.Events {
+		if e.Kind == EventSlideShown {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SkewWithin reports whether every media event's skew is at most max.
+func (m *Metrics) SkewWithin(max time.Duration) bool {
+	return m.MaxSkew <= max
+}
+
+// Options configures a playback session.
+type Options struct {
+	// Clock drives presentation; nil uses the real clock.
+	Clock vclock.Clock
+	// JitterBufferDepth is how many packets are buffered before playback
+	// starts (absorbs network jitter). Zero disables pre-buffering.
+	JitterBufferDepth int
+	// Realtime, when true, makes the player wait on the clock until each
+	// item's PTS before presenting it; when false the player presents as
+	// fast as packets arrive, timestamping presentation by packet arrival
+	// order (used for analytic runs where the transport already paced).
+	Realtime bool
+	// LicenseDRM, when true, simulates holding a playback license.
+	LicenseDRM bool
+	// IgnoreHeaderScripts drops the header script table, relying only on
+	// in-band script packets (the script-placement ablation).
+	IgnoreHeaderScripts bool
+}
+
+// Player plays one container stream.
+type Player struct {
+	opts Options
+}
+
+// New creates a player.
+func New(opts Options) *Player {
+	if opts.Clock == nil {
+		opts.Clock = vclock.Real{}
+	}
+	return &Player{opts: opts}
+}
+
+// PlayURL fetches the stream over HTTP and plays it.
+func (p *Player) PlayURL(url string) (*Metrics, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("player: fetch %s: %w", url, err)
+	}
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("player: fetch %s: status %s", url, resp.Status)
+	}
+	return p.Play(resp.Body)
+}
+
+// Play consumes the container from r, rendering to the event log.
+func (p *Player) Play(r io.Reader) (*Metrics, error) {
+	reader := asf.NewReader(r)
+	h, err := reader.ReadHeader()
+	if err != nil {
+		return nil, fmt.Errorf("player: %w", err)
+	}
+	if h.DRM() && !p.opts.LicenseDRM {
+		return nil, ErrDRMNotLicensed
+	}
+
+	m := &Metrics{}
+	clock := p.opts.Clock
+	start := clock.Now()
+	elapsed := func() time.Duration { return clock.Now().Sub(start) }
+
+	// Pending header scripts sorted by time.
+	var scripts []asf.ScriptCommand
+	if !p.opts.IgnoreHeaderScripts {
+		scripts = append(scripts, h.Scripts...)
+		sort.SliceStable(scripts, func(i, j int) bool { return scripts[i].At < scripts[j].At })
+	}
+	execScripts := func(upTo time.Duration) {
+		for len(scripts) > 0 && scripts[0].At <= upTo {
+			p.renderScript(m, scripts[0], elapsed())
+			scripts = scripts[1:]
+		}
+	}
+
+	var vdec codec.VideoDecoder
+
+	// Jitter buffer: pre-read packets before starting the clock.
+	var buffer []asf.Packet
+	fill := p.opts.JitterBufferDepth
+	for len(buffer) < fill {
+		pkt, err := reader.ReadPacket()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("player: prebuffer: %w", err)
+		}
+		buffer = append(buffer, pkt)
+	}
+
+	next := func() (asf.Packet, bool, error) {
+		if len(buffer) > 0 {
+			pkt := buffer[0]
+			buffer = buffer[1:]
+			return pkt, true, nil
+		}
+		pkt, err := reader.ReadPacket()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return asf.Packet{}, false, nil
+			}
+			return asf.Packet{}, false, err
+		}
+		return pkt, true, nil
+	}
+
+	for {
+		pkt, ok, err := next()
+		if err != nil {
+			return m, fmt.Errorf("player: %w", err)
+		}
+		if !ok {
+			break
+		}
+		m.BytesRead += int64(len(pkt.Payload))
+
+		if p.opts.Realtime {
+			// Wait until the item is due; arriving late counts as a stall.
+			if wait := pkt.PTS - elapsed(); wait > 0 {
+				clock.Sleep(wait)
+			} else if wait < 0 {
+				m.Stalls++
+				m.StallTime += -wait
+				m.Events = append(m.Events, Event{Kind: EventStall, PTS: pkt.PTS, At: elapsed()})
+			}
+		}
+		now := elapsed()
+		execScripts(pkt.PTS)
+
+		switch pkt.Kind {
+		case media.KindVideo:
+			vdec.Feed(pkt.Payload)
+			m.VideoFrames++
+			m.Events = append(m.Events, Event{Kind: EventVideoFrame, PTS: pkt.PTS, At: now, Bytes: len(pkt.Payload)})
+		case media.KindAudio:
+			m.AudioBlocks++
+			m.Events = append(m.Events, Event{Kind: EventAudioBlock, PTS: pkt.PTS, At: now, Bytes: len(pkt.Payload)})
+		case media.KindImage:
+			// Images are cached on arrival; the script command shows them.
+		case media.KindScript:
+			cmd, err := asf.ParseScriptPacket(pkt)
+			if err != nil {
+				return m, fmt.Errorf("player: %w", err)
+			}
+			p.renderScript(m, cmd, now)
+		}
+	}
+	execScripts(1<<62 - 1)
+
+	m.Decodable = vdec.Decodable
+	m.BrokenFrames = vdec.Broken
+	m.Duration = elapsed()
+	p.finalizeSkew(m)
+	return m, nil
+}
+
+// renderScript turns a script command into a rendered event.
+func (p *Player) renderScript(m *Metrics, cmd asf.ScriptCommand, at time.Duration) {
+	kind := EventScript
+	switch cmd.Type {
+	case "slide":
+		kind = EventSlideShown
+		m.SlidesShown++
+	case "annotation":
+		kind = EventAnnotation
+		m.Annotations++
+	}
+	m.Events = append(m.Events, Event{Kind: kind, PTS: cmd.At, At: at, Param: cmd.Param})
+}
+
+// finalizeSkew computes skew statistics over media and script events.
+func (p *Player) finalizeSkew(m *Metrics) {
+	if !p.opts.Realtime {
+		return // arrival-order playback has no meaningful wall skew
+	}
+	var total time.Duration
+	var count int
+	for _, e := range m.Events {
+		if e.Kind == EventStall {
+			continue
+		}
+		skew := e.Skew()
+		if skew < 0 {
+			skew = 0
+		}
+		if skew > m.MaxSkew {
+			m.MaxSkew = skew
+		}
+		total += skew
+		count++
+	}
+	if count > 0 {
+		m.MeanSkew = total / time.Duration(count)
+	}
+}

@@ -1,0 +1,122 @@
+package player
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/encoder"
+	"repro/internal/vclock"
+)
+
+// driveClock advances the virtual clock until done closes.
+func driveClock(t *testing.T, clk *vclock.Virtual, done <-chan struct{}) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case <-done:
+			return
+		default:
+			if next, ok := clk.NextDeadline(); ok {
+				clk.AdvanceTo(next)
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+	t.Fatal("realtime playback did not finish")
+}
+
+func TestRealtimePlaybackPresentsOnSchedule(t *testing.T) {
+	data, lec := testLectureBytes(t, 2*time.Second, encoder.Config{})
+	clk := vclock.NewVirtual()
+	pl := New(Options{Realtime: true, Clock: clk})
+
+	done := make(chan struct{})
+	var m *Metrics
+	var err error
+	go func() {
+		defer close(done)
+		m, err = pl.Play(bytes.NewReader(data))
+	}()
+	driveClock(t, clk, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.VideoFrames != len(lec.Video) {
+		t.Fatalf("frames = %d, want %d", m.VideoFrames, len(lec.Video))
+	}
+	// With the whole file available instantly, every item is presented
+	// exactly at its PTS: zero skew, zero stalls.
+	if m.Stalls != 0 {
+		t.Fatalf("stalls = %d on instant source", m.Stalls)
+	}
+	if m.MaxSkew != 0 {
+		t.Fatalf("max skew = %v on instant source", m.MaxSkew)
+	}
+	// The playback took (virtual) real time: the clock advanced about the
+	// lecture duration.
+	if m.Duration < 1900*time.Millisecond {
+		t.Fatalf("playback duration %v, want ≈2s", m.Duration)
+	}
+}
+
+// slowReader releases its underlying bytes only after the virtual clock
+// passes per-chunk release times, simulating a startved network feed.
+type slowReader struct {
+	data    []byte
+	pos     int
+	clk     *vclock.Virtual
+	chunk   int
+	perWait time.Duration
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	if s.pos >= len(s.data) {
+		return 0, errEOF{}
+	}
+	// Every chunk boundary costs one wait on the clock.
+	if s.pos > 0 && s.pos%s.chunk < len(p) {
+		s.clk.Sleep(s.perWait)
+	}
+	n := copy(p, s.data[s.pos:])
+	if n > s.chunk {
+		n = s.chunk
+	}
+	s.pos += n
+	return n, nil
+}
+
+type errEOF struct{}
+
+func (errEOF) Error() string { return "EOF" }
+
+func TestRealtimePlaybackCountsStallsOnStarvedSource(t *testing.T) {
+	data, _ := testLectureBytes(t, 2*time.Second, encoder.Config{})
+	clk := vclock.NewVirtual()
+	pl := New(Options{Realtime: true, Clock: clk})
+
+	// Release the stream so slowly that items arrive after their PTS.
+	src := &slowReader{
+		data: data, clk: clk,
+		chunk:   len(data) / 8,
+		perWait: 600 * time.Millisecond, // 8 chunks × 600 ms ≫ 2 s lecture
+	}
+	done := make(chan struct{})
+	var m *Metrics
+	go func() {
+		defer close(done)
+		m, _ = pl.Play(src)
+	}()
+	driveClock(t, clk, done)
+	if m == nil {
+		t.Fatal("no metrics")
+	}
+	if m.Stalls == 0 {
+		t.Fatal("starved source produced no stalls")
+	}
+	if m.StallTime == 0 {
+		t.Fatal("stall time not accumulated")
+	}
+}

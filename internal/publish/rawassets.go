@@ -1,0 +1,83 @@
+package publish
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/capture"
+	"repro/internal/encoder"
+	"repro/internal/media"
+)
+
+// RawLecturePaths locates the on-disk artifacts WriteRawLecture produced.
+type RawLecturePaths struct {
+	VideoPath   string
+	SlidesDir   string
+	Annotations string
+}
+
+// WriteRawLecture materializes a captured lecture as the raw inputs the
+// publishing manager's form expects (Fig 5(a)): an AV-only container at
+// dir/video.asf, slide images plus timing manifest under dir/slides/, and
+// dir/slides/annotations.txt. This is the bridge between the recording
+// step and the publishing step of the paper's workflow.
+func WriteRawLecture(lec *capture.Lecture, dir string) (RawLecturePaths, error) {
+	var paths RawLecturePaths
+	slidesDir := filepath.Join(dir, "slides")
+	if err := os.MkdirAll(slidesDir, 0o755); err != nil {
+		return paths, fmt.Errorf("publish: mkdir: %w", err)
+	}
+
+	// AV-only container: no scripts, no slides.
+	videoPath := filepath.Join(dir, "video.asf")
+	f, err := os.Create(videoPath)
+	if err != nil {
+		return paths, fmt.Errorf("publish: create video: %w", err)
+	}
+	sess, err := encoder.New(encoder.Config{Title: lec.Title, Profile: lec.Profile})
+	if err != nil {
+		_ = f.Close()
+		return paths, err
+	}
+	sess.AddSource(encoder.NewSampleSource(media.KindVideo, lec.Video))
+	sess.AddSource(encoder.NewSampleSource(media.KindAudio, lec.Audio))
+	bw := bufio.NewWriter(f)
+	if _, err := sess.EncodeTo(bw); err != nil {
+		_ = f.Close()
+		return paths, err
+	}
+	if err := bw.Flush(); err != nil {
+		_ = f.Close()
+		return paths, fmt.Errorf("publish: flush video: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return paths, fmt.Errorf("publish: close video: %w", err)
+	}
+
+	// Slides and timing manifest.
+	var manifest []byte
+	for _, s := range lec.Slides {
+		if err := os.WriteFile(filepath.Join(slidesDir, s.Name), s.Image, 0o644); err != nil {
+			return paths, fmt.Errorf("publish: write slide: %w", err)
+		}
+		manifest = append(manifest, []byte(fmt.Sprintf("%s %s\n", s.Name, s.At))...)
+	}
+	if err := os.WriteFile(filepath.Join(slidesDir, TimingManifest), manifest, 0o644); err != nil {
+		return paths, fmt.Errorf("publish: write timing: %w", err)
+	}
+
+	// Annotations.
+	var ann []byte
+	for _, a := range lec.Annotations {
+		ann = append(ann, []byte(fmt.Sprintf("%s %s\n", a.At, a.Text))...)
+	}
+	annPath := filepath.Join(slidesDir, AnnotationsFile)
+	if err := os.WriteFile(annPath, ann, 0o644); err != nil {
+		return paths, fmt.Errorf("publish: write annotations: %w", err)
+	}
+
+	paths = RawLecturePaths{VideoPath: videoPath, SlidesDir: slidesDir, Annotations: annPath}
+	return paths, nil
+}

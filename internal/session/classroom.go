@@ -1,0 +1,153 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Attendee is one user in a classroom.
+type Attendee struct {
+	ID   string
+	Role Role
+	// Annotations delivers annotation broadcasts; buffered so a slow
+	// attendee does not stall the class (drops are counted).
+	Annotations <-chan Annotation
+
+	send chan Annotation
+}
+
+// Annotation is a timed comment broadcast to the class.
+type Annotation struct {
+	Author string
+	Text   string
+	At     time.Time
+}
+
+// Classroom is one live lecture session: attendees join and leave, the
+// floor arbitrates who may annotate, and annotations are broadcast to
+// everyone. Safe for concurrent use.
+type Classroom struct {
+	Name  string
+	Floor *Floor
+
+	clock vclock.Clock
+
+	mu        sync.Mutex
+	attendees map[string]*Attendee
+	history   []Annotation
+	dropped   int64
+	buffer    int
+}
+
+// NewClassroom creates a classroom on the given clock (nil = real clock).
+func NewClassroom(name string, clock vclock.Clock) *Classroom {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Classroom{
+		Name:      name,
+		Floor:     NewFloor(clock),
+		clock:     clock,
+		attendees: make(map[string]*Attendee),
+		buffer:    64,
+	}
+}
+
+// Join adds a user to the class and returns their attendee handle.
+func (c *Classroom) Join(id string, role Role) (*Attendee, error) {
+	if id == "" {
+		return nil, fmt.Errorf("session: empty user id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.attendees[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, id)
+	}
+	send := make(chan Annotation, c.buffer)
+	a := &Attendee{ID: id, Role: role, Annotations: send, send: send}
+	c.attendees[id] = a
+	return a, nil
+}
+
+// Leave removes a user; any held floor is released.
+func (c *Classroom) Leave(id string) error {
+	c.mu.Lock()
+	a, ok := c.attendees[id]
+	if ok {
+		delete(c.attendees, id)
+		close(a.send)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotAttending, id)
+	}
+	if c.Floor.Holder() == id {
+		return c.Floor.Release(id)
+	}
+	// A queued request is cancelled silently.
+	_ = c.Floor.Cancel(id)
+	return nil
+}
+
+// AttendeeCount returns the class size.
+func (c *Classroom) AttendeeCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.attendees)
+}
+
+// Annotate broadcasts an annotation. The author must hold the floor,
+// except teachers, who may always annotate (the paper's lecturer adds
+// "annotations/comments" freely while students need the floor).
+func (c *Classroom) Annotate(author, text string) error {
+	c.mu.Lock()
+	a, attending := c.attendees[author]
+	c.mu.Unlock()
+	if !attending {
+		return fmt.Errorf("%w: %s", ErrNotAttending, author)
+	}
+	if a.Role != RoleTeacher && c.Floor.Holder() != author {
+		return fmt.Errorf("%w: %s", ErrNotHolder, author)
+	}
+	ann := Annotation{Author: author, Text: text, At: c.clock.Now()}
+	c.mu.Lock()
+	c.history = append(c.history, ann)
+	for _, att := range c.attendees {
+		select {
+		case att.send <- ann:
+		default:
+			c.dropped++
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// History returns all annotations so far.
+func (c *Classroom) History() []Annotation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Annotation, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// Dropped returns annotation deliveries dropped due to slow attendees.
+func (c *Classroom) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Close ends the session, closing every attendee channel.
+func (c *Classroom) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, a := range c.attendees {
+		close(a.send)
+		delete(c.attendees, id)
+	}
+}

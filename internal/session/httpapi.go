@@ -1,0 +1,188 @@
+package session
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// API exposes a Classroom over HTTP so distributed students participate
+// through plain web requests, matching the paper's web-based architecture:
+//
+//	POST /class/join?user=U&role=teacher|student
+//	POST /class/leave?user=U
+//	POST /class/floor/request?user=U        → {"granted": bool}
+//	POST /class/floor/release?user=U
+//	POST /class/floor/revoke                → {"revoked": "U"}
+//	POST /class/annotate?user=U&text=T
+//	GET  /class/annotations?since=N         → annotations with index ≥ N
+//	GET  /class/state                       → holder, queue length, size
+type API struct {
+	class *Classroom
+}
+
+// NewAPI wraps a classroom.
+func NewAPI(class *Classroom) *API { return &API{class: class} }
+
+// Handler returns the HTTP handler for the classroom API.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/class/join", a.handleJoin)
+	mux.HandleFunc("/class/leave", a.handleLeave)
+	mux.HandleFunc("/class/floor/request", a.handleFloorRequest)
+	mux.HandleFunc("/class/floor/release", a.handleFloorRelease)
+	mux.HandleFunc("/class/floor/revoke", a.handleFloorRevoke)
+	mux.HandleFunc("/class/annotate", a.handleAnnotate)
+	mux.HandleFunc("/class/annotations", a.handleAnnotations)
+	mux.HandleFunc("/class/state", a.handleState)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// statusFor maps session errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotAttending):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDuplicate), errors.Is(err, ErrAlreadyHeld):
+		return http.StatusConflict
+	case errors.Is(err, ErrNotHolder):
+		return http.StatusForbidden
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func (a *API) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	user := r.URL.Query().Get("user")
+	role := RoleStudent
+	if r.URL.Query().Get("role") == "teacher" {
+		role = RoleTeacher
+	}
+	if _, err := a.class.Join(user, role); err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, map[string]string{"user": user, "role": role.String()})
+}
+
+func (a *API) handleLeave(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	user := r.URL.Query().Get("user")
+	if err := a.class.Leave(user); err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, map[string]string{"left": user})
+}
+
+func (a *API) handleFloorRequest(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	user := r.URL.Query().Get("user")
+	granted, err := a.class.Floor.Request(user)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, map[string]bool{"granted": granted})
+}
+
+func (a *API) handleFloorRelease(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	user := r.URL.Query().Get("user")
+	if err := a.class.Floor.Release(user); err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, map[string]string{"released": user})
+}
+
+func (a *API) handleFloorRevoke(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	was, err := a.class.Floor.Revoke()
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, map[string]string{"revoked": was})
+}
+
+func (a *API) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	user := r.URL.Query().Get("user")
+	text := r.URL.Query().Get("text")
+	if text == "" {
+		http.Error(w, "empty text", http.StatusBadRequest)
+		return
+	}
+	if err := a.class.Annotate(user, text); err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// annotationJSON is the wire form of one annotation.
+type annotationJSON struct {
+	Index  int       `json:"index"`
+	Author string    `json:"author"`
+	Text   string    `json:"text"`
+	At     time.Time `json:"at"`
+}
+
+func (a *API) handleAnnotations(w http.ResponseWriter, r *http.Request) {
+	since := 0
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	history := a.class.History()
+	out := make([]annotationJSON, 0, len(history))
+	for i := since; i < len(history); i++ {
+		out = append(out, annotationJSON{
+			Index: i, Author: history[i].Author, Text: history[i].Text, At: history[i].At,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (a *API) handleState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"holder":    a.class.Floor.Holder(),
+		"queue":     a.class.Floor.QueueLength(),
+		"attendees": a.class.AttendeeCount(),
+	})
+}

@@ -1,0 +1,207 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+func apiServer(t *testing.T) (*Classroom, *httptest.Server) {
+	t.Helper()
+	class := NewClassroom("http-test", nil)
+	ts := httptest.NewServer(NewAPI(class).Handler())
+	t.Cleanup(ts.Close)
+	return class, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, params url.Values) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path+"?"+params.Encode(), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp, body
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp, body
+}
+
+func TestAPIJoinAndState(t *testing.T) {
+	_, ts := apiServer(t)
+	resp, body := post(t, ts, "/class/join", url.Values{"user": {"prof"}, "role": {"teacher"}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("join status %d: %s", resp.StatusCode, body)
+	}
+	var joined map[string]string
+	if err := json.Unmarshal(body, &joined); err != nil {
+		t.Fatal(err)
+	}
+	if joined["role"] != "teacher" {
+		t.Fatalf("joined = %v", joined)
+	}
+	// Duplicate join conflicts.
+	resp, _ = post(t, ts, "/class/join", url.Values{"user": {"prof"}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate join status %d", resp.StatusCode)
+	}
+	// State reflects attendance.
+	_, body = get(t, ts, "/class/state")
+	var state map[string]interface{}
+	if err := json.Unmarshal(body, &state); err != nil {
+		t.Fatal(err)
+	}
+	if state["attendees"].(float64) != 1 {
+		t.Fatalf("state = %v", state)
+	}
+}
+
+func TestAPIFloorWorkflow(t *testing.T) {
+	_, ts := apiServer(t)
+	post(t, ts, "/class/join", url.Values{"user": {"s1"}})
+	post(t, ts, "/class/join", url.Values{"user": {"s2"}})
+
+	resp, body := post(t, ts, "/class/floor/request", url.Values{"user": {"s1"}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("request status %d", resp.StatusCode)
+	}
+	var granted map[string]bool
+	if err := json.Unmarshal(body, &granted); err != nil {
+		t.Fatal(err)
+	}
+	if !granted["granted"] {
+		t.Fatal("first request not granted immediately")
+	}
+	// Second student queues.
+	_, body = post(t, ts, "/class/floor/request", url.Values{"user": {"s2"}})
+	if err := json.Unmarshal(body, &granted); err != nil {
+		t.Fatal(err)
+	}
+	if granted["granted"] {
+		t.Fatal("second request granted while floor held")
+	}
+	// Release by non-holder forbidden.
+	resp, _ = post(t, ts, "/class/floor/release", url.Values{"user": {"s2"}})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("non-holder release status %d", resp.StatusCode)
+	}
+	// Holder releases; s2 promoted.
+	resp, _ = post(t, ts, "/class/floor/release", url.Values{"user": {"s1"}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("release status %d", resp.StatusCode)
+	}
+	_, body = get(t, ts, "/class/state")
+	var state map[string]interface{}
+	if err := json.Unmarshal(body, &state); err != nil {
+		t.Fatal(err)
+	}
+	if state["holder"] != "s2" {
+		t.Fatalf("holder = %v, want s2", state["holder"])
+	}
+	// Revoke reclaims from s2.
+	resp, body = post(t, ts, "/class/floor/revoke", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("revoke status %d", resp.StatusCode)
+	}
+	var revoked map[string]string
+	if err := json.Unmarshal(body, &revoked); err != nil {
+		t.Fatal(err)
+	}
+	if revoked["revoked"] != "s2" {
+		t.Fatalf("revoked = %v", revoked)
+	}
+	// Revoking a free floor is forbidden.
+	resp, _ = post(t, ts, "/class/floor/revoke", nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("revoke free floor status %d", resp.StatusCode)
+	}
+}
+
+func TestAPIAnnotations(t *testing.T) {
+	_, ts := apiServer(t)
+	post(t, ts, "/class/join", url.Values{"user": {"prof"}, "role": {"teacher"}})
+	post(t, ts, "/class/join", url.Values{"user": {"s1"}})
+
+	// Teacher annotates freely.
+	for i := 0; i < 3; i++ {
+		resp, _ := post(t, ts, "/class/annotate", url.Values{
+			"user": {"prof"}, "text": {fmt.Sprintf("note %d", i)},
+		})
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("annotate status %d", resp.StatusCode)
+		}
+	}
+	// Student without the floor is forbidden.
+	resp, _ := post(t, ts, "/class/annotate", url.Values{"user": {"s1"}, "text": {"q"}})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("floorless annotate status %d", resp.StatusCode)
+	}
+	// Empty text rejected.
+	resp, _ = post(t, ts, "/class/annotate", url.Values{"user": {"prof"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty annotate status %d", resp.StatusCode)
+	}
+	// Ghost user 404s.
+	resp, _ = post(t, ts, "/class/annotate", url.Values{"user": {"ghost"}, "text": {"x"}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost annotate status %d", resp.StatusCode)
+	}
+
+	// Polling with since.
+	_, body := get(t, ts, "/class/annotations?since=1")
+	var anns []map[string]interface{}
+	if err := json.Unmarshal(body, &anns); err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 2 {
+		t.Fatalf("since=1 returned %d annotations, want 2", len(anns))
+	}
+	if anns[0]["index"].(float64) != 1 || anns[0]["text"] != "note 1" {
+		t.Fatalf("annotations = %v", anns)
+	}
+	// Bad since rejected.
+	resp, _ = get(t, ts, "/class/annotations?since=-1")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since status %d", resp.StatusCode)
+	}
+}
+
+func TestAPIMethodEnforcement(t *testing.T) {
+	_, ts := apiServer(t)
+	resp, _ := get(t, ts, "/class/join?user=x")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET join status %d", resp.StatusCode)
+	}
+}
+
+func TestAPILeave(t *testing.T) {
+	_, ts := apiServer(t)
+	post(t, ts, "/class/join", url.Values{"user": {"s1"}})
+	resp, _ := post(t, ts, "/class/leave", url.Values{"user": {"s1"}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("leave status %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts, "/class/leave", url.Values{"user": {"s1"}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double leave status %d", resp.StatusCode)
+	}
+}

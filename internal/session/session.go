@@ -1,0 +1,281 @@
+// Package session implements the multi-user machinery of the paper's
+// distance-learning scenario: classroom sessions with many attendees,
+// floor control (who may speak/annotate), and annotation broadcast to all
+// attendees. The floor-control policy is the Petri-net mutual-exclusion
+// model from package ocpn; the runtime keeps an event log that can be
+// replayed onto that net to verify the implementation against the model.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ocpn"
+	"repro/internal/petri"
+	"repro/internal/vclock"
+)
+
+// Errors.
+var (
+	ErrNotAttending = errors.New("session: user not attending")
+	ErrNotHolder    = errors.New("session: user does not hold the floor")
+	ErrAlreadyHeld  = errors.New("session: user already holds or awaits the floor")
+	ErrDuplicate    = errors.New("session: user already attending")
+)
+
+// Role distinguishes the lecturer from students.
+type Role int
+
+// Roles.
+const (
+	RoleTeacher Role = iota + 1
+	RoleStudent
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleTeacher:
+		return "teacher"
+	case RoleStudent:
+		return "student"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// FloorEventKind enumerates floor-control events.
+type FloorEventKind int
+
+// Floor events.
+const (
+	FloorRequested FloorEventKind = iota + 1
+	FloorGranted
+	FloorReleased
+	FloorRevoked
+	FloorCancelled
+)
+
+// FloorEvent is one entry of the floor-control log.
+type FloorEvent struct {
+	Kind FloorEventKind
+	User string
+	At   time.Time
+}
+
+// FloorStats summarizes floor activity.
+type FloorStats struct {
+	Requests    int
+	Grants      int
+	Revocations int
+	// MaxWait is the longest time a user waited between request and grant.
+	MaxWait time.Duration
+	// TotalWait accumulates all waits (divide by Grants for the mean).
+	TotalWait time.Duration
+}
+
+// Floor is a FIFO floor-control arbiter: one holder at a time, waiters
+// queue in request order (so grant order is fair), and the teacher may
+// revoke. Safe for concurrent use.
+type Floor struct {
+	clock vclock.Clock
+
+	mu        sync.Mutex
+	holder    string
+	queue     []string
+	requested map[string]time.Time
+	log       []FloorEvent
+	stats     FloorStats
+}
+
+// NewFloor creates a floor arbiter on the given clock (nil = real clock).
+func NewFloor(clock vclock.Clock) *Floor {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Floor{clock: clock, requested: make(map[string]time.Time)}
+}
+
+// Holder returns the current floor holder ("" when free).
+func (f *Floor) Holder() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.holder
+}
+
+// QueueLength returns the number of waiting users.
+func (f *Floor) QueueLength() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queue)
+}
+
+// Request asks for the floor on behalf of user. It returns true when the
+// floor was granted immediately; otherwise the user is queued and will be
+// granted on a future Release/Revoke.
+func (f *Floor) Request(user string) (bool, error) {
+	if user == "" {
+		return false, errors.New("session: empty user id")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.holder == user {
+		return false, fmt.Errorf("%w: %s", ErrAlreadyHeld, user)
+	}
+	if _, waiting := f.requested[user]; waiting {
+		return false, fmt.Errorf("%w: %s", ErrAlreadyHeld, user)
+	}
+	now := f.clock.Now()
+	f.stats.Requests++
+	f.log = append(f.log, FloorEvent{Kind: FloorRequested, User: user, At: now})
+	f.requested[user] = now
+	if f.holder == "" {
+		f.grantLocked(user, now)
+		return true, nil
+	}
+	f.queue = append(f.queue, user)
+	return false, nil
+}
+
+// grantLocked hands the floor to user; f.mu must be held.
+func (f *Floor) grantLocked(user string, now time.Time) {
+	f.holder = user
+	wait := now.Sub(f.requested[user])
+	delete(f.requested, user)
+	f.stats.Grants++
+	f.stats.TotalWait += wait
+	if wait > f.stats.MaxWait {
+		f.stats.MaxWait = wait
+	}
+	f.log = append(f.log, FloorEvent{Kind: FloorGranted, User: user, At: now})
+}
+
+// Release gives up the floor; the next queued user (if any) is granted.
+func (f *Floor) Release(user string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.holder != user {
+		return fmt.Errorf("%w: %s", ErrNotHolder, user)
+	}
+	now := f.clock.Now()
+	f.log = append(f.log, FloorEvent{Kind: FloorReleased, User: user, At: now})
+	f.holder = ""
+	f.promoteLocked(now)
+	return nil
+}
+
+// Revoke forcibly reclaims the floor (teacher action); the next queued
+// user is granted.
+func (f *Floor) Revoke() (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.holder == "" {
+		return "", ErrNotHolder
+	}
+	was := f.holder
+	now := f.clock.Now()
+	f.stats.Revocations++
+	f.log = append(f.log, FloorEvent{Kind: FloorRevoked, User: was, At: now})
+	f.holder = ""
+	f.promoteLocked(now)
+	return was, nil
+}
+
+// promoteLocked grants the floor to the head of the queue; f.mu held.
+func (f *Floor) promoteLocked(now time.Time) {
+	if len(f.queue) == 0 {
+		return
+	}
+	next := f.queue[0]
+	f.queue = f.queue[1:]
+	f.grantLocked(next, now)
+}
+
+// Cancel removes a queued (not yet granted) request.
+func (f *Floor) Cancel(user string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, u := range f.queue {
+		if u == user {
+			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			delete(f.requested, user)
+			f.log = append(f.log, FloorEvent{Kind: FloorCancelled, User: user, At: f.clock.Now()})
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s not queued", ErrNotHolder, user)
+}
+
+// Stats returns a snapshot of the floor statistics.
+func (f *Floor) Stats() FloorStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Log returns a copy of the event log.
+func (f *Floor) Log() []FloorEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FloorEvent, len(f.log))
+	copy(out, f.log)
+	return out
+}
+
+// VerifyAgainstModel replays the event log onto the ocpn floor-control
+// Petri net and reports the first deviation, or nil when the runtime's
+// behaviour is a legal firing sequence of the model. This ties the
+// implementation to the paper's extended-timed-Petri-net floor semantics.
+func (f *Floor) VerifyAgainstModel() error {
+	log := f.Log()
+	users := map[string]int{}
+	order := []string{}
+	for _, e := range log {
+		if _, ok := users[e.User]; !ok {
+			users[e.User] = len(order)
+			order = append(order, e.User)
+		}
+	}
+	sort.Strings(order)
+	idx := make(map[string]int, len(order))
+	for i, u := range order {
+		idx[u] = i
+	}
+	net, marking, err := ocpn.FloorControlNet(len(order))
+	if err != nil {
+		return err
+	}
+	fire := func(t petri.TransitionID) error {
+		next, err := net.Fire(marking, t)
+		if err != nil {
+			return fmt.Errorf("session: log deviates from model at %s: %w", t, err)
+		}
+		marking = next
+		return nil
+	}
+	for _, e := range log {
+		i := idx[e.User]
+		switch e.Kind {
+		case FloorRequested:
+			if err := fire(petri.TransitionID(fmt.Sprintf("user%d_request", i))); err != nil {
+				return err
+			}
+		case FloorGranted:
+			if err := fire(petri.TransitionID(fmt.Sprintf("user%d_grant", i))); err != nil {
+				return err
+			}
+		case FloorReleased, FloorRevoked:
+			if err := fire(petri.TransitionID(fmt.Sprintf("user%d_release", i))); err != nil {
+				return err
+			}
+		case FloorCancelled:
+			if err := fire(petri.TransitionID(fmt.Sprintf("user%d_cancel", i))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package streaming
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/asf"
+	"repro/internal/media"
+	"repro/internal/vclock"
+)
+
+// DefaultSubscriberBuffer is the per-subscriber packet queue depth. A slow
+// client that falls further behind than this has packets dropped rather
+// than stalling the broadcast (the server-side flow-control policy).
+const DefaultSubscriberBuffer = 256
+
+// Channel is one live broadcast: an encoder publishes packets, any number
+// of subscribers receive them. New subscribers get a catch-up backlog
+// starting at the most recent video keyframe so their decoder can start
+// immediately.
+type Channel struct {
+	Name string
+
+	mu        sync.Mutex
+	header    asf.Header
+	backlog   []asf.Packet
+	subs      map[int]*Subscriber
+	nextID    int
+	closed    bool
+	published int64
+	dropped   int64
+	// SubscriberBuffer overrides DefaultSubscriberBuffer when positive.
+	SubscriberBuffer int
+}
+
+// Subscriber is one attached client.
+type Subscriber struct {
+	// C delivers live packets; closed when the broadcast ends.
+	C <-chan asf.Packet
+	// Backlog is the catch-up burst to send before live packets.
+	Backlog []asf.Packet
+
+	ch   *Channel
+	id   int
+	send chan asf.Packet
+	once sync.Once
+}
+
+// NewChannel creates a live channel with the stream header clients will be
+// sent on join. The header's live flag is forced on.
+func NewChannel(name string, h asf.Header) (*Channel, error) {
+	h.Flags |= asf.FlagLive
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{
+		Name:   name,
+		header: h,
+		subs:   make(map[int]*Subscriber),
+	}, nil
+}
+
+// Header returns the channel's stream header.
+func (c *Channel) Header() asf.Header {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.header
+}
+
+// ClientCount returns the number of attached subscribers.
+func (c *Channel) ClientCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.subs)
+}
+
+// Closed reports whether the broadcast has ended.
+func (c *Channel) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Published returns the number of packets published.
+func (c *Channel) Published() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.published
+}
+
+// Dropped returns packets dropped across all slow subscribers.
+func (c *Channel) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Publish fans the packet out to every subscriber and maintains the
+// keyframe-aligned backlog. Slow subscribers lose the packet.
+func (c *Channel) Publish(p asf.Packet) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrChanClosed
+	}
+	c.published++
+	// Reset the catch-up window at video keyframes so joins start clean.
+	if p.Keyframe() && p.Kind == media.KindVideo {
+		c.backlog = c.backlog[:0]
+	}
+	c.backlog = append(c.backlog, p)
+	for _, sub := range c.subs {
+		select {
+		case sub.send <- p:
+		default:
+			c.dropped++
+		}
+	}
+	return nil
+}
+
+// Subscribe attaches a new client, returning its live queue and the
+// catch-up backlog.
+func (c *Channel) Subscribe() (*Subscriber, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrChanClosed
+	}
+	depth := c.SubscriberBuffer
+	if depth <= 0 {
+		depth = DefaultSubscriberBuffer
+	}
+	send := make(chan asf.Packet, depth)
+	sub := &Subscriber{
+		C:       send,
+		send:    send,
+		Backlog: append([]asf.Packet(nil), c.backlog...),
+		ch:      c,
+		id:      c.nextID,
+	}
+	c.subs[c.nextID] = sub
+	c.nextID++
+	return sub, nil
+}
+
+// Close detaches the subscriber. Safe to call multiple times.
+func (s *Subscriber) Close() {
+	s.once.Do(func() {
+		s.ch.mu.Lock()
+		delete(s.ch.subs, s.id)
+		s.ch.mu.Unlock()
+	})
+}
+
+// Close ends the broadcast: all subscriber queues are closed after the
+// packets already queued.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for id, sub := range c.subs {
+		close(sub.send)
+		delete(c.subs, id)
+	}
+}
+
+// PublishPaced publishes the packets honoring their send times against the
+// clock, stopping early if ctx is cancelled. It is the bridge between a
+// stored/encoded packet sequence and a live broadcast.
+func (c *Channel) PublishPaced(ctx context.Context, clock vclock.Clock, packets []asf.Packet) error {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	start := clock.Now()
+	for _, p := range packets {
+		due := start.Add(p.SendAt)
+		if wait := due.Sub(clock.Now()); wait > 0 {
+			select {
+			case <-clock.After(wait):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := c.Publish(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateChannel registers a new live channel on the server.
+func (s *Server) CreateChannel(name string, h asf.Header) (*Channel, error) {
+	ch, err := NewChannel(name, h)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.channels[name]; ok {
+		return nil, fmt.Errorf("%w: channel %q", ErrDuplicate, name)
+	}
+	s.channels[name] = ch
+	return ch, nil
+}
+
+// Channel returns a registered live channel.
+func (s *Server) Channel(name string) (*Channel, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ch, ok := s.channels[name]
+	return ch, ok
+}

@@ -1,0 +1,106 @@
+package streaming
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/codec"
+	"repro/internal/media"
+	"repro/internal/player"
+)
+
+// TestLateJoinDecodesCleanly reproduces the paper's mid-broadcast join:
+// a student who joins a live channel halfway through must receive a
+// keyframe-aligned backlog so their decoder starts without broken frames,
+// and must still see every remaining slide flip via in-band scripts.
+func TestLateJoinDecodesCleanly(t *testing.T) {
+	// Encode a live lecture and split its packets in half.
+	data := encodeLiveLecture(t)
+	h, packets, _, err := asf.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(packets) / 2
+
+	ch, err := NewChannel("late", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range packets[:half] {
+		if err := ch.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The student joins now.
+	sub, err := ch.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	for _, p := range packets[half:] {
+		if err := ch.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch.Close()
+
+	// Assemble the student's byte stream: header + backlog + live.
+	var stream bytes.Buffer
+	w, err := asf.NewWriter(&stream, ch.Header())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sub.Backlog {
+		if _, err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := range sub.C {
+		if _, err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if len(sub.Backlog) == 0 {
+		t.Fatal("late joiner received no catch-up backlog")
+	}
+	// The backlog must start at a video keyframe.
+	first := sub.Backlog[0]
+	if !(first.Keyframe() && first.Kind == media.KindVideo) {
+		t.Fatalf("backlog starts with %v keyframe=%v", first.Kind, first.Keyframe())
+	}
+
+	// Play the joined-late stream: zero broken frames (the chain starts at
+	// an I-frame) and at least the remaining slide flips.
+	m, err := player.New(player.Options{}).Play(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BrokenFrames != 0 {
+		t.Fatalf("late joiner decoded %d broken frames", m.BrokenFrames)
+	}
+	if m.VideoFrames == 0 {
+		t.Fatal("late joiner saw no video")
+	}
+	if m.SlidesShown == 0 {
+		t.Fatal("late joiner saw no slide flips (in-band scripts missing)")
+	}
+}
+
+func encodeLiveLecture(t *testing.T) []byte {
+	t.Helper()
+	p, err := codec.ByName("isdn-128k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 s at GOP 75/15fps gives a keyframe at 0 s and 5 s: joining after
+	// half the packets lands inside GOP 2, whose keyframe heads the
+	// backlog.
+	lec, err := lectureForProfile(t, p, 10*time.Second, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lec
+}

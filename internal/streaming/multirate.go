@@ -1,0 +1,119 @@
+package streaming
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// RateGroup bundles encodings of the same presentation at several
+// bandwidth profiles — the server side of §2.5's "different bandwidth
+// profile selection window". A client requests the group with its link
+// bandwidth and receives the richest variant that fits.
+type RateGroup struct {
+	Name string
+
+	mu       sync.RWMutex
+	variants []*Asset // sorted ascending by total bit rate
+}
+
+// variantRate estimates an asset's aggregate media bit rate from its
+// declared stream properties.
+func variantRate(a *Asset) int64 {
+	var total int64
+	for _, st := range a.Header.Streams {
+		total += st.BitsPerSecond
+	}
+	return total
+}
+
+// AddVariant registers one encoding in the group.
+func (g *RateGroup) AddVariant(a *Asset) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.variants = append(g.variants, a)
+	sort.SliceStable(g.variants, func(i, j int) bool {
+		return variantRate(g.variants[i]) < variantRate(g.variants[j])
+	})
+}
+
+// Select returns the richest variant whose rate fits within the given
+// bandwidth, falling back to the smallest variant; false when empty.
+func (g *RateGroup) Select(bitsPerSecond int64) (*Asset, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.variants) == 0 {
+		return nil, false
+	}
+	best := g.variants[0]
+	for _, v := range g.variants {
+		if variantRate(v) <= bitsPerSecond {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// Variants returns the group's assets in ascending rate order.
+func (g *RateGroup) Variants() []*Asset {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Asset, len(g.variants))
+	copy(out, g.variants)
+	return out
+}
+
+// CreateRateGroup registers an empty multi-rate group on the server.
+func (s *Server) CreateRateGroup(name string) (*RateGroup, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.groups == nil {
+		s.groups = make(map[string]*RateGroup)
+	}
+	if _, ok := s.groups[name]; ok {
+		return nil, fmt.Errorf("%w: group %q", ErrDuplicate, name)
+	}
+	g := &RateGroup{Name: name}
+	s.groups[name] = g
+	return g, nil
+}
+
+// RateGroup returns a registered group.
+func (s *Server) RateGroup(name string) (*RateGroup, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.groups[name]
+	return g, ok
+}
+
+// handleGroup serves /group/{name}?bw=<bits per second>: it selects the
+// best-fitting variant and streams it exactly like a VOD session.
+func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/group/")
+	g, ok := s.RateGroup(name)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	bw := int64(1 << 62)
+	if raw := r.URL.Query().Get("bw"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad bw parameter", http.StatusBadRequest)
+			return
+		}
+		bw = v
+	}
+	asset, ok := g.Select(bw)
+	if !ok {
+		http.Error(w, "empty group", http.StatusNotFound)
+		return
+	}
+	// Rewrite the path and delegate to the VOD handler.
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/vod/" + asset.Name
+	s.handleVOD(w, r2)
+}

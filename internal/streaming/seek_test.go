@@ -1,0 +1,134 @@
+package streaming
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/asf"
+)
+
+func TestVODSeekSkipsEarlyPackets(t *testing.T) {
+	srv := NewServer(nil)
+	srv.Pacing = false
+	data := encodeTestAsset(t, 4*time.Second)
+	asset, err := srv.RegisterAsset("lec", asf.NewReader(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asset.Index) == 0 {
+		t.Fatal("asset has no index; seek test needs keyframes")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	full := countVODPackets(t, ts.URL+"/vod/lec")
+	seeked := countVODPackets(t, ts.URL+"/vod/lec?start=2s")
+	if seeked >= full {
+		t.Fatalf("seeked stream has %d packets, full has %d", seeked, full)
+	}
+	if seeked == 0 {
+		t.Fatal("seeked stream empty")
+	}
+}
+
+func TestVODSeekStartsAtKeyframe(t *testing.T) {
+	srv := NewServer(nil)
+	srv.Pacing = false
+	data := encodeTestAsset(t, 4*time.Second)
+	if _, err := srv.RegisterAsset("lec", asf.NewReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/vod/lec?start=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := asf.NewReader(resp.Body)
+	if _, err := r.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Keyframe() {
+		t.Fatalf("seeked stream starts with a non-keyframe (stream %d, pts %v)", first.Stream, first.PTS)
+	}
+	if first.PTS > 2*time.Second {
+		t.Fatalf("seek overshot: first packet pts %v", first.PTS)
+	}
+}
+
+func TestVODSeekBadParameter(t *testing.T) {
+	srv := NewServer(nil)
+	data := encodeTestAsset(t, time.Second)
+	if _, err := srv.RegisterAsset("lec", asf.NewReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, q := range []string{"?start=bogus", "?start=-5s"} {
+		resp, err := ts.Client().Get(ts.URL + "/vod/lec" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("start=%s status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestSeekIndexBounds(t *testing.T) {
+	a := &Asset{
+		Packets: []asf.Packet{
+			{Seq: 0, Flags: asf.PacketKeyframe, PTS: 0},
+			{Seq: 1, PTS: time.Second},
+			{Seq: 2, Flags: asf.PacketKeyframe, PTS: 2 * time.Second},
+		},
+		Index: asf.Index{{PTS: 0, Seq: 0}, {PTS: 2 * time.Second, Seq: 2}},
+	}
+	if got := a.SeekIndex(0); got != 0 {
+		t.Fatalf("SeekIndex(0) = %d", got)
+	}
+	if got := a.SeekIndex(90 * time.Second); got != 2 {
+		t.Fatalf("SeekIndex(90s) = %d", got)
+	}
+	if got := a.SeekIndex(1500 * time.Millisecond); got != 0 {
+		t.Fatalf("SeekIndex(1.5s) = %d", got)
+	}
+	empty := &Asset{Packets: []asf.Packet{{Seq: 0}}}
+	if got := empty.SeekIndex(time.Second); got != 0 {
+		t.Fatalf("no-index SeekIndex = %d", got)
+	}
+}
+
+func countVODPackets(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := asf.NewReader(resp.Body)
+	if _, err := r.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := r.ReadPacket(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	return n
+}

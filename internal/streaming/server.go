@@ -1,0 +1,414 @@
+// Package streaming implements the Lecture-on-Demand server: stored-asset
+// streaming (video-on-demand replay of published lectures) and live
+// broadcast channels fed by an encoder session, both over HTTP as in the
+// paper's §2.5 ("broadcast their encoded content in real time after
+// finished configuring the server HTTP port and the URL").
+//
+// Endpoints:
+//
+//	GET /vod/{asset}        — stream a stored container, paced by packet
+//	                          send times; ?start=<dur> seeks via the index
+//	GET /live/{channel}     — join a live broadcast; the header plus the
+//	                          most recent keyframe-aligned packets are
+//	                          replayed so a decoder can start, then packets
+//	                          follow live
+//	GET /group/{name}?bw=N  — multi-bitrate selection: the richest variant
+//	                          fitting N bits/s is streamed as VOD
+//	GET /assets             — JSON list of stored assets
+//	GET /channels           — JSON list of live channels
+//
+// When Server.Admission is configured, every VOD/live session first
+// reserves its declared stream bandwidth (XOCPN channel set-up);
+// over-capacity requests receive 503.
+package streaming
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/vclock"
+)
+
+// Errors.
+var (
+	ErrNotFound   = errors.New("streaming: not found")
+	ErrDuplicate  = errors.New("streaming: already exists")
+	ErrChanClosed = errors.New("streaming: channel closed")
+)
+
+// Asset is one stored container registered with the server.
+type Asset struct {
+	Name   string
+	Header asf.Header
+	// Packets are the asset's packets in send order.
+	Packets []asf.Packet
+	// Index is the keyframe index (for future seek support).
+	Index asf.Index
+}
+
+// Bytes returns the total payload size.
+func (a *Asset) Bytes() int64 {
+	var n int64
+	for _, p := range a.Packets {
+		n += int64(len(p.Payload))
+	}
+	return n
+}
+
+// SeekIndex returns the position in Packets of the last keyframe at or
+// before the given presentation time, or 0 when the index has no entry
+// that early (play from the beginning).
+func (a *Asset) SeekIndex(at time.Duration) int {
+	seq, ok := a.Index.Locate(at)
+	if !ok {
+		return 0
+	}
+	for i, p := range a.Packets {
+		if p.Seq == seq {
+			return i
+		}
+	}
+	return 0
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	VODSessions   int64
+	LiveSessions  int64
+	PacketsSent   int64
+	BytesSent     int64
+	ActiveClients int64
+	RejectedJoins int64
+}
+
+// Server is the LOD streaming server. Create with NewServer, register
+// assets and channels, and expose via Handler.
+type Server struct {
+	clock vclock.Clock
+
+	mu       sync.RWMutex
+	assets   map[string]*Asset
+	channels map[string]*Channel
+	groups   map[string]*RateGroup
+	stats    ServerStats
+
+	// Pacing controls whether VOD sessions honor packet send times; when
+	// false packets are written as fast as possible (the pacing ablation).
+	Pacing bool
+	// Admission, when set, performs XOCPN-style bandwidth reservation
+	// before every VOD/live session; over-capacity requests get 503.
+	Admission *Admission
+}
+
+// NewServer creates a server on the given clock (nil = real clock).
+func NewServer(clock vclock.Clock) *Server {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Server{
+		clock:    clock,
+		assets:   make(map[string]*Asset),
+		channels: make(map[string]*Channel),
+		Pacing:   true,
+	}
+}
+
+// RegisterAsset parses a stored container and registers it by name.
+func (s *Server) RegisterAsset(name string, r *asf.Reader) (*Asset, error) {
+	h, err := r.ReadHeader()
+	if err != nil {
+		return nil, fmt.Errorf("streaming: register %q: %w", name, err)
+	}
+	a := &Asset{Name: name, Header: h}
+	for {
+		p, err := r.ReadPacket()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("streaming: register %q: %w", name, err)
+		}
+		a.Packets = append(a.Packets, p)
+	}
+	a.Index = r.Index()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.assets[name]; ok {
+		return nil, fmt.Errorf("%w: asset %q", ErrDuplicate, name)
+	}
+	s.assets[name] = a
+	return a, nil
+}
+
+// Asset returns a registered asset.
+func (s *Server) Asset(name string) (*Asset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.assets[name]
+	return a, ok
+}
+
+// AssetNames returns registered asset names, sorted.
+func (s *Server) AssetNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.assets))
+	for n := range s.assets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+func (s *Server) addSent(packets, bytes int64) {
+	s.mu.Lock()
+	s.stats.PacketsSent += packets
+	s.stats.BytesSent += bytes
+	s.mu.Unlock()
+}
+
+// Handler returns the HTTP handler exposing the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/vod/", s.handleVOD)
+	mux.HandleFunc("/live/", s.handleLive)
+	mux.HandleFunc("/group/", s.handleGroup)
+	mux.HandleFunc("/assets", s.handleAssets)
+	mux.HandleFunc("/channels", s.handleChannels)
+	return mux
+}
+
+func (s *Server) handleAssets(w http.ResponseWriter, _ *http.Request) {
+	type info struct {
+		Name        string  `json:"name"`
+		Title       string  `json:"title"`
+		DurationSec float64 `json:"durationSec"`
+		Packets     int     `json:"packets"`
+		Bytes       int64   `json:"bytes"`
+	}
+	s.mu.RLock()
+	out := make([]info, 0, len(s.assets))
+	for _, a := range s.assets {
+		out = append(out, info{
+			Name: a.Name, Title: a.Header.Title,
+			DurationSec: a.Header.Duration.Seconds(),
+			Packets:     len(a.Packets), Bytes: a.Bytes(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleChannels(w http.ResponseWriter, _ *http.Request) {
+	type info struct {
+		Name    string `json:"name"`
+		Title   string `json:"title"`
+		Clients int    `json:"clients"`
+		Closed  bool   `json:"closed"`
+	}
+	s.mu.RLock()
+	out := make([]info, 0, len(s.channels))
+	for _, c := range s.channels {
+		out = append(out, info{Name: c.Name, Title: c.Header().Title, Clients: c.ClientCount(), Closed: c.Closed()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleVOD streams a stored asset, pacing by send times. A `start` query
+// parameter (Go duration, e.g. ?start=30s) seeks to the last keyframe at
+// or before that presentation time using the stored index.
+func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/vod/")
+	asset, ok := s.Asset(name)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	firstIdx := 0
+	if raw := r.URL.Query().Get("start"); raw != "" {
+		at, err := time.ParseDuration(raw)
+		if err != nil || at < 0 {
+			http.Error(w, "bad start parameter", http.StatusBadRequest)
+			return
+		}
+		firstIdx = asset.SeekIndex(at)
+	}
+	if s.Admission != nil {
+		token, err := s.Admission.Reserve(headerRate(asset.Header))
+		if err != nil {
+			s.mu.Lock()
+			s.stats.RejectedJoins++
+			s.mu.Unlock()
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer s.Admission.Release(token)
+	}
+	s.mu.Lock()
+	s.stats.VODSessions++
+	s.stats.ActiveClients++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.stats.ActiveClients--
+		s.mu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "application/x-wmp-stream")
+	writer, err := asf.NewWriter(w, asset.Header)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+
+	start := s.clock.Now()
+	var sentPkts, sentBytes int64
+	var sendBase time.Duration
+	if firstIdx < len(asset.Packets) {
+		sendBase = asset.Packets[firstIdx].SendAt
+	}
+	for _, p := range asset.Packets[firstIdx:] {
+		if s.Pacing {
+			due := start.Add(p.SendAt - sendBase)
+			if wait := due.Sub(s.clock.Now()); wait > 0 {
+				select {
+				case <-s.clock.After(wait):
+				case <-r.Context().Done():
+					s.addSent(sentPkts, sentBytes)
+					return
+				}
+			}
+		}
+		if r.Context().Err() != nil {
+			break
+		}
+		if _, err := writer.WritePacket(p); err != nil {
+			break // client went away
+		}
+		sentPkts++
+		sentBytes += int64(len(p.Payload))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Stored streams end with their index for seek-capable clients.
+	_ = writer.Close()
+	s.addSent(sentPkts, sentBytes)
+}
+
+// handleLive attaches the client to a live channel.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/live/")
+	s.mu.RLock()
+	ch, ok := s.channels[name]
+	s.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if s.Admission != nil {
+		token, err := s.Admission.Reserve(headerRate(ch.Header()))
+		if err != nil {
+			s.mu.Lock()
+			s.stats.RejectedJoins++
+			s.mu.Unlock()
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer s.Admission.Release(token)
+	}
+	s.mu.Lock()
+	s.stats.LiveSessions++
+	s.stats.ActiveClients++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.stats.ActiveClients--
+		s.mu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "application/x-wmp-stream")
+	sub, err := ch.Subscribe()
+	if err != nil {
+		s.mu.Lock()
+		s.stats.RejectedJoins++
+		s.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	}
+	defer sub.Close()
+
+	writer, err := asf.NewWriter(w, ch.Header())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	// Send the header immediately so the client can parse stream
+	// properties before the first packet flows.
+	if err := writer.WriteHeader(); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	var sentPkts, sentBytes int64
+	defer func() { s.addSent(sentPkts, sentBytes) }()
+
+	// Replay the catch-up burst.
+	for _, p := range sub.Backlog {
+		if _, err := writer.WritePacket(p); err != nil {
+			return
+		}
+		sentPkts++
+		sentBytes += int64(len(p.Payload))
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case p, open := <-sub.C:
+			if !open {
+				return // channel closed by the encoder
+			}
+			if _, err := writer.WritePacket(p); err != nil {
+				return
+			}
+			sentPkts++
+			sentBytes += int64(len(p.Payload))
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package streaming
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/encoder"
+	"repro/internal/media"
+)
+
+// encodeTestAsset produces a short stored lecture container.
+func encodeTestAsset(t *testing.T, dur time.Duration) []byte {
+	t.Helper()
+	p, err := codec.ByName("modem-56k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := capture.NewLecture(capture.LectureConfig{
+		Title: "stream test", Duration: dur, Profile: p, SlideCount: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRegisterAndListAssets(t *testing.T) {
+	srv := NewServer(nil)
+	data := encodeTestAsset(t, 2*time.Second)
+	a, err := srv.RegisterAsset("lec1", asf.NewReader(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Header.Title != "stream test" {
+		t.Fatalf("title = %q", a.Header.Title)
+	}
+	if len(a.Packets) == 0 || a.Bytes() == 0 {
+		t.Fatal("asset has no packets")
+	}
+	if _, err := srv.RegisterAsset("lec1", asf.NewReader(bytes.NewReader(data))); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate register = %v", err)
+	}
+	if got := srv.AssetNames(); len(got) != 1 || got[0] != "lec1" {
+		t.Fatalf("AssetNames = %v", got)
+	}
+	if _, ok := srv.Asset("lec1"); !ok {
+		t.Fatal("Asset lookup failed")
+	}
+}
+
+func TestVODEndpointUnpaced(t *testing.T) {
+	srv := NewServer(nil)
+	srv.Pacing = false // no real-time pacing in unit tests
+	data := encodeTestAsset(t, 2*time.Second)
+	if _, err := srv.RegisterAsset("lec1", asf.NewReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/vod/lec1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := asf.NewReader(resp.Body)
+	h, err := r.ReadHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Title != "stream test" {
+		t.Fatalf("title = %q", h.Title)
+	}
+	n := 0
+	for {
+		if _, err := r.ReadPacket(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	asset, _ := srv.Asset("lec1")
+	if n != len(asset.Packets) {
+		t.Fatalf("received %d packets, asset has %d", n, len(asset.Packets))
+	}
+	st := srv.Stats()
+	if st.VODSessions != 1 || st.PacketsSent != int64(n) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVODNotFound(t *testing.T) {
+	srv := NewServer(nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/vod/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestAssetsEndpoint(t *testing.T) {
+	srv := NewServer(nil)
+	data := encodeTestAsset(t, time.Second)
+	if _, err := srv.RegisterAsset("a1", asf.NewReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/assets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["name"] != "a1" {
+		t.Fatalf("assets = %v", got)
+	}
+}
+
+func liveHeader(t *testing.T) asf.Header {
+	t.Helper()
+	return asf.Header{
+		Title: "live test",
+		Streams: []asf.StreamProps{
+			{ID: media.StreamVideo, Kind: media.KindVideo, Codec: "sim-mpeg4", BitsPerSecond: 56_000},
+			{ID: media.StreamScript, Kind: media.KindScript, Codec: "script"},
+		},
+	}
+}
+
+func videoPacket(pts time.Duration, key bool, size int) asf.Packet {
+	var flags uint8
+	if key {
+		flags |= asf.PacketKeyframe
+	}
+	return asf.Packet{
+		Stream: media.StreamVideo, Kind: media.KindVideo, Flags: flags,
+		PTS: pts, SendAt: pts, Payload: bytes.Repeat([]byte{1}, size),
+	}
+}
+
+func TestChannelPublishSubscribe(t *testing.T) {
+	ch, err := NewChannel("c1", liveHeader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Header().Live() {
+		t.Fatal("channel header not marked live")
+	}
+
+	// Publish a keyframe + delta before anyone joins: it forms the backlog.
+	if err := ch.Publish(videoPacket(0, true, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Publish(videoPacket(time.Second, false, 50)); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := ch.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if len(sub.Backlog) != 2 {
+		t.Fatalf("backlog = %d packets, want 2", len(sub.Backlog))
+	}
+	if !sub.Backlog[0].Keyframe() {
+		t.Fatal("backlog does not start at a keyframe")
+	}
+
+	// New keyframe resets the backlog for later joiners.
+	if err := ch.Publish(videoPacket(2*time.Second, true, 100)); err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := ch.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	if len(sub2.Backlog) != 1 {
+		t.Fatalf("late joiner backlog = %d, want 1 (fresh keyframe)", len(sub2.Backlog))
+	}
+
+	// The first subscriber received the live packet.
+	select {
+	case p := <-sub.C:
+		if p.PTS != 2*time.Second {
+			t.Fatalf("live packet PTS %v", p.PTS)
+		}
+	default:
+		t.Fatal("live packet not delivered")
+	}
+	if ch.ClientCount() != 2 {
+		t.Fatalf("clients = %d", ch.ClientCount())
+	}
+	if ch.Published() != 3 {
+		t.Fatalf("published = %d", ch.Published())
+	}
+}
+
+func TestChannelSlowSubscriberDrops(t *testing.T) {
+	ch, err := NewChannel("slow", liveHeader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.SubscriberBuffer = 2
+	sub, err := ch.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	for i := 0; i < 5; i++ {
+		if err := ch.Publish(videoPacket(time.Duration(i)*time.Second, false, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ch.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", ch.Dropped())
+	}
+}
+
+func TestChannelClose(t *testing.T) {
+	ch, err := NewChannel("c", liveHeader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ch.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Close()
+	if _, open := <-sub.C; open {
+		t.Fatal("subscriber channel still open after Close")
+	}
+	if err := ch.Publish(videoPacket(0, true, 1)); !errors.Is(err, ErrChanClosed) {
+		t.Fatalf("publish after close = %v", err)
+	}
+	if _, err := ch.Subscribe(); !errors.Is(err, ErrChanClosed) {
+		t.Fatalf("subscribe after close = %v", err)
+	}
+	ch.Close() // idempotent
+}
+
+func TestSubscriberCloseIdempotent(t *testing.T) {
+	ch, err := NewChannel("c", liveHeader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ch.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+	sub.Close()
+	if ch.ClientCount() != 0 {
+		t.Fatal("subscriber not removed")
+	}
+}
+
+func TestPublishPacedCancellation(t *testing.T) {
+	ch, err := NewChannel("c", liveHeader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pkts := []asf.Packet{videoPacket(time.Hour, true, 1)}
+	if err := ch.PublishPaced(ctx, nil, pkts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestLiveEndpointEndToEnd(t *testing.T) {
+	srv := NewServer(nil)
+	ch, err := srv.CreateChannel("class", liveHeader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateChannel("class", liveHeader(t)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate channel = %v", err)
+	}
+	if _, ok := srv.Channel("class"); !ok {
+		t.Fatal("channel lookup failed")
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Client joins and reads in a goroutine.
+	var wg sync.WaitGroup
+	received := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := ts.Client().Get(ts.URL + "/live/class")
+		if err != nil {
+			t.Errorf("join: %v", err)
+			received <- -1
+			return
+		}
+		defer resp.Body.Close()
+		r := asf.NewReader(resp.Body)
+		if _, err := r.ReadHeader(); err != nil {
+			t.Errorf("live header: %v", err)
+			received <- -1
+			return
+		}
+		n := 0
+		for {
+			_, err := r.ReadPacket()
+			if err != nil {
+				break // EOF when channel closes
+			}
+			n++
+		}
+		received <- n
+	}()
+
+	// Wait for the subscriber to attach, then publish and close.
+	deadline := time.Now().Add(5 * time.Second)
+	for ch.ClientCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ch.Publish(videoPacket(time.Duration(i)*100*time.Millisecond, i == 0, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch.Close()
+	wg.Wait()
+
+	if n := <-received; n != 10 {
+		t.Fatalf("client received %d packets, want 10", n)
+	}
+	st := srv.Stats()
+	if st.LiveSessions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLiveEndpointClosedChannelRejects(t *testing.T) {
+	srv := NewServer(nil)
+	ch, err := srv.CreateChannel("done", liveHeader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/live/done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 410 {
+		t.Fatalf("status = %d, want 410 Gone", resp.StatusCode)
+	}
+	if srv.Stats().RejectedJoins != 1 {
+		t.Fatal("rejected join not counted")
+	}
+}
+
+func TestChannelsEndpoint(t *testing.T) {
+	srv := NewServer(nil)
+	if _, err := srv.CreateChannel("c1", liveHeader(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/channels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["name"] != "c1" {
+		t.Fatalf("channels = %v", got)
+	}
+}
+
+// lectureForProfile encodes a live lecture at an explicit profile.
+func lectureForProfile(t *testing.T, p codec.Profile, dur time.Duration, slides int) ([]byte, error) {
+	t.Helper()
+	lec, err := capture.NewLecture(capture.LectureConfig{
+		Title: "late join", Duration: dur, Profile: p, SlideCount: slides, Seed: 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{Live: true}, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
