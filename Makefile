@@ -1,0 +1,29 @@
+GO ?= go
+
+RACE_PKGS := ./internal/streaming ./internal/session ./internal/core ./internal/relay
+
+.PHONY: all build test vet fmt-check race bench
+
+all: build test vet fmt-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt must report no files; print the offenders when it does.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

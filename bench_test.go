@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/petri"
 	"repro/internal/player"
 	"repro/internal/publish"
+	"repro/internal/relay"
 	"repro/internal/session"
 	"repro/internal/streaming"
 	"repro/internal/vclock"
@@ -463,6 +465,73 @@ func decodePackets(b *testing.B, data []byte) []asf.Packet {
 		pkts = append(pkts, p)
 	}
 	return pkts
+}
+
+// BenchmarkRelayFanOut measures the edge tier's fan-out throughput: one
+// origin channel feeding an edge over a real HTTP subscription, the edge
+// re-fanning-out to N local subscribers. The reported drop rate is the
+// subscriber flow-control policy kicking in under burst load.
+func BenchmarkRelayFanOut(b *testing.B) {
+	lec := benchLecture(b, "modem-56k", 5*time.Second, 2)
+	var buf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{Live: true}, &buf); err != nil {
+		b.Fatal(err)
+	}
+	h, packets, _, err := asf.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			origin := streaming.NewServer(nil)
+			originCh, err := origin.CreateChannel("bench", h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(origin.Handler())
+			defer ts.Close()
+			edge := relay.NewEdge(ts.URL, streaming.NewServer(nil))
+			if err := edge.RelayChannel("bench"); err != nil {
+				b.Fatal(err)
+			}
+			edgeCh, ok := edge.Server.Channel("bench")
+			if !ok {
+				b.Fatal("relayed channel missing")
+			}
+			for i := 0; i < clients; i++ {
+				sub, err := edgeCh.Subscribe()
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sub.Close()
+				go func(s *streaming.Subscriber) {
+					for range s.C {
+					}
+				}(sub)
+			}
+			b.SetBytes(int64(len(packets[0].Payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := originCh.Publish(packets[i%len(packets)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Wait for the relay pipe to drain; origin-side drops (the
+			// edge subscription falling behind) never reach the edge.
+			deadline := time.Now().Add(30 * time.Second)
+			for edgeCh.Published()+originCh.Dropped() < int64(b.N) {
+				if !time.Now().Before(deadline) {
+					b.Fatalf("relay drained %d of %d packets", edgeCh.Published(), b.N)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			b.StopTimer()
+			relayed := edgeCh.Published()
+			b.ReportMetric(float64(relayed)/float64(b.N), "relayed-frac")
+			b.ReportMetric(float64(edgeCh.Dropped())/float64(b.N), "edge-drop-frac")
+			originCh.Close()
+		})
+	}
 }
 
 // BenchmarkE13Session measures interactive-session evaluation cost.

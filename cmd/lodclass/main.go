@@ -40,12 +40,22 @@ func run(args []string) error {
 		return err
 	}
 
-	class := session.NewClassroom(*name, nil)
-	if *teacher != "" {
-		if _, err := class.Join(*teacher, session.RoleTeacher); err != nil {
-			return err
-		}
+	class, err := newClassroom(*name, *teacher)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("classroom %q listening on %s (teacher: %s)\n", *name, *addr, *teacher)
 	return http.ListenAndServe(*addr, session.NewAPI(class).Handler())
+}
+
+// newClassroom builds the classroom, pre-joining the teacher when one is
+// named.
+func newClassroom(name, teacher string) (*session.Classroom, error) {
+	class := session.NewClassroom(name, nil)
+	if teacher != "" {
+		if _, err := class.Join(teacher, session.RoleTeacher); err != nil {
+			return nil, err
+		}
+	}
+	return class, nil
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"repro/internal/session"
+)
+
+func TestNewClassroomPreJoinsTeacher(t *testing.T) {
+	class, err := newClassroom("hall", "prof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The teacher holds teaching rights from the start: annotations work
+	// without a floor request.
+	api := httptest.NewServer(session.NewAPI(class).Handler())
+	defer api.Close()
+
+	post := func(path string, params url.Values) int {
+		resp, err := api.Client().Post(api.URL+path+"?"+params.Encode(), "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/class/annotate", url.Values{"user": {"prof"}, "text": {"welcome"}}); code != 204 {
+		t.Fatalf("teacher annotate: %d", code)
+	}
+	if code := post("/class/join", url.Values{"user": {"alice"}}); code != 200 {
+		t.Fatalf("student join: %d", code)
+	}
+
+	resp, err := api.Client().Get(api.URL + "/class/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("state: %d", resp.StatusCode)
+	}
+}
+
+func TestNewClassroomWithoutTeacher(t *testing.T) {
+	class, err := newClassroom("hall", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class == nil {
+		t.Fatal("no classroom")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

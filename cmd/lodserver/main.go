@@ -1,15 +1,28 @@
 // Command lodserver runs the Lecture-on-Demand streaming server: stored
 // assets are served at /vod/{name}, live channels at /live/{channel}, with
-// JSON listings at /assets and /channels.
+// JSON listings at /assets and /channels, and whole-container mirror
+// transfers at /fetch/{name}.
 //
-// Usage:
+// The server can run standalone or as part of a distributed origin→edge
+// cluster (internal/relay):
 //
 //	lodserver -addr :8080 -asset lecture1=published.asf
-//	lodserver -addr :8080 -demo            # generate and serve a demo asset
+//	lodserver -addr :8080 -demo              # generate and serve a demo asset
+//
+//	# origin that also hosts the cluster registry on :9090
+//	lodserver -addr :8080 -demo -registry :9090
+//
+//	# edge pulling through from the origin, registered with the registry
+//	lodserver -addr :8081 -origin http://origin:8080 \
+//	    -edge http://edge1:8081 -registry http://origin:9090
+//
+// Clients then connect to the registry's /vod/... and /live/... URLs and
+// are 307-redirected to the least-loaded edge.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -21,6 +34,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/codec"
 	"repro/internal/encoder"
+	"repro/internal/relay"
 	"repro/internal/streaming"
 )
 
@@ -38,6 +52,49 @@ func (a assetFlags) Set(v string) error {
 	return nil
 }
 
+// config is the parsed, validated command line.
+type config struct {
+	addr      string
+	demo      bool
+	pacing    bool
+	assets    assetFlags
+	capacity  int64
+	origin    string // non-empty: run as an edge of this origin
+	edgeURL   string // advertised URL for registry registration
+	registry  string // URL → register with it; listen address → host it
+	heartbeat time.Duration
+}
+
+// hostsRegistry reports whether -registry names a listen address to serve
+// a registry on (as opposed to a remote registry URL to register with).
+func (c *config) hostsRegistry() bool {
+	return c.registry != "" && !strings.Contains(c.registry, "://")
+}
+
+func parseConfig(args []string) (*config, error) {
+	c := &config{assets: assetFlags{}}
+	fs := flag.NewFlagSet("lodserver", flag.ContinueOnError)
+	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
+	fs.BoolVar(&c.demo, "demo", false, "register a generated demo asset as 'demo'")
+	fs.BoolVar(&c.pacing, "pacing", true, "pace VOD packets by their send times")
+	fs.Var(c.assets, "asset", "register a stored asset, name=path (repeatable)")
+	fs.Int64Var(&c.capacity, "capacity-bps", 0, "admission-control uplink capacity in bits/s (0 = unlimited)")
+	fs.StringVar(&c.origin, "origin", "", "origin base URL; serve as an edge relaying live channels and mirroring assets from it")
+	fs.StringVar(&c.edgeURL, "edge", "", "advertised base URL of this node, required when registering with a registry")
+	fs.StringVar(&c.registry, "registry", "", `cluster registry: a URL ("http://host:9090") registers this node with it, a listen address (":9090") hosts a registry there`)
+	fs.DurationVar(&c.heartbeat, "heartbeat", 5*time.Second, "registry heartbeat interval")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if c.registry != "" && !c.hostsRegistry() && c.edgeURL == "" {
+		return nil, fmt.Errorf("-registry %s needs -edge with this node's advertised URL", c.registry)
+	}
+	if c.origin != "" && (c.demo || len(c.assets) > 0) {
+		return nil, fmt.Errorf("an edge (-origin) mirrors origin assets; drop -demo/-asset")
+	}
+	return c, nil
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "lodserver:", err)
@@ -46,20 +103,18 @@ func main() {
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("lodserver", flag.ContinueOnError)
-	addr := fs.String("addr", ":8080", "listen address")
-	demo := fs.Bool("demo", false, "register a generated demo asset as 'demo'")
-	pacing := fs.Bool("pacing", true, "pace VOD packets by their send times")
-	assets := assetFlags{}
-	fs.Var(assets, "asset", "register a stored asset, name=path (repeatable)")
-	if err := fs.Parse(args); err != nil {
+	c, err := parseConfig(args)
+	if err != nil {
 		return err
 	}
 
 	srv := streaming.NewServer(nil)
-	srv.Pacing = *pacing
+	srv.Pacing = c.pacing
+	if c.capacity > 0 {
+		srv.Admission = streaming.NewAdmission(c.capacity)
+	}
 
-	for name, path := range assets {
+	for name, path := range c.assets {
 		f, err := os.Open(path)
 		if err != nil {
 			return fmt.Errorf("open asset %s: %w", name, err)
@@ -74,15 +129,39 @@ func run(args []string) error {
 		fmt.Printf("registered asset %q from %s\n", name, path)
 	}
 
-	if *demo {
+	if c.demo {
 		if err := registerDemo(srv); err != nil {
 			return err
 		}
 		fmt.Println("registered generated asset \"demo\"")
 	}
 
-	fmt.Printf("LOD server listening on %s (assets: %v)\n", *addr, srv.AssetNames())
-	return http.ListenAndServe(*addr, srv.Handler())
+	handler := http.Handler(nil)
+	if c.origin != "" {
+		edge := relay.NewEdge(c.origin, srv)
+		handler = edge.Handler()
+		fmt.Printf("edge mode: pulling through from origin %s\n", c.origin)
+	} else {
+		handler = srv.Handler()
+	}
+
+	errc := make(chan error, 2)
+	if c.hostsRegistry() {
+		reg := relay.NewRegistry(nil)
+		fmt.Printf("cluster registry listening on %s\n", c.registry)
+		go func() { errc <- http.ListenAndServe(c.registry, reg.Handler()) }()
+	} else if c.registry != "" {
+		info := relay.NodeInfo{ID: c.edgeURL, URL: c.edgeURL}
+		snap := func() relay.NodeStats { return relay.SnapshotStats(srv) }
+		fmt.Printf("registering %s with registry %s\n", c.edgeURL, c.registry)
+		go func() {
+			errc <- relay.RunHeartbeats(context.Background(), nil, c.registry, info, snap, c.heartbeat)
+		}()
+	}
+
+	fmt.Printf("LOD server listening on %s (assets: %v)\n", c.addr, srv.AssetNames())
+	go func() { errc <- http.ListenAndServe(c.addr, handler) }()
+	return <-errc
 }
 
 func registerDemo(srv *streaming.Server) error {

@@ -43,3 +43,37 @@ func TestRunRejectsMissingAssetFile(t *testing.T) {
 		t.Fatal("missing asset file accepted")
 	}
 }
+
+func TestParseConfigClusterFlags(t *testing.T) {
+	// Registering with a remote registry requires an advertised edge URL.
+	if _, err := parseConfig([]string{"-registry", "http://reg:9090"}); err == nil {
+		t.Fatal("registry URL without -edge accepted")
+	}
+	// Edges mirror origin content; local asset flags conflict.
+	if _, err := parseConfig([]string{"-origin", "http://origin:8080", "-demo"}); err == nil {
+		t.Fatal("-origin with -demo accepted")
+	}
+
+	c, err := parseConfig([]string{
+		"-origin", "http://origin:8080",
+		"-edge", "http://edge1:8081",
+		"-registry", "http://origin:9090",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.hostsRegistry() {
+		t.Fatal("registry URL misread as a listen address")
+	}
+
+	c, err = parseConfig([]string{"-demo", "-registry", ":9090", "-capacity-bps", "1000000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.hostsRegistry() {
+		t.Fatal("listen address misread as a registry URL")
+	}
+	if c.capacity != 1_000_000 {
+		t.Fatalf("capacity = %d", c.capacity)
+	}
+}

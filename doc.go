@@ -5,7 +5,10 @@
 // synchronization model, the multiple-level content tree, an open ASF-like
 // stream container with script commands, simulated codecs with the
 // bandwidth profile ladder, an HTTP streaming server, an instrumented
-// player, and multi-user floor control.
+// player, and multi-user floor control. The streaming tier scales out
+// through internal/relay: edge nodes mirror stored assets and re-fan-out
+// live channels from an origin, and a cluster registry redirects clients
+// to the least-loaded edge (lodserver's -origin/-edge/-registry flags).
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured record, and README.md for a quickstart. The root

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"sync"
@@ -17,7 +18,9 @@ import (
 	"repro/internal/encoder"
 	"repro/internal/player"
 	"repro/internal/publish"
+	"repro/internal/relay"
 	"repro/internal/session"
+	"repro/internal/streaming"
 )
 
 // TestFullDistributedPipeline is the end-to-end integration test: record a
@@ -215,5 +218,191 @@ func TestFullDistributedPipeline(t *testing.T) {
 	st := sys.Server.Stats()
 	if st.VODSessions < 4 || st.LiveSessions != students {
 		t.Fatalf("server stats = %+v", st)
+	}
+}
+
+// TestRelayCluster is the distributed deployment end-to-end: one origin,
+// two edge nodes pulling through from it, and a cluster registry that
+// 307-redirects clients to the less-loaded edge. Both a mirrored VOD
+// asset and a relayed live channel are played through the cluster.
+func TestRelayCluster(t *testing.T) {
+	// --- Origin: one published asset and one live channel. ---
+	profile, err := codec.ByName("modem-56k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := capture.NewLecture(capture.LectureConfig{
+		Title: "Cluster lecture", Duration: 6 * time.Second, Profile: profile,
+		SlideCount: 3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vodBuf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{}, &vodBuf); err != nil {
+		t.Fatal(err)
+	}
+	origin := streaming.NewServer(nil)
+	origin.Pacing = false
+	if _, err := origin.RegisterAsset("cluster-lec", asf.NewReader(bytes.NewReader(vodBuf.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	originTS := httptest.NewServer(origin.Handler())
+	defer originTS.Close()
+
+	// --- Two edges and the registry. ---
+	newEdge := func() (*relay.Edge, *httptest.Server) {
+		srv := streaming.NewServer(nil)
+		srv.Pacing = false
+		edge := relay.NewEdge(originTS.URL, srv)
+		ts := httptest.NewServer(edge.Handler())
+		t.Cleanup(ts.Close)
+		return edge, ts
+	}
+	edgeA, edgeATS := newEdge()
+	edgeB, edgeBTS := newEdge()
+
+	registry := relay.NewRegistry(nil)
+	regTS := httptest.NewServer(registry.Handler())
+	defer regTS.Close()
+	if err := relay.RegisterWith(nil, regTS.URL, relay.NodeInfo{ID: "edge-a", URL: edgeATS.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.RegisterWith(nil, regTS.URL, relay.NodeInfo{ID: "edge-b", URL: edgeBTS.URL}); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- VOD through the cluster: the client asks the registry, follows
+	// the 307, and the chosen edge mirrors the asset on first demand. ---
+	direct, err := player.New(player.Options{}).PlayURL(originTS.URL + "/vod/cluster-lec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCluster, err := player.New(player.Options{}).PlayURL(regTS.URL + "/vod/cluster-lec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCluster.SlidesShown != 3 || viaCluster.BrokenFrames != 0 {
+		t.Fatalf("cluster VOD replay: %+v", viaCluster)
+	}
+	if viaCluster.BytesRead != direct.BytesRead {
+		t.Fatalf("cluster replay read %d bytes, direct %d", viaCluster.BytesRead, direct.BytesRead)
+	}
+	// Consecutive joins between heartbeats alternate edges, so a second
+	// play lands on (and mirrors onto) the other edge.
+	if _, err := player.New(player.Options{}).PlayURL(regTS.URL + "/vod/cluster-lec"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := edgeA.Server.Asset("cluster-lec"); !ok {
+		t.Fatal("edge A never mirrored the asset")
+	}
+	if _, ok := edgeB.Server.Asset("cluster-lec"); !ok {
+		t.Fatal("edge B never mirrored the asset")
+	}
+	if got := origin.Stats().MirrorFetches; got != 2 {
+		t.Fatalf("origin mirror fetches = %d, want one per edge", got)
+	}
+	if got := origin.Stats().VODSessions; got != 1 {
+		t.Fatalf("origin VOD sessions = %d, want only the direct play", got)
+	}
+
+	// --- Redirects follow reported load: a heartbeat marking edge A busy
+	// sends the next client to edge B. ---
+	if err := relay.Heartbeat(nil, regTS.URL, "edge-a", relay.NodeStats{ActiveClients: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.Heartbeat(nil, regTS.URL, "edge-b", relay.SnapshotStats(edgeB.Server)); err != nil {
+		t.Fatal(err)
+	}
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noFollow.Get(regTS.URL + "/vod/cluster-lec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("registry status = %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != edgeBTS.URL+"/vod/cluster-lec" {
+		t.Fatalf("redirect went to %q, want the less-loaded edge %q", loc, edgeBTS.URL)
+	}
+
+	// --- Live through the cluster: each edge subscribes to the origin
+	// once and re-fans-out to its own clients. ---
+	liveLec, err := capture.NewLecture(capture.LectureConfig{
+		Title: "Cluster live", Duration: 3 * time.Second, Profile: profile,
+		SlideCount: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var liveBuf bytes.Buffer
+	if _, err := encoder.EncodeLecture(liveLec, encoder.Config{Live: true}, &liveBuf); err != nil {
+		t.Fatal(err)
+	}
+	h, packets, _, err := asf.ReadAll(bytes.NewReader(liveBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := origin.CreateChannel("cluster-live", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One student pinned to each edge; the edges relay a single origin
+	// subscription apiece.
+	const students = 2
+	var wg sync.WaitGroup
+	results := make([]*player.Metrics, students)
+	errs := make([]error, students)
+	for i, base := range []string{edgeATS.URL, edgeBTS.URL} {
+		wg.Add(1)
+		go func(id int, url string) {
+			defer wg.Done()
+			results[id], errs[id] = player.New(player.Options{}).PlayURL(url + "/live/cluster-live")
+		}(i, base)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ch.ClientCount() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := ch.ClientCount(); got != 2 {
+		t.Fatalf("origin live subscribers = %d, want one per edge", got)
+	}
+	// Wait for each student to attach to its edge channel so nobody
+	// misses the first slide.
+	for _, e := range []*relay.Edge{edgeA, edgeB} {
+		for time.Now().Before(deadline) {
+			if ec, ok := e.Server.Channel("cluster-live"); ok && ec.ClientCount() >= 1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for _, p := range packets {
+		if err := ch.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch.Close()
+	wg.Wait()
+	for i := 0; i < students; i++ {
+		if errs[i] != nil {
+			t.Fatalf("student %d: %v", i, errs[i])
+		}
+		if results[i].SlidesShown != 2 || results[i].BrokenFrames != 0 {
+			t.Fatalf("student %d metrics: %+v", i, results[i])
+		}
+	}
+	if got := origin.Stats().LiveSessions; got != 2 {
+		t.Fatalf("origin live sessions = %d, want one per edge", got)
+	}
+	for name, e := range map[string]*relay.Edge{"A": edgeA, "B": edgeB} {
+		st := e.Server.Stats()
+		if st.LiveSessions != 1 {
+			t.Fatalf("edge %s served %d live sessions, want 1", name, st.LiveSessions)
+		}
 	}
 }

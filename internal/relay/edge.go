@@ -1,0 +1,271 @@
+package relay
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/asf"
+	"repro/internal/streaming"
+)
+
+// Edge is one edge node of the relay tier: a streaming.Server whose
+// missing content is pulled through from an origin on first demand.
+// Stored assets are mirrored whole via the origin's /fetch endpoint and
+// cached for every later client; live channels are subscribed once via
+// /live and re-fanned-out through a local Channel, so the origin carries
+// one session per edge instead of one per viewer.
+type Edge struct {
+	// Origin is the origin server's base URL, without a trailing slash.
+	Origin string
+	// Server is the edge's local streaming server; mirrored and relayed
+	// content is registered here and served by its handlers.
+	Server *streaming.Server
+	// Client performs origin requests; nil means http.DefaultClient.
+	Client *http.Client
+
+	mu       sync.Mutex
+	inflight map[string]*pull
+}
+
+// pull tracks one in-progress origin fetch so concurrent demands for the
+// same content share a single upstream request.
+type pull struct {
+	done chan struct{}
+	err  error
+}
+
+// NewEdge creates an edge pulling through from the origin base URL. A nil
+// server gets a fresh streaming.Server on the real clock.
+func NewEdge(origin string, srv *streaming.Server) *Edge {
+	if srv == nil {
+		srv = streaming.NewServer(nil)
+	}
+	return &Edge{
+		Origin:   strings.TrimSuffix(origin, "/"),
+		Server:   srv,
+		inflight: make(map[string]*pull),
+	}
+}
+
+func (e *Edge) client() *http.Client {
+	if e.Client != nil {
+		return e.Client
+	}
+	return http.DefaultClient
+}
+
+// ensure runs fetch under a per-key singleflight: the first caller for a
+// key performs the fetch, concurrent callers wait for its outcome, and
+// later callers short-circuit via present.
+func (e *Edge) ensure(key string, present func() bool, fetch func() error) error {
+	for {
+		e.mu.Lock()
+		if present() {
+			e.mu.Unlock()
+			return nil
+		}
+		if fl, ok := e.inflight[key]; ok {
+			e.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return fl.err
+			}
+			continue // re-check presence; the winner may have fetched our key
+		}
+		fl := &pull{done: make(chan struct{})}
+		e.inflight[key] = fl
+		e.mu.Unlock()
+
+		fl.err = fetch()
+		e.mu.Lock()
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		close(fl.done)
+		return fl.err
+	}
+}
+
+// MirrorAsset ensures the named asset is registered on the edge's server,
+// fetching it from the origin on first demand (pull-through cache).
+// Concurrent callers share one origin transfer. A missing origin asset
+// returns streaming.ErrNotFound.
+func (e *Edge) MirrorAsset(name string) error {
+	present := func() bool { _, ok := e.Server.Asset(name); return ok }
+	return e.ensure("asset/"+name, present, func() error { return e.fetchAsset(name) })
+}
+
+func (e *Edge) fetchAsset(name string) error {
+	resp, err := e.client().Get(e.Origin + "/fetch/" + name)
+	if err != nil {
+		return fmt.Errorf("relay: mirror %q: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: origin asset %q", streaming.ErrNotFound, name)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("relay: mirror %q: origin status %s", name, resp.Status)
+	}
+	_, err = e.Server.RegisterAsset(name, asf.NewReader(resp.Body))
+	if errors.Is(err, streaming.ErrDuplicate) {
+		return nil // raced with a direct registration; the asset is there
+	}
+	return err
+}
+
+// MirrorGroup ensures the named multi-rate group exists on the edge's
+// server, mirroring every variant asset from the origin on first demand.
+// A group the origin doesn't have returns streaming.ErrNotFound.
+func (e *Edge) MirrorGroup(name string) error {
+	present := func() bool { _, ok := e.Server.RateGroup(name); return ok }
+	return e.ensure("group/"+name, present, func() error { return e.fetchGroup(name) })
+}
+
+func (e *Edge) fetchGroup(name string) error {
+	resp, err := e.client().Get(e.Origin + "/groups")
+	if err != nil {
+		return fmt.Errorf("relay: group %q: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("relay: group %q: origin status %s", name, resp.Status)
+	}
+	var groups []streaming.GroupInfo
+	if err := json.NewDecoder(resp.Body).Decode(&groups); err != nil {
+		return fmt.Errorf("relay: group %q: %w", name, err)
+	}
+	var variants []string
+	found := false
+	for _, g := range groups {
+		if g.Name == name {
+			variants, found = g.Variants, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: origin group %q", streaming.ErrNotFound, name)
+	}
+	for _, v := range variants {
+		if err := e.MirrorAsset(v); err != nil {
+			return fmt.Errorf("relay: group %q variant: %w", name, err)
+		}
+	}
+	g, err := e.Server.CreateRateGroup(name)
+	if err != nil {
+		if errors.Is(err, streaming.ErrDuplicate) {
+			return nil // raced with a direct registration
+		}
+		return err
+	}
+	for _, v := range variants {
+		if a, ok := e.Server.Asset(v); ok {
+			g.AddVariant(a)
+		}
+	}
+	return nil
+}
+
+// RelayChannel ensures a local live channel by the given name exists,
+// subscribed to the origin's channel of the same name. It returns once
+// the local channel is registered (joinable); packets are pumped in the
+// background until the origin broadcast ends, which closes the local
+// channel too. A missing origin channel returns streaming.ErrNotFound.
+func (e *Edge) RelayChannel(name string) error {
+	present := func() bool { _, ok := e.Server.Channel(name); return ok }
+	return e.ensure("live/"+name, present, func() error { return e.startRelay(name) })
+}
+
+func (e *Edge) startRelay(name string) error {
+	resp, err := e.client().Get(e.Origin + "/live/" + name)
+	if err != nil {
+		return fmt.Errorf("relay: live %q: %w", name, err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		return fmt.Errorf("%w: origin channel %q", streaming.ErrNotFound, name)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return fmt.Errorf("relay: live %q: origin status %s", name, resp.Status)
+	}
+	r := asf.NewReader(resp.Body)
+	h, err := r.ReadHeader()
+	if err != nil {
+		resp.Body.Close()
+		return fmt.Errorf("relay: live %q: %w", name, err)
+	}
+	ch, err := e.Server.CreateChannel(name, h)
+	if err != nil {
+		resp.Body.Close()
+		if errors.Is(err, streaming.ErrDuplicate) {
+			return nil
+		}
+		return err
+	}
+	go func() {
+		defer resp.Body.Close()
+		defer ch.Close()
+		for {
+			p, err := r.ReadPacket()
+			if err != nil {
+				return // EOF: the origin broadcast ended
+			}
+			if ch.Publish(p) != nil {
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Handler wraps the edge server's handler with pull-through: a /vod/
+// request for an unmirrored asset mirrors it first, a /group/ request for
+// an unmirrored group mirrors its variants first, and a /live/ request
+// for an unrelayed channel starts the relay first; then the request is
+// served locally like any other. Everything else (listings, /fetch/) is
+// served from the edge's local state only.
+func (e *Edge) Handler() http.Handler {
+	base := e.Server.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/", base)
+	mux.HandleFunc("/vod/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/vod/")
+		if err := e.MirrorAsset(name); err != nil {
+			pullError(w, r, err)
+			return
+		}
+		base.ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/group/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/group/")
+		if err := e.MirrorGroup(name); err != nil {
+			pullError(w, r, err)
+			return
+		}
+		base.ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/live/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/live/")
+		if err := e.RelayChannel(name); err != nil {
+			pullError(w, r, err)
+			return
+		}
+		base.ServeHTTP(w, r)
+	})
+	return mux
+}
+
+// pullError maps an origin pull failure onto the client response: a
+// missing upstream resource is the client's 404, anything else means the
+// edge could not reach or parse the origin — 502.
+func pullError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, streaming.ErrNotFound) {
+		http.NotFound(w, r)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadGateway)
+}

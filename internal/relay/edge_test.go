@@ -1,0 +1,364 @@
+package relay
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/encoder"
+	"repro/internal/streaming"
+)
+
+func encodeTestLecture(t *testing.T, dur time.Duration, live bool) []byte {
+	t.Helper()
+	p, err := codec.ByName("modem-56k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := capture.NewLecture(capture.LectureConfig{
+		Title: "relay test", Duration: dur, Profile: p, SlideCount: 2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{Live: live}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newOriginWithAsset builds an origin server holding one stored asset and
+// returns it with its test listener.
+func newOriginWithAsset(t *testing.T, name string) (*streaming.Server, *httptest.Server) {
+	t.Helper()
+	origin := streaming.NewServer(nil)
+	origin.Pacing = false
+	data := encodeTestLecture(t, 2*time.Second, false)
+	if _, err := origin.RegisterAsset(name, asf.NewReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(origin.Handler())
+	t.Cleanup(ts.Close)
+	return origin, ts
+}
+
+func readStream(t *testing.T, url string) (asf.Header, []asf.Packet) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	r := asf.NewReader(resp.Body)
+	h, err := r.ReadHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []asf.Packet
+	for {
+		p, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+	return h, pkts
+}
+
+func TestEdgeMirrorsAssetOnDemand(t *testing.T) {
+	origin, originTS := newOriginWithAsset(t, "lec")
+	edgeSrv := streaming.NewServer(nil)
+	edgeSrv.Pacing = false
+	edge := NewEdge(originTS.URL, edgeSrv)
+	edgeTS := httptest.NewServer(edge.Handler())
+	defer edgeTS.Close()
+
+	_, direct := readStream(t, originTS.URL+"/vod/lec")
+	hdr, mirrored := readStream(t, edgeTS.URL+"/vod/lec")
+	if len(mirrored) != len(direct) {
+		t.Fatalf("edge served %d packets, origin %d", len(mirrored), len(direct))
+	}
+	if hdr.Title != "relay test" {
+		t.Fatalf("edge header title = %q", hdr.Title)
+	}
+	if _, ok := edgeSrv.Asset("lec"); !ok {
+		t.Fatal("asset not cached on the edge")
+	}
+
+	// The second demand is served from the edge cache: no new origin fetch.
+	if got := origin.Stats().MirrorFetches; got != 1 {
+		t.Fatalf("origin mirror fetches = %d, want 1", got)
+	}
+	if _, again := readStream(t, edgeTS.URL+"/vod/lec"); len(again) != len(direct) {
+		t.Fatal("cached replay differs")
+	}
+	if got := origin.Stats().MirrorFetches; got != 1 {
+		t.Fatalf("origin mirror fetches after cached replay = %d, want 1", got)
+	}
+
+	// Seeks work against the mirrored index.
+	_, seeked := readStream(t, edgeTS.URL+"/vod/lec?start=1s")
+	if len(seeked) == 0 || len(seeked) >= len(direct) {
+		t.Fatalf("seeked mirror served %d packets, full %d", len(seeked), len(direct))
+	}
+
+	// Unknown assets are the client's 404, not a relay error.
+	resp, err := http.Get(edgeTS.URL + "/vod/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown asset status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestEdgeConcurrentDemandsShareOneFetch(t *testing.T) {
+	origin, originTS := newOriginWithAsset(t, "lec")
+	edgeSrv := streaming.NewServer(nil)
+	edgeSrv.Pacing = false
+	edge := NewEdge(originTS.URL, edgeSrv)
+
+	const demands = 8
+	var wg sync.WaitGroup
+	errs := make([]error, demands)
+	for i := 0; i < demands; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = edge.MirrorAsset("lec")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("demand %d: %v", i, err)
+		}
+	}
+	if got := origin.Stats().MirrorFetches; got != 1 {
+		t.Fatalf("origin mirror fetches = %d, want 1 (singleflight)", got)
+	}
+}
+
+func TestEdgeMirrorsRateGroup(t *testing.T) {
+	origin := streaming.NewServer(nil)
+	origin.Pacing = false
+	leanData := encodeTestLecture(t, 2*time.Second, false)
+	lean, err := origin.RegisterAsset("lean", asf.NewReader(bytes.NewReader(leanData)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	richData := encodeRichLecture(t, 2*time.Second)
+	rich, err := origin.RegisterAsset("rich", asf.NewReader(bytes.NewReader(richData)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := origin.CreateRateGroup("lecture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	group.AddVariant(lean)
+	group.AddVariant(rich)
+	originTS := httptest.NewServer(origin.Handler())
+	defer originTS.Close()
+
+	edgeSrv := streaming.NewServer(nil)
+	edgeSrv.Pacing = false
+	edge := NewEdge(originTS.URL, edgeSrv)
+	edgeTS := httptest.NewServer(edge.Handler())
+	defer edgeTS.Close()
+
+	// Low bandwidth gets the lean variant, high bandwidth the rich one —
+	// through the edge, which mirrors the whole group on first demand.
+	_, leanPkts := readStream(t, edgeTS.URL+"/group/lecture?bw=60000")
+	_, richPkts := readStream(t, edgeTS.URL+"/group/lecture?bw=5000000")
+	leanBytes, richBytes := 0, 0
+	for _, p := range leanPkts {
+		leanBytes += len(p.Payload)
+	}
+	for _, p := range richPkts {
+		richBytes += len(p.Payload)
+	}
+	if leanBytes >= richBytes {
+		t.Fatalf("edge rate selection broken: lean %d bytes, rich %d bytes", leanBytes, richBytes)
+	}
+	if _, ok := edgeSrv.Asset("lean"); !ok {
+		t.Fatal("lean variant not mirrored")
+	}
+	if _, ok := edgeSrv.Asset("rich"); !ok {
+		t.Fatal("rich variant not mirrored")
+	}
+	if got := origin.Stats().MirrorFetches; got != 2 {
+		t.Fatalf("origin mirror fetches = %d, want one per variant", got)
+	}
+
+	// Unknown groups are 404.
+	resp, err := http.Get(edgeTS.URL + "/group/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown group status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func encodeRichLecture(t *testing.T, dur time.Duration) []byte {
+	t.Helper()
+	p, err := codec.ByName("dsl-300k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := capture.NewLecture(capture.LectureConfig{
+		Title: "relay test rich", Duration: dur, Profile: p, SlideCount: 2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEdgeMirrorOriginDown(t *testing.T) {
+	_, originTS := newOriginWithAsset(t, "lec")
+	originTS.Close()
+	edge := NewEdge(originTS.URL, nil)
+	err := edge.MirrorAsset("lec")
+	if err == nil {
+		t.Fatal("mirror from dead origin succeeded")
+	}
+	if errors.Is(err, streaming.ErrNotFound) {
+		t.Fatalf("dead origin misreported as not-found: %v", err)
+	}
+}
+
+func TestEdgeRelaysLiveChannel(t *testing.T) {
+	data := encodeTestLecture(t, 2*time.Second, true)
+	h, packets, _, err := asf.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	origin := streaming.NewServer(nil)
+	originCh, err := origin.CreateChannel("lecture", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originTS := httptest.NewServer(origin.Handler())
+	defer originTS.Close()
+
+	edgeSrv := streaming.NewServer(nil)
+	edge := NewEdge(originTS.URL, edgeSrv)
+	edgeTS := httptest.NewServer(edge.Handler())
+	defer edgeTS.Close()
+
+	// A client joining through the edge triggers the origin subscription.
+	type result struct {
+		pkts []asf.Packet
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(edgeTS.URL + "/live/lecture")
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		r := asf.NewReader(resp.Body)
+		if _, err := r.ReadHeader(); err != nil {
+			resc <- result{err: err}
+			return
+		}
+		var pkts []asf.Packet
+		for {
+			p, err := r.ReadPacket()
+			if err != nil {
+				resc <- result{pkts: pkts}
+				return
+			}
+			pkts = append(pkts, p)
+		}
+	}()
+
+	// Wait for the relay chain to attach: the edge subscribes upstream,
+	// the client subscribes to the edge.
+	deadline := time.Now().Add(10 * time.Second)
+	for originCh.ClientCount() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	edgeCh, ok := edgeSrv.Channel("lecture")
+	for !ok && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+		edgeCh, ok = edgeSrv.Channel("lecture")
+	}
+	if !ok {
+		t.Fatal("edge never created the relayed channel")
+	}
+	for edgeCh.ClientCount() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if originCh.ClientCount() != 1 {
+		t.Fatalf("origin has %d subscribers, want exactly the edge", originCh.ClientCount())
+	}
+
+	for _, p := range packets {
+		if err := originCh.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	originCh.Close()
+
+	res := <-resc
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if len(res.pkts) != len(packets) {
+		t.Fatalf("client received %d packets, published %d", len(res.pkts), len(packets))
+	}
+	// The origin's broadcast end propagates: the edge channel closes too.
+	for !edgeCh.Closed() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !edgeCh.Closed() {
+		t.Fatal("edge channel still open after origin close")
+	}
+
+	// A late join on a finished relayed broadcast is 410, as on the origin.
+	resp, err := http.Get(edgeTS.URL + "/live/lecture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("late join status = %d, want 410", resp.StatusCode)
+	}
+
+	// Unknown channels are 404.
+	resp, err = http.Get(edgeTS.URL + "/live/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown channel status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,233 @@
+package relay
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// DefaultNodeTTL is how long a node stays eligible for redirects after
+// its last registration or heartbeat.
+const DefaultNodeTTL = 15 * time.Second
+
+// Registry is the cluster's client entry point: edges register and
+// heartbeat their load, clients request streams and are redirected (307)
+// to the least-loaded live edge.
+type Registry struct {
+	clock vclock.Clock
+	// TTL overrides DefaultNodeTTL when positive.
+	TTL time.Duration
+
+	mu    sync.Mutex
+	nodes map[string]*regNode
+}
+
+type regNode struct {
+	info     NodeInfo
+	stats    NodeStats
+	lastSeen time.Time
+	// assigned counts redirects issued since the last heartbeat, so that
+	// a burst of joins between heartbeats still spreads across edges
+	// (least-connections with local accounting).
+	assigned int64
+}
+
+// NodeStatus is the externally visible state of one registered node.
+type NodeStatus struct {
+	NodeInfo
+	Stats NodeStats `json:"stats"`
+	// Assigned is the number of redirects issued since the node's last
+	// heartbeat.
+	Assigned int64 `json:"assigned"`
+	// Load is the score redirects are balanced on (lower wins).
+	Load float64 `json:"load"`
+	// Alive reports whether the node is within its TTL.
+	Alive bool `json:"alive"`
+}
+
+// NewRegistry creates a registry on the given clock (nil = real clock).
+func NewRegistry(clock vclock.Clock) *Registry {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Registry{clock: clock, nodes: make(map[string]*regNode)}
+}
+
+func (g *Registry) ttl() time.Duration {
+	if g.TTL > 0 {
+		return g.TTL
+	}
+	return DefaultNodeTTL
+}
+
+// Register adds or refreshes a node. Re-registering an existing ID
+// updates its URL and resets its liveness.
+func (g *Registry) Register(info NodeInfo) error {
+	if info.ID == "" {
+		return &badNodeError{"empty node id"}
+	}
+	u, err := url.Parse(info.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return &badNodeError{"node URL must be absolute, got " + info.URL}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.nodes[info.ID]
+	if n == nil {
+		n = &regNode{}
+		g.nodes[info.ID] = n
+	}
+	n.info = info
+	n.lastSeen = g.clock.Now()
+	return nil
+}
+
+// Heartbeat records a node's load snapshot and refreshes its liveness.
+func (g *Registry) Heartbeat(id string, stats NodeStats) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return ErrUnknownNode
+	}
+	n.stats = stats
+	n.assigned = 0
+	n.lastSeen = g.clock.Now()
+	return nil
+}
+
+func (n *regNode) load() float64 {
+	return n.stats.Load() + float64(n.assigned)
+}
+
+// Nodes returns the state of every registered node, sorted by ID.
+func (g *Registry) Nodes() []NodeStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cut := g.clock.Now().Add(-g.ttl())
+	out := make([]NodeStatus, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, NodeStatus{
+			NodeInfo: n.info,
+			Stats:    n.stats,
+			Assigned: n.assigned,
+			Load:     n.load(),
+			Alive:    !n.lastSeen.Before(cut),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Pick selects the least-loaded live node and counts the assignment.
+// Ties break on node ID for determinism.
+func (g *Registry) Pick() (NodeInfo, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cut := g.clock.Now().Add(-g.ttl())
+	var best *regNode
+	for _, n := range g.nodes {
+		if n.lastSeen.Before(cut) {
+			continue
+		}
+		if best == nil || n.load() < best.load() ||
+			(n.load() == best.load() && n.info.ID < best.info.ID) {
+			best = n
+		}
+	}
+	if best == nil {
+		return NodeInfo{}, ErrNoNodes
+	}
+	best.assigned++
+	return best.info, nil
+}
+
+// Handler returns the registry's HTTP interface:
+//
+//	POST /registry/register   — body: NodeInfo JSON
+//	POST /registry/heartbeat  — body: {"id": ..., "stats": NodeStats} JSON
+//	GET  /registry/nodes      — JSON list of NodeStatus
+//	GET  /vod/..., /live/..., /group/...
+//	                          — 307 redirect to the least-loaded edge,
+//	                            path and query preserved; 503 when no
+//	                            edge is live
+func (g *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/registry/register", g.handleRegister)
+	mux.HandleFunc("/registry/heartbeat", g.handleHeartbeat)
+	mux.HandleFunc("/registry/nodes", g.handleNodes)
+	mux.HandleFunc("/vod/", g.handleRedirect)
+	mux.HandleFunc("/live/", g.handleRedirect)
+	mux.HandleFunc("/group/", g.handleRedirect)
+	return mux
+}
+
+func (g *Registry) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var info NodeInfo
+	if err := json.NewDecoder(r.Body).Decode(&info); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := g.Register(info); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Registry) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var msg heartbeatMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := g.Heartbeat(msg.ID, msg.Stats); err != nil {
+		status := http.StatusBadRequest
+		if err == ErrUnknownNode {
+			// An edge that outlived a registry restart must re-register.
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Registry) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(g.Nodes()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (g *Registry) handleRedirect(w http.ResponseWriter, r *http.Request) {
+	node, err := g.Pick()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	// EscapedPath keeps percent-encoded names intact in the Location.
+	target := strings.TrimSuffix(node.URL, "/") + r.URL.EscapedPath()
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+}
+
+type badNodeError struct{ msg string }
+
+func (e *badNodeError) Error() string { return "relay: " + e.msg }

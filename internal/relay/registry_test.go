@@ -1,0 +1,269 @@
+package relay
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/streaming"
+	"repro/internal/vclock"
+)
+
+func TestRegistryRegisterValidation(t *testing.T) {
+	g := NewRegistry(nil)
+	if err := g.Register(NodeInfo{ID: "", URL: "http://a"}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	for _, bad := range []string{"", "no-scheme", ":8080", "http://"} {
+		if err := g.Register(NodeInfo{ID: "n1", URL: bad}); err == nil {
+			t.Fatalf("bad URL %q accepted", bad)
+		}
+	}
+	if err := g.Register(NodeInfo{ID: "n1", URL: "http://edge1:8081"}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registration updates the URL in place.
+	if err := g.Register(NodeInfo{ID: "n1", URL: "http://edge1:9999"}); err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 1 || nodes[0].URL != "http://edge1:9999" {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+}
+
+func TestRegistryHeartbeatUnknownNode(t *testing.T) {
+	g := NewRegistry(nil)
+	if err := g.Heartbeat("ghost", NodeStats{}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("heartbeat unknown = %v", err)
+	}
+}
+
+func TestRegistryPickLeastLoaded(t *testing.T) {
+	g := NewRegistry(nil)
+	if _, err := g.Pick(); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("pick on empty registry = %v", err)
+	}
+	for _, n := range []NodeInfo{
+		{ID: "a", URL: "http://edge-a"},
+		{ID: "b", URL: "http://edge-b"},
+	} {
+		if err := g.Register(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Equal load: ties break on ID, and each pick counts as an
+	// assignment, so consecutive picks alternate.
+	first, err := g.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != "a" {
+		t.Fatalf("first pick = %q, want tie-break on a", first.ID)
+	}
+	second, err := g.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != "b" {
+		t.Fatalf("second pick = %q, want b (a has a pending assignment)", second.ID)
+	}
+
+	// A heartbeat resets assignments and reports real load: loaded node b
+	// loses to idle node a.
+	if err := g.Heartbeat("a", NodeStats{ActiveClients: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Heartbeat("b", NodeStats{ActiveClients: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "a" {
+		t.Fatalf("pick = %q, want idle node a", got.ID)
+	}
+}
+
+func TestRegistryCapacityFractionBreaksTies(t *testing.T) {
+	g := NewRegistry(nil)
+	for _, n := range []NodeInfo{
+		{ID: "near-full", URL: "http://edge-a"},
+		{ID: "roomy", URL: "http://edge-b"},
+	} {
+		if err := g.Register(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Heartbeat("near-full", NodeStats{ActiveClients: 1, ReservedBps: 900, CapacityBps: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Heartbeat("roomy", NodeStats{ActiveClients: 1, ReservedBps: 100, CapacityBps: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "roomy" {
+		t.Fatalf("pick = %q, want the node with admission headroom", got.ID)
+	}
+}
+
+func TestRegistryTTLExpiresSilentNodes(t *testing.T) {
+	clk := vclock.NewVirtual()
+	g := NewRegistry(clk)
+	if err := g.Register(NodeInfo{ID: "a", URL: "http://edge-a"}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(DefaultNodeTTL + time.Second)
+	if _, err := g.Pick(); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("pick after TTL = %v, want ErrNoNodes", err)
+	}
+	// A heartbeat revives the node.
+	if err := g.Heartbeat("a", NodeStats{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Pick(); err != nil {
+		t.Fatalf("pick after heartbeat = %v", err)
+	}
+}
+
+func TestRegistryHTTPRoundTrip(t *testing.T) {
+	g := NewRegistry(nil)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	// Register and heartbeat through the client helpers.
+	if err := RegisterWith(nil, ts.URL, NodeInfo{ID: "e1", URL: "http://edge1:8081"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Heartbeat(nil, ts.URL, "e1", NodeStats{ActiveClients: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Heartbeat(nil, ts.URL, "nope", NodeStats{}); err == nil {
+		t.Fatal("heartbeat for unregistered node accepted")
+	}
+
+	// Node listing reflects the heartbeat.
+	resp, err := http.Get(ts.URL + "/registry/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []NodeStatus
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(nodes) != 1 || nodes[0].Stats.ActiveClients != 2 || !nodes[0].Alive {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+
+	// Redirects preserve path and query and do not follow.
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err = noFollow.Get(ts.URL + "/vod/lecture1?start=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("redirect status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "http://edge1:8081/vod/lecture1?start=30s" {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	// Percent-encoded names survive the redirect untouched.
+	resp, err = noFollow.Get(ts.URL + "/vod/week%2F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if loc := resp.Header.Get("Location"); loc != "http://edge1:8081/vod/week%2F1" {
+		t.Fatalf("escaped Location = %q", loc)
+	}
+
+	// GET on the mutation endpoints is rejected.
+	for _, path := range []string{"/registry/register", "/registry/heartbeat"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s status = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHeartbeatsSurviveRegistryRestart: an edge whose registry restarts
+// (losing its node table) must notice the 404 and re-register, or the
+// cluster would route around a healthy edge forever.
+func TestHeartbeatsSurviveRegistryRestart(t *testing.T) {
+	var cur atomic.Pointer[Registry]
+	cur.Store(NewRegistry(nil))
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunHeartbeats(ctx, nil, ts.URL, NodeInfo{ID: "e1", URL: "http://edge1:8081"},
+			func() NodeStats { return NodeStats{} }, 2*time.Millisecond)
+	}()
+
+	waitRegistered := func(g *Registry) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if nodes := g.Nodes(); len(nodes) == 1 && nodes[0].ID == "e1" {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatal("node never (re)registered")
+	}
+	waitRegistered(cur.Load())
+
+	// Registry "restart": a fresh instance with an empty node table.
+	fresh := NewRegistry(nil)
+	cur.Store(fresh)
+	waitRegistered(fresh)
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunHeartbeats returned %v", err)
+	}
+}
+
+func TestSnapshotStats(t *testing.T) {
+	srv := streaming.NewServer(nil)
+	srv.Admission = streaming.NewAdmission(1_000_000)
+	token, err := srv.Admission.Reserve(300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Admission.Release(token)
+	st := SnapshotStats(srv)
+	if st.ReservedBps != 300_000 || st.CapacityBps != 1_000_000 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+	if got := st.Load(); got != 0.3 {
+		t.Fatalf("Load() = %v, want 0.3", got)
+	}
+	if !strings.Contains(ErrNoNodes.Error(), "relay") {
+		t.Fatal("error missing package prefix")
+	}
+}

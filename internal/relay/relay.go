@@ -1,0 +1,174 @@
+// Package relay implements the distributed origin→edge tier of the
+// Lecture-on-Demand system: the paper's single streaming server scaled
+// out to a cluster, as its §1 "distributed" deployment implies.
+//
+// Three roles cooperate:
+//
+//   - The origin is a plain streaming.Server holding the published assets
+//     and live encoder channels.
+//   - An Edge wraps its own streaming.Server and pulls content through
+//     from the origin on first demand: live channels are subscribed once
+//     over HTTP (/live/{channel}) and re-fanned-out locally, stored
+//     assets are mirrored once (/fetch/{asset}) and then served from the
+//     edge's memory, and multi-rate groups are mirrored variant by
+//     variant (/groups).
+//   - The Registry tracks the cluster's edges via registration and
+//     periodic heartbeats carrying per-node load (ServerStats plus
+//     admission-control reservations) and redirects incoming clients
+//     (HTTP 307) to the least-loaded live edge.
+//
+// Clients need no cluster awareness: they request /vod/... or /live/...
+// from the registry and follow the redirect.
+package relay
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/streaming"
+)
+
+// Errors.
+var (
+	ErrNoNodes     = errors.New("relay: no live edge nodes")
+	ErrUnknownNode = errors.New("relay: unknown node")
+)
+
+// NodeInfo identifies one edge node in the cluster.
+type NodeInfo struct {
+	// ID names the node uniquely within the cluster.
+	ID string `json:"id"`
+	// URL is the node's advertised base URL, reachable by clients,
+	// e.g. "http://10.0.0.2:8081".
+	URL string `json:"url"`
+}
+
+// NodeStats is the load snapshot a node reports on each heartbeat.
+type NodeStats struct {
+	ActiveClients int64 `json:"activeClients"`
+	ReservedBps   int64 `json:"reservedBps"`
+	CapacityBps   int64 `json:"capacityBps"`
+	PacketsSent   int64 `json:"packetsSent"`
+	BytesSent     int64 `json:"bytesSent"`
+}
+
+// Load folds the snapshot into one comparable score: the client count
+// plus, when the node enforces an admission capacity, the fraction of
+// that capacity reserved (so of two equally-subscribed nodes the one
+// closer to its bandwidth budget ranks as more loaded).
+func (s NodeStats) Load() float64 {
+	load := float64(s.ActiveClients)
+	if s.CapacityBps > 0 {
+		load += float64(s.ReservedBps) / float64(s.CapacityBps)
+	}
+	return load
+}
+
+// SnapshotStats reads a node's current load off its streaming server,
+// including admission reservations when configured.
+func SnapshotStats(srv *streaming.Server) NodeStats {
+	st := srv.Stats()
+	ns := NodeStats{
+		ActiveClients: st.ActiveClients,
+		PacketsSent:   st.PacketsSent,
+		BytesSent:     st.BytesSent,
+	}
+	if adm := srv.Admission; adm != nil {
+		ns.ReservedBps = adm.Reserved()
+		ns.CapacityBps = adm.CapacityBps
+	}
+	return ns
+}
+
+// heartbeatMsg is the wire form of one heartbeat.
+type heartbeatMsg struct {
+	ID    string    `json:"id"`
+	Stats NodeStats `json:"stats"`
+}
+
+// httpError reports a non-2xx registry response with its status code, so
+// callers can react to specific protocol statuses.
+type httpError struct {
+	URL    string
+	Status int
+	Msg    string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("relay: %s: status %d: %s", e.URL, e.Status, e.Msg)
+}
+
+func postJSON(client *http.Client, url string, v interface{}) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return &httpError{URL: url, Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
+	}
+	return nil
+}
+
+// RegisterWith announces the node to the registry at base. A nil client
+// uses http.DefaultClient.
+func RegisterWith(client *http.Client, base string, info NodeInfo) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return postJSON(client, base+"/registry/register", info)
+}
+
+// Heartbeat posts one load snapshot for the node to the registry at base.
+// A registry that no longer knows the node (it restarted and lost its
+// state) yields an error wrapping ErrUnknownNode: re-register and retry.
+func Heartbeat(client *http.Client, base, id string, stats NodeStats) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	err := postJSON(client, base+"/registry/heartbeat", heartbeatMsg{ID: id, Stats: stats})
+	var he *httpError
+	if errors.As(err, &he) && he.Status == http.StatusNotFound {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, err)
+	}
+	return err
+}
+
+// RunHeartbeats registers the node and then posts a snapshot from snap
+// every interval until ctx is cancelled. Transient heartbeat failures are
+// retried on the next tick; only registration failure is fatal.
+func RunHeartbeats(ctx context.Context, client *http.Client, base string, info NodeInfo, snap func() NodeStats, interval time.Duration) error {
+	if err := RegisterWith(client, base, info); err != nil {
+		return err
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			err := Heartbeat(client, base, info.ID, snap())
+			if errors.Is(err, ErrUnknownNode) {
+				// The registry restarted and forgot us; rejoin so the
+				// cluster keeps routing clients here. Failures retry on
+				// the next tick.
+				_ = RegisterWith(client, base, info)
+			}
+		}
+	}
+}

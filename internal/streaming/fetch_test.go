@@ -1,0 +1,106 @@
+package streaming
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/asf"
+)
+
+func TestFetchRoundTripsWholeContainer(t *testing.T) {
+	srv := NewServer(nil)
+	srv.Pacing = true // fetch must ignore pacing entirely
+	data := encodeTestAsset(t, 4*time.Second)
+	asset, err := srv.RegisterAsset("lec", asf.NewReader(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/fetch/lec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, packets, ix, err := asf.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4s asset transferred unpaced arrives in far less than play time.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("fetch took %v; looks paced", elapsed)
+	}
+	if h.Title != asset.Header.Title {
+		t.Fatalf("header title %q, want %q", h.Title, asset.Header.Title)
+	}
+	if len(packets) != len(asset.Packets) {
+		t.Fatalf("fetched %d packets, asset has %d", len(packets), len(asset.Packets))
+	}
+	if len(ix) == 0 || len(ix) != len(asset.Index) {
+		t.Fatalf("fetched index has %d entries, asset has %d", len(ix), len(asset.Index))
+	}
+
+	// A mirror registering the fetched stream reproduces the asset.
+	mirror := NewServer(nil)
+	resp, err = http.Get(ts.URL + "/fetch/lec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirrored, err := mirror.RegisterAsset("lec", asf.NewReader(resp.Body))
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirrored.Bytes() != asset.Bytes() || len(mirrored.Index) != len(asset.Index) {
+		t.Fatalf("mirror: %d bytes / %d index entries, want %d / %d",
+			mirrored.Bytes(), len(mirrored.Index), asset.Bytes(), len(asset.Index))
+	}
+
+	if got := srv.Stats().MirrorFetches; got != 2 {
+		t.Fatalf("MirrorFetches = %d, want 2", got)
+	}
+	resp, err = http.Get(ts.URL + "/fetch/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fetch status = %d", resp.StatusCode)
+	}
+}
+
+func TestFetchBypassesAdmission(t *testing.T) {
+	srv := NewServer(nil)
+	srv.Admission = NewAdmission(1) // too small for any client session
+	data := encodeTestAsset(t, time.Second)
+	if _, err := srv.RegisterAsset("lec", asf.NewReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Client sessions are rejected at this capacity...
+	resp, err := http.Get(ts.URL + "/vod/lec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("VOD status = %d, want 503", resp.StatusCode)
+	}
+	// ...but the server-to-server mirror path still works.
+	resp, err = http.Get(ts.URL + "/fetch/lec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, packets, _, err := asf.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(packets) == 0 {
+		t.Fatalf("fetch under full admission: %d packets, err %v", len(packets), err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -107,6 +108,45 @@ func TestSeekIndexBounds(t *testing.T) {
 	empty := &Asset{Packets: []asf.Packet{{Seq: 0}}}
 	if got := empty.SeekIndex(time.Second); got != 0 {
 		t.Fatalf("no-index SeekIndex = %d", got)
+	}
+}
+
+// TestSeekIndexConcurrent exercises the memoized seq→position map under
+// concurrent seeks, the load pattern of many clients joining mid-lecture.
+func TestSeekIndexConcurrent(t *testing.T) {
+	srv := NewServer(nil)
+	data := encodeTestAsset(t, 4*time.Second)
+	asset, err := srv.RegisterAsset("lec", asf.NewReader(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, 5)
+	for i := range want {
+		want[i] = asset.SeekIndex(time.Duration(i) * time.Second)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < len(want)*50; i++ {
+				at := time.Duration(i%len(want)) * time.Second
+				if got := asset.SeekIndex(at); got != want[i%len(want)] {
+					t.Errorf("SeekIndex(%v) = %d, want %d", at, got, want[i%len(want)])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// An index entry pointing at a sequence number no packet carries
+	// (truncated or hand-edited file) still plays from the start.
+	odd := &Asset{
+		Packets: []asf.Packet{{Seq: 5, PTS: 0}},
+		Index:   asf.Index{{PTS: 0, Seq: 99}},
+	}
+	if got := odd.SeekIndex(time.Second); got != 0 {
+		t.Fatalf("dangling index entry SeekIndex = %d", got)
 	}
 }
 

@@ -14,12 +14,22 @@
 //	                          follow live
 //	GET /group/{name}?bw=N  — multi-bitrate selection: the richest variant
 //	                          fitting N bits/s is streamed as VOD
+//	GET /fetch/{asset}      — whole-container transfer (header, packets,
+//	                          index) as fast as the link allows; the
+//	                          origin→edge mirror path used by the relay
+//	                          tier (internal/relay), exempt from pacing
+//	                          and admission control
 //	GET /assets             — JSON list of stored assets
 //	GET /channels           — JSON list of live channels
+//	GET /groups             — JSON list of multi-rate groups and their
+//	                          variant asset names (used by edges to
+//	                          mirror whole groups)
 //
 // When Server.Admission is configured, every VOD/live session first
 // reserves its declared stream bandwidth (XOCPN channel set-up);
-// over-capacity requests receive 503.
+// over-capacity requests receive 503. Edge nodes built on this server
+// (see internal/relay) subscribe to /live/{channel} and mirror assets
+// through /fetch/{asset} to re-serve both locally.
 package streaming
 
 import (
@@ -52,6 +62,11 @@ type Asset struct {
 	Packets []asf.Packet
 	// Index is the keyframe index (for future seek support).
 	Index asf.Index
+
+	// seekPos maps a packet sequence number to its position in Packets,
+	// built once on first use; Packets must not change after that.
+	seekOnce sync.Once
+	seekPos  map[uint32]int
 }
 
 // Bytes returns the total payload size.
@@ -65,18 +80,29 @@ func (a *Asset) Bytes() int64 {
 
 // SeekIndex returns the position in Packets of the last keyframe at or
 // before the given presentation time, or 0 when the index has no entry
-// that early (play from the beginning).
+// that early (play from the beginning). Lookups are O(1): the seq→position
+// map is computed once per asset, not rescanned per seek.
 func (a *Asset) SeekIndex(at time.Duration) int {
 	seq, ok := a.Index.Locate(at)
 	if !ok {
 		return 0
 	}
-	for i, p := range a.Packets {
-		if p.Seq == seq {
-			return i
-		}
+	a.seekOnce.Do(a.buildSeekPos)
+	if i, ok := a.seekPos[seq]; ok {
+		return i
 	}
 	return 0
+}
+
+func (a *Asset) buildSeekPos() {
+	a.seekPos = make(map[uint32]int, len(a.Packets))
+	for i, p := range a.Packets {
+		// First occurrence wins, matching the first-match semantics of the
+		// linear scan this map replaces.
+		if _, dup := a.seekPos[p.Seq]; !dup {
+			a.seekPos[p.Seq] = i
+		}
+	}
 }
 
 // ServerStats counts server activity.
@@ -87,6 +113,9 @@ type ServerStats struct {
 	BytesSent     int64
 	ActiveClients int64
 	RejectedJoins int64
+	// MirrorFetches counts whole-container transfers served from /fetch/,
+	// i.e. edge nodes pulling assets through the relay tier.
+	MirrorFetches int64
 }
 
 // Server is the LOD streaming server. Create with NewServer, register
@@ -139,6 +168,7 @@ func (s *Server) RegisterAsset(name string, r *asf.Reader) (*Asset, error) {
 		a.Packets = append(a.Packets, p)
 	}
 	a.Index = r.Index()
+	a.seekOnce.Do(a.buildSeekPos)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -189,9 +219,81 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/vod/", s.handleVOD)
 	mux.HandleFunc("/live/", s.handleLive)
 	mux.HandleFunc("/group/", s.handleGroup)
+	mux.HandleFunc("/fetch/", s.handleFetch)
 	mux.HandleFunc("/assets", s.handleAssets)
 	mux.HandleFunc("/channels", s.handleChannels)
+	mux.HandleFunc("/groups", s.handleGroups)
 	return mux
+}
+
+// GroupInfo describes one multi-rate group in the /groups listing.
+type GroupInfo struct {
+	Name string `json:"name"`
+	// Variants are the group's asset names in ascending rate order.
+	Variants []string `json:"variants"`
+}
+
+// Groups lists every registered multi-rate group, sorted by name.
+func (s *Server) Groups() []GroupInfo {
+	s.mu.RLock()
+	groups := make([]*RateGroup, 0, len(s.groups))
+	for _, g := range s.groups {
+		groups = append(groups, g)
+	}
+	s.mu.RUnlock()
+	out := make([]GroupInfo, 0, len(groups))
+	for _, g := range groups {
+		info := GroupInfo{Name: g.Name}
+		for _, a := range g.Variants() {
+			info.Variants = append(info.Variants, a.Name)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (s *Server) handleGroups(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Groups()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleFetch transfers a whole stored container — header, every packet,
+// and the trailing index — without pacing or admission control. It is the
+// origin-side mirror path of the relay tier: edges pull an asset once and
+// then serve it to their own clients.
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/fetch/")
+	asset, ok := s.Asset(name)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	s.stats.MirrorFetches++
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-wmp-stream")
+	writer, err := asf.NewWriter(w, asset.Header)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var sentPkts, sentBytes int64
+	for _, p := range asset.Packets {
+		if r.Context().Err() != nil {
+			break
+		}
+		if _, err := writer.WritePacket(p); err != nil {
+			break // mirror went away
+		}
+		sentPkts++
+		sentBytes += int64(len(p.Payload))
+	}
+	_ = writer.Close()
+	s.addSent(sentPkts, sentBytes)
 }
 
 func (s *Server) handleAssets(w http.ResponseWriter, _ *http.Request) {
