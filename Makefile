@@ -1,6 +1,6 @@
 GO ?= go
 
-RACE_PKGS := ./internal/streaming ./internal/session ./internal/core ./internal/relay
+RACE_PKGS := ./internal/streaming ./internal/session ./internal/core ./internal/relay ./internal/metrics
 
 .PHONY: all build test vet fmt-check race bench
 

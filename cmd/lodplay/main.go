@@ -6,12 +6,21 @@
 //
 //	lodplay -in published.asf
 //	lodplay -url http://localhost:8080/vod/lecture1 -realtime
+//	lodplay -url http://localhost:8080/vod/lecture1 -server-status
+//
+// With -server-status the player also fetches the serving node's JSON
+// GET /status snapshot after playback and prints it — the client-side
+// view of the server's counters (sessions, bytes, cache traffic on an
+// edge; see internal/metrics).
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 
 	"repro/internal/player"
@@ -33,11 +42,15 @@ func run(args []string) error {
 	drm := fs.Bool("license", false, "hold a DRM playback license")
 	verbose := fs.Bool("v", false, "print every slide flip and annotation")
 	start := fs.Duration("start", 0, "seek a -url VOD stream to this offset (server-side)")
+	serverStatus := fs.Bool("server-status", false, "after playing a -url stream, fetch and print the server's /status snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*in == "") == (*url == "") {
 		return fmt.Errorf("exactly one of -in or -url is required")
+	}
+	if *serverStatus && *url == "" {
+		return fmt.Errorf("-server-status requires -url")
 	}
 	if *start > 0 {
 		if *url == "" {
@@ -85,5 +98,38 @@ func run(args []string) error {
 			}
 		}
 	}
+	if *serverStatus {
+		// Ask the node that actually served the stream: through a relay
+		// registry the play followed a 307, so the final URL names the
+		// edge whose counters the session landed on.
+		target := m.FinalURL
+		if target == "" {
+			target = *url
+		}
+		if err := printServerStatus(target); err != nil {
+			return fmt.Errorf("server status: %w", err)
+		}
+	}
 	return nil
+}
+
+// printServerStatus fetches the /status snapshot of the node that served
+// streamURL and writes the JSON to stdout.
+func printServerStatus(streamURL string) error {
+	u, err := url.Parse(streamURL)
+	if err != nil {
+		return err
+	}
+	statusURL := u.Scheme + "://" + u.Host + "/status"
+	resp, err := http.Get(statusURL)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %s", statusURL, resp.Status)
+	}
+	fmt.Printf("server status (%s):\n", statusURL)
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }

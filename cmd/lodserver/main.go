@@ -12,12 +12,18 @@
 //	# origin that also hosts the cluster registry on :9090
 //	lodserver -addr :8080 -demo -registry :9090
 //
-//	# edge pulling through from the origin, registered with the registry
+//	# edge pulling through from the origin, registered with the registry,
+//	# mirroring at most 256 MiB of assets (LRU eviction beyond that)
 //	lodserver -addr :8081 -origin http://origin:8080 \
-//	    -edge http://edge1:8081 -registry http://origin:9090
+//	    -edge http://edge1:8081 -registry http://origin:9090 \
+//	    -cache-bytes 268435456
 //
 // Clients then connect to the registry's /vod/... and /live/... URLs and
 // are 307-redirected to the least-loaded edge.
+//
+// Every role serves GET /metrics (Prometheus text) and GET /status
+// (JSON snapshot) on its listener unless -metrics=false; the registry
+// listener exposes its own counters the same way. See internal/metrics.
 package main
 
 import (
@@ -54,15 +60,17 @@ func (a assetFlags) Set(v string) error {
 
 // config is the parsed, validated command line.
 type config struct {
-	addr      string
-	demo      bool
-	pacing    bool
-	assets    assetFlags
-	capacity  int64
-	origin    string // non-empty: run as an edge of this origin
-	edgeURL   string // advertised URL for registry registration
-	registry  string // URL → register with it; listen address → host it
-	heartbeat time.Duration
+	addr       string
+	demo       bool
+	pacing     bool
+	assets     assetFlags
+	capacity   int64
+	origin     string // non-empty: run as an edge of this origin
+	edgeURL    string // advertised URL for registry registration
+	registry   string // URL → register with it; listen address → host it
+	heartbeat  time.Duration
+	metricsOn  bool
+	cacheBytes int64
 }
 
 // hostsRegistry reports whether -registry names a listen address to serve
@@ -83,6 +91,8 @@ func parseConfig(args []string) (*config, error) {
 	fs.StringVar(&c.edgeURL, "edge", "", "advertised base URL of this node, required when registering with a registry")
 	fs.StringVar(&c.registry, "registry", "", `cluster registry: a URL ("http://host:9090") registers this node with it, a listen address (":9090") hosts a registry there`)
 	fs.DurationVar(&c.heartbeat, "heartbeat", 5*time.Second, "registry heartbeat interval")
+	fs.BoolVar(&c.metricsOn, "metrics", true, "serve GET /metrics and GET /status on every role's listener")
+	fs.Int64Var(&c.cacheBytes, "cache-bytes", 0, "edge mirror cache capacity in payload bytes (0 = unbounded; requires -origin)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -91,6 +101,12 @@ func parseConfig(args []string) (*config, error) {
 	}
 	if c.origin != "" && (c.demo || len(c.assets) > 0) {
 		return nil, fmt.Errorf("an edge (-origin) mirrors origin assets; drop -demo/-asset")
+	}
+	if c.cacheBytes < 0 {
+		return nil, fmt.Errorf("-cache-bytes must be >= 0, got %d", c.cacheBytes)
+	}
+	if c.cacheBytes > 0 && c.origin == "" {
+		return nil, fmt.Errorf("-cache-bytes bounds the edge mirror cache; it requires -origin")
 	}
 	return c, nil
 }
@@ -139,17 +155,34 @@ func run(args []string) error {
 	handler := http.Handler(nil)
 	if c.origin != "" {
 		edge := relay.NewEdge(c.origin, srv)
+		edge.CacheBytes = c.cacheBytes
 		handler = edge.Handler()
 		fmt.Printf("edge mode: pulling through from origin %s\n", c.origin)
+		if c.cacheBytes > 0 {
+			fmt.Printf("edge mirror cache bounded at %d bytes\n", c.cacheBytes)
+		}
 	} else {
 		handler = srv.Handler()
+	}
+	if c.metricsOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		srv.Metrics().Expose(mux)
+		handler = mux
 	}
 
 	errc := make(chan error, 2)
 	if c.hostsRegistry() {
 		reg := relay.NewRegistry(nil)
+		regHandler := http.Handler(reg.Handler())
+		if c.metricsOn {
+			mux := http.NewServeMux()
+			mux.Handle("/", regHandler)
+			reg.Metrics().Expose(mux)
+			regHandler = mux
+		}
 		fmt.Printf("cluster registry listening on %s\n", c.registry)
-		go func() { errc <- http.ListenAndServe(c.registry, reg.Handler()) }()
+		go func() { errc <- http.ListenAndServe(c.registry, regHandler) }()
 	} else if c.registry != "" {
 		info := relay.NodeInfo{ID: c.edgeURL, URL: c.edgeURL}
 		snap := func() relay.NodeStats { return relay.SnapshotStats(srv) }

@@ -77,3 +77,32 @@ func TestParseConfigClusterFlags(t *testing.T) {
 		t.Fatalf("capacity = %d", c.capacity)
 	}
 }
+
+func TestParseConfigCacheAndMetricsFlags(t *testing.T) {
+	// The mirror cache bound only makes sense on an edge.
+	if _, err := parseConfig([]string{"-cache-bytes", "1024"}); err == nil {
+		t.Fatal("-cache-bytes without -origin accepted")
+	}
+	if _, err := parseConfig([]string{"-origin", "http://o:8080", "-cache-bytes", "-1"}); err == nil {
+		t.Fatal("negative -cache-bytes accepted")
+	}
+
+	c, err := parseConfig([]string{"-origin", "http://o:8080", "-cache-bytes", "4096"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cacheBytes != 4096 {
+		t.Fatalf("cacheBytes = %d", c.cacheBytes)
+	}
+	if !c.metricsOn {
+		t.Fatal("metrics should default on")
+	}
+
+	c, err = parseConfig([]string{"-metrics=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.metricsOn {
+		t.Fatal("-metrics=false ignored")
+	}
+}

@@ -8,7 +8,16 @@
 // player, and multi-user floor control. The streaming tier scales out
 // through internal/relay: edge nodes mirror stored assets and re-fan-out
 // live channels from an origin, and a cluster registry redirects clients
-// to the least-loaded edge (lodserver's -origin/-edge/-registry flags).
+// to the edge with the least bandwidth in flight (lodserver's
+// -origin/-edge/-registry flags).
+//
+// Edge mirroring is bounded: with -cache-bytes set, mirrored assets live
+// in a byte-capacity LRU that evicts least-recently-demanded mirrors
+// while pinning anything actively streaming, so an edge serves an
+// unbounded catalog in bounded memory. The whole serving stack is
+// observable through internal/metrics — a dependency-free
+// counter/gauge/histogram registry every role exposes as Prometheus text
+// at GET /metrics and as a JSON snapshot at GET /status.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured record, and README.md for a quickstart. The root

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -16,12 +19,56 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/encoder"
+	"repro/internal/metrics"
 	"repro/internal/player"
 	"repro/internal/publish"
 	"repro/internal/relay"
 	"repro/internal/session"
 	"repro/internal/streaming"
 )
+
+// mountMetrics serves h with the registry's GET /metrics and GET /status
+// endpoints beside it, exactly as cmd/lodserver wires every role.
+func mountMetrics(h http.Handler, reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	reg.Expose(mux)
+	return mux
+}
+
+// scrapeMetrics fetches base+"/metrics" and parses the Prometheus text
+// exposition into series name (with labels) → value.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s/metrics: %s", base, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
 
 // TestFullDistributedPipeline is the end-to-end integration test: record a
 // lecture, publish it, serve it over a real HTTP socket at two bitrates,
@@ -247,7 +294,7 @@ func TestRelayCluster(t *testing.T) {
 	if _, err := origin.RegisterAsset("cluster-lec", asf.NewReader(bytes.NewReader(vodBuf.Bytes()))); err != nil {
 		t.Fatal(err)
 	}
-	originTS := httptest.NewServer(origin.Handler())
+	originTS := httptest.NewServer(mountMetrics(origin.Handler(), origin.Metrics()))
 	defer originTS.Close()
 
 	// --- Two edges and the registry. ---
@@ -255,7 +302,7 @@ func TestRelayCluster(t *testing.T) {
 		srv := streaming.NewServer(nil)
 		srv.Pacing = false
 		edge := relay.NewEdge(originTS.URL, srv)
-		ts := httptest.NewServer(edge.Handler())
+		ts := httptest.NewServer(mountMetrics(edge.Handler(), srv.Metrics()))
 		t.Cleanup(ts.Close)
 		return edge, ts
 	}
@@ -263,7 +310,7 @@ func TestRelayCluster(t *testing.T) {
 	edgeB, edgeBTS := newEdge()
 
 	registry := relay.NewRegistry(nil)
-	regTS := httptest.NewServer(registry.Handler())
+	regTS := httptest.NewServer(mountMetrics(registry.Handler(), registry.Metrics()))
 	defer regTS.Close()
 	if err := relay.RegisterWith(nil, regTS.URL, relay.NodeInfo{ID: "edge-a", URL: edgeATS.URL}); err != nil {
 		t.Fatal(err)
@@ -304,6 +351,11 @@ func TestRelayCluster(t *testing.T) {
 	}
 	if got := origin.Stats().VODSessions; got != 1 {
 		t.Fatalf("origin VOD sessions = %d, want only the direct play", got)
+	}
+	// A third cluster play redirects back to edge A (tie-break on ID) and
+	// is served from its mirror — the cluster's first cache hit.
+	if _, err := player.New(player.Options{}).PlayURL(regTS.URL + "/vod/cluster-lec"); err != nil {
+		t.Fatal(err)
 	}
 
 	// --- Redirects follow reported load: a heartbeat marking edge A busy
@@ -404,5 +456,139 @@ func TestRelayCluster(t *testing.T) {
 		if st.LiveSessions != 1 {
 			t.Fatalf("edge %s served %d live sessions, want 1", name, st.LiveSessions)
 		}
+	}
+
+	// --- Observability: every role reports the traffic above on its
+	// GET /metrics endpoint. ---
+	ma := scrapeMetrics(t, edgeATS.URL)
+	if ma["lod_edge_cache_hits_total"] < 1 {
+		t.Fatalf("edge A cache hits = %v, want >= 1 (third cluster play)", ma["lod_edge_cache_hits_total"])
+	}
+	if ma["lod_edge_cache_misses_total"] < 1 {
+		t.Fatalf("edge A cache misses = %v, want >= 1 (first mirror)", ma["lod_edge_cache_misses_total"])
+	}
+	if ma["lod_bytes_sent_total"] <= 0 {
+		t.Fatal("edge A reports no bytes sent")
+	}
+	if ma["lod_edge_origin_bytes_total"] <= 0 {
+		t.Fatal("edge A reports no origin bytes pulled")
+	}
+	if ma[`lod_sessions_started_total{kind="live"}`] != 1 {
+		t.Fatalf("edge A live sessions metric = %v, want 1", ma[`lod_sessions_started_total{kind="live"}`])
+	}
+	if mb := scrapeMetrics(t, edgeBTS.URL); mb["lod_edge_cache_misses_total"] < 1 {
+		t.Fatalf("edge B cache misses = %v, want >= 1", mb["lod_edge_cache_misses_total"])
+	}
+	mo := scrapeMetrics(t, originTS.URL)
+	if mo["lod_mirror_fetches_total"] != 2 {
+		t.Fatalf("origin mirror fetch metric = %v, want one per edge", mo["lod_mirror_fetches_total"])
+	}
+	if mo["lod_bytes_sent_total"] <= 0 {
+		t.Fatal("origin reports no bytes sent")
+	}
+	mr := scrapeMetrics(t, regTS.URL)
+	if mr["lod_registry_redirects_total"] < 3 {
+		t.Fatalf("registry redirects = %v, want >= 3", mr["lod_registry_redirects_total"])
+	}
+	if mr["lod_registry_nodes_alive"] != 2 {
+		t.Fatalf("registry alive nodes = %v, want 2", mr["lod_registry_nodes_alive"])
+	}
+}
+
+// TestClusterEdgeCacheBounded runs an origin+edge cluster whose edge
+// cache budget holds only two of the origin's three assets: concurrent
+// cluster traffic must all play intact while the LRU evicts over-budget
+// mirrors, and the eviction counter must show on GET /metrics.
+func TestClusterEdgeCacheBounded(t *testing.T) {
+	profile, err := codec.ByName("modem-56k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lec, err := capture.NewLecture(capture.LectureConfig{
+		Title: "Bounded lecture", Duration: 4 * time.Second, Profile: profile,
+		SlideCount: 2, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := encoder.EncodeLecture(lec, encoder.Config{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	origin := streaming.NewServer(nil)
+	origin.Pacing = false
+	const assets = 3
+	for i := 0; i < assets; i++ {
+		name := fmt.Sprintf("lec%d", i)
+		if _, err := origin.RegisterAsset(name, asf.NewReader(bytes.NewReader(buf.Bytes()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	originTS := httptest.NewServer(origin.Handler())
+	defer originTS.Close()
+	asset, _ := origin.Asset("lec0")
+
+	edgeSrv := streaming.NewServer(nil)
+	edgeSrv.Pacing = false
+	edge := relay.NewEdge(originTS.URL, edgeSrv)
+	edge.CacheBytes = 2 * asset.Bytes() // below the 3-asset total: must evict
+	edgeTS := httptest.NewServer(mountMetrics(edge.Handler(), edgeSrv.Metrics()))
+	defer edgeTS.Close()
+
+	direct, err := player.New(player.Options{}).PlayURL(originTS.URL + "/vod/lec0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent churn across all three assets: mirrors, hits, and
+	// evictions interleave with live sessions. Pinning must keep every
+	// in-flight session intact.
+	const players = 9
+	var wg sync.WaitGroup
+	errs := make([]error, players)
+	reads := make([]int64, players)
+	for i := 0; i < players; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m, err := player.New(player.Options{}).PlayURL(edgeTS.URL + fmt.Sprintf("/vod/lec%d", id%assets))
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			reads[id] = m.BytesRead
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < players; i++ {
+		if errs[i] != nil {
+			t.Fatalf("player %d failed under cache pressure: %v", i, errs[i])
+		}
+		if reads[i] != direct.BytesRead {
+			t.Fatalf("player %d read %d bytes, direct read %d", i, reads[i], direct.BytesRead)
+		}
+	}
+
+	// A deterministic sweep with no concurrent pins: demanding all three
+	// assets one after another forces at least one eviction, and the
+	// final residency fits the budget again.
+	for _, name := range []string{"lec0", "lec1", "lec2", "lec0"} {
+		if _, err := player.New(player.Options{}).PlayURL(edgeTS.URL + "/vod/" + name); err != nil {
+			t.Fatalf("sequential replay of %s failed: %v", name, err)
+		}
+	}
+	m := scrapeMetrics(t, edgeTS.URL)
+	if m["lod_edge_cache_evictions_total"] < 1 {
+		t.Fatalf("evictions = %v, want >= 1 with %d bytes for %d assets",
+			m["lod_edge_cache_evictions_total"], edge.CacheBytes, assets)
+	}
+	if got := m["lod_edge_cache_bytes"]; got > float64(edge.CacheBytes) {
+		t.Fatalf("resident cache bytes = %v, over the %d budget", got, edge.CacheBytes)
+	}
+	if m["lod_edge_cache_misses_total"] < assets {
+		t.Fatalf("misses = %v, want >= %d", m["lod_edge_cache_misses_total"], assets)
+	}
+	if m["lod_edge_cache_hits_total"] < 1 {
+		t.Fatalf("hits = %v, want >= 1", m["lod_edge_cache_hits_total"])
 	}
 }

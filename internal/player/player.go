@@ -91,6 +91,10 @@ type Metrics struct {
 	BrokenFrames int
 	BytesRead    int64
 	Duration     time.Duration
+	// FinalURL is the URL that actually served the stream when playing
+	// via PlayURL — after following any redirects, so through a relay
+	// registry it names the edge, not the registry. Empty for Play.
+	FinalURL string
 }
 
 // SlideEvents returns the slide-flip events in order.
@@ -153,7 +157,11 @@ func (p *Player) PlayURL(url string) (*Metrics, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("player: fetch %s: status %s", url, resp.Status)
 	}
-	return p.Play(resp.Body)
+	m, err := p.Play(resp.Body)
+	if m != nil && resp.Request != nil && resp.Request.URL != nil {
+		m.FinalURL = resp.Request.URL.String()
+	}
+	return m, err
 }
 
 // Play consumes the container from r, rendering to the event log.

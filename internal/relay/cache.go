@@ -1,0 +1,102 @@
+package relay
+
+import (
+	"container/list"
+	"sync"
+)
+
+// assetCache is the edge's byte-capacity LRU accounting over mirrored
+// assets. It tracks names and sizes only — the bytes themselves live in
+// the edge's streaming.Server — and decides which mirrors to drop when
+// the configured capacity is exceeded, so an edge can serve an
+// effectively unbounded catalog with bounded memory.
+//
+// Eviction never selects a pinned entry (one with active sessions or a
+// rate-group membership, per the edge's pin predicate) nor the entry
+// being demanded right now, so in-flight sessions always survive
+// capacity pressure. If pins alone exceed capacity the cache runs over
+// budget rather than breaking sessions; the budget is re-enforced on
+// every later demand, so residency shrinks back once the pins release.
+type assetCache struct {
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	total   int64
+}
+
+type cacheEntry struct {
+	name string
+	size int64
+}
+
+func newAssetCache() *assetCache {
+	return &assetCache{ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// add inserts name at the most-recently-used position, or refreshes an
+// existing entry's size and recency.
+func (c *assetCache) add(name string, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[name]; ok {
+		c.total += size - el.Value.(*cacheEntry).size
+		el.Value.(*cacheEntry).size = size
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[name] = c.ll.PushFront(&cacheEntry{name: name, size: size})
+	c.total += size
+}
+
+// enforce evicts least-recently-used entries until the total fits
+// capacity, skipping pinned entries and the named exception (the asset
+// being demanded right now). It returns the evicted names, oldest
+// first; the caller unregisters them from its server and counts them. A
+// capacity of zero or less means unbounded: nothing is evicted.
+func (c *assetCache) enforce(capacity int64, except string, pinned func(string) bool) []string {
+	if capacity <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var evicted []string
+	for el := c.ll.Back(); el != nil && c.total > capacity; {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		if e.name != except && !pinned(e.name) {
+			c.ll.Remove(el)
+			delete(c.entries, e.name)
+			c.total -= e.size
+			evicted = append(evicted, e.name)
+		}
+		el = prev
+	}
+	return evicted
+}
+
+// touch marks name most recently used; unknown names are ignored.
+func (c *assetCache) touch(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[name]; ok {
+		c.ll.MoveToFront(el)
+	}
+}
+
+// bytes returns the tracked total size.
+func (c *assetCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// names returns the cached names, most recently used first.
+func (c *assetCache) names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).name)
+	}
+	return out
+}

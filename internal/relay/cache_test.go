@@ -1,0 +1,279 @@
+package relay
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/streaming"
+	"repro/internal/vclock"
+)
+
+func noPins(string) bool { return false }
+
+func TestAssetCacheLRUOrdering(t *testing.T) {
+	c := newAssetCache()
+	// Three 10-byte entries under a 30-byte budget: everything fits.
+	for _, name := range []string{"a", "b", "c"} {
+		c.add(name, 10)
+		if ev := c.enforce(30, name, noPins); ev != nil {
+			t.Fatalf("add %s evicted %v under capacity", name, ev)
+		}
+	}
+	if got := c.bytes(); got != 30 {
+		t.Fatalf("cache bytes = %d, want 30", got)
+	}
+	// Touching "a" promotes it, so "b" is now least recently used and
+	// goes first when "d" overflows the budget.
+	c.touch("a")
+	c.add("d", 10)
+	if ev := c.enforce(30, "d", noPins); !reflect.DeepEqual(ev, []string{"b"}) {
+		t.Fatalf("evicted %v, want [b]", ev)
+	}
+	// A big insert sweeps the tail oldest-first until the total fits:
+	// c, then a, then d — everything but the newcomer.
+	c.add("huge", 25)
+	if ev := c.enforce(30, "huge", noPins); !reflect.DeepEqual(ev, []string{"c", "a", "d"}) {
+		t.Fatalf("evicted %v, want [c a d]", ev)
+	}
+	if got := c.names(); !reflect.DeepEqual(got, []string{"huge"}) {
+		t.Fatalf("cache contents = %v", got)
+	}
+	if got := c.bytes(); got != 25 {
+		t.Fatalf("cache bytes = %d, want 25", got)
+	}
+	// Unbounded capacity never evicts.
+	c.add("more", 1000)
+	if ev := c.enforce(0, "more", noPins); ev != nil {
+		t.Fatalf("unbounded enforce evicted %v", ev)
+	}
+}
+
+func TestAssetCacheReAddRefreshesSize(t *testing.T) {
+	c := newAssetCache()
+	c.add("a", 10)
+	c.add("a", 25)
+	if got := c.bytes(); got != 25 {
+		t.Fatalf("re-added size = %d, want 25", got)
+	}
+	if got := len(c.names()); got != 1 {
+		t.Fatalf("re-add duplicated the entry: %v", c.names())
+	}
+}
+
+func TestAssetCachePinnedSurvival(t *testing.T) {
+	c := newAssetCache()
+	pinned := func(name string) bool { return name == "a" || name == "b" }
+	c.add("a", 10)
+	c.add("b", 10)
+	c.add("c", 10)
+	// a and b are pinned and c is the demand in progress, so nothing may
+	// go even though the budget is exceeded.
+	if ev := c.enforce(25, "c", pinned); ev != nil {
+		t.Fatalf("evicted %v despite pins", ev)
+	}
+	if got := c.names(); len(got) != 3 {
+		t.Fatalf("pinned entries evicted: %v", got)
+	}
+	// Once a fourth unpinned entry exists, pressure lands on the oldest
+	// unpinned one ("c") and never the pinned pair.
+	c.add("d", 10)
+	if ev := c.enforce(25, "d", pinned); !reflect.DeepEqual(ev, []string{"c"}) {
+		t.Fatalf("evicted %v, want [c]", ev)
+	}
+	// With the pins released, a later enforcement (any demand) brings the
+	// cache back under budget: the stale pinned pair drains LRU-first.
+	if ev := c.enforce(10, "d", noPins); !reflect.DeepEqual(ev, []string{"a", "b"}) {
+		t.Fatalf("evicted %v after pin release, want [a b]", ev)
+	}
+}
+
+// registerTestAsset encodes a small lecture and registers it on the
+// origin under the given name.
+func registerTestAsset(t *testing.T, origin *streaming.Server, name string) {
+	t.Helper()
+	data := encodeTestLecture(t, 2*time.Second, false)
+	if _, err := origin.RegisterAsset(name, asf.NewReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeCacheEvictsUnderPressure drives real mirror traffic through an
+// edge whose byte budget holds fewer assets than the origin offers and
+// checks eviction, re-mirroring, and the cache counters.
+func TestEdgeCacheEvictsUnderPressure(t *testing.T) {
+	origin := streaming.NewServer(nil)
+	origin.Pacing = false
+	const assets = 3
+	for i := 0; i < assets; i++ {
+		registerTestAsset(t, origin, fmt.Sprintf("lec%d", i))
+	}
+	originTS := httptest.NewServer(origin.Handler())
+	defer originTS.Close()
+
+	a, _ := origin.Asset("lec0")
+	assetBytes := a.Bytes()
+
+	edgeSrv := streaming.NewServer(nil)
+	edgeSrv.Pacing = false
+	edge := NewEdge(originTS.URL, edgeSrv)
+	edge.CacheBytes = 2 * assetBytes // room for two of the three
+	edgeTS := httptest.NewServer(edge.Handler())
+	defer edgeTS.Close()
+
+	// Demand all three: mirroring lec2 must push out lec0 (the least
+	// recently demanded).
+	for i := 0; i < assets; i++ {
+		readStream(t, edgeTS.URL+fmt.Sprintf("/vod/lec%d", i))
+	}
+	if _, ok := edgeSrv.Asset("lec0"); ok {
+		t.Fatal("lec0 survived capacity pressure")
+	}
+	if _, ok := edgeSrv.Asset("lec2"); !ok {
+		t.Fatal("lec2 missing right after its mirror")
+	}
+	if got := edge.inst.evictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := edge.inst.misses.Value(); got != 3 {
+		t.Fatalf("misses = %d, want 3", got)
+	}
+	if got := edge.inst.cacheBytes.Value(); got != 2*assetBytes {
+		t.Fatalf("cache bytes gauge = %d, want %d", got, 2*assetBytes)
+	}
+	if got := edge.inst.originBytes.Value(); got <= 0 {
+		t.Fatal("no origin bytes counted")
+	}
+
+	// The evicted asset is simply re-mirrored on its next demand (counted
+	// as a miss), evicting the new LRU (lec1).
+	readStream(t, edgeTS.URL+"/vod/lec0")
+	if _, ok := edgeSrv.Asset("lec0"); !ok {
+		t.Fatal("lec0 not re-mirrored after eviction")
+	}
+	if _, ok := edgeSrv.Asset("lec1"); ok {
+		t.Fatal("lec1 survived the re-mirror of lec0")
+	}
+	if got := edge.inst.misses.Value(); got != 4 {
+		t.Fatalf("misses after re-mirror = %d, want 4", got)
+	}
+
+	// A repeat demand of resident content is a pure cache hit.
+	readStream(t, edgeTS.URL+"/vod/lec0")
+	if got := edge.inst.hits.Value(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	if got := origin.Stats().MirrorFetches; got != 4 {
+		t.Fatalf("origin mirror fetches = %d, want 4", got)
+	}
+}
+
+// TestEdgeCachePinsStreamingAsset parks a paced VOD session on a virtual
+// clock mid-stream and applies eviction pressure: the streaming asset is
+// pinned and must survive, and the parked session must then complete
+// intact.
+func TestEdgeCachePinsStreamingAsset(t *testing.T) {
+	origin := streaming.NewServer(nil)
+	origin.Pacing = false
+	for _, name := range []string{"hot", "cold1", "cold2"} {
+		registerTestAsset(t, origin, name)
+	}
+	originTS := httptest.NewServer(origin.Handler())
+	defer originTS.Close()
+
+	a, _ := origin.Asset("hot")
+	assetBytes := a.Bytes()
+
+	clk := vclock.NewVirtual()
+	edgeSrv := streaming.NewServer(clk) // paced: sessions park on the virtual clock
+	edge := NewEdge(originTS.URL, edgeSrv)
+	edge.CacheBytes = 2 * assetBytes
+	edgeTS := httptest.NewServer(edge.Handler())
+	defer edgeTS.Close()
+
+	// Start a session on "hot" and wait until it is booked as active; it
+	// then sits in the pacing wait on the virtual clock.
+	type result struct {
+		pkts int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(edgeTS.URL + "/vod/hot")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		r := asf.NewReader(resp.Body)
+		if _, err := r.ReadHeader(); err != nil {
+			done <- result{err: err}
+			return
+		}
+		var pkts int
+		for {
+			if _, err := r.ReadPacket(); err != nil {
+				done <- result{pkts: pkts}
+				return
+			}
+			pkts++
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for edgeSrv.AssetActiveSessions("hot") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session on hot never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Two more mirrors exceed the budget while "hot" is mid-stream. The
+	// eviction must land on cold1, never on the pinned hot asset.
+	if err := edge.MirrorAsset("cold1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := edge.MirrorAsset("cold2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := edgeSrv.Asset("hot"); !ok {
+		t.Fatal("streaming asset was evicted")
+	}
+	if _, ok := edgeSrv.Asset("cold1"); ok {
+		t.Fatal("cold1 survived although hot was pinned")
+	}
+	if got := edge.inst.evictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+
+	// Release the parked session: advance virtual time past the lecture
+	// end and confirm the in-flight stream finished undamaged.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clk.Advance(100 * time.Millisecond)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatalf("pinned session failed: %v", res.err)
+		}
+		if res.pkts == 0 {
+			t.Fatal("pinned session delivered no packets")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pinned session never finished")
+	}
+}

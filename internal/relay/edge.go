@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
 
 	"repro/internal/asf"
+	"repro/internal/metrics"
 	"repro/internal/streaming"
 )
 
@@ -18,6 +20,15 @@ import (
 // cached for every later client; live channels are subscribed once via
 // /live and re-fanned-out through a local Channel, so the origin carries
 // one session per edge instead of one per viewer.
+//
+// The mirror cache is bounded when CacheBytes is set: mirrored assets
+// are tracked in a byte-capacity LRU, and pulling a new asset past the
+// budget evicts the least-recently-demanded mirrors. Assets with active
+// sessions or a rate-group membership are pinned and never evicted, so
+// capacity pressure cannot fail an in-flight stream; an evicted asset
+// is simply re-mirrored on its next demand. Cache traffic (hits,
+// misses, evictions, resident bytes, origin bytes pulled, pulls in
+// flight) is counted on the server's metrics registry.
 type Edge struct {
 	// Origin is the origin server's base URL, without a trailing slash.
 	Origin string
@@ -26,9 +37,29 @@ type Edge struct {
 	Server *streaming.Server
 	// Client performs origin requests; nil means http.DefaultClient.
 	Client *http.Client
+	// CacheBytes bounds the summed payload bytes of mirrored assets;
+	// 0 mirrors without limit. Set before serving traffic.
+	CacheBytes int64
 
 	mu       sync.Mutex
 	inflight map[string]*pull
+	cache    *assetCache
+	inst     edgeInstruments
+	// demand counts the /vod/ requests currently between mirror and
+	// serve for each asset, pinning them so eviction cannot win the race
+	// against a session that is about to start.
+	demand map[string]int
+}
+
+// edgeInstruments are the edge's metric handles on its server's
+// registry.
+type edgeInstruments struct {
+	hits        *metrics.Counter
+	misses      *metrics.Counter
+	evictions   *metrics.Counter
+	originBytes *metrics.Counter
+	pulls       *metrics.Gauge
+	cacheBytes  *metrics.Gauge
 }
 
 // pull tracks one in-progress origin fetch so concurrent demands for the
@@ -44,10 +75,21 @@ func NewEdge(origin string, srv *streaming.Server) *Edge {
 	if srv == nil {
 		srv = streaming.NewServer(nil)
 	}
+	reg := srv.Metrics()
 	return &Edge{
 		Origin:   strings.TrimSuffix(origin, "/"),
 		Server:   srv,
 		inflight: make(map[string]*pull),
+		demand:   make(map[string]int),
+		cache:    newAssetCache(),
+		inst: edgeInstruments{
+			hits:        reg.Counter("lod_edge_cache_hits_total", "Mirror demands served from already-cached content."),
+			misses:      reg.Counter("lod_edge_cache_misses_total", "Mirror demands that required an origin pull."),
+			evictions:   reg.Counter("lod_edge_cache_evictions_total", "Mirrored assets dropped by the byte-capacity LRU."),
+			originBytes: reg.Counter("lod_edge_origin_bytes_total", "Bytes pulled from the origin (mirrors, groups, live relays)."),
+			pulls:       reg.Gauge("lod_edge_pulls_in_flight", "Origin pulls currently in progress."),
+			cacheBytes:  reg.Gauge("lod_edge_cache_bytes", "Payload bytes of mirrored assets resident in the cache."),
+		},
 	}
 }
 
@@ -80,7 +122,9 @@ func (e *Edge) ensure(key string, present func() bool, fetch func() error) error
 		e.inflight[key] = fl
 		e.mu.Unlock()
 
+		e.inst.pulls.Inc()
 		fl.err = fetch()
+		e.inst.pulls.Dec()
 		e.mu.Lock()
 		delete(e.inflight, key)
 		e.mu.Unlock()
@@ -90,10 +134,21 @@ func (e *Edge) ensure(key string, present func() bool, fetch func() error) error
 }
 
 // MirrorAsset ensures the named asset is registered on the edge's server,
-// fetching it from the origin on first demand (pull-through cache).
-// Concurrent callers share one origin transfer. A missing origin asset
-// returns streaming.ErrNotFound.
+// fetching it from the origin on first demand (pull-through cache) and
+// booking it into the LRU mirror cache. Concurrent callers share one
+// origin transfer; a demand for cached content counts as a hit and
+// refreshes its recency. A missing origin asset returns
+// streaming.ErrNotFound.
 func (e *Edge) MirrorAsset(name string) error {
+	if _, ok := e.Server.Asset(name); ok {
+		e.inst.hits.Inc()
+		e.cache.touch(name)
+		// Re-apply the budget on hits too: pins may have forced the cache
+		// over capacity earlier and released since.
+		e.enforceBudget(name)
+		return nil
+	}
+	e.inst.misses.Inc()
 	present := func() bool { _, ok := e.Server.Asset(name); return ok }
 	return e.ensure("asset/"+name, present, func() error { return e.fetchAsset(name) })
 }
@@ -110,11 +165,101 @@ func (e *Edge) fetchAsset(name string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("relay: mirror %q: origin status %s", name, resp.Status)
 	}
-	_, err = e.Server.RegisterAsset(name, asf.NewReader(resp.Body))
-	if errors.Is(err, streaming.ErrDuplicate) {
-		return nil // raced with a direct registration; the asset is there
+	_, err = e.Server.RegisterAsset(name, asf.NewReader(e.countBytes(resp.Body)))
+	if err != nil && !errors.Is(err, streaming.ErrDuplicate) {
+		return err
 	}
-	return err
+	// Duplicate means we raced a direct registration; either way the
+	// asset is resident now and must be under cache accounting.
+	e.trackAsset(name)
+	return nil
+}
+
+// trackAsset books a resident mirror into the LRU and applies the byte
+// budget.
+func (e *Edge) trackAsset(name string) {
+	a, ok := e.Server.Asset(name)
+	if !ok {
+		return
+	}
+	e.cache.add(name, a.Bytes())
+	e.enforceBudget(name)
+}
+
+// enforceBudget evicts over-budget mirrors (never `except`, never
+// pinned assets), unregistering each victim from the edge server and
+// counting it. A victim that gained a pin between the cache's decision
+// and this removal (a demand raced in) is reinstated instead of
+// removed.
+func (e *Edge) enforceBudget(except string) {
+	for _, victim := range e.cache.enforce(e.CacheBytes, except, e.pinned) {
+		if e.pinned(victim) {
+			if a, ok := e.Server.Asset(victim); ok {
+				e.cache.add(victim, a.Bytes())
+				continue
+			}
+		}
+		if e.Server.RemoveAsset(victim) {
+			e.inst.evictions.Inc()
+		}
+	}
+	e.inst.cacheBytes.Set(e.cache.bytes())
+}
+
+// pinDemand pins an asset for the duration of one demand; the returned
+// func releases the pin and must be deferred.
+func (e *Edge) pinDemand(name string) func() {
+	e.mu.Lock()
+	e.demand[name]++
+	e.mu.Unlock()
+	return func() {
+		e.mu.Lock()
+		if e.demand[name]--; e.demand[name] <= 0 {
+			delete(e.demand, name)
+		}
+		e.mu.Unlock()
+	}
+}
+
+// pinned reports whether an asset must survive eviction: it is being
+// streamed or demanded right now, or a mirrored rate group references
+// it (groups hold direct asset pointers, so dropping a variant would
+// leave the group serving content the cache no longer accounts for).
+func (e *Edge) pinned(name string) bool {
+	e.mu.Lock()
+	demanded := e.demand[name] > 0
+	e.mu.Unlock()
+	if demanded {
+		return true
+	}
+	if e.Server.AssetActiveSessions(name) > 0 {
+		return true
+	}
+	for _, g := range e.Server.Groups() {
+		for _, v := range g.Variants {
+			if v == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// countBytes wraps an origin response body so every byte pulled from
+// upstream lands in the lod_edge_origin_bytes_total counter.
+func (e *Edge) countBytes(r io.Reader) io.Reader {
+	return &countingReader{r: r, c: e.inst.originBytes}
+}
+
+type countingReader struct {
+	r io.Reader
+	c *metrics.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
 }
 
 // MirrorGroup ensures the named multi-rate group exists on the edge's
@@ -135,7 +280,7 @@ func (e *Edge) fetchGroup(name string) error {
 		return fmt.Errorf("relay: group %q: origin status %s", name, resp.Status)
 	}
 	var groups []streaming.GroupInfo
-	if err := json.NewDecoder(resp.Body).Decode(&groups); err != nil {
+	if err := json.NewDecoder(e.countBytes(resp.Body)).Decode(&groups); err != nil {
 		return fmt.Errorf("relay: group %q: %w", name, err)
 	}
 	var variants []string
@@ -148,6 +293,13 @@ func (e *Edge) fetchGroup(name string) error {
 	}
 	if !found {
 		return fmt.Errorf("%w: origin group %q", streaming.ErrNotFound, name)
+	}
+	// Pin every variant for the whole group mirror: until CreateRateGroup
+	// runs, the variants have no group membership, and under a tight
+	// budget a later variant's pull could otherwise evict an earlier one,
+	// registering a permanently incomplete group.
+	for _, v := range variants {
+		defer e.pinDemand(v)()
 	}
 	for _, v := range variants {
 		if err := e.MirrorAsset(v); err != nil {
@@ -192,7 +344,7 @@ func (e *Edge) startRelay(name string) error {
 		resp.Body.Close()
 		return fmt.Errorf("relay: live %q: origin status %s", name, resp.Status)
 	}
-	r := asf.NewReader(resp.Body)
+	r := asf.NewReader(e.countBytes(resp.Body))
 	h, err := r.ReadHeader()
 	if err != nil {
 		resp.Body.Close()
@@ -234,9 +386,18 @@ func (e *Edge) Handler() http.Handler {
 	mux.Handle("/", base)
 	mux.HandleFunc("/vod/", func(w http.ResponseWriter, r *http.Request) {
 		name := strings.TrimPrefix(r.URL.Path, "/vod/")
-		if err := e.MirrorAsset(name); err != nil {
-			pullError(w, r, err)
-			return
+		defer e.pinDemand(name)()
+		// An eviction decided before our pin landed can still remove the
+		// asset after MirrorAsset sees it present; with the pin now held,
+		// one re-mirror is stable.
+		for attempt := 0; attempt < 2; attempt++ {
+			if err := e.MirrorAsset(name); err != nil {
+				pullError(w, r, err)
+				return
+			}
+			if _, ok := e.Server.Asset(name); ok {
+				break
+			}
 		}
 		base.ServeHTTP(w, r)
 	})

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/vclock"
 )
 
@@ -18,11 +19,17 @@ const DefaultNodeTTL = 15 * time.Second
 
 // Registry is the cluster's client entry point: edges register and
 // heartbeat their load, clients request streams and are redirected (307)
-// to the least-loaded live edge.
+// to the least-loaded live edge. Redirect counts per node, lost
+// redirects (no live edge), live-node count, and per-node heartbeat
+// ages are published on Metrics().
 type Registry struct {
 	clock vclock.Clock
 	// TTL overrides DefaultNodeTTL when positive.
 	TTL time.Duration
+
+	metrics   *metrics.Registry
+	redirects *metrics.Counter
+	noNode    *metrics.Counter
 
 	mu    sync.Mutex
 	nodes map[string]*regNode
@@ -36,6 +43,10 @@ type regNode struct {
 	// a burst of joins between heartbeats still spreads across edges
 	// (least-connections with local accounting).
 	assigned int64
+	// redirects is the node's lod_registry_node_redirects_total series,
+	// created once at registration so the redirect hot path never takes
+	// the metric registry's lookup lock.
+	redirects *metrics.Counter
 }
 
 // NodeStatus is the externally visible state of one registered node.
@@ -56,8 +67,24 @@ func NewRegistry(clock vclock.Clock) *Registry {
 	if clock == nil {
 		clock = vclock.Real{}
 	}
-	return &Registry{clock: clock, nodes: make(map[string]*regNode)}
+	g := &Registry{clock: clock, nodes: make(map[string]*regNode), metrics: metrics.NewRegistry()}
+	g.redirects = g.metrics.Counter("lod_registry_redirects_total", "Client redirects issued to edges.")
+	g.noNode = g.metrics.Counter("lod_registry_no_edge_total", "Client requests refused because no edge was live.")
+	g.metrics.GaugeFunc("lod_registry_nodes_alive", "Registered nodes within their TTL.", func() float64 {
+		var alive float64
+		for _, n := range g.Nodes() {
+			if n.Alive {
+				alive++
+			}
+		}
+		return alive
+	})
+	return g
 }
+
+// Metrics returns the registry's metric registry; cmd/lodserver mounts
+// it next to the redirect endpoints when hosting the registry role.
+func (g *Registry) Metrics() *metrics.Registry { return g.metrics }
 
 func (g *Registry) ttl() time.Duration {
 	if g.TTL > 0 {
@@ -68,6 +95,11 @@ func (g *Registry) ttl() time.Duration {
 
 // Register adds or refreshes a node. Re-registering an existing ID
 // updates its URL and resets its liveness.
+//
+// The node's metric series are created OUTSIDE g.mu: scrapes hold the
+// metrics registry's lock while calling gauge functions that take g.mu,
+// so taking the locks in the opposite order here would deadlock the
+// registry against a concurrent /metrics scrape.
 func (g *Registry) Register(info NodeInfo) error {
 	if info.ID == "" {
 		return &badNodeError{"empty node id"}
@@ -76,6 +108,26 @@ func (g *Registry) Register(info NodeInfo) error {
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		return &badNodeError{"node URL must be absolute, got " + info.URL}
 	}
+	id := info.ID
+	redirects := g.metrics.Counter("lod_registry_node_redirects_total",
+		"Client redirects issued, by target node.",
+		metrics.Label{Key: "node", Value: id})
+	// Scrape-time gauge: how stale is this node's last heartbeat? A node
+	// that re-registers simply refreshes the closure; series are never
+	// unregistered, so a TTL-expired node keeps reporting its growing age.
+	g.metrics.GaugeFunc("lod_registry_heartbeat_age_seconds",
+		"Seconds since each node's last registration or heartbeat.",
+		func() float64 {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			n, ok := g.nodes[id]
+			if !ok {
+				return -1
+			}
+			return g.clock.Now().Sub(n.lastSeen).Seconds()
+		},
+		metrics.Label{Key: "node", Value: id})
+
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	n := g.nodes[info.ID]
@@ -84,6 +136,7 @@ func (g *Registry) Register(info NodeInfo) error {
 		g.nodes[info.ID] = n
 	}
 	n.info = info
+	n.redirects = redirects
 	n.lastSeen = g.clock.Now()
 	return nil
 }
@@ -145,6 +198,7 @@ func (g *Registry) Pick() (NodeInfo, error) {
 		return NodeInfo{}, ErrNoNodes
 	}
 	best.assigned++
+	best.redirects.Inc()
 	return best.info, nil
 }
 
@@ -217,9 +271,11 @@ func (g *Registry) handleNodes(w http.ResponseWriter, _ *http.Request) {
 func (g *Registry) handleRedirect(w http.ResponseWriter, r *http.Request) {
 	node, err := g.Pick()
 	if err != nil {
+		g.noNode.Inc()
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	g.redirects.Inc()
 	// EscapedPath keeps percent-encoded names intact in the Location.
 	target := strings.TrimSuffix(node.URL, "/") + r.URL.EscapedPath()
 	if r.URL.RawQuery != "" {

@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -115,6 +118,110 @@ func TestRegistryCapacityFractionBreaksTies(t *testing.T) {
 	if got.ID != "roomy" {
 		t.Fatalf("pick = %q, want the node with admission headroom", got.ID)
 	}
+}
+
+func TestRegistryPrefersBytesInFlight(t *testing.T) {
+	g := NewRegistry(nil)
+	for _, n := range []NodeInfo{
+		{ID: "busy", URL: "http://edge-a"},
+		{ID: "light", URL: "http://edge-b"},
+	} {
+		if err := g.Register(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "busy" serves fewer sessions but far more bandwidth: one rich DSL
+	// stream outweighs three modem streams, so bandwidth decides.
+	if err := g.Heartbeat("busy", NodeStats{ActiveClients: 1, InFlightBps: 3_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Heartbeat("light", NodeStats{ActiveClients: 3, InFlightBps: 168_000}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "light" {
+		t.Fatalf("pick = %q, want the node with less bandwidth in flight", got.ID)
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	clk := vclock.NewVirtual()
+	g := NewRegistry(clk)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	// No live edge: the lost redirect is counted.
+	resp, err := http.Get(ts.URL + "/vod/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := g.Register(NodeInfo{ID: "e1", URL: "http://edge-1"}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(3 * time.Second)
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err = noFollow.Get(ts.URL + "/vod/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	status := g.Metrics().Status()
+	if status["lod_registry_no_edge_total"] != 1 {
+		t.Fatalf("no-edge counter = %v", status["lod_registry_no_edge_total"])
+	}
+	if status["lod_registry_redirects_total"] != 1 {
+		t.Fatalf("redirects = %v", status["lod_registry_redirects_total"])
+	}
+	if status[`lod_registry_node_redirects_total{node="e1"}`] != 1 {
+		t.Fatalf("per-node redirects = %v", status)
+	}
+	if status["lod_registry_nodes_alive"] != 1 {
+		t.Fatalf("alive gauge = %v", status["lod_registry_nodes_alive"])
+	}
+	if got := status[`lod_registry_heartbeat_age_seconds{node="e1"}`]; got != 3 {
+		t.Fatalf("heartbeat age = %v, want 3 (virtual seconds)", got)
+	}
+}
+
+// TestRegistryRegisterScrapeNoDeadlock hammers (re-)registration and
+// picks against concurrent metric scrapes. Register must create its
+// metric series outside the node lock: scrapes hold the metric
+// registry's lock while their gauge functions take the node lock, so
+// the reverse order deadlocks (this test then times out).
+func TestRegistryRegisterScrapeNoDeadlock(t *testing.T) {
+	g := NewRegistry(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := g.Register(NodeInfo{ID: fmt.Sprintf("n%d", i%8), URL: "http://edge"}); err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = g.Pick()
+			}
+		}()
+	}
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = g.Metrics().WritePrometheus(io.Discard)
+				_ = g.Metrics().Status()
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestRegistryTTLExpiresSilentNodes(t *testing.T) {

@@ -15,10 +15,21 @@
 //   - The Registry tracks the cluster's edges via registration and
 //     periodic heartbeats carrying per-node load (ServerStats plus
 //     admission-control reservations) and redirects incoming clients
-//     (HTTP 307) to the least-loaded live edge.
+//     (HTTP 307) to the least-loaded live edge. Load is compared on
+//     reported bytes-in-flight — the summed declared bandwidth of the
+//     node's active sessions — falling back to raw session count for
+//     nodes that do not report it (see NodeStats.Load).
 //
 // Clients need no cluster awareness: they request /vod/... or /live/...
 // from the registry and follow the redirect.
+//
+// Both roles are observable: an Edge counts its mirror cache (hits,
+// misses, LRU evictions, resident and origin-pulled bytes) on its
+// server's metrics registry, and the Registry counts redirects and
+// exposes per-node heartbeat ages on its own (Registry.Metrics). When
+// Edge.CacheBytes is set, mirrored assets are evicted
+// least-recently-demanded-first once the budget is exceeded, with
+// in-use and grouped assets pinned — see Edge.
 package relay
 
 import (
@@ -56,14 +67,27 @@ type NodeStats struct {
 	CapacityBps   int64 `json:"capacityBps"`
 	PacketsSent   int64 `json:"packetsSent"`
 	BytesSent     int64 `json:"bytesSent"`
+	// InFlightBps is the summed declared bandwidth of the node's active
+	// sessions — the primary balancing signal, since one rich DSL
+	// session costs the uplink more than several modem sessions.
+	InFlightBps int64 `json:"inFlightBps"`
 }
 
-// Load folds the snapshot into one comparable score: the client count
-// plus, when the node enforces an admission capacity, the fraction of
-// that capacity reserved (so of two equally-subscribed nodes the one
-// closer to its bandwidth budget ranks as more loaded).
+// Load folds the snapshot into one comparable score, lower meaning less
+// loaded. A node reporting bandwidth in flight is scored on it, in
+// megabits/s so one unit is roughly one rich session (and comparable to
+// the +1 the registry adds per unheartbeated redirect); nodes that
+// report no in-flight bandwidth fall back to their raw session count.
+// Either way, a node enforcing an admission capacity adds the fraction
+// of that capacity reserved, so of two otherwise-equal nodes the one
+// closer to its budget ranks as more loaded.
 func (s NodeStats) Load() float64 {
-	load := float64(s.ActiveClients)
+	var load float64
+	if s.InFlightBps > 0 {
+		load = float64(s.InFlightBps) / 1e6
+	} else {
+		load = float64(s.ActiveClients)
+	}
 	if s.CapacityBps > 0 {
 		load += float64(s.ReservedBps) / float64(s.CapacityBps)
 	}
@@ -78,6 +102,7 @@ func SnapshotStats(srv *streaming.Server) NodeStats {
 		ActiveClients: st.ActiveClients,
 		PacketsSent:   st.PacketsSent,
 		BytesSent:     st.BytesSent,
+		InFlightBps:   st.InFlightBps,
 	}
 	if adm := srv.Admission; adm != nil {
 		ns.ReservedBps = adm.Reserved()

@@ -30,6 +30,13 @@
 // over-capacity requests receive 503. Edge nodes built on this server
 // (see internal/relay) subscribe to /live/{channel} and mirror assets
 // through /fetch/{asset} to re-serve both locally.
+//
+// Every server owns a metrics registry (Metrics) counting sessions
+// started and active, packets and bytes sent, packets delayed by
+// pacing, admission rejects, mirror fetches, declared bandwidth in
+// flight, and per-endpoint handling latency. Mount it with
+// Metrics().Expose(mux) to serve GET /metrics and GET /status next to
+// the streaming endpoints, as cmd/lodserver does on every role.
 package streaming
 
 import (
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/asf"
+	"repro/internal/metrics"
 	"repro/internal/vclock"
 )
 
@@ -116,6 +124,10 @@ type ServerStats struct {
 	// MirrorFetches counts whole-container transfers served from /fetch/,
 	// i.e. edge nodes pulling assets through the relay tier.
 	MirrorFetches int64
+	// InFlightBps is the summed declared bandwidth of the sessions
+	// currently streaming — the load signal the relay registry balances
+	// on (see relay.NodeStats.Load).
+	InFlightBps int64
 }
 
 // Server is the LOD streaming server. Create with NewServer, register
@@ -128,6 +140,12 @@ type Server struct {
 	channels map[string]*Channel
 	groups   map[string]*RateGroup
 	stats    ServerStats
+	// assetSessions counts the sessions currently streaming each asset,
+	// so cache eviction (relay.Edge) can pin assets that are in use.
+	assetSessions map[string]int
+
+	metrics *metrics.Registry
+	inst    serverInstruments
 
 	// Pacing controls whether VOD sessions honor packet send times; when
 	// false packets are written as fast as possible (the pacing ablation).
@@ -142,13 +160,51 @@ func NewServer(clock vclock.Clock) *Server {
 	if clock == nil {
 		clock = vclock.Real{}
 	}
-	return &Server{
-		clock:    clock,
-		assets:   make(map[string]*Asset),
-		channels: make(map[string]*Channel),
-		Pacing:   true,
+	s := &Server{
+		clock:         clock,
+		assets:        make(map[string]*Asset),
+		channels:      make(map[string]*Channel),
+		assetSessions: make(map[string]int),
+		metrics:       metrics.NewRegistry(),
+		Pacing:        true,
+	}
+	s.inst = newServerInstruments(s.metrics)
+	return s
+}
+
+// serverInstruments are the server's metric handles, created once so
+// the hot paths never touch the registry's lookup lock.
+type serverInstruments struct {
+	vodStarted   *metrics.Counter
+	liveStarted  *metrics.Counter
+	active       *metrics.Gauge
+	inFlightBps  *metrics.Gauge
+	packetsSent  *metrics.Counter
+	bytesSent    *metrics.Counter
+	packetsPaced *metrics.Counter
+	rejects      *metrics.Counter
+	mirrors      *metrics.Counter
+}
+
+func newServerInstruments(reg *metrics.Registry) serverInstruments {
+	started := "Streaming sessions started, by kind."
+	return serverInstruments{
+		vodStarted:  reg.Counter("lod_sessions_started_total", started, metrics.Label{Key: "kind", Value: "vod"}),
+		liveStarted: reg.Counter("lod_sessions_started_total", started, metrics.Label{Key: "kind", Value: "live"}),
+		active:      reg.Gauge("lod_sessions_active", "Sessions currently streaming."),
+		inFlightBps: reg.Gauge("lod_inflight_bps", "Summed declared bandwidth of active sessions, bits/s."),
+		packetsSent: reg.Counter("lod_packets_sent_total", "Media packets written to clients."),
+		bytesSent:   reg.Counter("lod_bytes_sent_total", "Payload bytes written to clients."),
+		packetsPaced: reg.Counter("lod_packets_paced_total",
+			"VOD packets that waited for their send time (pacing delays)."),
+		rejects: reg.Counter("lod_admission_rejects_total", "Sessions refused by admission control or closed channels."),
+		mirrors: reg.Counter("lod_mirror_fetches_total", "Whole-container transfers served from /fetch/ (edge mirror pulls)."),
 	}
 }
+
+// Metrics returns the server's metric registry; mount its /metrics and
+// /status endpoints with Metrics().Expose(mux).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
 // RegisterAsset parses a stored container and registers it by name.
 func (s *Server) RegisterAsset(name string, r *asf.Reader) (*Asset, error) {
@@ -187,6 +243,29 @@ func (s *Server) Asset(name string) (*Asset, bool) {
 	return a, ok
 }
 
+// RemoveAsset unregisters an asset, reporting whether it was present.
+// Sessions already streaming it keep their reference and finish
+// normally; only new lookups miss. This is the eviction hook of the
+// edge's bounded mirror cache (relay.Edge).
+func (s *Server) RemoveAsset(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.assets[name]; !ok {
+		return false
+	}
+	delete(s.assets, name)
+	return true
+}
+
+// AssetActiveSessions returns how many sessions are currently streaming
+// the named asset — the pin signal keeping hot assets out of cache
+// eviction.
+func (s *Server) AssetActiveSessions(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.assetSessions[name]
+}
+
 // AssetNames returns registered asset names, sorted.
 func (s *Server) AssetNames() []string {
 	s.mu.RLock()
@@ -211,18 +290,81 @@ func (s *Server) addSent(packets, bytes int64) {
 	s.stats.PacketsSent += packets
 	s.stats.BytesSent += bytes
 	s.mu.Unlock()
+	s.inst.packetsSent.Add(packets)
+	s.inst.bytesSent.Add(bytes)
+}
+
+// beginStream books one started session of the given kind: stats,
+// active/in-flight instruments, and — for stored assets — the per-asset
+// session count that pins the asset against cache eviction. The
+// returned func undoes the per-session parts and must be deferred.
+func (s *Server) beginStream(kind, asset string, bps int64) func() {
+	s.mu.Lock()
+	if kind == "live" {
+		s.stats.LiveSessions++
+	} else {
+		s.stats.VODSessions++
+	}
+	s.stats.ActiveClients++
+	s.stats.InFlightBps += bps
+	if asset != "" {
+		s.assetSessions[asset]++
+	}
+	s.mu.Unlock()
+	if kind == "live" {
+		s.inst.liveStarted.Inc()
+	} else {
+		s.inst.vodStarted.Inc()
+	}
+	s.inst.active.Inc()
+	s.inst.inFlightBps.Add(bps)
+	return func() {
+		s.mu.Lock()
+		s.stats.ActiveClients--
+		s.stats.InFlightBps -= bps
+		if asset != "" {
+			if s.assetSessions[asset]--; s.assetSessions[asset] <= 0 {
+				delete(s.assetSessions, asset)
+			}
+		}
+		s.mu.Unlock()
+		s.inst.active.Dec()
+		s.inst.inFlightBps.Add(-bps)
+	}
+}
+
+// reject books one refused session.
+func (s *Server) reject() {
+	s.mu.Lock()
+	s.stats.RejectedJoins++
+	s.mu.Unlock()
+	s.inst.rejects.Inc()
+}
+
+// timed wraps a handler with the per-endpoint latency histogram. For
+// the streaming endpoints the observed time spans the whole session,
+// so the upper buckets record session durations rather than
+// request-response latency.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.Histogram("lod_request_seconds",
+		"Request handling time by endpoint; whole session duration for streaming endpoints.",
+		nil, metrics.Label{Key: "endpoint", Value: endpoint})
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer hist.ObserveSince(time.Now())
+		h(w, r)
+	}
 }
 
 // Handler returns the HTTP handler exposing the server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/vod/", s.handleVOD)
-	mux.HandleFunc("/live/", s.handleLive)
-	mux.HandleFunc("/group/", s.handleGroup)
-	mux.HandleFunc("/fetch/", s.handleFetch)
-	mux.HandleFunc("/assets", s.handleAssets)
-	mux.HandleFunc("/channels", s.handleChannels)
-	mux.HandleFunc("/groups", s.handleGroups)
+	mux.HandleFunc("/vod/", s.timed("vod", s.handleVOD))
+	mux.HandleFunc("/live/", s.timed("live", s.handleLive))
+	mux.HandleFunc("/group/", s.timed("group", s.handleGroup))
+	mux.HandleFunc("/fetch/", s.timed("fetch", s.handleFetch))
+	mux.HandleFunc("/assets", s.timed("assets", s.handleAssets))
+	mux.HandleFunc("/channels", s.timed("channels", s.handleChannels))
+	mux.HandleFunc("/groups", s.timed("groups", s.handleGroups))
 	return mux
 }
 
@@ -274,6 +416,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.stats.MirrorFetches++
 	s.mu.Unlock()
+	s.inst.mirrors.Inc()
 
 	w.Header().Set("Content-Type", "application/x-wmp-stream")
 	writer, err := asf.NewWriter(w, asset.Header)
@@ -360,26 +503,17 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 		}
 		firstIdx = asset.SeekIndex(at)
 	}
+	rate := headerRate(asset.Header)
 	if s.Admission != nil {
-		token, err := s.Admission.Reserve(headerRate(asset.Header))
+		token, err := s.Admission.Reserve(rate)
 		if err != nil {
-			s.mu.Lock()
-			s.stats.RejectedJoins++
-			s.mu.Unlock()
+			s.reject()
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
 		defer s.Admission.Release(token)
 	}
-	s.mu.Lock()
-	s.stats.VODSessions++
-	s.stats.ActiveClients++
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		s.stats.ActiveClients--
-		s.mu.Unlock()
-	}()
+	defer s.beginStream("vod", asset.Name, rate)()
 
 	w.Header().Set("Content-Type", "application/x-wmp-stream")
 	writer, err := asf.NewWriter(w, asset.Header)
@@ -399,6 +533,7 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 		if s.Pacing {
 			due := start.Add(p.SendAt - sendBase)
 			if wait := due.Sub(s.clock.Now()); wait > 0 {
+				s.inst.packetsPaced.Inc()
 				select {
 				case <-s.clock.After(wait):
 				case <-r.Context().Done():
@@ -434,33 +569,22 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	rate := headerRate(ch.Header())
 	if s.Admission != nil {
-		token, err := s.Admission.Reserve(headerRate(ch.Header()))
+		token, err := s.Admission.Reserve(rate)
 		if err != nil {
-			s.mu.Lock()
-			s.stats.RejectedJoins++
-			s.mu.Unlock()
+			s.reject()
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
 		defer s.Admission.Release(token)
 	}
-	s.mu.Lock()
-	s.stats.LiveSessions++
-	s.stats.ActiveClients++
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		s.stats.ActiveClients--
-		s.mu.Unlock()
-	}()
+	defer s.beginStream("live", "", rate)()
 
 	w.Header().Set("Content-Type", "application/x-wmp-stream")
 	sub, err := ch.Subscribe()
 	if err != nil {
-		s.mu.Lock()
-		s.stats.RejectedJoins++
-		s.mu.Unlock()
+		s.reject()
 		http.Error(w, err.Error(), http.StatusGone)
 		return
 	}
