@@ -1,8 +1,8 @@
 GO ?= go
 
-RACE_PKGS := ./internal/streaming ./internal/session ./internal/core ./internal/relay ./internal/metrics
+RACE_PKGS := ./internal/streaming ./internal/session ./internal/core ./internal/relay ./internal/metrics ./internal/netsim ./internal/loadgen
 
-.PHONY: all build test vet fmt-check race bench
+.PHONY: all build test vet fmt-check race bench bench-smoke bench-cluster
 
 all: build test vet fmt-check
 
@@ -27,3 +27,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Seconds-long cluster load benchmark; CI runs it on every push so the
+# swarm harness (internal/loadgen) stays runnable end to end.
+bench-smoke:
+	$(GO) run ./cmd/lodbench -scenario smoke -clients 60 -edges 2 -out BENCH_smoke.json
+
+# The benchmark of record (BENCHMARKS.md); append its numbers to
+# EXPERIMENTS.md when they move.
+bench-cluster:
+	$(GO) run ./cmd/lodbench -scenario mixed -clients 1000 -edges 3 -out BENCH_cluster.json

@@ -1,19 +1,31 @@
-// Command lodbench regenerates the paper's tables and figures (experiments
-// E1–E12 of DESIGN.md) and prints them to stdout.
+// Command lodbench is the benchmark front end, with two modes.
 //
-// Usage:
+// Cluster mode drives a load-generation scenario (internal/loadgen) —
+// a swarm of virtual clients against an in-process origin + registry +
+// edge cluster — and writes a machine-readable benchmark record whose
+// schema is documented in BENCHMARKS.md:
 //
-//	lodbench            # run everything
+//	lodbench -scenario mixed -clients 1000 -edges 3     # writes BENCH_cluster.json
+//	lodbench -scenario smoke -out BENCH_smoke.json      # the seconds-long CI variant
+//	lodbench -scenario 'mixed?assets=12&rate=400'       # query-style overrides
+//	lodbench -scenarios                                 # list scenarios
+//
+// Experiment mode regenerates the paper's tables and figures
+// (experiments E1–E16 of DESIGN.md) and prints them to stdout:
+//
+//	lodbench            # run every experiment
 //	lodbench -exp E7    # run one experiment
 //	lodbench -list      # list experiment IDs and titles
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/loadgen"
 )
 
 func main() {
@@ -25,10 +37,25 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("lodbench", flag.ContinueOnError)
-	exp := fs.String("exp", "", "experiment ID to run (E1..E12); empty runs all")
+	exp := fs.String("exp", "", "experiment ID to run (E1..E16); empty runs all")
 	list := fs.Bool("list", false, "list experiments and exit")
+	scenario := fs.String("scenario", "", "load scenario to run (see -scenarios); switches to cluster mode")
+	scenarios := fs.Bool("scenarios", false, "list load scenarios and exit")
+	clients := fs.Int("clients", 1000, "virtual clients to run (cluster mode)")
+	edges := fs.Int("edges", 3, "edge nodes in the cluster (cluster mode)")
+	out := fs.String("out", "", "benchmark record path (cluster mode); default BENCH_cluster.json for the mixed scenario, BENCH_<scenario>.json otherwise")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *scenarios {
+		for _, s := range loadgen.Scenarios() {
+			fmt.Printf("%-8s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+	if *scenario != "" {
+		return runScenario(*scenario, *clients, *edges, *out)
 	}
 
 	if *list {
@@ -62,6 +89,48 @@ func run(args []string) error {
 	}
 	for _, res := range results {
 		printResult(res)
+	}
+	return nil
+}
+
+// runScenario executes one load scenario and writes the record to out.
+// An empty out derives the path from the scenario name, so running a
+// side scenario can never clobber the committed benchmark of record.
+func runScenario(spec string, clients, edges int, out string) error {
+	s, err := loadgen.ParseScenario(spec)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		if s.Name == "mixed" {
+			out = "BENCH_cluster.json" // the benchmark of record
+		} else {
+			out = "BENCH_" + s.Name + ".json"
+		}
+	}
+	fmt.Printf("running scenario %s: %d clients, %d edges...\n", s.Name, clients, edges)
+	rep, err := loadgen.Run(context.Background(), s, clients, edges)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Print(rep.Summary())
+	fmt.Printf("record written to %s\n", out)
+	// The record is written either way, but failed sessions must fail
+	// the command so CI's bench-smoke actually guards the harness.
+	if rep.Sessions.Failed > 0 {
+		return fmt.Errorf("%d/%d sessions failed: %v",
+			rep.Sessions.Failed, rep.Sessions.Requested, rep.Sessions.Errors)
 	}
 	return nil
 }

@@ -242,6 +242,15 @@ func (s *Session) EncodeTo(w io.Writer) (Stats, error) {
 			if err != nil {
 				return Stats{}, fmt.Errorf("encoder: script packet: %w", err)
 			}
+			// Scripts ride the same send-ahead as media: with a LeadTime,
+			// media due after the script is multiplexed before it, so a
+			// script sent exactly at its fire time would present up to
+			// LeadTime late behind that media (head-of-line blocking).
+			if send := cmd.At - s.cfg.LeadTime; send > 0 {
+				pkt.SendAt = send
+			} else {
+				pkt.SendAt = 0
+			}
 			queue = append(queue, queued{pkt: pkt})
 			if cmd.At > maxEnd {
 				maxEnd = cmd.At

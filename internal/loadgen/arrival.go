@@ -1,0 +1,48 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Offsets expands the arrival process into n session-start offsets from
+// the scenario start, in non-decreasing order. Offsets are
+// deterministic for a given (process, rate, burst, seed, n), so reruns
+// of a scenario fire the same schedule.
+func (a Arrival) Offsets(n int, seed int64) ([]time.Duration, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("loadgen: negative client count %d", n)
+	}
+	if a.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: arrival rate %v must be positive", a.Rate)
+	}
+	out := make([]time.Duration, n)
+	switch a.Process {
+	case "uniform":
+		gap := time.Duration(float64(time.Second) / a.Rate)
+		for i := range out {
+			out[i] = time.Duration(i) * gap
+		}
+	case "poisson":
+		rng := rand.New(rand.NewSource(seed))
+		var at time.Duration
+		for i := range out {
+			out[i] = at
+			at += time.Duration(rng.ExpFloat64() / a.Rate * float64(time.Second))
+		}
+	case "burst":
+		if a.Burst < 1 {
+			return nil, fmt.Errorf("loadgen: burst arrival needs burst >= 1, got %d", a.Burst)
+		}
+		// Groups of Burst arrive together, spaced so the long-run rate
+		// still averages Rate clients per second.
+		gap := time.Duration(float64(a.Burst) / a.Rate * float64(time.Second))
+		for i := range out {
+			out[i] = time.Duration(i/a.Burst) * gap
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (have poisson, uniform, burst)", a.Process)
+	}
+	return out, nil
+}

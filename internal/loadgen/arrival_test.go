@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestArrivalOffsetsUniform(t *testing.T) {
+	a := Arrival{Process: "uniform", Rate: 100}
+	off, err := a.Offsets(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(off) != 10 {
+		t.Fatalf("len = %d", len(off))
+	}
+	for i, o := range off {
+		want := time.Duration(i) * 10 * time.Millisecond
+		if o != want {
+			t.Fatalf("offset[%d] = %v, want %v", i, o, want)
+		}
+	}
+}
+
+func TestArrivalOffsetsPoisson(t *testing.T) {
+	a := Arrival{Process: "poisson", Rate: 200}
+	const n = 2000
+	off, err := a.Offsets(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if off[i] < off[i-1] {
+			t.Fatalf("offsets not sorted at %d: %v < %v", i, off[i], off[i-1])
+		}
+	}
+	// The window for n arrivals at rate r concentrates around n/r.
+	want := float64(n) / a.Rate
+	got := off[n-1].Seconds()
+	if math.Abs(got-want) > want/2 {
+		t.Fatalf("poisson window = %.2fs, want ≈%.2fs", got, want)
+	}
+	// Determinism: same seed, same schedule; different seed, different.
+	again, _ := a.Offsets(n, 7)
+	for i := range off {
+		if off[i] != again[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	other, _ := a.Offsets(n, 8)
+	same := true
+	for i := range off {
+		if off[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestArrivalOffsetsBurst(t *testing.T) {
+	a := Arrival{Process: "burst", Rate: 100, Burst: 25}
+	off, err := a.Offsets(60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bursts of 25 spaced 250ms: clients 0-24 at 0, 25-49 at 250ms,
+	// 50-59 at 500ms.
+	if off[0] != 0 || off[24] != 0 {
+		t.Fatalf("first burst not simultaneous: %v %v", off[0], off[24])
+	}
+	if off[25] != 250*time.Millisecond || off[49] != 250*time.Millisecond {
+		t.Fatalf("second burst at %v/%v, want 250ms", off[25], off[49])
+	}
+	if off[59] != 500*time.Millisecond {
+		t.Fatalf("third burst at %v, want 500ms", off[59])
+	}
+}
+
+func TestArrivalOffsetsErrors(t *testing.T) {
+	cases := []Arrival{
+		{Process: "poisson", Rate: 0},
+		{Process: "nope", Rate: 10},
+		{Process: "burst", Rate: 10, Burst: 0},
+	}
+	for _, a := range cases {
+		if _, err := a.Offsets(5, 1); err == nil {
+			t.Fatalf("arrival %+v accepted", a)
+		}
+	}
+	if _, err := (Arrival{Process: "uniform", Rate: 10}).Offsets(-1, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/player"
+)
+
+// SessionResult is what one virtual client measured.
+type SessionResult struct {
+	ID   int    `json:"-"`
+	Kind Kind   `json:"kind"`
+	URL  string `json:"-"`
+	// Edge is the host that actually served the stream after the
+	// registry's redirect.
+	Edge string `json:"edge"`
+	// Err is the failure, empty on success.
+	Err string `json:"err,omitempty"`
+
+	// StartupMs is request issued → first stream byte received,
+	// redirect and modeled link transit included — the client half of
+	// startup latency.
+	StartupMs float64 `json:"startupMs"`
+	// DurationMs is the playback time on the anchored schedule.
+	DurationMs float64 `json:"durationMs"`
+	// Stalls/StallMs are rebuffer events: items that missed their
+	// anchored presentation deadline, and by how much in total.
+	Stalls  int     `json:"stalls"`
+	StallMs float64 `json:"stallMs"`
+	// MaxSkewMs/MeanSkewMs are presentation lateness over the session —
+	// the client-observed pacing jitter.
+	MaxSkewMs  float64 `json:"maxSkewMs"`
+	MeanSkewMs float64 `json:"meanSkewMs"`
+
+	BytesRead    int64 `json:"bytesRead"`
+	VideoFrames  int   `json:"videoFrames"`
+	BrokenFrames int   `json:"brokenFrames"`
+	SlidesShown  int   `json:"slidesShown"`
+}
+
+// sessionTarget builds the request path for one client draw.
+func (c *Cluster) sessionTarget(kind Kind, rng *rand.Rand) string {
+	s := c.Scenario
+	switch kind {
+	case KindVOD:
+		return "/vod/" + c.AssetNames[rng.Intn(len(c.AssetNames))]
+	case KindSeek:
+		name := c.AssetNames[rng.Intn(len(c.AssetNames))]
+		// Seek somewhere in the middle half of the presentation.
+		at := time.Duration((0.25 + 0.5*rng.Float64()) * float64(s.AssetDuration))
+		return fmt.Sprintf("/vod/%s?start=%dms", name, at.Milliseconds())
+	case KindGroup:
+		name := c.GroupNames[rng.Intn(len(c.GroupNames))]
+		bw := s.ClientBandwidth
+		if bw <= 0 {
+			bw = 1 << 30
+		}
+		return fmt.Sprintf("/group/%s?bw=%d", name, bw)
+	case KindLive:
+		return "/live/" + c.LiveNames[rng.Intn(len(c.LiveNames))]
+	}
+	return "/vod/" + c.AssetNames[0]
+}
+
+// firstByteReader stamps the arrival of the first stream byte.
+type firstByteReader struct {
+	r  io.Reader
+	at *time.Time
+}
+
+func (f *firstByteReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if n > 0 && f.at.IsZero() {
+		*f.at = time.Now()
+	}
+	return n, err
+}
+
+// RunSession executes one virtual client: request the registry, follow
+// the redirect, and play the stream in realtime through the client's
+// private shaped link. The id seeds every per-client draw, so a rerun
+// issues the identical session.
+func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResult {
+	s := c.Scenario
+	rng := rand.New(rand.NewSource(s.Seed<<20 + int64(id)))
+	res := SessionResult{ID: id, Kind: kind}
+	res.URL = RegistryURL + c.sessionTarget(kind, rng)
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, res.URL, nil)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	t0 := time.Now()
+	resp, err := c.client.Do(req)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	defer resp.Body.Close()
+	if resp.Request != nil && resp.Request.URL != nil {
+		res.Edge = resp.Request.URL.Host
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 128))
+		res.Err = fmt.Sprintf("status %s: %s", resp.Status, body)
+		return res
+	}
+
+	// Each client owns a private clone of the scenario link — netsim.Link
+	// is not safe for concurrent use, so the prototype is never shared.
+	var link *netsim.Link
+	if s.Link != (netsim.Link{}) {
+		link = s.Link.Clone(s.Seed<<20 + int64(id))
+	}
+	// The first-byte stamp sits outside the link shaping, so StartupMs
+	// includes the modeled last-mile transit, consistent with the
+	// stall/skew numbers the player measures on post-shaping arrivals.
+	var firstByte time.Time
+	body := &firstByteReader{r: netsim.NewLinkReader(resp.Body, link, nil), at: &firstByte}
+
+	m, err := player.New(player.Options{
+		Realtime:            true,
+		AnchorToFirstPacket: true,
+		JitterBufferDepth:   s.JitterBufferDepth,
+		// Below ~50ms lateness is OS timer/scheduler noise, not
+		// rebuffering; it still lands in the skew statistics.
+		StallTolerance: 50 * time.Millisecond,
+	}).Play(body)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if !firstByte.IsZero() {
+		res.StartupMs = float64(firstByte.Sub(t0)) / float64(time.Millisecond)
+	}
+	res.DurationMs = float64(m.Duration) / float64(time.Millisecond)
+	res.Stalls = m.Stalls
+	res.StallMs = float64(m.StallTime) / float64(time.Millisecond)
+	res.MaxSkewMs = float64(m.MaxSkew) / float64(time.Millisecond)
+	res.MeanSkewMs = float64(m.MeanSkew) / float64(time.Millisecond)
+	res.BytesRead = m.BytesRead
+	res.VideoFrames = m.VideoFrames
+	res.BrokenFrames = m.BrokenFrames
+	res.SlidesShown = m.SlidesShown
+	return res
+}

@@ -1,0 +1,254 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/asf"
+	"repro/internal/capture"
+	"repro/internal/codec"
+	"repro/internal/encoder"
+	"repro/internal/netsim"
+	"repro/internal/relay"
+	"repro/internal/streaming"
+	"repro/internal/vclock"
+)
+
+// Cluster hosts names on the in-process network.
+const (
+	originHost   = "origin.lod"
+	registryHost = "registry.lod"
+)
+
+// RegistryURL is the base URL virtual clients send every request to;
+// the registry 307-redirects them to an edge.
+const RegistryURL = "http://" + registryHost
+
+// Cluster is one in-process streaming cluster: an origin holding the
+// scenario's content, a registry balancing redirects, and N edges
+// pulling through from the origin — every role a real HTTP server on a
+// netsim.MemNet, wired exactly like the cmd/lodserver roles, plus the
+// heartbeat loops between them.
+type Cluster struct {
+	Scenario Scenario
+	Origin   *streaming.Server
+	Registry *relay.Registry
+	Edges    []*relay.Edge
+	EdgeIDs  []string
+
+	// AssetNames, GroupNames, LiveNames are the request targets the
+	// scenario's content produced.
+	AssetNames []string
+	GroupNames []string
+	LiveNames  []string
+
+	net     *netsim.MemNet
+	client  *http.Client
+	servers []*http.Server
+	cancel  context.CancelFunc
+	done    []chan struct{} // live pumps + heartbeat loops
+}
+
+// StartCluster builds and starts the cluster for a scenario: content
+// encoded and registered on the origin, live channels pumping in real
+// time for liveFor, edges registered and heartbeating. Call Close when
+// done.
+func StartCluster(s Scenario, edges int, liveFor time.Duration) (*Cluster, error) {
+	if edges < 1 {
+		return nil, fmt.Errorf("loadgen: need at least one edge, got %d", edges)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Cluster{
+		Scenario: s,
+		Origin:   streaming.NewServer(nil),
+		Registry: relay.NewRegistry(nil),
+		net:      netsim.NewMemNet(),
+		cancel:   cancel,
+	}
+	c.client = c.net.Client()
+	if err := c.populateOrigin(ctx, liveFor); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	if err := c.serve(originHost, c.Origin.Handler()); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := c.serve(registryHost, c.Registry.Handler()); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	for i := 0; i < edges; i++ {
+		id := fmt.Sprintf("edge-%d", i+1)
+		srv := streaming.NewServer(nil)
+		edge := relay.NewEdge("http://"+originHost, srv)
+		edge.Client = c.client
+		edge.CacheBytes = s.CacheBytes
+		host := id + ".lod"
+		if err := c.serve(host, edge.Handler()); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Edges = append(c.Edges, edge)
+		c.EdgeIDs = append(c.EdgeIDs, id)
+
+		hb := make(chan struct{})
+		c.done = append(c.done, hb)
+		go func(id, host string, srv *streaming.Server) {
+			defer close(hb)
+			_ = relay.RunHeartbeats(ctx, c.client, RegistryURL,
+				relay.NodeInfo{ID: id, URL: "http://" + host},
+				func() relay.NodeStats { return relay.SnapshotStats(srv) },
+				250*time.Millisecond)
+		}(id, host, srv)
+	}
+	return c, nil
+}
+
+// populateOrigin encodes the scenario's content and registers it:
+// stored assets, multi-rate groups (lean + rich variants), and live
+// channels pumped at presentation pace for liveFor.
+func (c *Cluster) populateOrigin(ctx context.Context, liveFor time.Duration) error {
+	s := c.Scenario
+	slides := s.Slides
+	if slides < 1 {
+		slides = 2
+	}
+	encodeWith := func(profileName string, duration time.Duration, live bool) ([]byte, error) {
+		profile, err := codec.ByName(profileName)
+		if err != nil {
+			return nil, err
+		}
+		lec, err := capture.NewLecture(capture.LectureConfig{
+			Title: "loadgen " + s.Name, Duration: duration, Profile: profile,
+			SlideCount: slides, Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if _, err := encoder.EncodeLecture(lec, encoder.Config{Live: live, LeadTime: s.LeadTime}, &buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+
+	base, err := encodeWith(s.Profile, s.AssetDuration, false)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.Assets; i++ {
+		name := fmt.Sprintf("lec-%d", i)
+		if _, err := c.Origin.RegisterAsset(name, asf.NewReader(bytes.NewReader(base))); err != nil {
+			return err
+		}
+		c.AssetNames = append(c.AssetNames, name)
+	}
+
+	if s.Groups > 0 {
+		rich, err := encodeWith(s.RichProfile, s.AssetDuration, false)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < s.Groups; i++ {
+			name := fmt.Sprintf("grp-%d", i)
+			lean, err := c.Origin.RegisterAsset(name+"-lean", asf.NewReader(bytes.NewReader(base)))
+			if err != nil {
+				return err
+			}
+			richA, err := c.Origin.RegisterAsset(name+"-rich", asf.NewReader(bytes.NewReader(rich)))
+			if err != nil {
+				return err
+			}
+			g, err := c.Origin.CreateRateGroup(name)
+			if err != nil {
+				return err
+			}
+			g.AddVariant(lean)
+			g.AddVariant(richA)
+			c.GroupNames = append(c.GroupNames, name)
+		}
+	}
+
+	if s.LiveChannels > 0 {
+		liveBytes, err := encodeWith(s.Profile, liveFor, true)
+		if err != nil {
+			return err
+		}
+		h, packets, _, err := asf.ReadAll(bytes.NewReader(liveBytes))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < s.LiveChannels; i++ {
+			name := fmt.Sprintf("live-%d", i)
+			ch, err := c.Origin.CreateChannel(name, h)
+			if err != nil {
+				return err
+			}
+			c.LiveNames = append(c.LiveNames, name)
+			pump := make(chan struct{})
+			c.done = append(c.done, pump)
+			go func(ch *streaming.Channel) {
+				defer close(pump)
+				defer ch.Close()
+				_ = ch.PublishPaced(ctx, vclock.Real{}, packets)
+			}(ch)
+		}
+	}
+	return nil
+}
+
+// serve mounts h as an HTTP server on the named memnet host.
+func (c *Cluster) serve(host string, h http.Handler) error {
+	l, err := c.net.Listen(host)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: h}
+	c.servers = append(c.servers, srv)
+	go srv.Serve(l)
+	return nil
+}
+
+// Client returns the swarm's shared HTTP client over the in-process
+// network. It follows redirects and is safe for concurrent use.
+func (c *Cluster) Client() *http.Client { return c.client }
+
+// AwaitReady blocks until every edge is registered and alive in the
+// registry, so the first client join cannot race the cluster coming up.
+func (c *Cluster) AwaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		alive := 0
+		for _, n := range c.Registry.Nodes() {
+			if n.Alive {
+				alive++
+			}
+		}
+		if alive >= len(c.Edges) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: %d/%d edges alive after %v", alive, len(c.Edges), timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops heartbeats and live pumps, closes every HTTP server, and
+// tears the in-process network down.
+func (c *Cluster) Close() {
+	c.cancel()
+	for _, srv := range c.servers {
+		_ = srv.Close()
+	}
+	c.net.Close()
+	for _, d := range c.done {
+		<-d
+	}
+}

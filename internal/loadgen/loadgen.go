@@ -1,0 +1,308 @@
+// Package loadgen is the cluster-scale load-generation harness: it
+// drives swarms of virtual clients — mixed VOD, seek, multi-rate-group
+// and live workloads under configurable arrival processes and
+// per-client link shaping — against a real in-process streaming
+// cluster (origin + registry + N edges), and folds what happened into
+// one machine-readable benchmark record (BENCH_*.json, schema
+// documented in BENCHMARKS.md).
+//
+// Everything runs inside one process but over real HTTP: the cluster
+// roles listen on a netsim.MemNet (net.Pipe connections, so thousands
+// of concurrent sessions never touch a TCP port), clients follow the
+// registry's 307 redirects exactly like production clients, and edges
+// pull through from the origin and heartbeat their load like
+// cmd/lodserver wires them. Client-side behaviour is the real
+// internal/player in realtime mode (anchored to the first packet), so
+// stalls are genuine rebuffer events; cluster-side numbers are metric
+// snapshot deltas (metrics.Snapshot) over the run window, so they
+// isolate exactly the benchmark's traffic.
+//
+// The entry point is Run; cmd/lodbench wraps it:
+//
+//	lodbench -scenario mixed -clients 1000 -edges 3
+//
+// Scenarios are deterministic in their choices (workload mix, arrival
+// offsets, seek positions, link jitter are all seeded); the measured
+// latencies are wall-clock and vary by machine, which is the point —
+// record them per machine in EXPERIMENTS.md.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Kind names one virtual-client workload.
+type Kind string
+
+// Workload kinds.
+const (
+	// KindVOD plays a stored asset front to back.
+	KindVOD Kind = "vod"
+	// KindSeek plays a stored asset from a seeded ?start offset.
+	KindSeek Kind = "seek"
+	// KindGroup requests a multi-rate group with the client's link
+	// bandwidth and plays whichever variant the server selects.
+	KindGroup Kind = "group"
+	// KindLive joins a live broadcast and plays until it ends.
+	KindLive Kind = "live"
+)
+
+// Share is one weighted entry of a scenario's workload mix.
+type Share struct {
+	Kind   Kind `json:"kind"`
+	Weight int  `json:"weight"`
+}
+
+// Arrival describes how client session starts are spread over time.
+type Arrival struct {
+	// Process is "poisson" (exponential gaps), "uniform" (fixed gaps),
+	// or "burst" (groups of Burst arriving together).
+	Process string `json:"process"`
+	// Rate is the long-run arrival rate in clients per second.
+	Rate float64 `json:"ratePerSec"`
+	// Burst is the group size for the "burst" process.
+	Burst int `json:"burst,omitempty"`
+}
+
+// Scenario is one named, fully parameterized workload. All choices a
+// scenario makes (mix, arrivals, seeks, link jitter) derive from Seed,
+// so two runs of the same scenario issue the same requests in the same
+// pattern; only the measured timings differ.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+
+	// Content on the origin.
+	Assets        int           `json:"assets"`       // stored lectures lec-0..lec-{n-1}
+	AssetDuration time.Duration `json:"-"`            // presentation length of each
+	Profile       string        `json:"profile"`      // base codec profile
+	RichProfile   string        `json:"richProfile"`  // rich variant for groups
+	Groups        int           `json:"groups"`       // multi-rate groups grp-0..
+	LiveChannels  int           `json:"liveChannels"` // live broadcasts live-0..
+	Slides        int           `json:"slides"`       // slides per lecture
+	// LeadTime is how far ahead of each packet's presentation time the
+	// content allows the server to send it (encoder.Config.LeadTime).
+	// Zero means a zero-slack schedule where any transit jitter counts
+	// as a stall; realistic scenarios give the client buffer some
+	// send-ahead to absorb jitter, so stalls mean the cluster fell
+	// behind, not that the schedule was unmeetable by construction.
+	LeadTime time.Duration `json:"-"`
+
+	// Client behaviour.
+	Mix               []Share     `json:"mix"`
+	Arrival           Arrival     `json:"arrival"`
+	Link              netsim.Link `json:"-"`                  // per-client prototype; cloned per client
+	ClientBandwidth   int64       `json:"clientBandwidthBps"` // declared on /group?bw=
+	JitterBufferDepth int         `json:"jitterBufferDepth"`
+
+	// Cluster knobs.
+	CacheBytes int64 `json:"cacheBytes"` // per-edge mirror budget; 0 = unbounded
+
+	Seed int64 `json:"seed"`
+}
+
+// Validate reports the first structural problem with the scenario.
+func (s Scenario) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("loadgen: scenario has no name")
+	case s.Assets < 1:
+		return fmt.Errorf("loadgen: scenario %s: needs at least one asset", s.Name)
+	case s.AssetDuration <= 0:
+		return fmt.Errorf("loadgen: scenario %s: asset duration %v", s.Name, s.AssetDuration)
+	case s.LeadTime < 0:
+		return fmt.Errorf("loadgen: scenario %s: negative lead time %v", s.Name, s.LeadTime)
+	case len(s.Mix) == 0:
+		return fmt.Errorf("loadgen: scenario %s: empty workload mix", s.Name)
+	}
+	total := 0
+	for _, sh := range s.Mix {
+		if sh.Weight <= 0 {
+			return fmt.Errorf("loadgen: scenario %s: non-positive weight for %q", s.Name, sh.Kind)
+		}
+		switch sh.Kind {
+		case KindVOD, KindSeek, KindGroup, KindLive:
+		default:
+			return fmt.Errorf("loadgen: scenario %s: unknown workload kind %q", s.Name, sh.Kind)
+		}
+		if sh.Kind == KindGroup && s.Groups < 1 {
+			return fmt.Errorf("loadgen: scenario %s: group workload but no groups", s.Name)
+		}
+		if sh.Kind == KindLive && s.LiveChannels < 1 {
+			return fmt.Errorf("loadgen: scenario %s: live workload but no live channels", s.Name)
+		}
+		total += sh.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("loadgen: scenario %s: zero total mix weight", s.Name)
+	}
+	if err := s.Link.Validate(); err != nil {
+		return err
+	}
+	if _, err := s.Arrival.Offsets(1, s.Seed); err != nil {
+		return err
+	}
+	return nil
+}
+
+// pickKind draws one workload kind from the mix.
+func (s Scenario) pickKind(rng *rand.Rand) Kind {
+	total := 0
+	for _, sh := range s.Mix {
+		total += sh.Weight
+	}
+	n := rng.Intn(total)
+	for _, sh := range s.Mix {
+		if n < sh.Weight {
+			return sh.Kind
+		}
+		n -= sh.Weight
+	}
+	return s.Mix[len(s.Mix)-1].Kind
+}
+
+// Scenarios returns the named scenarios, sorted by name. "mixed" is the
+// cluster benchmark of record; "smoke" is the seconds-long CI variant.
+func Scenarios() []Scenario {
+	out := []Scenario{
+		{
+			Name:        "mixed",
+			Description: "the cluster benchmark of record: VOD + seek + multi-rate + live against origin/registry/edges",
+			Assets:      6, AssetDuration: 4 * time.Second,
+			Profile: "modem-56k", RichProfile: "dsl-300k",
+			Groups: 2, LiveChannels: 1, Slides: 3,
+			Mix: []Share{
+				{KindVOD, 50}, {KindSeek, 15}, {KindGroup, 20}, {KindLive, 15},
+			},
+			Arrival:         Arrival{Process: "poisson", Rate: 150},
+			Link:            netsim.Link{BitsPerSecond: 768_000, Latency: 15 * time.Millisecond, Jitter: 5 * time.Millisecond},
+			ClientBandwidth: 768_000, JitterBufferDepth: 4,
+			LeadTime: 500 * time.Millisecond,
+			Seed:     1,
+		},
+		{
+			Name:        "vod",
+			Description: "pure stored-asset replay; isolates mirror pull-through and edge cache behaviour",
+			Assets:      8, AssetDuration: 4 * time.Second,
+			Profile: "modem-56k", Slides: 3,
+			Mix:      []Share{{KindVOD, 100}},
+			Arrival:  Arrival{Process: "poisson", Rate: 200},
+			Link:     netsim.Link{BitsPerSecond: 2_000_000, Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond},
+			LeadTime: 500 * time.Millisecond,
+			Seed:     1,
+		},
+		{
+			Name:        "seek",
+			Description: "seek-heavy replay; stresses the keyframe index and anchored tail playback",
+			Assets:      4, AssetDuration: 6 * time.Second,
+			Profile: "modem-56k", Slides: 4,
+			Mix:      []Share{{KindVOD, 30}, {KindSeek, 70}},
+			Arrival:  Arrival{Process: "uniform", Rate: 150},
+			Link:     netsim.Link{BitsPerSecond: 2_000_000, Latency: 5 * time.Millisecond},
+			LeadTime: 500 * time.Millisecond,
+			Seed:     1,
+		},
+		{
+			Name:        "live",
+			Description: "flash-crowd joins of live broadcasts; stresses relay fan-out and catch-up bursts",
+			Assets:      1, AssetDuration: 4 * time.Second,
+			Profile: "modem-56k", LiveChannels: 2, Slides: 2,
+			Mix:      []Share{{KindLive, 100}},
+			Arrival:  Arrival{Process: "burst", Rate: 150, Burst: 50},
+			Link:     netsim.Link{BitsPerSecond: 2_000_000, Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond},
+			LeadTime: 500 * time.Millisecond,
+			Seed:     1,
+		},
+		{
+			Name:        "smoke",
+			Description: "seconds-long CI mixed workload over a bounded edge cache",
+			Assets:      3, AssetDuration: 1500 * time.Millisecond,
+			Profile: "modem-56k", RichProfile: "isdn-128k",
+			Groups: 1, LiveChannels: 1, Slides: 2,
+			Mix: []Share{
+				{KindVOD, 50}, {KindSeek, 20}, {KindGroup, 20}, {KindLive, 10},
+			},
+			Arrival:         Arrival{Process: "uniform", Rate: 120},
+			Link:            netsim.Link{BitsPerSecond: 10_000_000, Latency: 2 * time.Millisecond},
+			ClientBandwidth: 128_000, JitterBufferDepth: 2,
+			CacheBytes: 1 << 20,
+			LeadTime:   300 * time.Millisecond,
+			Seed:       1,
+		},
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ParseScenario resolves a scenario spec: a scenario name, optionally
+// followed by query-style overrides, e.g.
+//
+//	mixed
+//	mixed?assets=12&duration=2s&process=burst&rate=400&burst=100&seed=7
+//
+// Recognized override keys: assets, duration, process, rate, burst,
+// seed, leadtime, cachebytes. Unknown names and keys are errors, as
+// are overrides that leave the scenario invalid.
+func ParseScenario(spec string) (Scenario, error) {
+	name, query, hasQuery := strings.Cut(spec, "?")
+	var sc Scenario
+	found := false
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			sc, found = s, true
+			break
+		}
+	}
+	if !found {
+		names := make([]string, 0)
+		for _, s := range Scenarios() {
+			names = append(names, s.Name)
+		}
+		return Scenario{}, fmt.Errorf("loadgen: unknown scenario %q (have %s)", name, strings.Join(names, ", "))
+	}
+	if hasQuery {
+		vals, err := url.ParseQuery(query)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("loadgen: scenario overrides: %w", err)
+		}
+		for key, vv := range vals {
+			v := vv[len(vv)-1]
+			var err error
+			switch key {
+			case "assets":
+				sc.Assets, err = strconv.Atoi(v)
+			case "duration":
+				sc.AssetDuration, err = time.ParseDuration(v)
+			case "process":
+				sc.Arrival.Process = v
+			case "rate":
+				sc.Arrival.Rate, err = strconv.ParseFloat(v, 64)
+			case "burst":
+				sc.Arrival.Burst, err = strconv.Atoi(v)
+			case "seed":
+				sc.Seed, err = strconv.ParseInt(v, 10, 64)
+			case "leadtime":
+				sc.LeadTime, err = time.ParseDuration(v)
+			case "cachebytes":
+				sc.CacheBytes, err = strconv.ParseInt(v, 10, 64)
+			default:
+				return Scenario{}, fmt.Errorf("loadgen: unknown scenario override %q", key)
+			}
+			if err != nil {
+				return Scenario{}, fmt.Errorf("loadgen: scenario override %s=%q: %v", key, v, err)
+			}
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}

@@ -1,0 +1,306 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ReportSchema identifies the BENCH_*.json layout; bump it when a
+// field changes meaning. Every field is documented in BENCHMARKS.md.
+const ReportSchema = "lod-bench/1"
+
+// Quantiles summarizes a distribution in milliseconds.
+type Quantiles struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+func quantiles(vals []float64) Quantiles {
+	if len(vals) == 0 {
+		return Quantiles{}
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Quantiles{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / float64(len(sorted)),
+	}
+}
+
+// RunConfig records the knobs the run was launched with.
+type RunConfig struct {
+	Clients          int      `json:"clients"`
+	Edges            int      `json:"edges"`
+	Seed             int64    `json:"seed"`
+	Arrival          Arrival  `json:"arrival"`
+	Assets           int      `json:"assets"`
+	AssetDurationSec float64  `json:"assetDurationSec"`
+	Profile          string   `json:"profile"`
+	RichProfile      string   `json:"richProfile,omitempty"`
+	Groups           int      `json:"groups"`
+	LiveChannels     int      `json:"liveChannels"`
+	Mix              []Share  `json:"mix"`
+	Link             LinkSpec `json:"link"`
+	LeadTimeMs       float64  `json:"leadTimeMs"`
+	CacheBytes       int64    `json:"cacheBytes"`
+}
+
+// LinkSpec is the JSON form of the per-client link prototype.
+type LinkSpec struct {
+	BitsPerSecond int64   `json:"bitsPerSecond"`
+	LatencyMs     float64 `json:"latencyMs"`
+	JitterMs      float64 `json:"jitterMs"`
+	LossRate      float64 `json:"lossRate"`
+}
+
+// SessionsInfo aggregates session outcomes.
+type SessionsInfo struct {
+	Requested int            `json:"requested"`
+	Completed int            `json:"completed"`
+	Failed    int            `json:"failed"`
+	ByKind    map[string]int `json:"byKind"`
+	// Errors maps failure text to occurrence count (at most a handful
+	// of distinct strings survive; inspect failures with them).
+	Errors map[string]int `json:"errors,omitempty"`
+}
+
+// RebufferInfo aggregates client stall (rebuffer) behaviour.
+type RebufferInfo struct {
+	SessionsWithStalls int     `json:"sessionsWithStalls"`
+	Events             int     `json:"events"`
+	TotalMs            float64 `json:"totalMs"`
+	MeanPerSessionMs   float64 `json:"meanPerSessionMs"`
+}
+
+// ThroughputInfo aggregates delivered media.
+type ThroughputInfo struct {
+	Bytes             int64   `json:"bytes"`
+	MeanBitsPerSecond float64 `json:"meanBitsPerSecond"`
+	VideoFrames       int64   `json:"videoFrames"`
+	BrokenFrames      int64   `json:"brokenFrames"`
+	SlidesShown       int64   `json:"slidesShown"`
+}
+
+// EdgeReport is one edge's metric delta over the run window.
+type EdgeReport struct {
+	ID              string  `json:"id"`
+	Redirects       float64 `json:"redirects"`
+	SessionsVOD     float64 `json:"sessionsVod"`
+	SessionsLive    float64 `json:"sessionsLive"`
+	BytesSent       float64 `json:"bytesSent"`
+	CacheHits       float64 `json:"cacheHits"`
+	CacheMisses     float64 `json:"cacheMisses"`
+	CacheEvictions  float64 `json:"cacheEvictions"`
+	OriginBytes     float64 `json:"originBytes"`
+	PacketsPaced    float64 `json:"packetsPaced"`
+	FirstPacketMs   float64 `json:"firstPacketMsMean"`
+	PacingLagMsMean float64 `json:"pacingLagMsMean"`
+}
+
+// ClusterReport is the server-side view of the run, from metric
+// snapshot deltas.
+type ClusterReport struct {
+	Redirects     float64      `json:"redirects"`
+	NoEdge        float64      `json:"noEdge"`
+	CacheHitRate  float64      `json:"cacheHitRate"`
+	OriginMirrors float64      `json:"originMirrorFetches"`
+	OriginBytes   float64      `json:"originBytesSent"`
+	OriginLive    float64      `json:"originLiveRelays"`
+	Edges         []EdgeReport `json:"edges"`
+}
+
+// Report is the complete benchmark record emitted as BENCH_*.json.
+type Report struct {
+	Schema      string `json:"schema"`
+	Scenario    string `json:"scenario"`
+	Description string `json:"description"`
+	GeneratedAt string `json:"generatedAt"`
+	GoVersion   string `json:"goVersion"`
+	NumCPU      int    `json:"numCPU"`
+
+	Config      RunConfig `json:"config"`
+	WallSeconds float64   `json:"wallSeconds"`
+
+	Sessions       SessionsInfo   `json:"sessions"`
+	StartupMs      Quantiles      `json:"startupMs"`
+	PacingJitterMs Quantiles      `json:"pacingJitterMs"`
+	Rebuffer       RebufferInfo   `json:"rebuffer"`
+	Throughput     ThroughputInfo `json:"throughput"`
+	Cluster        ClusterReport  `json:"cluster"`
+}
+
+// buildReport folds session results and metric deltas into the record.
+func buildReport(s Scenario, clients, edges int, wall time.Duration,
+	results []SessionResult, registryDelta, originDelta metrics.Snapshot,
+	edgeIDs []string, edgeDeltas []metrics.Snapshot) *Report {
+
+	r := &Report{
+		Schema:      ReportSchema,
+		Scenario:    s.Name,
+		Description: s.Description,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Config: RunConfig{
+			Clients: clients, Edges: edges, Seed: s.Seed,
+			Arrival: s.Arrival, Assets: s.Assets,
+			AssetDurationSec: s.AssetDuration.Seconds(),
+			Profile:          s.Profile, RichProfile: s.RichProfile,
+			Groups: s.Groups, LiveChannels: s.LiveChannels, Mix: s.Mix,
+			Link: LinkSpec{
+				BitsPerSecond: s.Link.BitsPerSecond,
+				LatencyMs:     float64(s.Link.Latency) / float64(time.Millisecond),
+				JitterMs:      float64(s.Link.Jitter) / float64(time.Millisecond),
+				LossRate:      s.Link.LossRate,
+			},
+			LeadTimeMs: float64(s.LeadTime) / float64(time.Millisecond),
+			CacheBytes: s.CacheBytes,
+		},
+		WallSeconds: wall.Seconds(),
+		Sessions:    SessionsInfo{Requested: len(results), ByKind: make(map[string]int)},
+	}
+
+	var startups, skews []float64
+	for _, res := range results {
+		r.Sessions.ByKind[string(res.Kind)]++
+		if res.Err != "" {
+			r.Sessions.Failed++
+			if r.Sessions.Errors == nil {
+				r.Sessions.Errors = make(map[string]int)
+			}
+			msg := res.Err
+			if len(msg) > 120 {
+				msg = msg[:120]
+			}
+			r.Sessions.Errors[msg]++
+			continue
+		}
+		r.Sessions.Completed++
+		startups = append(startups, res.StartupMs)
+		skews = append(skews, res.MaxSkewMs)
+		if res.Stalls > 0 {
+			r.Rebuffer.SessionsWithStalls++
+		}
+		r.Rebuffer.Events += res.Stalls
+		r.Rebuffer.TotalMs += res.StallMs
+		r.Throughput.Bytes += res.BytesRead
+		r.Throughput.VideoFrames += int64(res.VideoFrames)
+		r.Throughput.BrokenFrames += int64(res.BrokenFrames)
+		r.Throughput.SlidesShown += int64(res.SlidesShown)
+	}
+	r.StartupMs = quantiles(startups)
+	r.PacingJitterMs = quantiles(skews)
+	if r.Sessions.Completed > 0 {
+		r.Rebuffer.MeanPerSessionMs = r.Rebuffer.TotalMs / float64(r.Sessions.Completed)
+	}
+	if wall > 0 {
+		r.Throughput.MeanBitsPerSecond = float64(r.Throughput.Bytes) * 8 / wall.Seconds()
+	}
+
+	r.Cluster = ClusterReport{
+		Redirects:     registryDelta.Get("lod_registry_redirects_total"),
+		NoEdge:        registryDelta.Get("lod_registry_no_edge_total"),
+		OriginMirrors: originDelta.Get("lod_mirror_fetches_total"),
+		OriginBytes:   originDelta.Get("lod_bytes_sent_total"),
+		OriginLive:    originDelta.Get(`lod_sessions_started_total{kind="live"}`),
+	}
+	var hits, misses float64
+	// Histogram series render as name_count{labels}/name_sum{labels} in
+	// a Snapshot; labels ride after the suffix. The mean folds every
+	// labeled series of the family together (vod + live first-packet
+	// latencies, for example).
+	histMean := func(d metrics.Snapshot, name string) float64 {
+		count := d.Sum(name + "_count")
+		if count == 0 {
+			return 0
+		}
+		return d.Sum(name+"_sum") / count * 1000 // seconds → ms
+	}
+	for i, d := range edgeDeltas {
+		e := EdgeReport{
+			ID:              edgeIDs[i],
+			Redirects:       registryDelta.Get(fmt.Sprintf(`lod_registry_node_redirects_total{node="%s"}`, edgeIDs[i])),
+			SessionsVOD:     d.Get(`lod_sessions_started_total{kind="vod"}`),
+			SessionsLive:    d.Get(`lod_sessions_started_total{kind="live"}`),
+			BytesSent:       d.Get("lod_bytes_sent_total"),
+			CacheHits:       d.Get("lod_edge_cache_hits_total"),
+			CacheMisses:     d.Get("lod_edge_cache_misses_total"),
+			CacheEvictions:  d.Get("lod_edge_cache_evictions_total"),
+			OriginBytes:     d.Get("lod_edge_origin_bytes_total"),
+			PacketsPaced:    d.Get("lod_packets_paced_total"),
+			FirstPacketMs:   histMean(d, "lod_first_packet_seconds"),
+			PacingLagMsMean: histMean(d, "lod_pacing_lag_seconds"),
+		}
+		hits += e.CacheHits
+		misses += e.CacheMisses
+		r.Cluster.Edges = append(r.Cluster.Edges, e)
+	}
+	if hits+misses > 0 {
+		r.Cluster.CacheHitRate = hits / (hits + misses)
+	}
+	return r
+}
+
+// WriteJSON writes the indented record.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary renders the few lines a human wants after a run.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %d clients over %d edges in %.1fs\n",
+		r.Scenario, r.Sessions.Requested, r.Config.Edges, r.WallSeconds)
+	fmt.Fprintf(&b, "  sessions: %d ok, %d failed (", r.Sessions.Completed, r.Sessions.Failed)
+	kinds := make([]string, 0, len(r.Sessions.ByKind))
+	for k := range r.Sessions.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %d", k, r.Sessions.ByKind[k])
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "  startup ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
+		r.StartupMs.P50, r.StartupMs.P90, r.StartupMs.P99, r.StartupMs.Max)
+	fmt.Fprintf(&b, "  rebuffer: %d sessions stalled, %d events, %.1f ms total\n",
+		r.Rebuffer.SessionsWithStalls, r.Rebuffer.Events, r.Rebuffer.TotalMs)
+	fmt.Fprintf(&b, "  pacing jitter ms (max skew/session): p50 %.1f  p99 %.1f  max %.1f\n",
+		r.PacingJitterMs.P50, r.PacingJitterMs.P99, r.PacingJitterMs.Max)
+	fmt.Fprintf(&b, "  delivered: %.1f MB (%.2f Mbit/s), %d video frames (%d broken)\n",
+		float64(r.Throughput.Bytes)/1e6, r.Throughput.MeanBitsPerSecond/1e6,
+		r.Throughput.VideoFrames, r.Throughput.BrokenFrames)
+	fmt.Fprintf(&b, "  cluster: %d redirects, cache hit rate %.2f, %d origin mirror fetches\n",
+		int64(r.Cluster.Redirects), r.Cluster.CacheHitRate, int64(r.Cluster.OriginMirrors))
+	return b.String()
+}

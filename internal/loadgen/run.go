@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Run executes one scenario: start the cluster, release the swarm on
+// the arrival schedule, wait for every session to finish, and return
+// the benchmark record. It blocks for the run's wall time (bounded by
+// the arrival window plus the content length); cancel ctx to abort
+// early, which fails the in-flight sessions but still reports.
+func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if clients < 1 {
+		return nil, fmt.Errorf("loadgen: need at least one client, got %d", clients)
+	}
+	offsets, err := s.Arrival.Offsets(clients, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	window := offsets[len(offsets)-1]
+	// Live broadcasts must outlive the last joiner by a full session.
+	liveFor := window + s.AssetDuration + 2*time.Second
+
+	cluster, err := StartCluster(s, edges, liveFor)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	if err := cluster.AwaitReady(10 * time.Second); err != nil {
+		return nil, err
+	}
+
+	// Draw each client's workload kind up front, deterministically.
+	mixRng := rand.New(rand.NewSource(s.Seed))
+	kinds := make([]Kind, clients)
+	for i := range kinds {
+		kinds[i] = s.pickKind(mixRng)
+	}
+
+	regPre := cluster.Registry.Metrics().Snapshot()
+	originPre := cluster.Origin.Metrics().Snapshot()
+	edgePre := make([]metrics.Snapshot, len(cluster.Edges))
+	for i, e := range cluster.Edges {
+		edgePre[i] = e.Server.Metrics().Snapshot()
+	}
+
+	t0 := time.Now()
+	results := make([]SessionResult, clients)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if wait := time.Until(t0.Add(offsets[id])); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					results[id] = SessionResult{ID: id, Kind: kinds[id], Err: ctx.Err().Error()}
+					return
+				}
+			}
+			results[id] = cluster.RunSession(ctx, id, kinds[id])
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	regDelta := cluster.Registry.Metrics().Snapshot().Delta(regPre)
+	originDelta := cluster.Origin.Metrics().Snapshot().Delta(originPre)
+	edgeDeltas := make([]metrics.Snapshot, len(cluster.Edges))
+	for i, e := range cluster.Edges {
+		edgeDeltas[i] = e.Server.Metrics().Snapshot().Delta(edgePre[i])
+	}
+
+	return buildReport(s, clients, edges, wall, results, regDelta, originDelta,
+		cluster.EdgeIDs, edgeDeltas), nil
+}

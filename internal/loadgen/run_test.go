@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunSmokeScenario is the end-to-end harness test: a small swarm of
+// every workload kind through a real origin/registry/edge cluster over
+// the in-process network. It runs in a few seconds and under -race.
+func TestRunSmokeScenario(t *testing.T) {
+	s, err := ParseScenario("smoke?rate=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, edges = 16, 2
+	rep, err := Run(context.Background(), s, clients, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Sessions.Requested != clients {
+		t.Errorf("requested = %d, want %d", rep.Sessions.Requested, clients)
+	}
+	if rep.Sessions.Failed > 0 {
+		t.Errorf("%d sessions failed: %v", rep.Sessions.Failed, rep.Sessions.Errors)
+	}
+	if rep.Sessions.Completed != clients {
+		t.Errorf("completed = %d, want %d", rep.Sessions.Completed, clients)
+	}
+	// Every client entered through the registry.
+	if rep.Cluster.Redirects < float64(clients) {
+		t.Errorf("redirects = %v, want >= %d", rep.Cluster.Redirects, clients)
+	}
+	if rep.Cluster.NoEdge != 0 {
+		t.Errorf("noEdge = %v", rep.Cluster.NoEdge)
+	}
+	if len(rep.Cluster.Edges) != edges {
+		t.Fatalf("edge reports = %d", len(rep.Cluster.Edges))
+	}
+	// Both edges took traffic and mirrored from the origin.
+	var bytesSent, misses, firstPkt float64
+	for _, e := range rep.Cluster.Edges {
+		bytesSent += e.BytesSent
+		misses += e.CacheMisses
+		firstPkt += e.FirstPacketMs
+	}
+	if firstPkt <= 0 {
+		t.Error("no edge reported VOD first-packet latency")
+	}
+	if bytesSent <= 0 {
+		t.Error("edges sent no bytes")
+	}
+	if misses < 1 {
+		t.Error("no edge ever pulled from the origin")
+	}
+	if rep.Cluster.OriginMirrors < 1 {
+		t.Errorf("origin mirror fetches = %v", rep.Cluster.OriginMirrors)
+	}
+	if rep.Throughput.Bytes <= 0 || rep.Throughput.VideoFrames <= 0 {
+		t.Errorf("throughput = %+v", rep.Throughput)
+	}
+	if rep.StartupMs.Max <= 0 {
+		t.Errorf("startup quantiles empty: %+v", rep.StartupMs)
+	}
+	if rep.WallSeconds <= 0 || rep.WallSeconds > 30 {
+		t.Errorf("wall = %vs", rep.WallSeconds)
+	}
+
+	// The record round-trips as JSON with its identifying fields intact.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"schema", "scenario", "config", "sessions", "startupMs", "rebuffer", "cluster", "throughput"} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("report JSON missing %q", key)
+		}
+	}
+	if back["scenario"] != "smoke" {
+		t.Errorf("scenario field = %v", back["scenario"])
+	}
+	if rep.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+// TestRunRejectsInvalidInput covers the argument guard rails.
+func TestRunRejectsInvalidInput(t *testing.T) {
+	s, err := ParseScenario("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), s, 0, 1); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := Run(context.Background(), Scenario{}, 1, 1); err == nil {
+		t.Error("zero-value scenario accepted")
+	}
+	if _, err := StartCluster(s, 0, time.Second); err == nil {
+		t.Error("zero edges accepted")
+	}
+}
+
+// TestRunSessionKindsDeterministic replays one session id twice and
+// expects the identical request target.
+func TestRunSessionKindsDeterministic(t *testing.T) {
+	s, err := ParseScenario("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := StartCluster(s, 1, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.AwaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a := c.RunSession(context.Background(), 3, KindSeek)
+	b := c.RunSession(context.Background(), 3, KindSeek)
+	if a.URL != b.URL {
+		t.Fatalf("same id drew different targets: %q vs %q", a.URL, b.URL)
+	}
+	if a.Err != "" || b.Err != "" {
+		t.Fatalf("session errors: %q / %q", a.Err, b.Err)
+	}
+}

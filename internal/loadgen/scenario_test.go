@@ -1,0 +1,104 @@
+package loadgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNamedScenariosValidate(t *testing.T) {
+	all := Scenarios()
+	if len(all) < 4 {
+		t.Fatalf("only %d named scenarios", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, s := range all {
+		if err := s.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, want := range []string{"mixed", "smoke", "vod", "live", "seek"} {
+		if !seen[want] {
+			t.Errorf("missing scenario %q", want)
+		}
+	}
+}
+
+func TestParseScenarioPlain(t *testing.T) {
+	s, err := ParseScenario("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "mixed" || s.Assets < 1 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestParseScenarioOverrides(t *testing.T) {
+	s, err := ParseScenario("mixed?assets=12&duration=2s&process=burst&rate=400&burst=100&seed=9&cachebytes=65536")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Assets != 12 {
+		t.Errorf("assets = %d", s.Assets)
+	}
+	if s.AssetDuration != 2*time.Second {
+		t.Errorf("duration = %v", s.AssetDuration)
+	}
+	if s.Arrival.Process != "burst" || s.Arrival.Rate != 400 || s.Arrival.Burst != 100 {
+		t.Errorf("arrival = %+v", s.Arrival)
+	}
+	if s.Seed != 9 || s.CacheBytes != 65536 {
+		t.Errorf("seed/cache = %d/%d", s.Seed, s.CacheBytes)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	cases := []string{
+		"nope",                   // unknown name
+		"mixed?bogus=1",          // unknown key
+		"mixed?assets=x",         // bad value
+		"mixed?assets=0",         // invalid after override
+		"mixed?duration=-3s",     // invalid duration
+		"mixed?process=teleport", // invalid process
+		"mixed?process=burst",    // burst without size (mixed has Burst 0)
+		"mixed?rate=0",           // zero rate
+	}
+	for _, spec := range cases {
+		if _, err := ParseScenario(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if _, err := ParseScenario("nope"); err == nil || !strings.Contains(err.Error(), "mixed") {
+		t.Error("unknown-scenario error does not list the valid names")
+	}
+}
+
+func TestPickKindFollowsWeights(t *testing.T) {
+	s, err := ParseScenario("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make(map[Kind]int)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[s.pickKind(rng)]++
+	}
+	total := 0
+	for _, sh := range s.Mix {
+		total += sh.Weight
+	}
+	for _, sh := range s.Mix {
+		want := float64(n) * float64(sh.Weight) / float64(total)
+		got := float64(counts[sh.Kind])
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("kind %s drawn %v times, want ≈%v", sh.Kind, got, want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSnapshotDelta(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("work_total", "Work done.")
+	g := reg.Gauge("inflight", "In flight.")
+	h := reg.Histogram("latency_seconds", "Latency.", nil)
+
+	c.Add(3)
+	g.Set(5)
+	h.Observe(0.2)
+	before := reg.Snapshot()
+
+	c.Add(4)
+	g.Set(2)
+	h.Observe(0.3)
+	h.Observe(0.5)
+	// A series created inside the window must delta from zero.
+	reg.Counter("late_total", "Created mid-window.").Add(7)
+
+	d := reg.Snapshot().Delta(before)
+	if got := d.Get("work_total"); got != 4 {
+		t.Errorf("counter delta = %v, want 4", got)
+	}
+	if got := d.Get("inflight"); got != -3 {
+		t.Errorf("gauge delta = %v, want -3", got)
+	}
+	if got := d.Get("latency_seconds_count"); got != 2 {
+		t.Errorf("histogram count delta = %v, want 2", got)
+	}
+	if got := d.Get("latency_seconds_sum"); got < 0.79 || got > 0.81 {
+		t.Errorf("histogram sum delta = %v, want 0.8", got)
+	}
+	if got := d.Get("late_total"); got != 7 {
+		t.Errorf("mid-window series delta = %v, want 7", got)
+	}
+	if got := d.Get("never_created_total"); got != 0 {
+		t.Errorf("missing series = %v, want 0", got)
+	}
+}
+
+func TestSnapshotSum(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sessions_total", "By kind.", Label{Key: "kind", Value: "vod"}).Add(3)
+	reg.Counter("sessions_total", "By kind.", Label{Key: "kind", Value: "live"}).Add(2)
+	reg.Counter("sessions_other", "Unrelated.").Add(100)
+	s := reg.Snapshot()
+	if got := s.Sum("sessions_total"); got != 5 {
+		t.Errorf("Sum(sessions_total) = %v, want 5", got)
+	}
+	if got := s.Sum("sessions_total{"); got != 5 {
+		t.Errorf("Sum(sessions_total{) = %v, want 5", got)
+	}
+	if got := s.Sum("nope"); got != 0 {
+		t.Errorf("Sum(nope) = %v, want 0", got)
+	}
+}
+
+// TestSnapshotConcurrent hammers instruments while snapshotting; run
+// under -race (make race covers this package) to prove snapshot reads
+// never race with lock-free updates.
+func TestSnapshotConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits_total", "Hits.")
+	h := reg.Histogram("obs_seconds", "Obs.", nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(0.01)
+				}
+			}
+		}()
+	}
+	var last Snapshot
+	for i := 0; i < 50; i++ {
+		cur := reg.Snapshot()
+		if last != nil {
+			d := cur.Delta(last)
+			if d.Get("hits_total") < 0 {
+				t.Fatal("counter went backwards")
+			}
+		}
+		last = cur
+	}
+	close(stop)
+	wg.Wait()
+}

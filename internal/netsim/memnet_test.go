@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serveMem mounts h on the named memnet host and tears it down with the
+// test.
+func serveMem(t *testing.T, m *MemNet, host string, h http.Handler) {
+	t.Helper()
+	l, err := m.Listen(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+}
+
+func TestMemNetHTTPRoundTrip(t *testing.T) {
+	m := NewMemNet()
+	defer m.Close()
+	serveMem(t, m, "origin.lod", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "hello %s", r.URL.Path)
+	}))
+
+	client := m.Client()
+	resp, err := client.Get("http://origin.lod/vod/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "hello /vod/x" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestMemNetFollowsRedirectsAcrossHosts(t *testing.T) {
+	m := NewMemNet()
+	defer m.Close()
+	serveMem(t, m, "edge-1.lod", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "served by edge")
+	}))
+	serveMem(t, m, "registry.lod", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "http://edge-1.lod"+r.URL.Path, http.StatusTemporaryRedirect)
+	}))
+
+	resp, err := m.Client().Get("http://registry.lod/vod/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "served by edge" {
+		t.Fatalf("redirected body = %q", body)
+	}
+	if got := resp.Request.URL.Host; got != "edge-1.lod" {
+		t.Fatalf("final host = %q, want edge-1.lod", got)
+	}
+}
+
+func TestMemNetManyConcurrentClients(t *testing.T) {
+	m := NewMemNet()
+	defer m.Close()
+	serveMem(t, m, "srv.lod", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	client := m.Client()
+	const n = 200
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			resp, err := client.Get("http://srv.lod/")
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestMemNetErrors(t *testing.T) {
+	m := NewMemNet()
+	if _, err := m.DialContext(context.Background(), "tcp", "ghost.lod:80"); err == nil {
+		t.Fatal("dial to unknown host succeeded")
+	}
+	if _, err := m.Listen(""); err == nil {
+		t.Fatal("empty host accepted")
+	}
+	if _, err := m.Listen("a.lod"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Listen("a.lod"); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+
+	// A cancelled dial context must not hang even when nobody accepts.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := m.DialContext(ctx, "tcp", "a.lod:80"); err == nil {
+		t.Fatal("dial with no acceptor and cancelled context succeeded")
+	}
+
+	m.Close()
+	if _, err := m.Listen("b.lod"); err == nil {
+		t.Fatal("listen on closed memnet succeeded")
+	}
+	if _, err := m.DialContext(context.Background(), "tcp", "a.lod:80"); err == nil {
+		t.Fatal("dial on closed memnet succeeded")
+	}
+}

@@ -2,7 +2,7 @@
 // bandwidth, latency, jitter, and loss deterministically on one machine,
 // substituting for the paper's campus network testbed.
 //
-// Two complementary tools:
+// Four complementary tools:
 //
 //   - Link: an analytic, stateful packet-delivery model (serialization
 //     delay + propagation latency + uniform jitter + Bernoulli loss) used
@@ -10,6 +10,18 @@
 //   - ThrottledWriter: an io.Writer wrapper that paces real byte streams to
 //     a configured bandwidth against any vclock.Clock, used on the HTTP
 //     streaming path.
+//   - LinkReader: the receive-side counterpart — an io.Reader that delays
+//     each chunk by a Link's modeled transit time, shaping a client's
+//     download the way ThrottledWriter shapes a server's upload.
+//   - MemNet: an in-process network of named net.Listeners over net.Pipe,
+//     so cluster-scale load generation (internal/loadgen) runs thousands
+//     of concurrent HTTP sessions without consuming TCP ports.
+//
+// Concurrency: ThrottledWriter and MemNet are safe for concurrent use.
+// Link is NOT — it carries serialization-queue and RNG state, so each
+// simulated flow must own its own Link (clone a shared prototype with
+// Link.Clone); LinkReader assumes exclusive ownership of its Link and,
+// like any io.Reader, confinement to a single goroutine.
 package netsim
 
 import (
@@ -23,8 +35,14 @@ import (
 )
 
 // Link is a deterministic single-queue network link model. The zero value
-// is an infinitely fast, lossless, zero-latency link. Link is not safe for
-// concurrent use; each simulated flow should own one.
+// is an infinitely fast, lossless, zero-latency link.
+//
+// Link is NOT safe for concurrent use: Transmit mutates the
+// serialization queue (busyUntil) and the random streams, so two
+// goroutines sharing one Link race and corrupt each other's delivery
+// times. Each simulated flow must own a private Link — derive one per
+// flow from a shared prototype with Clone, which is how
+// internal/loadgen gives every virtual client its own shaped link.
 type Link struct {
 	// BitsPerSecond is the serialization rate; zero means infinite.
 	BitsPerSecond int64
@@ -112,6 +130,20 @@ func (l *Link) Transmit(sendAt time.Duration, size int) Delivery {
 func (l *Link) Reset() {
 	l.busyUntil = 0
 	l.rng = rand.New(rand.NewSource(l.Seed))
+}
+
+// Clone returns a fresh Link with the same parameters but its own
+// queue state and random streams, seeded with seed. It is the
+// concurrency guard for fan-out users: keep one prototype Link and
+// hand each concurrent flow a Clone to own exclusively.
+func (l *Link) Clone(seed int64) *Link {
+	return &Link{
+		BitsPerSecond: l.BitsPerSecond,
+		Latency:       l.Latency,
+		Jitter:        l.Jitter,
+		LossRate:      l.LossRate,
+		Seed:          seed,
+	}
 }
 
 // Presets mirroring the codec profile audiences.

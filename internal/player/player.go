@@ -125,6 +125,30 @@ type Options struct {
 	// fast as packets arrive, timestamping presentation by packet arrival
 	// order (used for analytic runs where the transport already paced).
 	Realtime bool
+	// AnchorToFirstPacket, with Realtime, starts the presentation
+	// schedule when playback begins — at the first packet's dequeue,
+	// which with a JitterBufferDepth is the moment the prebuffer
+	// finishes filling, exactly like a real player that buffers before
+	// it starts rendering. The deadline for an item with timestamp t
+	// becomes playbackStart + (t - firstPacketPTS). Connection setup,
+	// server startup delay, and the deliberate buffering delay then
+	// shift the whole schedule instead of counting every item as late,
+	// so Stalls and skew measure genuine mid-stream rebuffering — what
+	// a load benchmark wants — rather than constant startup offset. It
+	// also makes seeked and live catch-up streams (whose first PTS is
+	// far from zero) playable in realtime mode. Metrics report
+	// presentation times on the anchored schedule, and header scripts
+	// the stream skipped past (their time is before the first packet)
+	// are treated as catch-up content due at the anchor rather than as
+	// infinitely late.
+	AnchorToFirstPacket bool
+	// StallTolerance is how late an item may present before it counts
+	// as a stall event (Realtime only). OS timer and scheduler
+	// precision make a few milliseconds of lateness unavoidable, so a
+	// load benchmark sets a human-scale threshold here to keep Stalls
+	// meaning rebuffers; lateness within the tolerance still shows in
+	// the skew statistics. Zero counts every late item.
+	StallTolerance time.Duration
 	// LicenseDRM, when true, simulates holding a playback license.
 	LicenseDRM bool
 	// IgnoreHeaderScripts drops the header script table, relying only on
@@ -178,7 +202,13 @@ func (p *Player) Play(r io.Reader) (*Metrics, error) {
 	m := &Metrics{}
 	clock := p.opts.Clock
 	start := clock.Now()
+	// With AnchorToFirstPacket, start is re-based to the first packet's
+	// arrival and ptsBase to its timestamp; present() then reports
+	// instants on the anchored schedule so Event.Skew stays At - PTS.
+	var ptsBase time.Duration
+	anchored := false
 	elapsed := func() time.Duration { return clock.Now().Sub(start) }
+	present := func() time.Duration { return elapsed() + ptsBase }
 
 	// Pending header scripts sorted by time.
 	var scripts []asf.ScriptCommand
@@ -188,7 +218,14 @@ func (p *Player) Play(r io.Reader) (*Metrics, error) {
 	}
 	execScripts := func(upTo time.Duration) {
 		for len(scripts) > 0 && scripts[0].At <= upTo {
-			p.renderScript(m, scripts[0], elapsed())
+			cmd := scripts[0]
+			if anchored && cmd.At < ptsBase {
+				// The stream starts past this script (seek tail or live
+				// catch-up): it presents as join-time catch-up content,
+				// due at the anchor, not late since stream time zero.
+				cmd.At = ptsBase
+			}
+			p.renderScript(m, cmd, present())
 			scripts = scripts[1:]
 		}
 	}
@@ -235,17 +272,23 @@ func (p *Player) Play(r io.Reader) (*Metrics, error) {
 		}
 		m.BytesRead += int64(len(pkt.Payload))
 
+		if p.opts.Realtime && p.opts.AnchorToFirstPacket && !anchored {
+			anchored = true
+			start = clock.Now()
+			ptsBase = pkt.PTS
+		}
 		if p.opts.Realtime {
-			// Wait until the item is due; arriving late counts as a stall.
-			if wait := pkt.PTS - elapsed(); wait > 0 {
+			// Wait until the item is due; arriving late beyond the
+			// tolerance counts as a stall.
+			if wait := pkt.PTS - present(); wait > 0 {
 				clock.Sleep(wait)
-			} else if wait < 0 {
+			} else if wait < 0 && -wait > p.opts.StallTolerance {
 				m.Stalls++
 				m.StallTime += -wait
-				m.Events = append(m.Events, Event{Kind: EventStall, PTS: pkt.PTS, At: elapsed()})
+				m.Events = append(m.Events, Event{Kind: EventStall, PTS: pkt.PTS, At: present()})
 			}
 		}
-		now := elapsed()
+		now := present()
 		execScripts(pkt.PTS)
 
 		switch pkt.Kind {

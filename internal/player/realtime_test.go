@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/asf"
 	"repro/internal/encoder"
 	"repro/internal/vclock"
 )
@@ -91,6 +92,77 @@ func (s *slowReader) Read(p []byte) (int, error) {
 type errEOF struct{}
 
 func (errEOF) Error() string { return "EOF" }
+
+// TestAnchorToFirstPacketPlaysSeekTails plays a stream whose first
+// packet sits deep in the presentation (a seeked VOD tail or a live
+// catch-up join). Un-anchored realtime playback waits out the absolute
+// PTS of the first item — the whole skipped prefix — before presenting
+// anything; anchored playback re-bases the schedule at the first packet
+// and plays only the remaining material, cleanly.
+func TestAnchorToFirstPacketPlaysSeekTails(t *testing.T) {
+	data, _ := testLectureBytes(t, 2*time.Second, encoder.Config{})
+	h, packets, _, err := asf.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the container from the midpoint on, like /vod/x?start=1s.
+	const seek = time.Second
+	var tail bytes.Buffer
+	w, err := asf.NewWriter(&tail, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for _, p := range packets {
+		if p.PTS >= seek {
+			if _, err := w.WritePacket(p); err != nil {
+				t.Fatal(err)
+			}
+			kept++
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if kept == 0 {
+		t.Fatal("no tail packets")
+	}
+
+	play := func(anchor bool) *Metrics {
+		clk := vclock.NewVirtual()
+		pl := New(Options{Realtime: true, AnchorToFirstPacket: anchor, Clock: clk, IgnoreHeaderScripts: true})
+		done := make(chan struct{})
+		var m *Metrics
+		var perr error
+		go func() {
+			defer close(done)
+			m, perr = pl.Play(bytes.NewReader(tail.Bytes()))
+		}()
+		driveClock(t, clk, done)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		return m
+	}
+
+	plain := play(false)
+	if plain.Duration < 1900*time.Millisecond {
+		t.Fatalf("un-anchored tail playback took %v, expected to wait out the skipped prefix (≈2s)", plain.Duration)
+	}
+	anchored := play(true)
+	if anchored.Duration > 1200*time.Millisecond {
+		t.Fatalf("anchored tail playback took %v, want ≈1s (tail only)", anchored.Duration)
+	}
+	if anchored.Stalls != 0 {
+		t.Fatalf("anchored playback stalled %d times (stall time %v)", anchored.Stalls, anchored.StallTime)
+	}
+	if anchored.MaxSkew != 0 {
+		t.Fatalf("anchored max skew = %v, want 0 on an instant source", anchored.MaxSkew)
+	}
+	if anchored.VideoFrames != plain.VideoFrames {
+		t.Fatalf("anchored presented %d frames, un-anchored %d", anchored.VideoFrames, plain.VideoFrames)
+	}
+}
 
 func TestRealtimePlaybackCountsStallsOnStarvedSource(t *testing.T) {
 	data, _ := testLectureBytes(t, 2*time.Second, encoder.Config{})

@@ -170,13 +170,19 @@ func Heartbeat(client *http.Client, base, id string, stats NodeStats) error {
 	return err
 }
 
-// RunHeartbeats registers the node and then posts a snapshot from snap
-// every interval until ctx is cancelled. Transient heartbeat failures are
-// retried on the next tick; only registration failure is fatal.
+// RunHeartbeats registers the node, posts one snapshot from snap
+// immediately, and then posts a fresh snapshot every interval until ctx
+// is cancelled. The immediate first heartbeat means the registry
+// balances on the node's real load from its very first redirect instead
+// of scoring the node zero for a whole interval — without it, a swarm
+// of joins arriving right after an edge registers (the loadgen startup
+// pattern) would pile onto the newcomer. Transient heartbeat failures
+// are retried on the next tick; only registration failure is fatal.
 func RunHeartbeats(ctx context.Context, client *http.Client, base string, info NodeInfo, snap func() NodeStats, interval time.Duration) error {
 	if err := RegisterWith(client, base, info); err != nil {
 		return err
 	}
+	_ = Heartbeat(client, base, info.ID, snap())
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}

@@ -34,7 +34,10 @@
 // Every server owns a metrics registry (Metrics) counting sessions
 // started and active, packets and bytes sent, packets delayed by
 // pacing, admission rejects, mirror fetches, declared bandwidth in
-// flight, and per-endpoint handling latency. Mount it with
+// flight, per-endpoint handling latency, time to first media packet
+// (lod_first_packet_seconds, the server half of startup latency), and
+// how far behind schedule paced packets fall under load
+// (lod_pacing_lag_seconds). Mount it with
 // Metrics().Expose(mux) to serve GET /metrics and GET /status next to
 // the streaming endpoints, as cmd/lodserver does on every role.
 package streaming
@@ -184,10 +187,27 @@ type serverInstruments struct {
 	packetsPaced *metrics.Counter
 	rejects      *metrics.Counter
 	mirrors      *metrics.Counter
+	// firstPacketVOD/Live time request arrival → first media packet
+	// written, the server-side half of a client's startup latency.
+	firstPacketVOD  *metrics.Histogram
+	firstPacketLive *metrics.Histogram
+	// pacingLag records how far behind its scheduled send time a paced
+	// VOD packet was written; growth under load is the server-side
+	// pacing-jitter signal the load benchmarks track.
+	pacingLag *metrics.Histogram
 }
+
+// Bucket bounds for the startup/pacing histograms: these measure
+// sub-second scheduling behaviour, not whole-session durations, so
+// they need finer resolution than DefBuckets.
+var (
+	firstPacketBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+	pacingLagBuckets   = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+)
 
 func newServerInstruments(reg *metrics.Registry) serverInstruments {
 	started := "Streaming sessions started, by kind."
+	firstPacket := "Seconds from request arrival to the first media packet written, by kind."
 	return serverInstruments{
 		vodStarted:  reg.Counter("lod_sessions_started_total", started, metrics.Label{Key: "kind", Value: "vod"}),
 		liveStarted: reg.Counter("lod_sessions_started_total", started, metrics.Label{Key: "kind", Value: "live"}),
@@ -199,6 +219,13 @@ func newServerInstruments(reg *metrics.Registry) serverInstruments {
 			"VOD packets that waited for their send time (pacing delays)."),
 		rejects: reg.Counter("lod_admission_rejects_total", "Sessions refused by admission control or closed channels."),
 		mirrors: reg.Counter("lod_mirror_fetches_total", "Whole-container transfers served from /fetch/ (edge mirror pulls)."),
+		firstPacketVOD: reg.Histogram("lod_first_packet_seconds", firstPacket,
+			firstPacketBuckets, metrics.Label{Key: "kind", Value: "vod"}),
+		firstPacketLive: reg.Histogram("lod_first_packet_seconds", firstPacket,
+			firstPacketBuckets, metrics.Label{Key: "kind", Value: "live"}),
+		pacingLag: reg.Histogram("lod_pacing_lag_seconds",
+			"How far behind its scheduled send time each paced VOD packet was written.",
+			pacingLagBuckets),
 	}
 }
 
@@ -488,6 +515,7 @@ func (s *Server) handleChannels(w http.ResponseWriter, _ *http.Request) {
 // parameter (Go duration, e.g. ?start=30s) seeks to the last keyframe at
 // or before that presentation time using the stored index.
 func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
+	reqStart := s.clock.Now()
 	name := strings.TrimPrefix(r.URL.Path, "/vod/")
 	asset, ok := s.Asset(name)
 	if !ok {
@@ -540,6 +568,8 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 					s.addSent(sentPkts, sentBytes)
 					return
 				}
+			} else if wait < 0 {
+				s.inst.pacingLag.Observe((-wait).Seconds())
 			}
 		}
 		if r.Context().Err() != nil {
@@ -547,6 +577,9 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 		}
 		if _, err := writer.WritePacket(p); err != nil {
 			break // client went away
+		}
+		if sentPkts == 0 {
+			s.inst.firstPacketVOD.Observe(s.clock.Now().Sub(reqStart).Seconds())
 		}
 		sentPkts++
 		sentBytes += int64(len(p.Payload))
@@ -561,6 +594,7 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 
 // handleLive attaches the client to a live channel.
 func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	reqStart := s.clock.Now()
 	name := strings.TrimPrefix(r.URL.Path, "/live/")
 	s.mu.RLock()
 	ch, ok := s.channels[name]
@@ -607,12 +641,18 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 
 	var sentPkts, sentBytes int64
 	defer func() { s.addSent(sentPkts, sentBytes) }()
+	firstPacket := func() {
+		if sentPkts == 0 {
+			s.inst.firstPacketLive.Observe(s.clock.Now().Sub(reqStart).Seconds())
+		}
+	}
 
 	// Replay the catch-up burst.
 	for _, p := range sub.Backlog {
 		if _, err := writer.WritePacket(p); err != nil {
 			return
 		}
+		firstPacket()
 		sentPkts++
 		sentBytes += int64(len(p.Payload))
 	}
@@ -628,6 +668,7 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 			if _, err := writer.WritePacket(p); err != nil {
 				return
 			}
+			firstPacket()
 			sentPkts++
 			sentBytes += int64(len(p.Payload))
 			if flusher != nil {

@@ -3,6 +3,18 @@
 // wall clock or a deterministic virtual clock that advances only when told
 // to. All time-dependent components in this repository accept a vclock.Clock
 // rather than calling time.Now directly.
+//
+// The usual test idiom is a driver loop: goroutines under test sleep on a
+// Virtual clock while the test advances it to each next deadline —
+//
+//	for !done() {
+//	    if next, ok := clk.NextDeadline(); ok {
+//	        clk.AdvanceTo(next)
+//	    }
+//	}
+//
+// — so hours of simulated pacing run in microseconds and every interleaving
+// is reproducible.
 package vclock
 
 import (
@@ -36,8 +48,13 @@ func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
 // Sleep implements Clock.
 func (Real) Sleep(d time.Duration) { time.Sleep(d) }
 
-// Virtual is a deterministic, manually advanced clock. The zero value is not
-// usable; construct with NewVirtual. Virtual is safe for concurrent use.
+// Virtual is a deterministic, manually advanced clock: Now stands still
+// until Advance or AdvanceTo moves it, and sleepers wake exactly at their
+// deadline in deadline order (ties broken by wait registration order, so
+// runs are reproducible). The zero value is not usable; construct with
+// NewVirtual or NewVirtualAt. Virtual is safe for concurrent use, but the
+// advancing side must be driven by the test or simulation — a Sleep with
+// no one advancing blocks forever.
 type Virtual struct {
 	mu      sync.Mutex
 	now     time.Time
@@ -118,7 +135,9 @@ func (v *Virtual) Sleep(d time.Duration) {
 }
 
 // Advance moves the clock forward by d, firing every waiter whose deadline
-// falls inside the window in deadline order. It returns the new current time.
+// falls inside the window in deadline order; while a waiter is being fired
+// Now reports that waiter's deadline, so code running at wake-up observes a
+// consistent instant. It returns the new current time.
 func (v *Virtual) Advance(d time.Duration) time.Time {
 	v.mu.Lock()
 	target := v.now.Add(d)
