@@ -1,8 +1,8 @@
 GO ?= go
 
-RACE_PKGS := ./internal/streaming ./internal/session ./internal/core ./internal/relay ./internal/metrics ./internal/netsim ./internal/loadgen
+RACE_PKGS := ./internal/streaming ./internal/session ./internal/core ./internal/relay ./internal/metrics ./internal/netsim ./internal/loadgen ./internal/asf ./internal/player
 
-.PHONY: all build test vet fmt-check race bench bench-smoke bench-cluster
+.PHONY: all build test vet fmt-check race bench bench-smoke bench-cluster bench-churn
 
 all: build test vet fmt-check
 
@@ -28,12 +28,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Seconds-long cluster load benchmark; CI runs it on every push so the
-# swarm harness (internal/loadgen) stays runnable end to end.
+# Seconds-long cluster load benchmarks; CI runs them on every push so
+# the swarm harness (internal/loadgen) stays runnable end to end. The
+# churn case kills and restarts an edge mid-run, so the failover path
+# (client retry/resume + registry failure reports) is exercised on
+# every push, not just in the committed record.
 bench-smoke:
 	$(GO) run ./cmd/lodbench -scenario smoke -clients 60 -edges 2 -out BENCH_smoke.json
+	$(GO) run ./cmd/lodbench -scenario 'churn?kills=1&firstkill=500ms&restartafter=1s&duration=2s&rate=40' \
+		-clients 20 -edges 2 -out BENCH_churn_smoke.json
 
-# The benchmark of record (BENCHMARKS.md); append its numbers to
+# The benchmarks of record (BENCHMARKS.md); append their numbers to
 # EXPERIMENTS.md when they move.
 bench-cluster:
 	$(GO) run ./cmd/lodbench -scenario mixed -clients 1000 -edges 3 -out BENCH_cluster.json
+
+bench-churn:
+	$(GO) run ./cmd/lodbench -scenario churn -clients 400 -edges 3 -out BENCH_churn.json

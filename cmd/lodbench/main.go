@@ -7,6 +7,7 @@
 //
 //	lodbench -scenario mixed -clients 1000 -edges 3     # writes BENCH_cluster.json
 //	lodbench -scenario smoke -out BENCH_smoke.json      # the seconds-long CI variant
+//	lodbench -scenario churn -clients 400 -edges 3      # kill/restart edges mid-run (BENCH_churn.json)
 //	lodbench -scenario 'mixed?assets=12&rate=400'       # query-style overrides
 //	lodbench -scenarios                                 # list scenarios
 //

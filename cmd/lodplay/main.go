@@ -7,23 +7,35 @@
 //	lodplay -in published.asf
 //	lodplay -url http://localhost:8080/vod/lecture1 -realtime
 //	lodplay -url http://localhost:8080/vod/lecture1 -server-status
+//	lodplay -url http://registry:9090/vod/lecture1 -failover 3
 //
 // With -server-status the player also fetches the serving node's JSON
 // GET /status snapshot after playback and prints it — the client-side
 // view of the server's counters (sessions, bytes, cache traffic on an
 // edge; see internal/metrics).
+//
+// With -failover N (the -url must point at a cluster registry), the
+// player survives edge churn: when the edge serving it refuses the
+// connection or drops the stream mid-play, it reports the failure to
+// the registry, asks for another edge — excluding the one it escaped —
+// and resumes a VOD stream at the last media offset it received via
+// ?start=, up to N times. The same failover protocol internal/loadgen's
+// virtual clients run (relay.StreamFetcher).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"os"
+	"strings"
 
 	"repro/internal/player"
+	"repro/internal/relay"
 )
 
 func main() {
@@ -43,6 +55,7 @@ func run(args []string) error {
 	verbose := fs.Bool("v", false, "print every slide flip and annotation")
 	start := fs.Duration("start", 0, "seek a -url VOD stream to this offset (server-side)")
 	serverStatus := fs.Bool("server-status", false, "after playing a -url stream, fetch and print the server's /status snapshot")
+	failover := fs.Int("failover", 0, "retry a -url stream through its registry up to N times when the serving edge dies, resuming VOD at the last received offset")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +65,12 @@ func run(args []string) error {
 	if *serverStatus && *url == "" {
 		return fmt.Errorf("-server-status requires -url")
 	}
+	if *failover < 0 {
+		return fmt.Errorf("-failover must be >= 0, got %d", *failover)
+	}
+	if *failover > 0 && *url == "" {
+		return fmt.Errorf("-failover requires -url pointing at a cluster registry")
+	}
 	if *start > 0 {
 		if *url == "" {
 			return fmt.Errorf("-start requires -url")
@@ -59,15 +78,18 @@ func run(args []string) error {
 		*url = fmt.Sprintf("%s?start=%s", *url, *start)
 	}
 
-	pl := player.New(player.Options{
+	opts := player.Options{
 		Realtime:          *realtime,
 		JitterBufferDepth: *jitter,
 		LicenseDRM:        *drm,
-	})
+	}
+	pl := player.New(opts)
 
 	var m *player.Metrics
 	var err error
-	if *url != "" {
+	if *url != "" && *failover > 0 {
+		m, err = playFailover(opts, *url, *failover)
+	} else if *url != "" {
 		m, err = pl.PlayURL(*url)
 	} else {
 		var f *os.File
@@ -111,6 +133,39 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// playFailover plays a registry URL with churn tolerance via the
+// shared relay.FailoverSession: each attempt resolves the stream
+// through the registry (relay.StreamFetcher reports dead edges and
+// excludes them from the next pick), and segments after a mid-stream
+// failure resume at the last received media offset — never earlier
+// than any -start the user gave. The merged metrics of every segment
+// are returned as one session.
+func playFailover(opts player.Options, rawURL string, attempts int) (*player.Metrics, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	session := &relay.FailoverSession{
+		Fetcher:  relay.NewStreamFetcher(u.Scheme+"://"+u.Host, nil),
+		Target:   u.RequestURI(),
+		Live:     strings.HasPrefix(u.Path, "/live/"),
+		Attempts: attempts,
+		Player:   opts,
+		OnRetry: func(edge string, err error) {
+			if edge == "" {
+				fmt.Fprintf(os.Stderr, "lodplay: %v; retrying through registry\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "lodplay: edge %s failed (%v); failing over\n", edge, err)
+		},
+	}
+	m, _, err := session.Run(context.Background())
+	if err != nil {
+		return m, fmt.Errorf("lodplay: failover exhausted: %w", err)
+	}
+	return m, nil
 }
 
 // printServerStatus fetches the /status snapshot of the node that served

@@ -62,3 +62,12 @@ func TestPlayArgumentValidation(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+func TestFailoverFlagValidation(t *testing.T) {
+	if err := run([]string{"-in", "whatever.asf", "-failover", "2"}); err == nil {
+		t.Fatal("-failover without -url accepted")
+	}
+	if err := run([]string{"-url", "http://reg/vod/x", "-failover", "-1"}); err == nil {
+		t.Fatal("negative -failover accepted")
+	}
+}

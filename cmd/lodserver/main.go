@@ -24,6 +24,12 @@
 // Every role serves GET /metrics (Prometheus text) and GET /status
 // (JSON snapshot) on its listener unless -metrics=false; the registry
 // listener exposes its own counters the same way. See internal/metrics.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: a node registered
+// with a registry deregisters first (so no new client is redirected at
+// it), then refuses new sessions and drains in-flight ones for up to
+// -drain before exiting. Clients of a node that dies without draining
+// fail over through the registry instead (see internal/relay).
 package main
 
 import (
@@ -33,7 +39,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/asf"
@@ -71,6 +79,7 @@ type config struct {
 	heartbeat  time.Duration
 	metricsOn  bool
 	cacheBytes int64
+	drain      time.Duration
 }
 
 // hostsRegistry reports whether -registry names a listen address to serve
@@ -93,8 +102,12 @@ func parseConfig(args []string) (*config, error) {
 	fs.DurationVar(&c.heartbeat, "heartbeat", 5*time.Second, "registry heartbeat interval")
 	fs.BoolVar(&c.metricsOn, "metrics", true, "serve GET /metrics and GET /status on every role's listener")
 	fs.Int64Var(&c.cacheBytes, "cache-bytes", 0, "edge mirror cache capacity in payload bytes (0 = unbounded; requires -origin)")
+	fs.DurationVar(&c.drain, "drain", 10*time.Second, "how long to let in-flight sessions finish on SIGINT/SIGTERM before exiting")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if c.drain < 0 {
+		return nil, fmt.Errorf("-drain must be >= 0, got %v", c.drain)
 	}
 	if c.registry != "" && !c.hostsRegistry() && c.edgeURL == "" {
 		return nil, fmt.Errorf("-registry %s needs -edge with this node's advertised URL", c.registry)
@@ -171,6 +184,9 @@ func run(args []string) error {
 		handler = mux
 	}
 
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	errc := make(chan error, 2)
 	if c.hostsRegistry() {
 		reg := relay.NewRegistry(nil)
@@ -188,13 +204,44 @@ func run(args []string) error {
 		snap := func() relay.NodeStats { return relay.SnapshotStats(srv) }
 		fmt.Printf("registering %s with registry %s\n", c.edgeURL, c.registry)
 		go func() {
-			errc <- relay.RunHeartbeats(context.Background(), nil, c.registry, info, snap, c.heartbeat)
+			errc <- relay.RunHeartbeats(sigCtx, nil, c.registry, info, snap, c.heartbeat)
 		}()
 	}
 
 	fmt.Printf("LOD server listening on %s (assets: %v)\n", c.addr, srv.AssetNames())
 	go func() { errc <- http.ListenAndServe(c.addr, handler) }()
-	return <-errc
+	select {
+	case err := <-errc:
+		if sigCtx.Err() != nil {
+			break // heartbeat loop reporting the signal cancellation
+		}
+		return err
+	case <-sigCtx.Done():
+	}
+	return shutdown(c, srv)
+}
+
+// shutdown is the graceful exit: tell the registry first so no new
+// client is redirected here, then refuse new sessions and let in-flight
+// ones finish. Clients cut off anyway (drain deadline passed) fail over
+// through the registry.
+func shutdown(c *config, srv *streaming.Server) error {
+	if c.registry != "" && !c.hostsRegistry() {
+		fmt.Printf("deregistering %s from registry %s\n", c.edgeURL, c.registry)
+		if err := relay.Deregister(nil, c.registry, c.edgeURL); err != nil {
+			fmt.Fprintln(os.Stderr, "lodserver: deregister:", err)
+		}
+	}
+	if c.drain <= 0 {
+		return nil
+	}
+	fmt.Printf("draining sessions for up to %v\n", c.drain)
+	ctx, cancel := context.WithTimeout(context.Background(), c.drain)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "lodserver:", err)
+	}
+	return nil
 }
 
 func registerDemo(srv *streaming.Server) error {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/streaming"
 )
@@ -104,5 +105,26 @@ func TestParseConfigCacheAndMetricsFlags(t *testing.T) {
 	}
 	if c.metricsOn {
 		t.Fatal("-metrics=false ignored")
+	}
+}
+
+func TestParseConfigDrainFlag(t *testing.T) {
+	c, err := parseConfig([]string{"-drain", "3s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.drain != 3*time.Second {
+		t.Fatalf("drain = %v", c.drain)
+	}
+	if _, err := parseConfig([]string{"-drain", "-1s"}); err == nil {
+		t.Fatal("negative -drain accepted")
+	}
+	// The default leaves room for in-flight sessions.
+	c, err = parseConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.drain <= 0 {
+		t.Fatalf("default drain = %v, want positive", c.drain)
 	}
 }

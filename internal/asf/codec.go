@@ -453,7 +453,12 @@ func (r *Reader) ReadPacket() (Packet, error) {
 	magic := s.bytes(2)
 	if s.err != nil {
 		r.done = true
-		if errors.Is(s.err, io.EOF) || errors.Is(s.err, io.ErrUnexpectedEOF) {
+		// Only a pure EOF — zero bytes exactly on a frame boundary — is a
+		// clean end of stream. An ErrUnexpectedEOF means the transport was
+		// severed (a dying edge mid-stream): it must surface as an error,
+		// or a failover-capable client would mistake the truncation for a
+		// complete session and never resume.
+		if errors.Is(s.err, io.EOF) && !errors.Is(s.err, io.ErrUnexpectedEOF) {
 			return Packet{}, io.EOF
 		}
 		return Packet{}, fmt.Errorf("asf: read packet magic: %w", s.err)

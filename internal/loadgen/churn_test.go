@@ -1,0 +1,197 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestClusterKillAndRestartEdge covers the churn primitives: a killed
+// edge stops answering and stops heartbeating; a restarted one rejoins
+// the registry and serves again.
+func TestClusterKillAndRestartEdge(t *testing.T) {
+	s, err := ParseScenario("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := StartCluster(s, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.AwaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.KillEdge(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.EdgeAlive(0) {
+		t.Fatal("edge 0 still alive after kill")
+	}
+	if err := c.KillEdge(0); err == nil {
+		t.Fatal("double kill accepted")
+	}
+	// The corpse refuses connections.
+	if _, err := c.Client().Get("http://edge-1.lod/assets"); err == nil {
+		t.Fatal("killed edge still answering")
+	}
+	// The registry was NOT told (crash semantics): the node only falls
+	// off via TTL or a client's failure report.
+	if !c.Registry.ReportFailure("edge-1.lod") {
+		t.Fatal("killed edge was already dead at the registry; kill should be silent")
+	}
+
+	if err := c.RestartEdge(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartEdge(0); err == nil {
+		t.Fatal("double restart accepted")
+	}
+	if err := c.AwaitReady(5 * time.Second); err != nil {
+		t.Fatalf("restarted edge never rejoined: %v", err)
+	}
+	resp, err := c.Client().Get("http://edge-1.lod/assets")
+	if err != nil {
+		t.Fatalf("restarted edge unreachable: %v", err)
+	}
+	resp.Body.Close()
+
+	if err := c.KillEdge(5); err == nil {
+		t.Fatal("out-of-range kill accepted")
+	}
+}
+
+// TestSessionFailsOverMidStream is the tentpole integration test: kill
+// the edge serving a VOD session mid-stream and assert the session
+// completes on the other edge, resuming rather than restarting, with
+// the failover visible in its result.
+func TestSessionFailsOverMidStream(t *testing.T) {
+	// The churn scenario's content (4s assets) with churn itself
+	// disabled: this test kills by hand, precisely when the stream is
+	// known to be in flight.
+	s, err := ParseScenario("churn?kills=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := StartCluster(s, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.AwaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	resc := make(chan SessionResult, 1)
+	go func() { resc <- c.RunSession(context.Background(), 1, KindVOD) }()
+
+	// Find the edge the session landed on.
+	serving := -1
+	deadline := time.Now().Add(10 * time.Second)
+	for serving < 0 && time.Now().Before(deadline) {
+		for i, e := range c.Edges {
+			if e.Server.Stats().ActiveClients > 0 {
+				serving = i
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if serving < 0 {
+		t.Fatal("session never started streaming")
+	}
+	// Let some media flow so the resume has an offset to carry.
+	time.Sleep(300 * time.Millisecond)
+	if err := c.KillEdge(serving); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-resc
+	if res.Err != "" {
+		t.Fatalf("session failed despite failover: %s (failovers=%d retries=%d)", res.Err, res.Failovers, res.Retries)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("session claims a clean run after its edge was killed: %+v", res)
+	}
+	killedHost := c.EdgeIDs[serving] + ".lod"
+	if res.Edge == killedHost {
+		t.Fatalf("final edge %s is the killed one", res.Edge)
+	}
+	if res.VideoFrames == 0 || res.BytesRead == 0 {
+		t.Fatalf("no media delivered: %+v", res)
+	}
+	// The client's failure report killed the node at the registry, so
+	// later clients are spared the corpse without waiting out the TTL.
+	dead := false
+	for _, n := range c.Registry.Nodes() {
+		if n.ID == c.EdgeIDs[serving] && n.Dead {
+			dead = true
+		}
+	}
+	if !dead {
+		t.Fatal("killed edge not marked dead at the registry")
+	}
+}
+
+// TestRunChurnScenario runs the churn scenario family end to end, small:
+// one kill and restart mid-swarm, every session expected to survive.
+func TestRunChurnScenario(t *testing.T) {
+	s, err := ParseScenario("churn?kills=1&firstkill=400ms&restartafter=800ms&duration=2s&rate=50&backoff=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, edges = 12, 2
+	rep, err := Run(context.Background(), s, clients, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions.Failed > 0 {
+		t.Fatalf("%d sessions failed under churn: %v", rep.Sessions.Failed, rep.Sessions.Errors)
+	}
+	if rep.Sessions.Completed != clients {
+		t.Fatalf("completed = %d, want %d", rep.Sessions.Completed, clients)
+	}
+	if rep.Sessions.Failovers < 1 || rep.Sessions.FailedOver < 1 {
+		t.Fatalf("no failovers recorded (failovers=%d failedOver=%d); the kill missed every session",
+			rep.Sessions.Failovers, rep.Sessions.FailedOver)
+	}
+	if rep.Cluster.NodeDeaths < 1 {
+		t.Fatalf("nodeDeaths = %v; the dead edge was never reported", rep.Cluster.NodeDeaths)
+	}
+	if rep.Cluster.FailureReports < 1 {
+		t.Fatalf("failureReports = %v", rep.Cluster.FailureReports)
+	}
+	if rep.Config.Churn == nil || rep.Config.Churn.Kills != 1 {
+		t.Fatalf("churn config missing from the record: %+v", rep.Config.Churn)
+	}
+	if rep.Config.FailoverAttempts < 1 {
+		t.Fatalf("failover attempts missing from the record: %+v", rep.Config)
+	}
+}
+
+// TestChurnScenarioValidation covers the new guard rails.
+func TestChurnScenarioValidation(t *testing.T) {
+	base, err := ParseScenario("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := base
+	bad.Churn = ChurnSpec{Kills: 3} // several kills, no interval
+	if err := bad.Validate(); err == nil {
+		t.Error("multi-kill churn without interval accepted")
+	}
+	bad = base
+	bad.FailoverAttempts = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative failover attempts accepted")
+	}
+	bad = base
+	bad.Churn.FirstKill = -time.Second
+	if err := bad.Validate(); err == nil {
+		t.Error("negative first kill accepted")
+	}
+	// Churn demands a cluster with somewhere to fail over to.
+	if _, err := StartCluster(base, 1, time.Second); err == nil {
+		t.Error("churn on a single-edge cluster accepted")
+	}
+}

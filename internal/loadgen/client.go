@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"net/http"
 	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/player"
+	"repro/internal/relay"
 )
 
 // SessionResult is what one virtual client measured.
@@ -18,16 +18,27 @@ type SessionResult struct {
 	Kind Kind   `json:"kind"`
 	URL  string `json:"-"`
 	// Edge is the host that actually served the stream after the
-	// registry's redirect.
+	// registry's redirect — the last one, when the session failed over.
 	Edge string `json:"edge"`
 	// Err is the failure, empty on success.
 	Err string `json:"err,omitempty"`
+
+	// Failovers counts serving-edge failures the session rode out: the
+	// edge refused the connection, answered 5xx, or severed the stream
+	// mid-session, and the client went back to the registry. A session
+	// with Err=="" and Failovers>0 survived via failover rather than
+	// cleanly.
+	Failovers int `json:"failovers,omitempty"`
+	// Retries counts every extra registry round trip the session made,
+	// failovers plus no-edge (503) backoffs.
+	Retries int `json:"retries,omitempty"`
 
 	// StartupMs is request issued → first stream byte received,
 	// redirect and modeled link transit included — the client half of
 	// startup latency.
 	StartupMs float64 `json:"startupMs"`
-	// DurationMs is the playback time on the anchored schedule.
+	// DurationMs is the playback time on the anchored schedule, summed
+	// across failover segments.
 	DurationMs float64 `json:"durationMs"`
 	// Stalls/StallMs are rebuffer events: items that missed their
 	// anchored presentation deadline, and by how much in total.
@@ -86,68 +97,95 @@ func (f *firstByteReader) Read(p []byte) (int, error) {
 // the redirect, and play the stream in realtime through the client's
 // private shaped link. The id seeds every per-client draw, so a rerun
 // issues the identical session.
+//
+// When the scenario grants FailoverAttempts, a session whose edge
+// refuses the connection or severs the stream mid-play goes back to the
+// registry — reporting the dead edge and excluding it from the next
+// pick — and, for stored content, resumes at the last media offset it
+// received via ?start=. The result's Failovers/Retries counts let the
+// report distinguish sessions that survived via failover from clean
+// runs.
 func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResult {
 	s := c.Scenario
 	rng := rand.New(rand.NewSource(s.Seed<<20 + int64(id)))
 	res := SessionResult{ID: id, Kind: kind}
-	res.URL = RegistryURL + c.sessionTarget(kind, rng)
-
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, res.URL, nil)
-	if err != nil {
-		res.Err = err.Error()
-		return res
-	}
-	t0 := time.Now()
-	resp, err := c.client.Do(req)
-	if err != nil {
-		res.Err = err.Error()
-		return res
-	}
-	defer resp.Body.Close()
-	if resp.Request != nil && resp.Request.URL != nil {
-		res.Edge = resp.Request.URL.Host
-	}
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 128))
-		res.Err = fmt.Sprintf("status %s: %s", resp.Status, body)
-		return res
-	}
+	target := c.sessionTarget(kind, rng)
+	res.URL = RegistryURL + target
 
 	// Each client owns a private clone of the scenario link — netsim.Link
 	// is not safe for concurrent use, so the prototype is never shared.
+	// Failover segments of the same session run sequentially, so they
+	// share the clone.
 	var link *netsim.Link
 	if s.Link != (netsim.Link{}) {
 		link = s.Link.Clone(s.Seed<<20 + int64(id))
 	}
-	// The first-byte stamp sits outside the link shaping, so StartupMs
-	// includes the modeled last-mile transit, consistent with the
-	// stall/skew numbers the player measures on post-shaping arrivals.
-	var firstByte time.Time
-	body := &firstByteReader{r: netsim.NewLinkReader(resp.Body, link, nil), at: &firstByte}
-
-	m, err := player.New(player.Options{
+	opts := player.Options{
 		Realtime:            true,
 		AnchorToFirstPacket: true,
 		JitterBufferDepth:   s.JitterBufferDepth,
 		// Below ~50ms lateness is OS timer/scheduler noise, not
 		// rebuffering; it still lands in the skew statistics.
 		StallTolerance: 50 * time.Millisecond,
-	}).Play(body)
+	}
+
+	// The first-byte stamp sits outside the link shaping, so StartupMs
+	// includes the modeled last-mile transit, consistent with the
+	// stall/skew numbers the player measures on post-shaping arrivals.
+	// Only the very first byte of the whole session stamps it; failover
+	// reconnects don't reset startup.
+	var firstByte time.Time
+	t0 := time.Now()
+	session := &relay.FailoverSession{
+		Fetcher:  relay.NewStreamFetcher(RegistryURL, c.client),
+		Target:   target,
+		Live:     kind == KindLive,
+		Attempts: s.FailoverAttempts,
+		Backoff:  s.FailoverBackoff,
+		Player:   opts,
+		WrapBody: func(r io.Reader) io.Reader {
+			return &firstByteReader{r: netsim.NewLinkReader(r, link, nil), at: &firstByte}
+		},
+		OnRetry: func(edge string, _ error) {
+			res.Retries++
+			if edge != "" {
+				res.Failovers++
+			}
+		},
+	}
+	agg, edge, err := session.Run(ctx)
+	res.Edge = edge
 	if err != nil {
 		res.Err = err.Error()
-		return res
 	}
+
 	if !firstByte.IsZero() {
 		res.StartupMs = float64(firstByte.Sub(t0)) / float64(time.Millisecond)
 	}
-	res.DurationMs = float64(m.Duration) / float64(time.Millisecond)
-	res.Stalls = m.Stalls
-	res.StallMs = float64(m.StallTime) / float64(time.Millisecond)
-	res.MaxSkewMs = float64(m.MaxSkew) / float64(time.Millisecond)
-	res.MeanSkewMs = float64(m.MeanSkew) / float64(time.Millisecond)
-	res.BytesRead = m.BytesRead
-	res.VideoFrames = m.VideoFrames
-	res.BrokenFrames = m.BrokenFrames
-	res.SlidesShown = m.SlidesShown
+	res.DurationMs = float64(agg.Duration) / float64(time.Millisecond)
+	res.Stalls = agg.Stalls
+	res.StallMs = float64(agg.StallTime) / float64(time.Millisecond)
+	res.MaxSkewMs = float64(agg.MaxSkew) / float64(time.Millisecond)
+	res.MeanSkewMs = float64(agg.MeanSkew) / float64(time.Millisecond)
+	res.BytesRead = agg.BytesRead
+	res.VideoFrames = agg.VideoFrames
+	res.BrokenFrames = agg.BrokenFrames
+	res.SlidesShown = agg.SlidesShown
 	return res
+}
+
+// sleepCtx waits for d or until ctx is cancelled, reporting whether the
+// full wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

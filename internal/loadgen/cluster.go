@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/asf"
@@ -32,6 +33,12 @@ const RegistryURL = "http://" + registryHost
 // pulling through from the origin — every role a real HTTP server on a
 // netsim.MemNet, wired exactly like the cmd/lodserver roles, plus the
 // heartbeat loops between them.
+//
+// Edges are individually killable (KillEdge) and restartable
+// (RestartEdge), which is how the churn scenarios exercise failover:
+// a kill severs the edge's connections and silences its heartbeats
+// without telling the registry — death is discovered by client failure
+// reports or TTL expiry, exactly like a crashed process.
 type Cluster struct {
 	Scenario Scenario
 	Origin   *streaming.Server
@@ -46,10 +53,29 @@ type Cluster struct {
 	LiveNames  []string
 
 	net     *netsim.MemNet
+	ctx     context.Context
 	client  *http.Client
-	servers []*http.Server
+	servers []*http.Server // origin + registry
 	cancel  context.CancelFunc
-	done    []chan struct{} // live pumps + heartbeat loops
+	done    []chan struct{} // live pumps
+	wg      sync.WaitGroup  // heartbeat loops, one per edge up-time
+
+	edgeMu sync.Mutex
+	edgeRT []*edgeRuntime
+}
+
+// edgeRuntime is the killable part of one edge: its listener-facing
+// HTTP server and heartbeat loop. The relay.Edge and its
+// streaming.Server persist across kill/restart (a warm restart — the
+// mirror cache and metric history survive; what dies are the
+// connections and the cluster's knowledge of the node).
+type edgeRuntime struct {
+	id, host string
+	edge     *relay.Edge
+	handler  http.Handler
+	httpSrv  *http.Server
+	stopHB   context.CancelFunc
+	alive    bool
 }
 
 // StartCluster builds and starts the cluster for a scenario: content
@@ -60,12 +86,16 @@ func StartCluster(s Scenario, edges int, liveFor time.Duration) (*Cluster, error
 	if edges < 1 {
 		return nil, fmt.Errorf("loadgen: need at least one edge, got %d", edges)
 	}
+	if s.Churn.Enabled() && edges < 2 {
+		return nil, fmt.Errorf("loadgen: churn needs at least two edges to fail over between, got %d", edges)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Cluster{
 		Scenario: s,
 		Origin:   streaming.NewServer(nil),
 		Registry: relay.NewRegistry(nil),
 		net:      netsim.NewMemNet(),
+		ctx:      ctx,
 		cancel:   cancel,
 	}
 	c.client = c.net.Client()
@@ -89,25 +119,87 @@ func StartCluster(s Scenario, edges int, liveFor time.Duration) (*Cluster, error
 		edge := relay.NewEdge("http://"+originHost, srv)
 		edge.Client = c.client
 		edge.CacheBytes = s.CacheBytes
-		host := id + ".lod"
-		if err := c.serve(host, edge.Handler()); err != nil {
+		rt := &edgeRuntime{id: id, host: id + ".lod", edge: edge, handler: edge.Handler()}
+		c.Edges = append(c.Edges, edge)
+		c.EdgeIDs = append(c.EdgeIDs, id)
+		c.edgeRT = append(c.edgeRT, rt)
+		if err := c.startEdgeLocked(rt); err != nil {
 			c.Close()
 			return nil, err
 		}
-		c.Edges = append(c.Edges, edge)
-		c.EdgeIDs = append(c.EdgeIDs, id)
-
-		hb := make(chan struct{})
-		c.done = append(c.done, hb)
-		go func(id, host string, srv *streaming.Server) {
-			defer close(hb)
-			_ = relay.RunHeartbeats(ctx, c.client, RegistryURL,
-				relay.NodeInfo{ID: id, URL: "http://" + host},
-				func() relay.NodeStats { return relay.SnapshotStats(srv) },
-				250*time.Millisecond)
-		}(id, host, srv)
 	}
 	return c, nil
+}
+
+// startEdgeLocked brings one edge up: listener, HTTP server, heartbeat
+// loop. Callers hold edgeMu or are still single-threaded in
+// StartCluster.
+func (c *Cluster) startEdgeLocked(rt *edgeRuntime) error {
+	l, err := c.net.Listen(rt.host)
+	if err != nil {
+		return err
+	}
+	// A fresh http.Server per up-time: a closed one cannot be reused.
+	rt.httpSrv = &http.Server{Handler: rt.handler}
+	go rt.httpSrv.Serve(l)
+
+	hbCtx, stop := context.WithCancel(c.ctx)
+	rt.stopHB = stop
+	srv := rt.edge.Server
+	c.wg.Add(1)
+	go func(id, host string) {
+		defer c.wg.Done()
+		_ = relay.RunHeartbeats(hbCtx, c.client, RegistryURL,
+			relay.NodeInfo{ID: id, URL: "http://" + host},
+			func() relay.NodeStats { return relay.SnapshotStats(srv) },
+			250*time.Millisecond)
+	}(rt.id, rt.host)
+	rt.alive = true
+	return nil
+}
+
+// KillEdge abruptly stops edge i (0-based): its HTTP server closes —
+// severing every in-flight session mid-stream and freeing its host —
+// and its heartbeats stop. The registry is deliberately NOT told;
+// clients discover the death and report it, or the TTL expires. Kill of
+// an already-down edge is an error.
+func (c *Cluster) KillEdge(i int) error {
+	c.edgeMu.Lock()
+	defer c.edgeMu.Unlock()
+	if i < 0 || i >= len(c.edgeRT) {
+		return fmt.Errorf("loadgen: no edge %d", i)
+	}
+	rt := c.edgeRT[i]
+	if !rt.alive {
+		return fmt.Errorf("loadgen: edge %s already down", rt.id)
+	}
+	rt.stopHB()
+	_ = rt.httpSrv.Close()
+	rt.alive = false
+	return nil
+}
+
+// RestartEdge brings a killed edge back up: new listener, new HTTP
+// server, fresh heartbeat loop whose registration revives the node at
+// the registry. The edge's mirror cache survives (warm restart).
+func (c *Cluster) RestartEdge(i int) error {
+	c.edgeMu.Lock()
+	defer c.edgeMu.Unlock()
+	if i < 0 || i >= len(c.edgeRT) {
+		return fmt.Errorf("loadgen: no edge %d", i)
+	}
+	rt := c.edgeRT[i]
+	if rt.alive {
+		return fmt.Errorf("loadgen: edge %s already up", rt.id)
+	}
+	return c.startEdgeLocked(rt)
+}
+
+// EdgeAlive reports whether edge i is currently serving.
+func (c *Cluster) EdgeAlive(i int) bool {
+	c.edgeMu.Lock()
+	defer c.edgeMu.Unlock()
+	return i >= 0 && i < len(c.edgeRT) && c.edgeRT[i].alive
 }
 
 // populateOrigin encodes the scenario's content and registers it:
@@ -240,15 +332,24 @@ func (c *Cluster) AwaitReady(timeout time.Duration) error {
 	}
 }
 
-// Close stops heartbeats and live pumps, closes every HTTP server, and
-// tears the in-process network down.
+// Close stops heartbeats and live pumps, closes every HTTP server
+// (edges included), and tears the in-process network down.
 func (c *Cluster) Close() {
 	c.cancel()
 	for _, srv := range c.servers {
 		_ = srv.Close()
 	}
+	c.edgeMu.Lock()
+	for _, rt := range c.edgeRT {
+		if rt.alive {
+			_ = rt.httpSrv.Close()
+			rt.alive = false
+		}
+	}
+	c.edgeMu.Unlock()
 	c.net.Close()
 	for _, d := range c.done {
 		<-d
 	}
+	c.wg.Wait()
 }

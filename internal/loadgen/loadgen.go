@@ -61,6 +61,25 @@ type Share struct {
 	Weight int  `json:"weight"`
 }
 
+// ChurnSpec schedules edge kills (and optional restarts) over a run:
+// the scenario's churn driver abruptly stops an edge — severing its
+// in-flight sessions and silencing its heartbeats, exactly like a
+// crashed process — at FirstKill after the swarm starts and every Every
+// thereafter, rotating round-robin over the cluster's edges. When
+// RestartAfter is positive the killed edge comes back up and re-registers
+// that long after each kill; the driver is sequential, so at most one
+// edge is down at a time and the cluster always has somewhere to fail
+// over to. Zero Kills disables churn.
+type ChurnSpec struct {
+	Kills        int           `json:"kills"`
+	FirstKill    time.Duration `json:"-"`
+	Every        time.Duration `json:"-"`
+	RestartAfter time.Duration `json:"-"`
+}
+
+// Enabled reports whether the spec schedules any kills.
+func (c ChurnSpec) Enabled() bool { return c.Kills > 0 }
+
 // Arrival describes how client session starts are spread over time.
 type Arrival struct {
 	// Process is "poisson" (exponential gaps), "uniform" (fixed gaps),
@@ -102,9 +121,21 @@ type Scenario struct {
 	Link              netsim.Link `json:"-"`                  // per-client prototype; cloned per client
 	ClientBandwidth   int64       `json:"clientBandwidthBps"` // declared on /group?bw=
 	JitterBufferDepth int         `json:"jitterBufferDepth"`
+	// FailoverAttempts is how many extra registry round trips a client
+	// makes after an edge refuses its connection, answers 5xx, or drops
+	// the stream mid-session — VOD resumes at the last received media
+	// offset via ?start=. Zero disables failover: the first failure
+	// fails the session.
+	FailoverAttempts int `json:"failoverAttempts"`
+	// FailoverBackoff is the base of the bounded exponential backoff
+	// between attempts (relay.FailoverBackoff).
+	FailoverBackoff time.Duration `json:"-"`
 
 	// Cluster knobs.
 	CacheBytes int64 `json:"cacheBytes"` // per-edge mirror budget; 0 = unbounded
+	// Churn kills (and restarts) edges mid-run; see ChurnSpec. Running a
+	// churn scenario needs at least two edges.
+	Churn ChurnSpec `json:"churn"`
 
 	Seed int64 `json:"seed"`
 }
@@ -122,6 +153,16 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("loadgen: scenario %s: negative lead time %v", s.Name, s.LeadTime)
 	case len(s.Mix) == 0:
 		return fmt.Errorf("loadgen: scenario %s: empty workload mix", s.Name)
+	case s.FailoverAttempts < 0:
+		return fmt.Errorf("loadgen: scenario %s: negative failover attempts %d", s.Name, s.FailoverAttempts)
+	case s.FailoverBackoff < 0:
+		return fmt.Errorf("loadgen: scenario %s: negative failover backoff %v", s.Name, s.FailoverBackoff)
+	case s.Churn.Kills < 0:
+		return fmt.Errorf("loadgen: scenario %s: negative churn kills %d", s.Name, s.Churn.Kills)
+	case s.Churn.FirstKill < 0 || s.Churn.RestartAfter < 0:
+		return fmt.Errorf("loadgen: scenario %s: negative churn delay", s.Name)
+	case s.Churn.Kills > 1 && s.Churn.Every <= 0:
+		return fmt.Errorf("loadgen: scenario %s: %d churn kills need a positive interval", s.Name, s.Churn.Kills)
 	}
 	total := 0
 	for _, sh := range s.Mix {
@@ -170,9 +211,29 @@ func (s Scenario) pickKind(rng *rand.Rand) Kind {
 }
 
 // Scenarios returns the named scenarios, sorted by name. "mixed" is the
-// cluster benchmark of record; "smoke" is the seconds-long CI variant.
+// cluster benchmark of record; "smoke" is the seconds-long CI variant;
+// "churn" kills and restarts edges mid-run and demands the swarm
+// survive via failover. Every scenario gives clients a few failover
+// attempts so a transient refusal doesn't fail an otherwise-healthy
+// run.
 func Scenarios() []Scenario {
 	out := []Scenario{
+		{
+			Name:        "churn",
+			Description: "edges killed and restarted mid-run; sessions must survive via registry failover and ?start resume",
+			Assets:      4, AssetDuration: 4 * time.Second,
+			Profile: "modem-56k", LiveChannels: 1, Slides: 3,
+			Mix: []Share{
+				{KindVOD, 60}, {KindSeek, 25}, {KindLive, 15},
+			},
+			Arrival:           Arrival{Process: "poisson", Rate: 100},
+			Link:              netsim.Link{BitsPerSecond: 2_000_000, Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond},
+			JitterBufferDepth: 2,
+			LeadTime:          500 * time.Millisecond,
+			FailoverAttempts:  6, FailoverBackoff: 100 * time.Millisecond,
+			Churn: ChurnSpec{Kills: 2, FirstKill: time.Second, Every: 2 * time.Second, RestartAfter: 1500 * time.Millisecond},
+			Seed:  1,
+		},
 		{
 			Name:        "mixed",
 			Description: "the cluster benchmark of record: VOD + seek + multi-rate + live against origin/registry/edges",
@@ -185,41 +246,45 @@ func Scenarios() []Scenario {
 			Arrival:         Arrival{Process: "poisson", Rate: 150},
 			Link:            netsim.Link{BitsPerSecond: 768_000, Latency: 15 * time.Millisecond, Jitter: 5 * time.Millisecond},
 			ClientBandwidth: 768_000, JitterBufferDepth: 4,
-			LeadTime: 500 * time.Millisecond,
-			Seed:     1,
+			LeadTime:         500 * time.Millisecond,
+			FailoverAttempts: 3, FailoverBackoff: 100 * time.Millisecond,
+			Seed: 1,
 		},
 		{
 			Name:        "vod",
 			Description: "pure stored-asset replay; isolates mirror pull-through and edge cache behaviour",
 			Assets:      8, AssetDuration: 4 * time.Second,
 			Profile: "modem-56k", Slides: 3,
-			Mix:      []Share{{KindVOD, 100}},
-			Arrival:  Arrival{Process: "poisson", Rate: 200},
-			Link:     netsim.Link{BitsPerSecond: 2_000_000, Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond},
-			LeadTime: 500 * time.Millisecond,
-			Seed:     1,
+			Mix:              []Share{{KindVOD, 100}},
+			Arrival:          Arrival{Process: "poisson", Rate: 200},
+			Link:             netsim.Link{BitsPerSecond: 2_000_000, Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond},
+			LeadTime:         500 * time.Millisecond,
+			FailoverAttempts: 3, FailoverBackoff: 100 * time.Millisecond,
+			Seed: 1,
 		},
 		{
 			Name:        "seek",
 			Description: "seek-heavy replay; stresses the keyframe index and anchored tail playback",
 			Assets:      4, AssetDuration: 6 * time.Second,
 			Profile: "modem-56k", Slides: 4,
-			Mix:      []Share{{KindVOD, 30}, {KindSeek, 70}},
-			Arrival:  Arrival{Process: "uniform", Rate: 150},
-			Link:     netsim.Link{BitsPerSecond: 2_000_000, Latency: 5 * time.Millisecond},
-			LeadTime: 500 * time.Millisecond,
-			Seed:     1,
+			Mix:              []Share{{KindVOD, 30}, {KindSeek, 70}},
+			Arrival:          Arrival{Process: "uniform", Rate: 150},
+			Link:             netsim.Link{BitsPerSecond: 2_000_000, Latency: 5 * time.Millisecond},
+			LeadTime:         500 * time.Millisecond,
+			FailoverAttempts: 3, FailoverBackoff: 100 * time.Millisecond,
+			Seed: 1,
 		},
 		{
 			Name:        "live",
 			Description: "flash-crowd joins of live broadcasts; stresses relay fan-out and catch-up bursts",
 			Assets:      1, AssetDuration: 4 * time.Second,
 			Profile: "modem-56k", LiveChannels: 2, Slides: 2,
-			Mix:      []Share{{KindLive, 100}},
-			Arrival:  Arrival{Process: "burst", Rate: 150, Burst: 50},
-			Link:     netsim.Link{BitsPerSecond: 2_000_000, Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond},
-			LeadTime: 500 * time.Millisecond,
-			Seed:     1,
+			Mix:              []Share{{KindLive, 100}},
+			Arrival:          Arrival{Process: "burst", Rate: 150, Burst: 50},
+			Link:             netsim.Link{BitsPerSecond: 2_000_000, Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond},
+			LeadTime:         500 * time.Millisecond,
+			FailoverAttempts: 3, FailoverBackoff: 100 * time.Millisecond,
+			Seed: 1,
 		},
 		{
 			Name:        "smoke",
@@ -233,9 +298,10 @@ func Scenarios() []Scenario {
 			Arrival:         Arrival{Process: "uniform", Rate: 120},
 			Link:            netsim.Link{BitsPerSecond: 10_000_000, Latency: 2 * time.Millisecond},
 			ClientBandwidth: 128_000, JitterBufferDepth: 2,
-			CacheBytes: 1 << 20,
-			LeadTime:   300 * time.Millisecond,
-			Seed:       1,
+			CacheBytes:       1 << 20,
+			LeadTime:         300 * time.Millisecond,
+			FailoverAttempts: 3, FailoverBackoff: 50 * time.Millisecond,
+			Seed: 1,
 		},
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -249,8 +315,10 @@ func Scenarios() []Scenario {
 //	mixed?assets=12&duration=2s&process=burst&rate=400&burst=100&seed=7
 //
 // Recognized override keys: assets, duration, process, rate, burst,
-// seed, leadtime, cachebytes. Unknown names and keys are errors, as
-// are overrides that leave the scenario invalid.
+// seed, leadtime, cachebytes, failover (retry attempts), backoff,
+// kills, firstkill, every, restartafter (the churn schedule). Unknown
+// names and keys are errors, as are overrides that leave the scenario
+// invalid.
 func ParseScenario(spec string) (Scenario, error) {
 	name, query, hasQuery := strings.Cut(spec, "?")
 	var sc Scenario
@@ -293,6 +361,18 @@ func ParseScenario(spec string) (Scenario, error) {
 				sc.LeadTime, err = time.ParseDuration(v)
 			case "cachebytes":
 				sc.CacheBytes, err = strconv.ParseInt(v, 10, 64)
+			case "failover":
+				sc.FailoverAttempts, err = strconv.Atoi(v)
+			case "backoff":
+				sc.FailoverBackoff, err = time.ParseDuration(v)
+			case "kills":
+				sc.Churn.Kills, err = strconv.Atoi(v)
+			case "firstkill":
+				sc.Churn.FirstKill, err = time.ParseDuration(v)
+			case "every":
+				sc.Churn.Every, err = time.ParseDuration(v)
+			case "restartafter":
+				sc.Churn.RestartAfter, err = time.ParseDuration(v)
 			default:
 				return Scenario{}, fmt.Errorf("loadgen: unknown scenario override %q", key)
 			}

@@ -68,6 +68,21 @@ type RunConfig struct {
 	Link             LinkSpec `json:"link"`
 	LeadTimeMs       float64  `json:"leadTimeMs"`
 	CacheBytes       int64    `json:"cacheBytes"`
+	// FailoverAttempts/FailoverBackoffMs are the clients' retry budget
+	// after an edge failure; see Scenario.
+	FailoverAttempts  int     `json:"failoverAttempts"`
+	FailoverBackoffMs float64 `json:"failoverBackoffMs,omitempty"`
+	// Churn is the edge kill/restart schedule the run executed; absent
+	// when the scenario had none.
+	Churn *ChurnConfig `json:"churn,omitempty"`
+}
+
+// ChurnConfig is the JSON form of a scenario's churn schedule.
+type ChurnConfig struct {
+	Kills           int     `json:"kills"`
+	FirstKillSec    float64 `json:"firstKillSec"`
+	EverySec        float64 `json:"everySec"`
+	RestartAfterSec float64 `json:"restartAfterSec"`
 }
 
 // LinkSpec is the JSON form of the per-client link prototype.
@@ -84,6 +99,14 @@ type SessionsInfo struct {
 	Completed int            `json:"completed"`
 	Failed    int            `json:"failed"`
 	ByKind    map[string]int `json:"byKind"`
+	// FailedOver counts completed sessions that needed at least one
+	// failover — they survived an edge death rather than running clean.
+	FailedOver int `json:"failedOver"`
+	// Failovers/Retries are the totals across every session (failed
+	// ones included): serving-edge failures ridden out, and extra
+	// registry round trips of any kind.
+	Failovers int `json:"failovers"`
+	Retries   int `json:"retries"`
 	// Errors maps failure text to occurrence count (at most a handful
 	// of distinct strings survive; inspect failures with them).
 	Errors map[string]int `json:"errors,omitempty"`
@@ -125,13 +148,18 @@ type EdgeReport struct {
 // ClusterReport is the server-side view of the run, from metric
 // snapshot deltas.
 type ClusterReport struct {
-	Redirects     float64      `json:"redirects"`
-	NoEdge        float64      `json:"noEdge"`
-	CacheHitRate  float64      `json:"cacheHitRate"`
-	OriginMirrors float64      `json:"originMirrorFetches"`
-	OriginBytes   float64      `json:"originBytesSent"`
-	OriginLive    float64      `json:"originLiveRelays"`
-	Edges         []EdgeReport `json:"edges"`
+	Redirects     float64 `json:"redirects"`
+	NoEdge        float64 `json:"noEdge"`
+	CacheHitRate  float64 `json:"cacheHitRate"`
+	OriginMirrors float64 `json:"originMirrorFetches"`
+	OriginBytes   float64 `json:"originBytesSent"`
+	OriginLive    float64 `json:"originLiveRelays"`
+	// NodeDeaths counts registry death marks over the run window, both
+	// reasons folded (client failure reports and graceful drains);
+	// FailureReports counts the raw client reports that drove them.
+	NodeDeaths     float64      `json:"nodeDeaths"`
+	FailureReports float64      `json:"failureReports"`
+	Edges          []EdgeReport `json:"edges"`
 }
 
 // Report is the complete benchmark record emitted as BENCH_*.json.
@@ -178,16 +206,28 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration,
 				JitterMs:      float64(s.Link.Jitter) / float64(time.Millisecond),
 				LossRate:      s.Link.LossRate,
 			},
-			LeadTimeMs: float64(s.LeadTime) / float64(time.Millisecond),
-			CacheBytes: s.CacheBytes,
+			LeadTimeMs:        float64(s.LeadTime) / float64(time.Millisecond),
+			CacheBytes:        s.CacheBytes,
+			FailoverAttempts:  s.FailoverAttempts,
+			FailoverBackoffMs: float64(s.FailoverBackoff) / float64(time.Millisecond),
 		},
 		WallSeconds: wall.Seconds(),
 		Sessions:    SessionsInfo{Requested: len(results), ByKind: make(map[string]int)},
+	}
+	if s.Churn.Enabled() {
+		r.Config.Churn = &ChurnConfig{
+			Kills:           s.Churn.Kills,
+			FirstKillSec:    s.Churn.FirstKill.Seconds(),
+			EverySec:        s.Churn.Every.Seconds(),
+			RestartAfterSec: s.Churn.RestartAfter.Seconds(),
+		}
 	}
 
 	var startups, skews []float64
 	for _, res := range results {
 		r.Sessions.ByKind[string(res.Kind)]++
+		r.Sessions.Failovers += res.Failovers
+		r.Sessions.Retries += res.Retries
 		if res.Err != "" {
 			r.Sessions.Failed++
 			if r.Sessions.Errors == nil {
@@ -201,6 +241,9 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration,
 			continue
 		}
 		r.Sessions.Completed++
+		if res.Failovers > 0 {
+			r.Sessions.FailedOver++
+		}
 		startups = append(startups, res.StartupMs)
 		skews = append(skews, res.MaxSkewMs)
 		if res.Stalls > 0 {
@@ -223,11 +266,13 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration,
 	}
 
 	r.Cluster = ClusterReport{
-		Redirects:     registryDelta.Get("lod_registry_redirects_total"),
-		NoEdge:        registryDelta.Get("lod_registry_no_edge_total"),
-		OriginMirrors: originDelta.Get("lod_mirror_fetches_total"),
-		OriginBytes:   originDelta.Get("lod_bytes_sent_total"),
-		OriginLive:    originDelta.Get(`lod_sessions_started_total{kind="live"}`),
+		Redirects:      registryDelta.Get("lod_registry_redirects_total"),
+		NoEdge:         registryDelta.Get("lod_registry_no_edge_total"),
+		OriginMirrors:  originDelta.Get("lod_mirror_fetches_total"),
+		OriginBytes:    originDelta.Get("lod_bytes_sent_total"),
+		OriginLive:     originDelta.Get(`lod_sessions_started_total{kind="live"}`),
+		NodeDeaths:     registryDelta.Sum("lod_registry_node_deaths_total"),
+		FailureReports: registryDelta.Get("lod_registry_failure_reports_total"),
 	}
 	var hits, misses float64
 	// Histogram series render as name_count{labels}/name_sum{labels} in
@@ -291,6 +336,10 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "%s %d", k, r.Sessions.ByKind[k])
 	}
 	b.WriteString(")\n")
+	if r.Sessions.Failovers > 0 || r.Sessions.Retries > 0 || r.Cluster.NodeDeaths > 0 {
+		fmt.Fprintf(&b, "  churn: %d sessions survived via failover (%d failovers, %d retries), %d node deaths\n",
+			r.Sessions.FailedOver, r.Sessions.Failovers, r.Sessions.Retries, int64(r.Cluster.NodeDeaths))
+	}
 	fmt.Fprintf(&b, "  startup ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
 		r.StartupMs.P50, r.StartupMs.P90, r.StartupMs.P99, r.StartupMs.Max)
 	fmt.Fprintf(&b, "  rebuffer: %d sessions stalled, %d events, %.1f ms total\n",

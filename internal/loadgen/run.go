@@ -15,6 +15,11 @@ import (
 // the benchmark record. It blocks for the run's wall time (bounded by
 // the arrival window plus the content length); cancel ctx to abort
 // early, which fails the in-flight sessions but still reports.
+//
+// A scenario with churn enabled additionally runs the kill/restart
+// driver alongside the swarm: edges go down mid-run and sessions are
+// expected to complete via failover (see ChurnSpec and
+// Cluster.KillEdge).
 func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -54,6 +59,15 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 	}
 
 	t0 := time.Now()
+	churnCtx, stopChurn := context.WithCancel(ctx)
+	var churnWG sync.WaitGroup
+	if s.Churn.Enabled() {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			runChurn(churnCtx, cluster, s.Churn, t0, edges)
+		}()
+	}
 	results := make([]SessionResult, clients)
 	var wg sync.WaitGroup
 	for i := range results {
@@ -72,6 +86,8 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 		}(i)
 	}
 	wg.Wait()
+	stopChurn()
+	churnWG.Wait()
 	wall := time.Since(t0)
 
 	regDelta := cluster.Registry.Metrics().Snapshot().Delta(regPre)
@@ -83,4 +99,33 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 
 	return buildReport(s, clients, edges, wall, results, regDelta, originDelta,
 		cluster.EdgeIDs, edgeDeltas), nil
+}
+
+// runChurn executes a scenario's kill/restart schedule against the live
+// cluster: kill k fires at t0 + FirstKill + k·Every, victims rotate
+// round-robin, and each killed edge restarts RestartAfter later before
+// the next kill is considered — the driver is sequential, so at most
+// one edge is ever down and the registry always has a failover target.
+// A RestartAfter of zero leaves victims down for the rest of the run.
+func runChurn(ctx context.Context, c *Cluster, spec ChurnSpec, t0 time.Time, edges int) {
+	for k := 0; k < spec.Kills; k++ {
+		due := t0.Add(spec.FirstKill + time.Duration(k)*spec.Every)
+		if !sleepCtx(ctx, time.Until(due)) {
+			return
+		}
+		victim := k % edges
+		if err := c.KillEdge(victim); err != nil {
+			continue // already down (restartless schedule lapped itself)
+		}
+		if spec.RestartAfter <= 0 {
+			continue
+		}
+		alive := sleepCtx(ctx, spec.RestartAfter)
+		// Restart even on cancellation so the cluster is whole for the
+		// final metric snapshots and teardown.
+		_ = c.RestartEdge(victim)
+		if !alive {
+			return
+		}
+	}
 }

@@ -1,0 +1,82 @@
+package player
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMetricsLastPTS(t *testing.T) {
+	m := &Metrics{}
+	if got := m.LastPTS(); got != 0 {
+		t.Fatalf("empty LastPTS = %v", got)
+	}
+	m.Events = []Event{
+		{Kind: EventVideoFrame, PTS: 100 * time.Millisecond},
+		{Kind: EventAudioBlock, PTS: 260 * time.Millisecond},
+		{Kind: EventVideoFrame, PTS: 200 * time.Millisecond},
+		// Non-media events never define the resume point.
+		{Kind: EventSlideShown, PTS: 900 * time.Millisecond},
+		{Kind: EventStall, PTS: 800 * time.Millisecond},
+	}
+	if got := m.LastPTS(); got != 260*time.Millisecond {
+		t.Fatalf("LastPTS = %v, want 260ms", got)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a := &Metrics{
+		Events: []Event{
+			{Kind: EventVideoFrame, PTS: 10 * time.Millisecond, At: 20 * time.Millisecond},
+			{Kind: EventStall, PTS: 30 * time.Millisecond, At: 90 * time.Millisecond},
+		},
+		VideoFrames: 1, Stalls: 1, StallTime: 60 * time.Millisecond,
+		BytesRead: 1000, Duration: 500 * time.Millisecond,
+		SlidesShown: 1, Decodable: 1,
+		FinalURL: "http://edge-1/vod/lec",
+	}
+	b := &Metrics{
+		Events: []Event{
+			{Kind: EventVideoFrame, PTS: 40 * time.Millisecond, At: 80 * time.Millisecond},
+			{Kind: EventAudioBlock, PTS: 50 * time.Millisecond, At: 50 * time.Millisecond},
+		},
+		VideoFrames: 1, AudioBlocks: 1,
+		BytesRead: 2000, Duration: 700 * time.Millisecond,
+		BrokenFrames: 2,
+		FinalURL:     "http://edge-2/vod/lec",
+	}
+	a.Merge(b)
+
+	if a.VideoFrames != 2 || a.AudioBlocks != 1 || a.SlidesShown != 1 {
+		t.Fatalf("counters = %d/%d/%d", a.VideoFrames, a.AudioBlocks, a.SlidesShown)
+	}
+	if a.BytesRead != 3000 || a.Duration != 1200*time.Millisecond {
+		t.Fatalf("bytes/duration = %d/%v", a.BytesRead, a.Duration)
+	}
+	if a.Stalls != 1 || a.StallTime != 60*time.Millisecond {
+		t.Fatalf("stalls = %d/%v", a.Stalls, a.StallTime)
+	}
+	if a.Decodable != 1 || a.BrokenFrames != 2 {
+		t.Fatalf("decode = %d/%d", a.Decodable, a.BrokenFrames)
+	}
+	if a.FinalURL != "http://edge-2/vod/lec" {
+		t.Fatalf("FinalURL = %q, want the resumed segment's edge", a.FinalURL)
+	}
+	if len(a.Events) != 4 {
+		t.Fatalf("events = %d", len(a.Events))
+	}
+	// Skews recomputed over the merged, non-stall events:
+	// 10ms, 40ms, 0ms → max 40ms, mean 50/3 ms.
+	if a.MaxSkew != 40*time.Millisecond {
+		t.Fatalf("MaxSkew = %v", a.MaxSkew)
+	}
+	if want := 50 * time.Millisecond / 3; a.MeanSkew != want {
+		t.Fatalf("MeanSkew = %v, want %v", a.MeanSkew, want)
+	}
+
+	// Merging nil is a no-op.
+	before := *a
+	a.Merge(nil)
+	if a.VideoFrames != before.VideoFrames || len(a.Events) != len(before.Events) {
+		t.Fatal("Merge(nil) changed the metrics")
+	}
+}

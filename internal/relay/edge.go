@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 
@@ -154,7 +155,11 @@ func (e *Edge) MirrorAsset(name string) error {
 }
 
 func (e *Edge) fetchAsset(name string) error {
-	resp, err := e.client().Get(e.Origin + "/fetch/" + name)
+	// The name came off a decoded request path; re-escape it so assets
+	// named like "lecture 1%" or containing ?/# survive the origin URL.
+	// The origin handler's TrimPrefix of its decoded path is the
+	// symmetric inverse.
+	resp, err := e.client().Get(e.Origin + "/fetch/" + url.PathEscape(name))
 	if err != nil {
 		return fmt.Errorf("relay: mirror %q: %w", name, err)
 	}
@@ -332,7 +337,8 @@ func (e *Edge) RelayChannel(name string) error {
 }
 
 func (e *Edge) startRelay(name string) error {
-	resp, err := e.client().Get(e.Origin + "/live/" + name)
+	// Escape like fetchAsset: the channel name is a decoded path segment.
+	resp, err := e.client().Get(e.Origin + "/live/" + url.PathEscape(name))
 	if err != nil {
 		return fmt.Errorf("relay: live %q: %w", name, err)
 	}

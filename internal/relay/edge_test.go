@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"sync"
 	"testing"
 	"time"
@@ -360,5 +361,124 @@ func TestEdgeRelaysLiveChannel(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown channel status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestEdgeMirrorsEscapedAssetName guards the pull-URL escaping bugfix:
+// an asset whose name needs percent-encoding ("lecture 1%", names with
+// ?/#) must survive the full registry→edge→origin chain. Before the
+// fix the edge built its origin fetch URL from the decoded path, so the
+// origin saw a mangled name and the mirror 404ed or fetched the wrong
+// asset.
+func TestEdgeMirrorsEscapedAssetName(t *testing.T) {
+	const name = "lecture 1% ?#&"
+	origin, originTS := newOriginWithAsset(t, name)
+	edgeSrv := streaming.NewServer(nil)
+	edgeSrv.Pacing = false
+	edge := NewEdge(originTS.URL, edgeSrv)
+	edgeTS := httptest.NewServer(edge.Handler())
+	defer edgeTS.Close()
+
+	g := NewRegistry(nil)
+	if err := g.Register(NodeInfo{ID: "e1", URL: edgeTS.URL}); err != nil {
+		t.Fatal(err)
+	}
+	regTS := httptest.NewServer(g.Handler())
+	defer regTS.Close()
+
+	// Through the registry: the 307 preserves the escaped path, the edge
+	// decodes it, and the edge's origin pull re-escapes it.
+	_, direct := readStream(t, originTS.URL+"/vod/"+url.PathEscape(name))
+	hdr, mirrored := readStream(t, regTS.URL+"/vod/"+url.PathEscape(name))
+	if len(mirrored) == 0 || len(mirrored) != len(direct) {
+		t.Fatalf("mirrored %d packets through registry+edge, origin serves %d", len(mirrored), len(direct))
+	}
+	if hdr.Title != "relay test" {
+		t.Fatalf("mirrored header title = %q", hdr.Title)
+	}
+	if _, ok := edgeSrv.Asset(name); !ok {
+		t.Fatalf("edge cached under wrong name: have %v", edgeSrv.AssetNames())
+	}
+	if got := origin.Stats().MirrorFetches; got != 1 {
+		t.Fatalf("origin mirror fetches = %d, want 1", got)
+	}
+}
+
+// TestEdgeRelaysEscapedChannelName is the live half of the escaping
+// fix: the edge's upstream /live subscription URL must re-escape the
+// channel name.
+func TestEdgeRelaysEscapedChannelName(t *testing.T) {
+	const name = "aula magna 100%"
+	data := encodeTestLecture(t, time.Second, true)
+	h, packets, _, err := asf.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := streaming.NewServer(nil)
+	originCh, err := origin.CreateChannel(name, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originTS := httptest.NewServer(origin.Handler())
+	defer originTS.Close()
+
+	edgeSrv := streaming.NewServer(nil)
+	edge := NewEdge(originTS.URL, edgeSrv)
+	edgeTS := httptest.NewServer(edge.Handler())
+	defer edgeTS.Close()
+
+	resc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(edgeTS.URL + "/live/" + url.PathEscape(name))
+		if err != nil {
+			resc <- err
+			return
+		}
+		defer resp.Body.Close()
+		r := asf.NewReader(resp.Body)
+		if _, err := r.ReadHeader(); err != nil {
+			resc <- err
+			return
+		}
+		for {
+			if _, err := r.ReadPacket(); err != nil {
+				resc <- nil
+				return
+			}
+		}
+	}()
+
+	// Wait for the whole relay chain to attach, as the unescaped live
+	// test does: edge subscribed upstream, local channel created under
+	// the decoded name, client subscribed to it.
+	deadline := time.Now().Add(10 * time.Second)
+	for originCh.ClientCount() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if originCh.ClientCount() != 1 {
+		t.Fatal("edge never subscribed upstream with the escaped name")
+	}
+	edgeCh, ok := edgeSrv.Channel(name)
+	for !ok && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+		edgeCh, ok = edgeSrv.Channel(name)
+	}
+	if !ok {
+		t.Fatalf("edge relayed channel under wrong name: have %v", edgeSrv.AssetNames())
+	}
+	for edgeCh.ClientCount() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if edgeCh.ClientCount() < 1 {
+		t.Fatal("client never attached to the relayed channel")
+	}
+	for _, p := range packets {
+		if err := originCh.Publish(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	originCh.Close()
+	if err := <-resc; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,360 @@
+package relay
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/streaming"
+)
+
+func mustRegister(t *testing.T, g *Registry, nodes ...NodeInfo) {
+	t.Helper()
+	for _, n := range nodes {
+		if err := g.Register(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegistryReportFailureKillsNodeImmediately(t *testing.T) {
+	g := NewRegistry(nil)
+	mustRegister(t, g,
+		NodeInfo{ID: "a", URL: "http://edge-a:8081"},
+		NodeInfo{ID: "b", URL: "http://edge-b:8081"})
+
+	// Reported by URL host — the only name a redirected client holds.
+	if !g.ReportFailure("edge-a:8081") {
+		t.Fatal("live node not killed by report")
+	}
+	if g.ReportFailure("edge-a:8081") {
+		t.Fatal("second report of the same corpse claims a fresh kill")
+	}
+	if g.ReportFailure("ghost") {
+		t.Fatal("unknown node reported killed")
+	}
+	for i := 0; i < 4; i++ {
+		n, err := g.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.ID == "a" {
+			t.Fatal("Pick returned a node reported dead")
+		}
+	}
+	for _, n := range g.Nodes() {
+		if n.ID == "a" && (n.Alive || !n.Dead) {
+			t.Fatalf("reported node status = %+v, want dead", n)
+		}
+	}
+
+	// A heartbeat revives it: the node is demonstrably back.
+	if err := g.Heartbeat("a", NodeStats{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Heartbeat("b", NodeStats{ActiveClients: 50}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := g.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID != "a" {
+		t.Fatalf("revived idle node not picked, got %s", n.ID)
+	}
+}
+
+func TestRegistryDeregisterRemovesNode(t *testing.T) {
+	g := NewRegistry(nil)
+	mustRegister(t, g, NodeInfo{ID: "a", URL: "http://edge-a:8081"})
+	if !g.Deregister("a") {
+		t.Fatal("known node not deregistered")
+	}
+	if g.Deregister("a") {
+		t.Fatal("second deregister reported a removal")
+	}
+	if _, err := g.Pick(); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("pick after deregister = %v, want ErrNoNodes", err)
+	}
+	if len(g.Nodes()) != 0 {
+		t.Fatalf("nodes = %+v, want empty", g.Nodes())
+	}
+}
+
+func TestRegistryPickHonorsExcludes(t *testing.T) {
+	g := NewRegistry(nil)
+	mustRegister(t, g,
+		NodeInfo{ID: "a", URL: "http://edge-a:8081"},
+		NodeInfo{ID: "b", URL: "http://edge-b:8081"})
+	// Make a strictly the better node; excluding it must still pick b.
+	if err := g.Heartbeat("b", NodeStats{ActiveClients: 9}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := g.Pick("edge-a:8081")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID != "b" {
+		t.Fatalf("pick with exclude = %s, want b", n.ID)
+	}
+	// Excluding by node ID works too.
+	if n, err = g.Pick("a"); err != nil || n.ID != "b" {
+		t.Fatalf("pick excluding by ID = %v %v", n, err)
+	}
+	// Everything excluded: no nodes, the client's cue to reset.
+	if _, err := g.Pick("a", "b"); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("pick with all excluded = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestRegistryHTTPFailureFeedback(t *testing.T) {
+	g := NewRegistry(nil)
+	mustRegister(t, g,
+		NodeInfo{ID: "a", URL: "http://edge-a:8081"},
+		NodeInfo{ID: "b", URL: "http://edge-b:8081"})
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	// The exclude header steers the redirect away from the named host.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/vod/lec", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(ExcludeHeader, "edge-a:8081")
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noFollow.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.Contains(loc, "edge-b") {
+		t.Fatalf("redirect with exclude landed on %q", loc)
+	}
+
+	// A posted failure report kills the node for subsequent redirects.
+	if err := ReportFailure(nil, ts.URL, "edge-b:8081"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = noFollow.Do(req) // still excluding a, and b is now dead
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status after killing the last candidate = %d, want 503", resp.StatusCode)
+	}
+
+	// Deregister drains the other node: nothing remains.
+	if err := Deregister(nil, ts.URL, "a"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/vod/lec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status after drain = %d, want 503", resp.StatusCode)
+	}
+
+	// Malformed reports are rejected.
+	for _, body := range []string{`{"node":""}`, `{`} {
+		resp, err := http.Post(ts.URL+"/registry/report-failure", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("report %q status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestRejoinAfterRegistryRestartHeartbeatsImmediately guards the churn
+// bugfix: when a registry restart forces an edge to re-register, the
+// edge must post its stats right away instead of leaving the registry
+// to score it idle until the next tick — the join pile-on the immediate
+// first heartbeat exists to prevent.
+func TestRejoinAfterRegistryRestartHeartbeatsImmediately(t *testing.T) {
+	const interval = 400 * time.Millisecond
+	var cur atomic.Pointer[Registry]
+	cur.Store(NewRegistry(nil))
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		_ = RunHeartbeats(ctx, nil, ts.URL, NodeInfo{ID: "e1", URL: "http://edge1:8081"},
+			func() NodeStats { return NodeStats{ActiveClients: 7} }, interval)
+	}()
+
+	waitStats := func(g *Registry, timeout time.Duration) time.Duration {
+		t.Helper()
+		t0 := time.Now()
+		deadline := t0.Add(timeout)
+		for time.Now().Before(deadline) {
+			nodes := g.Nodes()
+			if len(nodes) == 1 && nodes[0].Stats.ActiveClients == 7 {
+				return time.Since(t0)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatal("node never reported stats")
+		return 0
+	}
+	waitStats(cur.Load(), 5*time.Second)
+
+	// Registry "restart": fresh instance, empty node table. The edge's
+	// next heartbeat 404s, it re-registers, and — the fix — posts stats
+	// in the same breath rather than one full interval later.
+	fresh := NewRegistry(nil)
+	cur.Store(fresh)
+	waitRegistered := func() time.Time {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if len(fresh.Nodes()) == 1 {
+				return time.Now()
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatal("node never re-registered")
+		return time.Time{}
+	}
+	waitRegistered()
+	if lag := waitStats(fresh, interval); lag > interval/2 {
+		t.Fatalf("stats arrived %v after rejoin; an immediate heartbeat should beat %v", lag, interval/2)
+	}
+}
+
+func TestStreamFetcherFailsOverToLiveEdge(t *testing.T) {
+	g := NewRegistry(nil)
+	reg := httptest.NewServer(g.Handler())
+	defer reg.Close()
+
+	// One healthy edge and one corpse (its listener is closed).
+	_, originTS := newOriginWithAsset(t, "lec")
+	edgeSrv := streaming.NewServer(nil)
+	edgeSrv.Pacing = false
+	live := httptest.NewServer(NewEdge(originTS.URL, edgeSrv).Handler())
+	defer live.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from now on
+
+	mustRegister(t, g,
+		NodeInfo{ID: "dead", URL: deadURL},
+		NodeInfo{ID: "live", URL: live.URL})
+	// Make the corpse the preferred pick so the fetcher must escape it.
+	if err := g.Heartbeat("live", NodeStats{ActiveClients: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	f := NewStreamFetcher(reg.URL, nil)
+	var resp *http.Response
+	var err error
+	for attempt := 1; attempt <= 3; attempt++ {
+		var edgeHost string
+		resp, edgeHost, err = f.Fetch(context.Background(), "/vod/lec")
+		if err == nil {
+			defer resp.Body.Close()
+			if wantHost(t, live.URL) != edgeHost {
+				t.Fatalf("served by %s, want the live edge", edgeHost)
+			}
+			break
+		}
+		if !Retryable(err) {
+			t.Fatalf("attempt %d: non-retryable %v", attempt, err)
+		}
+	}
+	if err != nil {
+		t.Fatalf("failover never succeeded: %v", err)
+	}
+	// The corpse was reported: the registry marks it dead for everyone.
+	for _, n := range g.Nodes() {
+		if n.ID == "dead" && !n.Dead {
+			t.Fatal("dead edge not reported to the registry")
+		}
+	}
+	if got := f.Excluded(); len(got) != 1 {
+		t.Fatalf("excluded = %v, want just the corpse", got)
+	}
+}
+
+func wantHost(t *testing.T, raw string) string {
+	t.Helper()
+	u, err := url.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+func TestWithStart(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"/vod/lec", "/vod/lec?start=1500ms"},
+		{"/vod/lec?start=250ms", "/vod/lec?start=1500ms"},
+		{"/group/g?bw=768000", "/group/g?bw=768000&start=1500ms"},
+	} {
+		if got := WithStart(tc.in, 1500*time.Millisecond); got != tc.want {
+			t.Errorf("WithStart(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestStartOf guards the seek-resume seed: a session severed before
+// any media arrived must resume at its original seek point, which
+// WithStart would otherwise override with 0.
+func TestStartOf(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"/vod/lec", 0},
+		{"/vod/lec?start=3000ms", 3 * time.Second},
+		{"/vod/lec?start=2s&other=1", 2 * time.Second},
+		{"/group/g?bw=768000", 0},
+		{"/vod/lec?start=garbage", 0},
+		{"/vod/lec?start=-5s", 0},
+	} {
+		if got := StartOf(tc.in); got != tc.want {
+			t.Errorf("StartOf(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Round trip with WithStart: the seeded offset survives a pre-media
+	// sever (resume offset == original start).
+	target := "/vod/lec?start=3000ms"
+	if got := WithStart(target, StartOf(target)); got != "/vod/lec?start=3000ms" {
+		t.Errorf("pre-media resume target = %q", got)
+	}
+}
+
+func TestFailoverBackoffBounded(t *testing.T) {
+	if d := FailoverBackoff(100*time.Millisecond, 1); d != 100*time.Millisecond {
+		t.Fatalf("attempt 1 = %v", d)
+	}
+	if d := FailoverBackoff(100*time.Millisecond, 3); d != 400*time.Millisecond {
+		t.Fatalf("attempt 3 = %v", d)
+	}
+	for _, n := range []int{6, 20, 63} {
+		if d := FailoverBackoff(100*time.Millisecond, n); d != 2*time.Second {
+			t.Fatalf("attempt %d = %v, want the 2s cap", n, d)
+		}
+	}
+	if d := FailoverBackoff(0, 1); d != 50*time.Millisecond {
+		t.Fatalf("zero base attempt 1 = %v, want the 50ms default", d)
+	}
+}

@@ -17,28 +17,50 @@ import (
 // its last registration or heartbeat.
 const DefaultNodeTTL = 15 * time.Second
 
+// ExcludeHeader is the request header a failing-over client sets on its
+// registry request to name edge hosts (or node IDs) it must not be
+// redirected back to — the nodes it just escaped. Values are
+// comma-separated.
+const ExcludeHeader = "X-Lod-Exclude"
+
 // Registry is the cluster's client entry point: edges register and
 // heartbeat their load, clients request streams and are redirected (307)
 // to the least-loaded live edge. Redirect counts per node, lost
-// redirects (no live edge), live-node count, and per-node heartbeat
-// ages are published on Metrics().
+// redirects (no live edge), live-node count, node deaths (failure
+// reports and graceful drains), and per-node heartbeat ages are
+// published on Metrics().
+//
+// Liveness is two-signal: a node expires passively when its heartbeats
+// stop for TTL, and dies actively the moment a client reports a failed
+// fetch (ReportFailure) or the node itself drains (Deregister) — so the
+// cluster stops routing at a corpse in one round trip instead of one
+// TTL. A dead node revives on its next heartbeat or registration.
 type Registry struct {
 	clock vclock.Clock
 	// TTL overrides DefaultNodeTTL when positive.
 	TTL time.Duration
 
-	metrics   *metrics.Registry
-	redirects *metrics.Counter
-	noNode    *metrics.Counter
+	metrics      *metrics.Registry
+	redirects    *metrics.Counter
+	noNode       *metrics.Counter
+	reports      *metrics.Counter
+	deathFailure *metrics.Counter
+	deathDrain   *metrics.Counter
 
 	mu    sync.Mutex
 	nodes map[string]*regNode
 }
 
 type regNode struct {
-	info     NodeInfo
+	info NodeInfo
+	// host is the node URL's host part, the form clients know a failed
+	// edge by (they hold a redirect target, not a node ID).
+	host     string
 	stats    NodeStats
 	lastSeen time.Time
+	// dead marks a node reported unreachable or drained; it is skipped
+	// by Pick until the next heartbeat or registration revives it.
+	dead bool
 	// assigned counts redirects issued since the last heartbeat, so that
 	// a burst of joins between heartbeats still spreads across edges
 	// (least-connections with local accounting).
@@ -47,6 +69,12 @@ type regNode struct {
 	// created once at registration so the redirect hot path never takes
 	// the metric registry's lookup lock.
 	redirects *metrics.Counter
+}
+
+// matches reports whether ref names this node: its ID, its URL, or its
+// URL's host.
+func (n *regNode) matches(ref string) bool {
+	return ref != "" && (ref == n.info.ID || ref == n.info.URL || ref == n.host)
 }
 
 // NodeStatus is the externally visible state of one registered node.
@@ -58,8 +86,12 @@ type NodeStatus struct {
 	Assigned int64 `json:"assigned"`
 	// Load is the score redirects are balanced on (lower wins).
 	Load float64 `json:"load"`
-	// Alive reports whether the node is within its TTL.
+	// Alive reports whether the node is within its TTL and not marked
+	// dead by a failure report or drain.
 	Alive bool `json:"alive"`
+	// Dead reports an active death mark (failure report or drain) that
+	// the next heartbeat will clear.
+	Dead bool `json:"dead,omitempty"`
 }
 
 // NewRegistry creates a registry on the given clock (nil = real clock).
@@ -70,6 +102,10 @@ func NewRegistry(clock vclock.Clock) *Registry {
 	g := &Registry{clock: clock, nodes: make(map[string]*regNode), metrics: metrics.NewRegistry()}
 	g.redirects = g.metrics.Counter("lod_registry_redirects_total", "Client redirects issued to edges.")
 	g.noNode = g.metrics.Counter("lod_registry_no_edge_total", "Client requests refused because no edge was live.")
+	g.reports = g.metrics.Counter("lod_registry_failure_reports_total", "Client reports of a failed edge fetch.")
+	deaths := "Nodes marked dead before TTL expiry, by reason."
+	g.deathFailure = g.metrics.Counter("lod_registry_node_deaths_total", deaths, metrics.Label{Key: "reason", Value: "failure"})
+	g.deathDrain = g.metrics.Counter("lod_registry_node_deaths_total", deaths, metrics.Label{Key: "reason", Value: "drain"})
 	g.metrics.GaugeFunc("lod_registry_nodes_alive", "Registered nodes within their TTL.", func() float64 {
 		var alive float64
 		for _, n := range g.Nodes() {
@@ -136,12 +172,15 @@ func (g *Registry) Register(info NodeInfo) error {
 		g.nodes[info.ID] = n
 	}
 	n.info = info
+	n.host = u.Host
 	n.redirects = redirects
 	n.lastSeen = g.clock.Now()
+	n.dead = false
 	return nil
 }
 
 // Heartbeat records a node's load snapshot and refreshes its liveness.
+// A heartbeat revives a node marked dead: the node is demonstrably back.
 func (g *Registry) Heartbeat(id string, stats NodeStats) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -152,7 +191,45 @@ func (g *Registry) Heartbeat(id string, stats NodeStats) error {
 	n.stats = stats
 	n.assigned = 0
 	n.lastSeen = g.clock.Now()
+	n.dead = false
 	return nil
+}
+
+// ReportFailure marks the node named by ref (node ID, URL, or URL host)
+// dead right now, instead of letting it soak up redirects until its TTL
+// runs out. It reports whether a live node was actually killed; reports
+// about unknown or already-dead nodes are counted but otherwise ignored,
+// so concurrent failing-over clients can all report the same corpse.
+func (g *Registry) ReportFailure(ref string) bool {
+	g.reports.Inc()
+	g.mu.Lock()
+	var killed bool
+	for _, n := range g.nodes {
+		if n.matches(ref) && !n.dead {
+			n.dead = true
+			killed = true
+			break
+		}
+	}
+	g.mu.Unlock()
+	if killed {
+		g.deathFailure.Inc()
+	}
+	return killed
+}
+
+// Deregister removes a node — the graceful half of death, used by an
+// edge draining for shutdown so no client is redirected at it during
+// its final seconds. Idempotent: removing an unknown ID reports false.
+func (g *Registry) Deregister(id string) bool {
+	g.mu.Lock()
+	_, ok := g.nodes[id]
+	delete(g.nodes, id)
+	g.mu.Unlock()
+	if ok {
+		g.deathDrain.Inc()
+	}
+	return ok
 }
 
 func (n *regNode) load() float64 {
@@ -171,7 +248,8 @@ func (g *Registry) Nodes() []NodeStatus {
 			Stats:    n.stats,
 			Assigned: n.assigned,
 			Load:     n.load(),
-			Alive:    !n.lastSeen.Before(cut),
+			Alive:    !n.dead && !n.lastSeen.Before(cut),
+			Dead:     n.dead,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -179,15 +257,25 @@ func (g *Registry) Nodes() []NodeStatus {
 }
 
 // Pick selects the least-loaded live node and counts the assignment.
-// Ties break on node ID for determinism.
-func (g *Registry) Pick() (NodeInfo, error) {
+// Ties break on node ID for determinism. Nodes named in exclude (by ID,
+// URL, or URL host) are skipped, so a failing-over client is never
+// bounced back to the node it just escaped; when every live node is
+// excluded Pick returns ErrNoNodes and the client should drop its
+// stale exclusions and retry.
+func (g *Registry) Pick(exclude ...string) (NodeInfo, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	cut := g.clock.Now().Add(-g.ttl())
 	var best *regNode
+next:
 	for _, n := range g.nodes {
-		if n.lastSeen.Before(cut) {
+		if n.dead || n.lastSeen.Before(cut) {
 			continue
+		}
+		for _, ref := range exclude {
+			if n.matches(ref) {
+				continue next
+			}
 		}
 		if best == nil || n.load() < best.load() ||
 			(n.load() == best.load() && n.info.ID < best.info.ID) {
@@ -204,17 +292,24 @@ func (g *Registry) Pick() (NodeInfo, error) {
 
 // Handler returns the registry's HTTP interface:
 //
-//	POST /registry/register   — body: NodeInfo JSON
-//	POST /registry/heartbeat  — body: {"id": ..., "stats": NodeStats} JSON
-//	GET  /registry/nodes      — JSON list of NodeStatus
+//	POST /registry/register       — body: NodeInfo JSON
+//	POST /registry/heartbeat      — body: {"id": ..., "stats": NodeStats} JSON
+//	POST /registry/report-failure — body: {"node": <id|URL|host>} JSON;
+//	                                marks the node dead immediately
+//	POST /registry/deregister     — body: {"id": ...} JSON; graceful
+//	                                removal for a draining node
+//	GET  /registry/nodes          — JSON list of NodeStatus
 //	GET  /vod/..., /live/..., /group/...
-//	                          — 307 redirect to the least-loaded edge,
-//	                            path and query preserved; 503 when no
-//	                            edge is live
+//	                              — 307 redirect to the least-loaded edge,
+//	                                path and query preserved; nodes named
+//	                                in the X-Lod-Exclude header are
+//	                                skipped; 503 when no edge is live
 func (g *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/registry/register", g.handleRegister)
 	mux.HandleFunc("/registry/heartbeat", g.handleHeartbeat)
+	mux.HandleFunc("/registry/report-failure", g.handleReportFailure)
+	mux.HandleFunc("/registry/deregister", g.handleDeregister)
 	mux.HandleFunc("/registry/nodes", g.handleNodes)
 	mux.HandleFunc("/vod/", g.handleRedirect)
 	mux.HandleFunc("/live/", g.handleRedirect)
@@ -261,6 +356,44 @@ func (g *Registry) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+func (g *Registry) handleReportFailure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var msg failureMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if msg.Node == "" {
+		http.Error(w, "relay: empty node reference", http.StatusBadRequest)
+		return
+	}
+	// Reports about unknown or already-dead nodes succeed too: the
+	// report is advisory, and racing clients all report the same corpse.
+	g.ReportFailure(msg.Node)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Registry) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var msg deregisterMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if msg.ID == "" {
+		http.Error(w, "relay: empty node id", http.StatusBadRequest)
+		return
+	}
+	g.Deregister(msg.ID)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (g *Registry) handleNodes(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(g.Nodes()); err != nil {
@@ -269,7 +402,15 @@ func (g *Registry) handleNodes(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (g *Registry) handleRedirect(w http.ResponseWriter, r *http.Request) {
-	node, err := g.Pick()
+	var exclude []string
+	if raw := r.Header.Get(ExcludeHeader); raw != "" {
+		for _, ref := range strings.Split(raw, ",") {
+			if ref = strings.TrimSpace(ref); ref != "" {
+				exclude = append(exclude, ref)
+			}
+		}
+	}
+	node, err := g.Pick(exclude...)
 	if err != nil {
 		g.noNode.Inc()
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)

@@ -23,6 +23,14 @@
 // Clients need no cluster awareness: they request /vod/... or /live/...
 // from the registry and follow the redirect.
 //
+// The cluster is churn-tolerant: a client whose edge refuses the
+// connection or severs the stream reports the node dead
+// (POST /registry/report-failure) and retries through the registry,
+// excluding the nodes it escaped (StreamFetcher); a draining node
+// deregisters itself (POST /registry/deregister); and a dead node
+// revives on its next heartbeat, so membership re-converges
+// incrementally as edges die, restart, and rejoin.
+//
 // Both roles are observable: an Edge counts its mirror cache (hits,
 // misses, LRU evictions, resident and origin-pulled bytes) on its
 // server's metrics registry, and the Registry counts redirects and
@@ -117,6 +125,17 @@ type heartbeatMsg struct {
 	Stats NodeStats `json:"stats"`
 }
 
+// failureMsg is the wire form of one client failure report; Node names
+// the failed edge by node ID, URL, or URL host.
+type failureMsg struct {
+	Node string `json:"node"`
+}
+
+// deregisterMsg is the wire form of one graceful deregistration.
+type deregisterMsg struct {
+	ID string `json:"id"`
+}
+
 // httpError reports a non-2xx registry response with its status code, so
 // callers can react to specific protocol statuses.
 type httpError struct {
@@ -170,14 +189,44 @@ func Heartbeat(client *http.Client, base, id string, stats NodeStats) error {
 	return err
 }
 
+// ReportFailure tells the registry at base that the node named by ref
+// (node ID, URL, or URL host — whichever the reporter knows) failed a
+// fetch, so the registry marks it dead immediately instead of waiting
+// out its TTL. A nil client uses http.DefaultClient.
+func ReportFailure(client *http.Client, base, ref string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return postJSON(client, base+"/registry/report-failure", failureMsg{Node: ref})
+}
+
+// Deregister gracefully removes the node from the registry at base — a
+// draining edge calls this before it stops serving, so no client is
+// redirected at it during shutdown. A nil client uses
+// http.DefaultClient.
+func Deregister(client *http.Client, base, id string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return postJSON(client, base+"/registry/deregister", deregisterMsg{ID: id})
+}
+
 // RunHeartbeats registers the node, posts one snapshot from snap
 // immediately, and then posts a fresh snapshot every interval until ctx
 // is cancelled. The immediate first heartbeat means the registry
 // balances on the node's real load from its very first redirect instead
 // of scoring the node zero for a whole interval — without it, a swarm
 // of joins arriving right after an edge registers (the loadgen startup
-// pattern) would pile onto the newcomer. Transient heartbeat failures
-// are retried on the next tick; only registration failure is fatal.
+// pattern) would pile onto the newcomer. The same applies after a
+// registry restart: re-registering on ErrUnknownNode posts an immediate
+// heartbeat too, so the rejoined node is never scored at load 0 for a
+// full interval. Transient heartbeat failures are retried on the next
+// tick; only the initial registration failure is fatal.
+//
+// RunHeartbeats does not deregister on cancellation: a draining caller
+// that wants the registry told right away calls Deregister itself
+// (cmd/lodserver does on SIGTERM), while a crash-simulation harness
+// (loadgen churn) cancels silently and lets death detection do its job.
 func RunHeartbeats(ctx context.Context, client *http.Client, base string, info NodeInfo, snap func() NodeStats, interval time.Duration) error {
 	if err := RegisterWith(client, base, info); err != nil {
 		return err
@@ -194,11 +243,18 @@ func RunHeartbeats(ctx context.Context, client *http.Client, base string, info N
 			return ctx.Err()
 		case <-tick.C:
 			err := Heartbeat(client, base, info.ID, snap())
-			if errors.Is(err, ErrUnknownNode) {
+			// Rejoin only while the node is actually staying up: once ctx
+			// is cancelled the node is shutting down, and a heartbeat that
+			// raced a deliberate Deregister must not resurrect the entry.
+			if errors.Is(err, ErrUnknownNode) && ctx.Err() == nil {
 				// The registry restarted and forgot us; rejoin so the
-				// cluster keeps routing clients here. Failures retry on
-				// the next tick.
-				_ = RegisterWith(client, base, info)
+				// cluster keeps routing clients here, and post stats at
+				// once so the newcomer isn't scored idle until the next
+				// tick (the join pile-on the immediate first heartbeat
+				// exists to prevent). Failures retry on the next tick.
+				if RegisterWith(client, base, info) == nil {
+					_ = Heartbeat(client, base, info.ID, snap())
+				}
 			}
 		}
 	}

@@ -92,6 +92,9 @@ func (s *Server) RateGroup(name string) (*RateGroup, bool) {
 // handleGroup serves /group/{name}?bw=<bits per second>: it selects the
 // best-fitting variant and streams it exactly like a VOD session.
 func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	name := strings.TrimPrefix(r.URL.Path, "/group/")
 	g, ok := s.RateGroup(name)
 	if !ok {

@@ -43,6 +43,7 @@
 package streaming
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -149,6 +150,12 @@ type Server struct {
 
 	metrics *metrics.Registry
 	inst    serverInstruments
+
+	// draining, when set, refuses new VOD/live/group sessions with 503
+	// so the node can finish its in-flight sessions and shut down; see
+	// SetDraining and Drain. Mirror fetches and listings stay served —
+	// draining stops accepting viewers, not cluster housekeeping.
+	draining bool
 
 	// Pacing controls whether VOD sessions honor packet send times; when
 	// false packets are written as fast as possible (the pacing ablation).
@@ -303,6 +310,55 @@ func (s *Server) AssetNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// SetDraining switches refusal of new streaming sessions: while
+// draining, /vod/, /live/ and /group/ answer 503 (counted as rejects)
+// and in-flight sessions run to completion. A node going down cleanly
+// deregisters from its registry, sets draining, and waits with Drain.
+func (s *Server) SetDraining(v bool) {
+	s.mu.Lock()
+	s.draining = v
+	s.mu.Unlock()
+}
+
+// Draining reports whether new sessions are being refused.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Drain marks the server draining and blocks until every active session
+// has finished or ctx expires (returning ctx's error with sessions
+// still live). It is the graceful half of edge churn: the abrupt half —
+// a kill — simply severs connections and lets clients fail over.
+func (s *Server) Drain(ctx context.Context) error {
+	s.SetDraining(true)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.Stats().ActiveClients == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("streaming: drain: %d sessions still active: %w",
+				s.Stats().ActiveClients, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// refuseDraining answers a streaming request with 503 when the server
+// is draining, reporting whether it did.
+func (s *Server) refuseDraining(w http.ResponseWriter) bool {
+	if !s.Draining() {
+		return false
+	}
+	s.reject()
+	http.Error(w, "streaming: server draining", http.StatusServiceUnavailable)
+	return true
 }
 
 // Stats returns a snapshot of the server counters.
@@ -516,6 +572,9 @@ func (s *Server) handleChannels(w http.ResponseWriter, _ *http.Request) {
 // or before that presentation time using the stored index.
 func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 	reqStart := s.clock.Now()
+	if s.refuseDraining(w) {
+		return
+	}
 	name := strings.TrimPrefix(r.URL.Path, "/vod/")
 	asset, ok := s.Asset(name)
 	if !ok {
@@ -595,6 +654,9 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 // handleLive attaches the client to a live channel.
 func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	reqStart := s.clock.Now()
+	if s.refuseDraining(w) {
+		return
+	}
 	name := strings.TrimPrefix(r.URL.Path, "/live/")
 	s.mu.RLock()
 	ch, ok := s.channels[name]
