@@ -1,10 +1,10 @@
 GO ?= go
 
-RACE_PKGS := ./internal/streaming ./internal/session ./internal/core ./internal/relay ./internal/metrics ./internal/netsim ./internal/loadgen ./internal/asf ./internal/player
+RACE_PKGS := ./internal/streaming ./internal/session ./internal/core ./internal/relay ./internal/metrics ./internal/netsim ./internal/loadgen ./internal/asf ./internal/player ./internal/client ./internal/proto
 
-.PHONY: all build test vet fmt-check race bench bench-smoke bench-cluster bench-churn
+.PHONY: all build test vet fmt-check api-check race bench bench-smoke bench-cluster bench-churn
 
-all: build test vet fmt-check
+all: build test vet fmt-check api-check
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,20 @@ fmt-check:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The wire contract (route prefixes, the /v1 version prefix, the
+# failover exclude header) lives in internal/proto and nowhere else:
+# fail the build if a raw route literal or the exclude header name
+# appears in any other non-test Go file. Tests are exempt — pinning the
+# wire contract with literals from the outside is exactly their job.
+api-check:
+	@bad="$$(grep -rnE '"(/v1)?/(vod|live|group|fetch|registry)|X-Lod-Exclude' \
+		--include='*.go' cmd internal examples *.go \
+		| grep -v '^internal/proto/' | grep -v '_test\.go:')"; \
+	if [ -n "$$bad" ]; then \
+		echo "api-check: wire-contract literals outside internal/proto (use the proto constants):"; \
+		echo "$$bad"; exit 1; \
 	fi
 
 race:

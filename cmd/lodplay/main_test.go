@@ -2,12 +2,14 @@ package main
 
 import (
 	"bufio"
+	"net/url"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/capture"
+	"repro/internal/client"
 	"repro/internal/codec"
 	"repro/internal/encoder"
 )
@@ -69,5 +71,49 @@ func TestFailoverFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-url", "http://reg/vod/x", "-failover", "-1"}); err == nil {
 		t.Fatal("negative -failover accepted")
+	}
+}
+
+// TestSpecFromURL covers the -failover URL → SDK spec translation: both
+// API forms, decoded names, seek offsets and bandwidth from the query,
+// and refusal of non-stream paths.
+func TestSpecFromURL(t *testing.T) {
+	for _, tc := range []struct {
+		raw  string
+		want client.Spec
+	}{
+		{"http://reg:9090/vod/lec-1", client.Spec{Kind: client.VOD, Name: "lec-1"}},
+		{"http://reg:9090/v1/vod/lec-1?start=2s", client.Spec{Kind: client.VOD, Name: "lec-1", Start: 2 * time.Second}},
+		{"http://reg:9090/v1/live/class", client.Spec{Kind: client.Live, Name: "class"}},
+		{"http://reg:9090/group/g?bw=768000", client.Spec{Kind: client.Group, Name: "g", Bandwidth: 768000}},
+		{"http://reg:9090/v1/vod/week%201%2Fintro", client.Spec{Kind: client.VOD, Name: "week 1/intro"}},
+	} {
+		u, err := url.Parse(tc.raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := specFromURL(u)
+		if err != nil {
+			t.Fatalf("specFromURL(%s): %v", tc.raw, err)
+		}
+		if got.Kind != tc.want.Kind || got.Name != tc.want.Name ||
+			got.Start != tc.want.Start || got.Bandwidth != tc.want.Bandwidth {
+			t.Errorf("specFromURL(%s) = %+v, want %+v", tc.raw, got, tc.want)
+		}
+	}
+	for _, raw := range []string{
+		"http://reg:9090/registry/nodes", // not a stream
+		"http://reg:9090/fetch/lec",      // mirror path, not playable
+		"http://reg:9090/vod/",           // empty name
+		"http://reg:9090/vod/lec?start=bogus",
+		"http://reg:9090/group/g?bw=-1",
+	} {
+		u, err := url.Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := specFromURL(u); err == nil {
+			t.Errorf("specFromURL(%s) accepted", raw)
+		}
 	}
 }

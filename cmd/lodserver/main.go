@@ -1,7 +1,9 @@
 // Command lodserver runs the Lecture-on-Demand streaming server: stored
-// assets are served at /vod/{name}, live channels at /live/{channel}, with
-// JSON listings at /assets and /channels, and whole-container mirror
-// transfers at /fetch/{name}.
+// assets are served at /v1/vod/{name}, live channels at
+// /v1/live/{channel}, with JSON listings at /v1/assets and /v1/channels,
+// and whole-container mirror transfers at /v1/fetch/{name}. Every
+// endpoint also answers on its legacy unversioned alias (/vod/...); the
+// route constants live in internal/proto.
 //
 // The server can run standalone or as part of a distributed origin→edge
 // cluster (internal/relay):

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,11 +17,13 @@ import (
 
 	"repro/internal/asf"
 	"repro/internal/capture"
+	"repro/internal/client"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/encoder"
 	"repro/internal/metrics"
 	"repro/internal/player"
+	"repro/internal/proto"
 	"repro/internal/publish"
 	"repro/internal/relay"
 	"repro/internal/session"
@@ -319,16 +322,30 @@ func TestRelayCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// --- VOD through the cluster: the client asks the registry, follows
-	// the 307, and the chosen edge mirrors the asset on first demand. ---
+	// --- VOD through the cluster, via the session SDK: the session asks
+	// the registry, follows the /v1 307, and the chosen edge mirrors the
+	// asset on first demand. ---
+	sdk := client.New(regTS.URL)
+	playVOD := func() *player.Metrics {
+		t.Helper()
+		sess, err := sdk.Open(context.Background(), client.Spec{Kind: client.VOD, Name: "cluster-lec"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sess.Play()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := sess.Stats(); st.Edge == "" {
+			t.Fatalf("session stats = %+v, want a serving edge", st)
+		}
+		return m
+	}
 	direct, err := player.New(player.Options{}).PlayURL(originTS.URL + "/vod/cluster-lec")
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaCluster, err := player.New(player.Options{}).PlayURL(regTS.URL + "/vod/cluster-lec")
-	if err != nil {
-		t.Fatal(err)
-	}
+	viaCluster := playVOD()
 	if viaCluster.SlidesShown != 3 || viaCluster.BrokenFrames != 0 {
 		t.Fatalf("cluster VOD replay: %+v", viaCluster)
 	}
@@ -337,9 +354,7 @@ func TestRelayCluster(t *testing.T) {
 	}
 	// Consecutive joins between heartbeats alternate edges, so a second
 	// play lands on (and mirrors onto) the other edge.
-	if _, err := player.New(player.Options{}).PlayURL(regTS.URL + "/vod/cluster-lec"); err != nil {
-		t.Fatal(err)
-	}
+	playVOD()
 	if _, ok := edgeA.Server.Asset("cluster-lec"); !ok {
 		t.Fatal("edge A never mirrored the asset")
 	}
@@ -354,12 +369,11 @@ func TestRelayCluster(t *testing.T) {
 	}
 	// A third cluster play redirects back to edge A (tie-break on ID) and
 	// is served from its mirror — the cluster's first cache hit.
-	if _, err := player.New(player.Options{}).PlayURL(regTS.URL + "/vod/cluster-lec"); err != nil {
-		t.Fatal(err)
-	}
+	playVOD()
 
 	// --- Redirects follow reported load: a heartbeat marking edge A busy
-	// sends the next client to edge B. ---
+	// sends the next client to edge B. Both API forms redirect, each
+	// preserving the version the client spoke. ---
 	if err := relay.Heartbeat(nil, regTS.URL, "edge-a", relay.NodeStats{ActiveClients: 9}); err != nil {
 		t.Fatal(err)
 	}
@@ -369,16 +383,18 @@ func TestRelayCluster(t *testing.T) {
 	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
 		return http.ErrUseLastResponse
 	}}
-	resp, err := noFollow.Get(regTS.URL + "/vod/cluster-lec")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusTemporaryRedirect {
-		t.Fatalf("registry status = %d, want 307", resp.StatusCode)
-	}
-	if loc := resp.Header.Get("Location"); loc != edgeBTS.URL+"/vod/cluster-lec" {
-		t.Fatalf("redirect went to %q, want the less-loaded edge %q", loc, edgeBTS.URL)
+	for _, path := range []string{"/vod/cluster-lec", "/v1/vod/cluster-lec"} {
+		resp, err := noFollow.Get(regTS.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTemporaryRedirect {
+			t.Fatalf("registry status for %s = %d, want 307", path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != edgeBTS.URL+path {
+			t.Fatalf("redirect went to %q, want the less-loaded edge %q", loc, edgeBTS.URL+path)
+		}
 	}
 
 	// --- Live through the cluster: each edge subscribes to the origin
@@ -413,7 +429,9 @@ func TestRelayCluster(t *testing.T) {
 		wg.Add(1)
 		go func(id int, url string) {
 			defer wg.Done()
-			results[id], errs[id] = player.New(player.Options{}).PlayURL(url + "/live/cluster-live")
+			// Pinned to an edge (not through the registry), on the /v1 form.
+			results[id], errs[id] = player.New(player.Options{}).PlayURL(
+				url + proto.Versioned(proto.StreamPath(proto.StreamLive, "cluster-live")))
 		}(i, base)
 	}
 	deadline := time.Now().Add(10 * time.Second)
@@ -492,6 +510,21 @@ func TestRelayCluster(t *testing.T) {
 	}
 	if mr["lod_registry_nodes_alive"] != 2 {
 		t.Fatalf("registry alive nodes = %v, want 2", mr["lod_registry_nodes_alive"])
+	}
+
+	// --- Per-node health through the SDK control plane: both edges
+	// alive, with fresh heartbeats. ---
+	nodes, err := sdk.Nodes(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("node listing = %+v, want 2 entries", nodes)
+	}
+	for _, n := range nodes {
+		if n.Health != proto.HealthAlive || !n.Alive {
+			t.Fatalf("node %s health = %q, want alive", n.ID, n.Health)
+		}
 	}
 }
 

@@ -2,14 +2,13 @@ package loadgen
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"math/rand"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/netsim"
 	"repro/internal/player"
-	"repro/internal/relay"
 )
 
 // SessionResult is what one virtual client measured.
@@ -55,28 +54,31 @@ type SessionResult struct {
 	SlidesShown  int   `json:"slidesShown"`
 }
 
-// sessionTarget builds the request path for one client draw.
-func (c *Cluster) sessionTarget(kind Kind, rng *rand.Rand) string {
+// sessionSpec draws one client's stream spec. Path construction is the
+// SDK's job (client.Spec.Target → proto.StreamPath), so asset names
+// with spaces, slashes, or query metacharacters are percent-encoded by
+// construction — the loadgen side of the edge→origin escaping fix.
+func (c *Cluster) sessionSpec(kind Kind, rng *rand.Rand) client.Spec {
 	s := c.Scenario
 	switch kind {
-	case KindVOD:
-		return "/vod/" + c.AssetNames[rng.Intn(len(c.AssetNames))]
 	case KindSeek:
 		name := c.AssetNames[rng.Intn(len(c.AssetNames))]
 		// Seek somewhere in the middle half of the presentation.
 		at := time.Duration((0.25 + 0.5*rng.Float64()) * float64(s.AssetDuration))
-		return fmt.Sprintf("/vod/%s?start=%dms", name, at.Milliseconds())
+		return client.Spec{Kind: client.VOD, Name: name, Start: at}
 	case KindGroup:
 		name := c.GroupNames[rng.Intn(len(c.GroupNames))]
 		bw := s.ClientBandwidth
 		if bw <= 0 {
 			bw = 1 << 30
 		}
-		return fmt.Sprintf("/group/%s?bw=%d", name, bw)
+		return client.Spec{Kind: client.Group, Name: name, Bandwidth: bw}
 	case KindLive:
-		return "/live/" + c.LiveNames[rng.Intn(len(c.LiveNames))]
+		return client.Spec{Kind: client.Live, Name: c.LiveNames[rng.Intn(len(c.LiveNames))]}
+	case KindVOD:
+		return client.Spec{Kind: client.VOD, Name: c.AssetNames[rng.Intn(len(c.AssetNames))]}
 	}
-	return "/vod/" + c.AssetNames[0]
+	return client.Spec{Kind: client.VOD, Name: c.AssetNames[0]}
 }
 
 // firstByteReader stamps the arrival of the first stream byte.
@@ -93,24 +95,25 @@ func (f *firstByteReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// RunSession executes one virtual client: request the registry, follow
-// the redirect, and play the stream in realtime through the client's
-// private shaped link. The id seeds every per-client draw, so a rerun
-// issues the identical session.
+// RunSession executes one virtual client: open the drawn spec through
+// the cluster's session SDK (internal/client) and play the stream in
+// realtime through the client's private shaped link. The id seeds every
+// per-client draw, so a rerun issues the identical session.
 //
 // When the scenario grants FailoverAttempts, a session whose edge
 // refuses the connection or severs the stream mid-play goes back to the
 // registry — reporting the dead edge and excluding it from the next
 // pick — and, for stored content, resumes at the last media offset it
-// received via ?start=. The result's Failovers/Retries counts let the
-// report distinguish sessions that survived via failover from clean
-// runs.
+// received. The session's Stats feed the result's Failovers/Retries,
+// so the report can distinguish sessions that survived via failover
+// from clean runs.
 func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResult {
 	s := c.Scenario
 	rng := rand.New(rand.NewSource(s.Seed<<20 + int64(id)))
 	res := SessionResult{ID: id, Kind: kind}
-	target := c.sessionTarget(kind, rng)
-	res.URL = RegistryURL + target
+	spec := c.sessionSpec(kind, rng)
+	spec.Failover = s.FailoverAttempts
+	res.URL = RegistryURL + spec.Target()
 
 	// Each client owns a private clone of the scenario link — netsim.Link
 	// is not safe for concurrent use, so the prototype is never shared.
@@ -120,7 +123,7 @@ func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResu
 	if s.Link != (netsim.Link{}) {
 		link = s.Link.Clone(s.Seed<<20 + int64(id))
 	}
-	opts := player.Options{
+	spec.Player = player.Options{
 		Realtime:            true,
 		AnchorToFirstPacket: true,
 		JitterBufferDepth:   s.JitterBufferDepth,
@@ -135,26 +138,21 @@ func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResu
 	// Only the very first byte of the whole session stamps it; failover
 	// reconnects don't reset startup.
 	var firstByte time.Time
-	t0 := time.Now()
-	session := &relay.FailoverSession{
-		Fetcher:  relay.NewStreamFetcher(RegistryURL, c.client),
-		Target:   target,
-		Live:     kind == KindLive,
-		Attempts: s.FailoverAttempts,
-		Backoff:  s.FailoverBackoff,
-		Player:   opts,
-		WrapBody: func(r io.Reader) io.Reader {
-			return &firstByteReader{r: netsim.NewLinkReader(r, link, nil), at: &firstByte}
-		},
-		OnRetry: func(edge string, _ error) {
-			res.Retries++
-			if edge != "" {
-				res.Failovers++
-			}
-		},
+	spec.WrapBody = func(r io.Reader) io.Reader {
+		return &firstByteReader{r: netsim.NewLinkReader(r, link, nil), at: &firstByte}
 	}
-	agg, edge, err := session.Run(ctx)
-	res.Edge = edge
+
+	t0 := time.Now()
+	session, err := c.sdk.Open(ctx, spec)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	agg, err := session.Play()
+	st := session.Stats()
+	res.Edge = st.Edge
+	res.Failovers = st.Failovers
+	res.Retries = st.Retries
 	if err != nil {
 		res.Err = err.Error()
 	}

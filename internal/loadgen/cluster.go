@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/asf"
 	"repro/internal/capture"
+	"repro/internal/client"
 	"repro/internal/codec"
 	"repro/internal/encoder"
 	"repro/internal/netsim"
@@ -55,6 +56,7 @@ type Cluster struct {
 	net     *netsim.MemNet
 	ctx     context.Context
 	client  *http.Client
+	sdk     *client.Client // the session SDK every virtual client opens through
 	servers []*http.Server // origin + registry
 	cancel  context.CancelFunc
 	done    []chan struct{} // live pumps
@@ -99,6 +101,9 @@ func StartCluster(s Scenario, edges int, liveFor time.Duration) (*Cluster, error
 		cancel:   cancel,
 	}
 	c.client = c.net.Client()
+	c.sdk = client.New(RegistryURL,
+		client.WithHTTPClient(c.client),
+		client.WithBackoff(s.FailoverBackoff))
 	if err := c.populateOrigin(ctx, liveFor); err != nil {
 		c.Close()
 		return nil, err

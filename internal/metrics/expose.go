@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/proto"
 )
 
 // WritePrometheus renders every family in registration order in the
@@ -120,8 +122,9 @@ func (r *Registry) StatusHandler() http.Handler {
 
 // Expose mounts GET /metrics (Prometheus text) and GET /status (JSON
 // snapshot) on mux — the two observability endpoints every lodserver
-// role serves.
+// role serves — under both the legacy paths and their /v1 aliases
+// (proto.PathMetrics/PathStatus).
 func (r *Registry) Expose(mux *http.ServeMux) {
-	mux.Handle("/metrics", r)
-	mux.Handle("/status", r.StatusHandler())
+	proto.Handle(mux, proto.PathMetrics, r)
+	proto.Handle(mux, proto.PathStatus, r.StatusHandler())
 }

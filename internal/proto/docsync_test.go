@@ -1,0 +1,59 @@
+package proto
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestREADMEDocumentsContract keeps README.md's endpoint tables in sync
+// with this package: every route the contract defines must appear in
+// the README (in its /v1 form for the stream and registry routes), and
+// the failover header must be named. Changing a constant here without
+// regenerating the tables fails this test.
+func TestREADMEDocumentsContract(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme)
+	for _, want := range []string{
+		Versioned(PrefixVOD),
+		Versioned(PrefixLive),
+		Versioned(PrefixGroup),
+		Versioned(PrefixFetch),
+		Versioned(PathAssets),
+		Versioned(PathRegister),
+		Versioned(PathHeartbeat),
+		Versioned(PathReportFailure),
+		Versioned(PathDeregister),
+		Versioned(PathNodes),
+		PathMetrics,
+		PathStatus,
+		ExcludeHeader,
+		"?" + ParamStart + "=",
+		"?" + ParamBandwidth + "=",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("README.md does not document %q; regenerate the endpoint tables from internal/proto", want)
+		}
+	}
+	// The legacy aliases must stay documented too.
+	if !strings.Contains(doc, "legacy") {
+		t.Error("README.md does not mention the legacy unversioned aliases")
+	}
+}
+
+// TestDESIGNDocumentsContract pins DESIGN.md's API-contract section.
+func TestDESIGNDocumentsContract(t *testing.T) {
+	design, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(design)
+	for _, want := range []string{"API contract", "internal/proto", "internal/client", VersionPrefix} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("DESIGN.md is missing %q in its API contract section", want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package proto
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Error is the JSON body of a /v1 error response — the typed
+// alternative to a bare text line, so clients can branch on Status and
+// render Message without parsing prose.
+type Error struct {
+	Status  int    `json:"status"`
+	Message string `json:"error"`
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("proto: status %d: %s", e.Status, e.Message)
+}
+
+// WriteError answers a request with the given status and an Error
+// body.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(Error{Status: status, Message: msg})
+}
+
+// WriteErr answers a request with err as an Error body: a *Error keeps
+// its status and message (the ParseStart/ParseBandwidth path), anything
+// else becomes a 500.
+func WriteErr(w http.ResponseWriter, err error) {
+	var e *Error
+	if errors.As(err, &e) {
+		WriteError(w, e.Status, e.Message)
+		return
+	}
+	WriteError(w, http.StatusInternalServerError, err.Error())
+}
+
+// ReadError extracts the error from a non-2xx response, closing its
+// body: an Error body decodes as itself, anything else (a legacy text
+// error, an empty body) is wrapped with the response's status code.
+func ReadError(resp *http.Response) *Error {
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	var e Error
+	if json.Unmarshal(b, &e) == nil && e.Message != "" {
+		if e.Status == 0 {
+			e.Status = resp.StatusCode
+		}
+		return &e
+	}
+	msg := strings.TrimSpace(string(b))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &Error{Status: resp.StatusCode, Message: msg}
+}

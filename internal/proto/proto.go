@@ -1,0 +1,224 @@
+// Package proto is the single source of truth for the Lecture-on-Demand
+// wire contract: the HTTP routes every role serves, the query parameters
+// and headers clients send, the JSON DTOs the registry control plane
+// exchanges, and the JSON error body all /v1 endpoints return.
+//
+// Before this package the contract existed only as string literals
+// scattered across streaming, relay, loadgen, and the cmds; every new
+// consumer re-derived it by reading handlers. Now servers mount routes
+// through Handle/HandleFunc (which registers the legacy unversioned path
+// and its /v1 alias together), clients build paths through StreamPath,
+// and both sides marshal control-plane messages through the DTO types —
+// so the contract can only change here, in one reviewable place. The
+// `make api-check` gate enforces that: raw route literals outside this
+// package fail the build.
+//
+// # Versioning
+//
+// The current API generation is Version ("v1"). Every endpoint serves
+// under the VersionPrefix ("/v1/vod/..., /v1/registry/nodes, ...") with
+// the original unversioned paths kept as legacy aliases for old
+// clients. New code — internal/client, the relay control-plane helpers,
+// edge→origin pulls — speaks the versioned form.
+package proto
+
+import (
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Version is the current API generation; VersionPrefix is its path
+// prefix. Legacy clients may omit the prefix: every route is mounted
+// under both forms.
+const (
+	Version       = "v1"
+	VersionPrefix = "/" + Version
+)
+
+// StreamKind names one streaming route family.
+type StreamKind string
+
+// The streaming route families.
+const (
+	// StreamVOD replays a stored container, paced by packet send times.
+	StreamVOD StreamKind = "vod"
+	// StreamLive joins a live broadcast channel.
+	StreamLive StreamKind = "live"
+	// StreamGroup selects the richest variant of a multi-rate group
+	// fitting the declared bandwidth, then streams it like VOD.
+	StreamGroup StreamKind = "group"
+	// StreamFetch transfers a whole stored container unpaced — the
+	// origin→edge mirror path, not a viewer stream.
+	StreamFetch StreamKind = "fetch"
+)
+
+// Route prefixes of the streaming endpoints. The path segment after the
+// prefix is the percent-encoded asset/channel/group name.
+const (
+	PrefixVOD   = "/vod/"
+	PrefixLive  = "/live/"
+	PrefixGroup = "/group/"
+	PrefixFetch = "/fetch/"
+)
+
+// JSON listing endpoints of the streaming server.
+const (
+	PathAssets   = "/assets"
+	PathChannels = "/channels"
+	PathGroups   = "/groups"
+)
+
+// Registry control-plane endpoints. The POST bodies are the DTO types
+// in this package (NodeInfo, HeartbeatMsg, FailureReport,
+// DeregisterMsg); GET PathNodes returns []NodeStatus.
+const (
+	PathRegister      = "/registry/register"
+	PathHeartbeat     = "/registry/heartbeat"
+	PathReportFailure = "/registry/report-failure"
+	PathDeregister    = "/registry/deregister"
+	PathNodes         = "/registry/nodes"
+)
+
+// Observability endpoints every role serves (internal/metrics mounts
+// them): Prometheus text and a flat JSON snapshot.
+const (
+	PathMetrics = "/metrics"
+	PathStatus  = "/status"
+)
+
+// Query parameters of the streaming endpoints.
+const (
+	// ParamStart seeks a stored stream to a presentation offset (a Go
+	// duration, e.g. start=30s); it is also how a failed-over client
+	// resumes at the last received offset. See FormatStart/ParseStart.
+	ParamStart = "start"
+	// ParamBandwidth declares the client's link bandwidth in bits/s on a
+	// group request; the server streams the richest variant that fits.
+	ParamBandwidth = "bw"
+)
+
+// ExcludeHeader is the request header a failing-over client sets on its
+// registry request to name edge hosts (or node IDs) it must not be
+// redirected back to — the nodes it just escaped. Values are
+// comma-separated; see JoinExclude/SplitExclude.
+const ExcludeHeader = "X-Lod-Exclude"
+
+// Prefix returns the route prefix of a stream kind.
+func Prefix(k StreamKind) string {
+	switch k {
+	case StreamLive:
+		return PrefixLive
+	case StreamGroup:
+		return PrefixGroup
+	case StreamFetch:
+		return PrefixFetch
+	default:
+		return PrefixVOD
+	}
+}
+
+// StreamPath builds the unversioned request path for a named stream,
+// percent-encoding the name so assets called "week 1/intro" or
+// containing ?/# survive the URL. Handlers decode it back; servers see
+// the original name. Prepend VersionPrefix (Versioned) for the /v1
+// form.
+func StreamPath(k StreamKind, name string) string {
+	return Prefix(k) + url.PathEscape(name)
+}
+
+// Versioned returns the /v1 form of an unversioned route path.
+func Versioned(path string) string { return VersionPrefix + path }
+
+// Unversioned strips the /v1 prefix from a request path, returning
+// legacy paths unchanged — handlers mounted under both forms normalize
+// through it before extracting names.
+func Unversioned(path string) string {
+	if path == VersionPrefix {
+		return "/"
+	}
+	if strings.HasPrefix(path, VersionPrefix+"/") {
+		return strings.TrimPrefix(path, VersionPrefix)
+	}
+	return path
+}
+
+// StreamName extracts the stream name from a decoded request path of
+// the given kind, accepting both the versioned and legacy forms.
+func StreamName(path string, k StreamKind) string {
+	return strings.TrimPrefix(Unversioned(path), Prefix(k))
+}
+
+// SplitStreamPath recognizes a decoded request path as one of the
+// streaming routes (versioned or legacy) and splits it into kind and
+// name. It reports false for non-stream paths and empty names.
+func SplitStreamPath(path string) (StreamKind, string, bool) {
+	p := Unversioned(path)
+	for _, k := range []StreamKind{StreamVOD, StreamLive, StreamGroup, StreamFetch} {
+		if rest := strings.TrimPrefix(p, Prefix(k)); rest != p {
+			return k, rest, rest != ""
+		}
+	}
+	return "", "", false
+}
+
+// Handle mounts h on mux under both path and its /v1 alias.
+func Handle(mux *http.ServeMux, path string, h http.Handler) {
+	mux.Handle(path, h)
+	mux.Handle(Versioned(path), h)
+}
+
+// HandleFunc is Handle for a handler function.
+func HandleFunc(mux *http.ServeMux, path string, h http.HandlerFunc) {
+	Handle(mux, path, h)
+}
+
+// FormatStart renders a seek/resume offset as the canonical ParamStart
+// value (integer milliseconds, e.g. "1500ms").
+func FormatStart(at time.Duration) string {
+	return strconv.FormatInt(at.Milliseconds(), 10) + "ms"
+}
+
+// ParseStart parses a ParamStart value: a non-negative Go duration.
+// Malformed or negative values are errors — servers answer them with
+// 400 and an Error body rather than guessing.
+func ParseStart(raw string) (time.Duration, error) {
+	at, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, &Error{Status: http.StatusBadRequest,
+			Message: "bad " + ParamStart + " parameter " + strconv.Quote(raw) + ": want a duration like 30s"}
+	}
+	if at < 0 {
+		return 0, &Error{Status: http.StatusBadRequest,
+			Message: "bad " + ParamStart + " parameter " + strconv.Quote(raw) + ": must not be negative"}
+	}
+	return at, nil
+}
+
+// ParseBandwidth parses a ParamBandwidth value: a positive bits/s
+// integer.
+func ParseBandwidth(raw string) (int64, error) {
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, &Error{Status: http.StatusBadRequest,
+			Message: "bad " + ParamBandwidth + " parameter " + strconv.Quote(raw) + ": want positive bits/s"}
+	}
+	return v, nil
+}
+
+// JoinExclude renders an exclude list as the ExcludeHeader value.
+func JoinExclude(refs []string) string { return strings.Join(refs, ",") }
+
+// SplitExclude parses an ExcludeHeader value, dropping empty entries
+// and surrounding whitespace.
+func SplitExclude(raw string) []string {
+	var out []string
+	for _, ref := range strings.Split(raw, ",") {
+		if ref = strings.TrimSpace(ref); ref != "" {
+			out = append(out, ref)
+		}
+	}
+	return out
+}

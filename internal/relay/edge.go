@@ -6,12 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
 	"strings"
 	"sync"
 
 	"repro/internal/asf"
 	"repro/internal/metrics"
+	"repro/internal/proto"
 	"repro/internal/streaming"
 )
 
@@ -155,11 +155,11 @@ func (e *Edge) MirrorAsset(name string) error {
 }
 
 func (e *Edge) fetchAsset(name string) error {
-	// The name came off a decoded request path; re-escape it so assets
-	// named like "lecture 1%" or containing ?/# survive the origin URL.
-	// The origin handler's TrimPrefix of its decoded path is the
-	// symmetric inverse.
-	resp, err := e.client().Get(e.Origin + "/fetch/" + url.PathEscape(name))
+	// The name came off a decoded request path; proto.StreamPath
+	// re-escapes it so assets named like "lecture 1%" or containing ?/#
+	// survive the origin URL. The origin handler's decode of its request
+	// path is the symmetric inverse.
+	resp, err := e.client().Get(e.Origin + proto.Versioned(proto.StreamPath(proto.StreamFetch, name)))
 	if err != nil {
 		return fmt.Errorf("relay: mirror %q: %w", name, err)
 	}
@@ -276,7 +276,7 @@ func (e *Edge) MirrorGroup(name string) error {
 }
 
 func (e *Edge) fetchGroup(name string) error {
-	resp, err := e.client().Get(e.Origin + "/groups")
+	resp, err := e.client().Get(e.Origin + proto.Versioned(proto.PathGroups))
 	if err != nil {
 		return fmt.Errorf("relay: group %q: %w", name, err)
 	}
@@ -338,7 +338,7 @@ func (e *Edge) RelayChannel(name string) error {
 
 func (e *Edge) startRelay(name string) error {
 	// Escape like fetchAsset: the channel name is a decoded path segment.
-	resp, err := e.client().Get(e.Origin + "/live/" + url.PathEscape(name))
+	resp, err := e.client().Get(e.Origin + proto.Versioned(proto.StreamPath(proto.StreamLive, name)))
 	if err != nil {
 		return fmt.Errorf("relay: live %q: %w", name, err)
 	}
@@ -390,8 +390,8 @@ func (e *Edge) Handler() http.Handler {
 	base := e.Server.Handler()
 	mux := http.NewServeMux()
 	mux.Handle("/", base)
-	mux.HandleFunc("/vod/", func(w http.ResponseWriter, r *http.Request) {
-		name := strings.TrimPrefix(r.URL.Path, "/vod/")
+	proto.HandleFunc(mux, proto.PrefixVOD, func(w http.ResponseWriter, r *http.Request) {
+		name := proto.StreamName(r.URL.Path, proto.StreamVOD)
 		defer e.pinDemand(name)()
 		// An eviction decided before our pin landed can still remove the
 		// asset after MirrorAsset sees it present; with the pin now held,
@@ -407,16 +407,16 @@ func (e *Edge) Handler() http.Handler {
 		}
 		base.ServeHTTP(w, r)
 	})
-	mux.HandleFunc("/group/", func(w http.ResponseWriter, r *http.Request) {
-		name := strings.TrimPrefix(r.URL.Path, "/group/")
+	proto.HandleFunc(mux, proto.PrefixGroup, func(w http.ResponseWriter, r *http.Request) {
+		name := proto.StreamName(r.URL.Path, proto.StreamGroup)
 		if err := e.MirrorGroup(name); err != nil {
 			pullError(w, r, err)
 			return
 		}
 		base.ServeHTTP(w, r)
 	})
-	mux.HandleFunc("/live/", func(w http.ResponseWriter, r *http.Request) {
-		name := strings.TrimPrefix(r.URL.Path, "/live/")
+	proto.HandleFunc(mux, proto.PrefixLive, func(w http.ResponseWriter, r *http.Request) {
+		name := proto.StreamName(r.URL.Path, proto.StreamLive)
 		if err := e.RelayChannel(name); err != nil {
 			pullError(w, r, err)
 			return

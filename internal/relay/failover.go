@@ -9,6 +9,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/proto"
 )
 
 // StreamFetcher is the client half of cluster failover: it resolves a
@@ -16,7 +18,7 @@ import (
 // always knows which edge host is serving — the piece an automatic
 // redirect-following client loses, and exactly what a failure report
 // needs to name. Across attempts it accumulates an exclude list (sent
-// as the X-Lod-Exclude header) so the registry never bounces it back to
+// as the proto.ExcludeHeader) so the registry never bounces it back to
 // a node it just escaped, and it reports mid-stream deaths back to the
 // registry so the next client is spared the corpse.
 //
@@ -86,7 +88,8 @@ func Retryable(err error) bool {
 }
 
 // Fetch resolves target (a path plus optional query, e.g.
-// "/vod/lec-1?start=2s") through the registry and returns the serving
+// /vod/lec-1?start=2s, in either the /v1 or the legacy form) through
+// the registry and returns the serving
 // edge's 200 response, with the edge host it landed on. The caller owns
 // the response body. Failures return a *FetchError; retryable ones have
 // already updated the fetcher's exclude list and, for dead edges, the
@@ -97,7 +100,7 @@ func (f *StreamFetcher) Fetch(ctx context.Context, target string) (*http.Respons
 		return nil, "", &FetchError{Err: err}
 	}
 	if len(f.exclude) > 0 {
-		req.Header.Set(ExcludeHeader, strings.Join(f.exclude, ","))
+		req.Header.Set(proto.ExcludeHeader, proto.JoinExclude(f.exclude))
 	}
 	resp, err := f.noFollow.Do(req)
 	if err != nil {
@@ -193,7 +196,7 @@ func WithStart(target string, at time.Duration) string {
 	if err != nil {
 		vals = url.Values{}
 	}
-	vals.Set("start", fmt.Sprintf("%dms", at.Milliseconds()))
+	vals.Set(proto.ParamStart, proto.FormatStart(at))
 	return path + "?" + vals.Encode()
 }
 
@@ -208,8 +211,8 @@ func StartOf(target string) time.Duration {
 	if err != nil {
 		return 0
 	}
-	at, err := time.ParseDuration(vals.Get("start"))
-	if err != nil || at < 0 {
+	at, err := proto.ParseStart(vals.Get(proto.ParamStart))
+	if err != nil {
 		return 0
 	}
 	return at

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/proto"
 	"repro/internal/streaming"
 )
 
@@ -70,20 +71,42 @@ func TestRegistryReportFailureKillsNodeImmediately(t *testing.T) {
 	}
 }
 
-func TestRegistryDeregisterRemovesNode(t *testing.T) {
+func TestRegistryDeregisterMarksNodeDraining(t *testing.T) {
 	g := NewRegistry(nil)
 	mustRegister(t, g, NodeInfo{ID: "a", URL: "http://edge-a:8081"})
 	if !g.Deregister("a") {
 		t.Fatal("known node not deregistered")
 	}
 	if g.Deregister("a") {
-		t.Fatal("second deregister reported a removal")
+		t.Fatal("second deregister reported a state change")
 	}
 	if _, err := g.Pick(); !errors.Is(err, ErrNoNodes) {
 		t.Fatalf("pick after deregister = %v, want ErrNoNodes", err)
 	}
-	if len(g.Nodes()) != 0 {
-		t.Fatalf("nodes = %+v, want empty", g.Nodes())
+	// The node stays listed so operators can watch the shutdown, with
+	// health "draining" and no redirect eligibility.
+	nodes := g.Nodes()
+	if len(nodes) != 1 || nodes[0].Health != proto.HealthDraining || nodes[0].Alive {
+		t.Fatalf("nodes after deregister = %+v, want one draining entry", nodes)
+	}
+	// A stray heartbeat racing the shutdown must not resurrect it...
+	if err := g.Heartbeat("a", NodeStats{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Pick(); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("pick after draining heartbeat = %v, want ErrNoNodes", err)
+	}
+	// ...but an explicit re-registration (a restarted node) brings it back.
+	mustRegister(t, g, NodeInfo{ID: "a", URL: "http://edge-a:8081"})
+	if n, err := g.Pick(); err != nil || n.ID != "a" {
+		t.Fatalf("pick after re-register = %v, %v", n, err)
+	}
+	if got := g.Nodes()[0].Health; got != proto.HealthAlive {
+		t.Fatalf("health after re-register = %q", got)
+	}
+	// Deregister of an unknown node is a quiet no-op.
+	if g.Deregister("ghost") {
+		t.Fatal("unknown node deregistered")
 	}
 }
 

@@ -28,7 +28,8 @@ type FailoverSession struct {
 	// Fetcher resolves Target through the registry; required.
 	Fetcher *StreamFetcher
 	// Target is the stream path plus optional query, e.g.
-	// "/vod/lec-1?start=2s".
+	// /vod/lec-1?start=2s, in either the /v1 or the legacy form
+	// (internal/client builds it with proto.StreamPath).
 	Target string
 	// Live marks a broadcast join: a severed live session rejoins the
 	// channel as-is instead of seeking.

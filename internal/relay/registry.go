@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/proto"
 	"repro/internal/vclock"
 )
 
@@ -17,11 +18,19 @@ import (
 // its last registration or heartbeat.
 const DefaultNodeTTL = 15 * time.Second
 
+// pruneAfterTTLs is how many TTLs a node may go unseen before its entry
+// is removed entirely. Dead and draining nodes stay listed (health
+// reporting) for this grace window so operators can watch a shutdown,
+// but a registry that outlives generations of edges on ephemeral
+// addresses must not grow its node table forever — Deregister marks
+// rather than deletes, so pruning is the only removal path.
+const pruneAfterTTLs = 4
+
 // ExcludeHeader is the request header a failing-over client sets on its
 // registry request to name edge hosts (or node IDs) it must not be
 // redirected back to — the nodes it just escaped. Values are
-// comma-separated.
-const ExcludeHeader = "X-Lod-Exclude"
+// comma-separated. Defined by the wire contract (internal/proto).
+const ExcludeHeader = proto.ExcludeHeader
 
 // Registry is the cluster's client entry point: edges register and
 // heartbeat their load, clients request streams and are redirected (307)
@@ -34,7 +43,11 @@ const ExcludeHeader = "X-Lod-Exclude"
 // stop for TTL, and dies actively the moment a client reports a failed
 // fetch (ReportFailure) or the node itself drains (Deregister) — so the
 // cluster stops routing at a corpse in one round trip instead of one
-// TTL. A dead node revives on its next heartbeat or registration.
+// TTL. A dead node revives on its next heartbeat or registration; a
+// draining node stays listed (health "draining" on GET /v1/registry/
+// nodes) but takes no redirects until it explicitly re-registers —
+// heartbeats alone cannot resurrect it, so a heartbeat racing a
+// deliberate shutdown never undoes the drain.
 type Registry struct {
 	clock vclock.Clock
 	// TTL overrides DefaultNodeTTL when positive.
@@ -58,9 +71,13 @@ type regNode struct {
 	host     string
 	stats    NodeStats
 	lastSeen time.Time
-	// dead marks a node reported unreachable or drained; it is skipped
-	// by Pick until the next heartbeat or registration revives it.
+	// dead marks a node reported unreachable; it is skipped by Pick
+	// until the next heartbeat or registration revives it.
 	dead bool
+	// draining marks a node that deregistered for a graceful shutdown:
+	// skipped by Pick and reported with health "draining", revived only
+	// by an explicit re-registration (never by a stray heartbeat).
+	draining bool
 	// assigned counts redirects issued since the last heartbeat, so that
 	// a burst of joins between heartbeats still spreads across edges
 	// (least-connections with local accounting).
@@ -75,23 +92,6 @@ type regNode struct {
 // URL's host.
 func (n *regNode) matches(ref string) bool {
 	return ref != "" && (ref == n.info.ID || ref == n.info.URL || ref == n.host)
-}
-
-// NodeStatus is the externally visible state of one registered node.
-type NodeStatus struct {
-	NodeInfo
-	Stats NodeStats `json:"stats"`
-	// Assigned is the number of redirects issued since the node's last
-	// heartbeat.
-	Assigned int64 `json:"assigned"`
-	// Load is the score redirects are balanced on (lower wins).
-	Load float64 `json:"load"`
-	// Alive reports whether the node is within its TTL and not marked
-	// dead by a failure report or drain.
-	Alive bool `json:"alive"`
-	// Dead reports an active death mark (failure report or drain) that
-	// the next heartbeat will clear.
-	Dead bool `json:"dead,omitempty"`
 }
 
 // NewRegistry creates a registry on the given clock (nil = real clock).
@@ -127,6 +127,21 @@ func (g *Registry) ttl() time.Duration {
 		return g.TTL
 	}
 	return DefaultNodeTTL
+}
+
+// pruneLocked drops nodes not seen for pruneAfterTTLs TTLs — long-dead
+// corpses and drained nodes that never came back. Callers hold g.mu.
+// Alive nodes are never eligible: staying alive requires heartbeats,
+// and every heartbeat refreshes lastSeen. A pruned node that was merely
+// partitioned re-registers on its next heartbeat's ErrUnknownNode,
+// exactly like after a registry restart.
+func (g *Registry) pruneLocked() {
+	cut := g.clock.Now().Add(-time.Duration(pruneAfterTTLs) * g.ttl())
+	for id, n := range g.nodes {
+		if n.lastSeen.Before(cut) {
+			delete(g.nodes, id)
+		}
+	}
 }
 
 // Register adds or refreshes a node. Re-registering an existing ID
@@ -166,6 +181,7 @@ func (g *Registry) Register(info NodeInfo) error {
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.pruneLocked()
 	n := g.nodes[info.ID]
 	if n == nil {
 		n = &regNode{}
@@ -176,14 +192,20 @@ func (g *Registry) Register(info NodeInfo) error {
 	n.redirects = redirects
 	n.lastSeen = g.clock.Now()
 	n.dead = false
+	n.draining = false
 	return nil
 }
 
 // Heartbeat records a node's load snapshot and refreshes its liveness.
-// A heartbeat revives a node marked dead: the node is demonstrably back.
+// A heartbeat revives a node marked dead — the node is demonstrably
+// back — but never a draining one: draining was the node's own
+// deliberate exit, and a heartbeat racing the deregistration must not
+// undo it. A drained node that restarts re-registers (RunHeartbeats
+// always registers first), which clears the mark.
 func (g *Registry) Heartbeat(id string, stats NodeStats) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.pruneLocked()
 	n, ok := g.nodes[id]
 	if !ok {
 		return ErrUnknownNode
@@ -198,14 +220,15 @@ func (g *Registry) Heartbeat(id string, stats NodeStats) error {
 // ReportFailure marks the node named by ref (node ID, URL, or URL host)
 // dead right now, instead of letting it soak up redirects until its TTL
 // runs out. It reports whether a live node was actually killed; reports
-// about unknown or already-dead nodes are counted but otherwise ignored,
-// so concurrent failing-over clients can all report the same corpse.
+// about unknown, already-dead, or draining nodes are counted but
+// otherwise ignored, so concurrent failing-over clients can all report
+// the same corpse.
 func (g *Registry) ReportFailure(ref string) bool {
 	g.reports.Inc()
 	g.mu.Lock()
 	var killed bool
 	for _, n := range g.nodes {
-		if n.matches(ref) && !n.dead {
+		if n.matches(ref) && !n.dead && !n.draining {
 			n.dead = true
 			killed = true
 			break
@@ -218,38 +241,65 @@ func (g *Registry) ReportFailure(ref string) bool {
 	return killed
 }
 
-// Deregister removes a node — the graceful half of death, used by an
-// edge draining for shutdown so no client is redirected at it during
-// its final seconds. Idempotent: removing an unknown ID reports false.
+// Deregister marks a node draining — the graceful half of death, used
+// by an edge shutting down so no client is redirected at it during its
+// final seconds. The node stays listed (health "draining" in Nodes) so
+// operators can watch the shutdown, then falls out entirely once it has
+// been unseen for pruneAfterTTLs TTLs; only an explicit re-registration
+// brings it back into rotation before that. Idempotent: draining an
+// unknown or already-draining ID reports false.
 func (g *Registry) Deregister(id string) bool {
 	g.mu.Lock()
-	_, ok := g.nodes[id]
-	delete(g.nodes, id)
+	n, ok := g.nodes[id]
+	marked := ok && !n.draining
+	if marked {
+		n.draining = true
+	}
 	g.mu.Unlock()
-	if ok {
+	if marked {
 		g.deathDrain.Inc()
 	}
-	return ok
+	return marked
 }
 
 func (n *regNode) load() float64 {
 	return n.stats.Load() + float64(n.assigned)
 }
 
-// Nodes returns the state of every registered node, sorted by ID.
+// health folds a node's liveness into the contract's one-word label.
+func (n *regNode) health(cut time.Time) string {
+	switch {
+	case n.draining:
+		return proto.HealthDraining
+	case n.dead || n.lastSeen.Before(cut):
+		return proto.HealthDead
+	default:
+		return proto.HealthAlive
+	}
+}
+
+// Nodes returns the state of every registered node, sorted by ID, with
+// each node's health (alive/dead/draining) and heartbeat age — the
+// per-node view GET /v1/registry/nodes serves and lodplay
+// -server-status prints.
 func (g *Registry) Nodes() []NodeStatus {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	cut := g.clock.Now().Add(-g.ttl())
+	g.pruneLocked()
+	now := g.clock.Now()
+	cut := now.Add(-g.ttl())
 	out := make([]NodeStatus, 0, len(g.nodes))
 	for _, n := range g.nodes {
+		health := n.health(cut)
 		out = append(out, NodeStatus{
-			NodeInfo: n.info,
-			Stats:    n.stats,
-			Assigned: n.assigned,
-			Load:     n.load(),
-			Alive:    !n.dead && !n.lastSeen.Before(cut),
-			Dead:     n.dead,
+			NodeInfo:        n.info,
+			Stats:           n.stats,
+			Assigned:        n.assigned,
+			Load:            n.load(),
+			Alive:           health == proto.HealthAlive,
+			Dead:            n.dead,
+			Health:          health,
+			HeartbeatAgeSec: now.Sub(n.lastSeen).Seconds(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -269,7 +319,7 @@ func (g *Registry) Pick(exclude ...string) (NodeInfo, error) {
 	var best *regNode
 next:
 	for _, n := range g.nodes {
-		if n.dead || n.lastSeen.Before(cut) {
+		if n.dead || n.draining || n.lastSeen.Before(cut) {
 			continue
 		}
 		for _, ref := range exclude {
@@ -290,45 +340,49 @@ next:
 	return best.info, nil
 }
 
-// Handler returns the registry's HTTP interface:
+// Handler returns the registry's HTTP interface. Every route serves
+// under the /v1 prefix and its legacy unversioned alias:
 //
-//	POST /registry/register       — body: NodeInfo JSON
-//	POST /registry/heartbeat      — body: {"id": ..., "stats": NodeStats} JSON
-//	POST /registry/report-failure — body: {"node": <id|URL|host>} JSON;
-//	                                marks the node dead immediately
-//	POST /registry/deregister     — body: {"id": ...} JSON; graceful
-//	                                removal for a draining node
-//	GET  /registry/nodes          — JSON list of NodeStatus
-//	GET  /vod/..., /live/..., /group/...
-//	                              — 307 redirect to the least-loaded edge,
-//	                                path and query preserved; nodes named
-//	                                in the X-Lod-Exclude header are
-//	                                skipped; 503 when no edge is live
+//	POST {/v1}/registry/register       — body: proto.NodeInfo JSON
+//	POST {/v1}/registry/heartbeat      — body: proto.HeartbeatMsg JSON
+//	POST {/v1}/registry/report-failure — body: proto.FailureReport JSON;
+//	                                     marks the node dead immediately
+//	POST {/v1}/registry/deregister     — body: proto.DeregisterMsg JSON;
+//	                                     marks a shutting-down node
+//	                                     draining
+//	GET  {/v1}/registry/nodes          — JSON list of proto.NodeStatus
+//	                                     (health + heartbeat age per node)
+//	GET  {/v1}/vod/..., /live/..., /group/...
+//	                                   — 307 redirect to the least-loaded
+//	                                     edge, path and query preserved;
+//	                                     nodes named in the
+//	                                     proto.ExcludeHeader are skipped;
+//	                                     503 when no edge is live
 func (g *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/registry/register", g.handleRegister)
-	mux.HandleFunc("/registry/heartbeat", g.handleHeartbeat)
-	mux.HandleFunc("/registry/report-failure", g.handleReportFailure)
-	mux.HandleFunc("/registry/deregister", g.handleDeregister)
-	mux.HandleFunc("/registry/nodes", g.handleNodes)
-	mux.HandleFunc("/vod/", g.handleRedirect)
-	mux.HandleFunc("/live/", g.handleRedirect)
-	mux.HandleFunc("/group/", g.handleRedirect)
+	proto.HandleFunc(mux, proto.PathRegister, g.handleRegister)
+	proto.HandleFunc(mux, proto.PathHeartbeat, g.handleHeartbeat)
+	proto.HandleFunc(mux, proto.PathReportFailure, g.handleReportFailure)
+	proto.HandleFunc(mux, proto.PathDeregister, g.handleDeregister)
+	proto.HandleFunc(mux, proto.PathNodes, g.handleNodes)
+	proto.HandleFunc(mux, proto.PrefixVOD, g.handleRedirect)
+	proto.HandleFunc(mux, proto.PrefixLive, g.handleRedirect)
+	proto.HandleFunc(mux, proto.PrefixGroup, g.handleRedirect)
 	return mux
 }
 
 func (g *Registry) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		proto.WriteError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var info NodeInfo
 	if err := json.NewDecoder(r.Body).Decode(&info); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		proto.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if err := g.Register(info); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		proto.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -336,12 +390,12 @@ func (g *Registry) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (g *Registry) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		proto.WriteError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var msg heartbeatMsg
+	var msg proto.HeartbeatMsg
 	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		proto.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if err := g.Heartbeat(msg.ID, msg.Stats); err != nil {
@@ -350,7 +404,7 @@ func (g *Registry) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 			// An edge that outlived a registry restart must re-register.
 			status = http.StatusNotFound
 		}
-		http.Error(w, err.Error(), status)
+		proto.WriteError(w, status, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -358,16 +412,16 @@ func (g *Registry) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 func (g *Registry) handleReportFailure(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		proto.WriteError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var msg failureMsg
+	var msg proto.FailureReport
 	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		proto.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if msg.Node == "" {
-		http.Error(w, "relay: empty node reference", http.StatusBadRequest)
+		proto.WriteError(w, http.StatusBadRequest, "relay: empty node reference")
 		return
 	}
 	// Reports about unknown or already-dead nodes succeed too: the
@@ -378,16 +432,16 @@ func (g *Registry) handleReportFailure(w http.ResponseWriter, r *http.Request) {
 
 func (g *Registry) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		proto.WriteError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var msg deregisterMsg
+	var msg proto.DeregisterMsg
 	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		proto.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if msg.ID == "" {
-		http.Error(w, "relay: empty node id", http.StatusBadRequest)
+		proto.WriteError(w, http.StatusBadRequest, "relay: empty node id")
 		return
 	}
 	g.Deregister(msg.ID)
@@ -402,18 +456,11 @@ func (g *Registry) handleNodes(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (g *Registry) handleRedirect(w http.ResponseWriter, r *http.Request) {
-	var exclude []string
-	if raw := r.Header.Get(ExcludeHeader); raw != "" {
-		for _, ref := range strings.Split(raw, ",") {
-			if ref = strings.TrimSpace(ref); ref != "" {
-				exclude = append(exclude, ref)
-			}
-		}
-	}
+	exclude := proto.SplitExclude(r.Header.Get(proto.ExcludeHeader))
 	node, err := g.Pick(exclude...)
 	if err != nil {
 		g.noNode.Inc()
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		proto.WriteError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	g.redirects.Inc()

@@ -46,10 +46,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"time"
 
+	"repro/internal/proto"
 	"repro/internal/streaming"
 )
 
@@ -59,48 +59,19 @@ var (
 	ErrUnknownNode = errors.New("relay: unknown node")
 )
 
-// NodeInfo identifies one edge node in the cluster.
-type NodeInfo struct {
-	// ID names the node uniquely within the cluster.
-	ID string `json:"id"`
-	// URL is the node's advertised base URL, reachable by clients,
-	// e.g. "http://10.0.0.2:8081".
-	URL string `json:"url"`
-}
-
-// NodeStats is the load snapshot a node reports on each heartbeat.
-type NodeStats struct {
-	ActiveClients int64 `json:"activeClients"`
-	ReservedBps   int64 `json:"reservedBps"`
-	CapacityBps   int64 `json:"capacityBps"`
-	PacketsSent   int64 `json:"packetsSent"`
-	BytesSent     int64 `json:"bytesSent"`
-	// InFlightBps is the summed declared bandwidth of the node's active
-	// sessions — the primary balancing signal, since one rich DSL
-	// session costs the uplink more than several modem sessions.
-	InFlightBps int64 `json:"inFlightBps"`
-}
-
-// Load folds the snapshot into one comparable score, lower meaning less
-// loaded. A node reporting bandwidth in flight is scored on it, in
-// megabits/s so one unit is roughly one rich session (and comparable to
-// the +1 the registry adds per unheartbeated redirect); nodes that
-// report no in-flight bandwidth fall back to their raw session count.
-// Either way, a node enforcing an admission capacity adds the fraction
-// of that capacity reserved, so of two otherwise-equal nodes the one
-// closer to its budget ranks as more loaded.
-func (s NodeStats) Load() float64 {
-	var load float64
-	if s.InFlightBps > 0 {
-		load = float64(s.InFlightBps) / 1e6
-	} else {
-		load = float64(s.ActiveClients)
-	}
-	if s.CapacityBps > 0 {
-		load += float64(s.ReservedBps) / float64(s.CapacityBps)
-	}
-	return load
-}
+// The registry control-plane DTOs are defined once, in internal/proto
+// (the wire contract); these aliases keep the relay API spelling that
+// the rest of the tree grew up with.
+type (
+	// NodeInfo identifies one edge node in the cluster.
+	NodeInfo = proto.NodeInfo
+	// NodeStats is the load snapshot a node reports on each heartbeat;
+	// its Load method is the balancing score Pick compares.
+	NodeStats = proto.NodeStats
+	// NodeStatus is the externally visible state of one registered
+	// node, as served by GET /v1/registry/nodes.
+	NodeStatus = proto.NodeStatus
+)
 
 // SnapshotStats reads a node's current load off its streaming server,
 // including admission reservations when configured.
@@ -117,23 +88,6 @@ func SnapshotStats(srv *streaming.Server) NodeStats {
 		ns.CapacityBps = adm.CapacityBps
 	}
 	return ns
-}
-
-// heartbeatMsg is the wire form of one heartbeat.
-type heartbeatMsg struct {
-	ID    string    `json:"id"`
-	Stats NodeStats `json:"stats"`
-}
-
-// failureMsg is the wire form of one client failure report; Node names
-// the failed edge by node ID, URL, or URL host.
-type failureMsg struct {
-	Node string `json:"node"`
-}
-
-// deregisterMsg is the wire form of one graceful deregistration.
-type deregisterMsg struct {
-	ID string `json:"id"`
 }
 
 // httpError reports a non-2xx registry response with its status code, so
@@ -157,11 +111,11 @@ func postJSON(client *http.Client, url string, v interface{}) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return &httpError{URL: url, Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
+		perr := proto.ReadError(resp) // closes the body
+		return &httpError{URL: url, Status: perr.Status, Msg: perr.Message}
 	}
+	resp.Body.Close()
 	return nil
 }
 
@@ -171,7 +125,7 @@ func RegisterWith(client *http.Client, base string, info NodeInfo) error {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return postJSON(client, base+"/registry/register", info)
+	return postJSON(client, base+proto.Versioned(proto.PathRegister), info)
 }
 
 // Heartbeat posts one load snapshot for the node to the registry at base.
@@ -181,7 +135,7 @@ func Heartbeat(client *http.Client, base, id string, stats NodeStats) error {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	err := postJSON(client, base+"/registry/heartbeat", heartbeatMsg{ID: id, Stats: stats})
+	err := postJSON(client, base+proto.Versioned(proto.PathHeartbeat), proto.HeartbeatMsg{ID: id, Stats: stats})
 	var he *httpError
 	if errors.As(err, &he) && he.Status == http.StatusNotFound {
 		return fmt.Errorf("%w: %v", ErrUnknownNode, err)
@@ -197,10 +151,10 @@ func ReportFailure(client *http.Client, base, ref string) error {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return postJSON(client, base+"/registry/report-failure", failureMsg{Node: ref})
+	return postJSON(client, base+proto.Versioned(proto.PathReportFailure), proto.FailureReport{Node: ref})
 }
 
-// Deregister gracefully removes the node from the registry at base — a
+// Deregister tells the registry at base the node is draining — a
 // draining edge calls this before it stops serving, so no client is
 // redirected at it during shutdown. A nil client uses
 // http.DefaultClient.
@@ -208,7 +162,7 @@ func Deregister(client *http.Client, base, id string) error {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return postJSON(client, base+"/registry/deregister", deregisterMsg{ID: id})
+	return postJSON(client, base+proto.Versioned(proto.PathDeregister), proto.DeregisterMsg{ID: id})
 }
 
 // RunHeartbeats registers the node, posts one snapshot from snap

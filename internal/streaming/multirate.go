@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
+
+	"repro/internal/proto"
 )
 
 // RateGroup bundles encodings of the same presentation at several
@@ -95,17 +95,17 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
-	name := strings.TrimPrefix(r.URL.Path, "/group/")
+	name := proto.StreamName(r.URL.Path, proto.StreamGroup)
 	g, ok := s.RateGroup(name)
 	if !ok {
 		http.NotFound(w, r)
 		return
 	}
 	bw := int64(1 << 62)
-	if raw := r.URL.Query().Get("bw"); raw != "" {
-		v, err := strconv.ParseInt(raw, 10, 64)
-		if err != nil || v <= 0 {
-			http.Error(w, "bad bw parameter", http.StatusBadRequest)
+	if raw := r.URL.Query().Get(proto.ParamBandwidth); raw != "" {
+		v, err := proto.ParseBandwidth(raw)
+		if err != nil {
+			proto.WriteErr(w, err)
 			return
 		}
 		bw = v
@@ -115,8 +115,9 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty group", http.StatusNotFound)
 		return
 	}
-	// Rewrite the path and delegate to the VOD handler.
+	// Rewrite the path (already decoded, so the raw name concatenates
+	// onto the prefix) and delegate to the VOD handler.
 	r2 := r.Clone(r.Context())
-	r2.URL.Path = "/vod/" + asset.Name
+	r2.URL.Path = proto.PrefixVOD + asset.Name
 	s.handleVOD(w, r2)
 }

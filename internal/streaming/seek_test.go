@@ -2,9 +2,11 @@ package streaming
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -67,22 +69,56 @@ func TestVODSeekStartsAtKeyframe(t *testing.T) {
 	}
 }
 
-func TestVODSeekBadParameter(t *testing.T) {
+// TestVODSeekStartParameterTable pins the hardened ?start contract: a
+// valid duration seeks (200), a malformed or negative one is refused
+// with 400 and a proto.Error JSON body naming the parameter — never
+// silently played from the top.
+func TestVODSeekStartParameterTable(t *testing.T) {
 	srv := NewServer(nil)
+	srv.Pacing = false
 	data := encodeTestAsset(t, time.Second)
 	if _, err := srv.RegisterAsset("lec", asf.NewReader(bytes.NewReader(data))); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	for _, q := range []string{"?start=bogus", "?start=-5s"} {
-		resp, err := ts.Client().Get(ts.URL + "/vod/lec" + q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != 400 {
-			t.Fatalf("start=%s status %d, want 400", q, resp.StatusCode)
+
+	for _, tc := range []struct {
+		query  string
+		status int
+	}{
+		{"", 200},             // no seek: full stream
+		{"?start=0s", 200},    // explicit zero is a valid seek
+		{"?start=500ms", 200}, // mid-stream seek
+		{"?start=99h", 200},   // past the end: plays from the last keyframe
+		{"?start=bogus", 400}, // not a duration
+		{"?start=30", 400},    // bare number is not a Go duration
+		{"?start=-5s", 400},   // negative offset
+		{"?start=-1ns", 400},  // barely negative still refused
+		{"?start=%2Ds", 400},  // encoded junk decodes to "-s": malformed
+	} {
+		for _, prefix := range []string{"/vod/lec", "/v1/vod/lec"} {
+			resp, err := ts.Client().Get(ts.URL + prefix + tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.status {
+				t.Fatalf("GET %s%s status %d, want %d", prefix, tc.query, resp.StatusCode, tc.status)
+			}
+			if tc.status == 400 {
+				// The refusal carries the typed proto error body.
+				var perr struct {
+					Status  int    `json:"status"`
+					Message string `json:"error"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&perr); err != nil {
+					t.Fatalf("GET %s%s: undecodable error body: %v", prefix, tc.query, err)
+				}
+				if perr.Status != 400 || !strings.Contains(perr.Message, "start") {
+					t.Fatalf("GET %s%s error body = %+v", prefix, tc.query, perr)
+				}
+			}
+			resp.Body.Close()
 		}
 	}
 }

@@ -4,26 +4,31 @@
 // paper's §2.5 ("broadcast their encoded content in real time after
 // finished configuring the server HTTP port and the URL").
 //
-// Endpoints:
+// Endpoints (each serves under the /v1 prefix and its legacy
+// unversioned alias; the route constants live in internal/proto, the
+// single source of truth for the wire contract):
 //
-//	GET /vod/{asset}        — stream a stored container, paced by packet
-//	                          send times; ?start=<dur> seeks via the index
-//	GET /live/{channel}     — join a live broadcast; the header plus the
-//	                          most recent keyframe-aligned packets are
-//	                          replayed so a decoder can start, then packets
-//	                          follow live
-//	GET /group/{name}?bw=N  — multi-bitrate selection: the richest variant
-//	                          fitting N bits/s is streamed as VOD
-//	GET /fetch/{asset}      — whole-container transfer (header, packets,
-//	                          index) as fast as the link allows; the
-//	                          origin→edge mirror path used by the relay
-//	                          tier (internal/relay), exempt from pacing
-//	                          and admission control
-//	GET /assets             — JSON list of stored assets
-//	GET /channels           — JSON list of live channels
-//	GET /groups             — JSON list of multi-rate groups and their
-//	                          variant asset names (used by edges to
-//	                          mirror whole groups)
+//	GET /v1/vod/{asset}        — stream a stored container, paced by packet
+//	                             send times; ?start=<dur> seeks via the
+//	                             index (a malformed or negative start is a
+//	                             400 with a proto.Error body)
+//	GET /v1/live/{channel}     — join a live broadcast; the header plus the
+//	                             most recent keyframe-aligned packets are
+//	                             replayed so a decoder can start, then
+//	                             packets follow live
+//	GET /v1/group/{name}?bw=N  — multi-bitrate selection: the richest
+//	                             variant fitting N bits/s is streamed as
+//	                             VOD
+//	GET /v1/fetch/{asset}      — whole-container transfer (header, packets,
+//	                             index) as fast as the link allows; the
+//	                             origin→edge mirror path used by the relay
+//	                             tier (internal/relay), exempt from pacing
+//	                             and admission control
+//	GET /v1/assets             — JSON list of stored assets
+//	GET /v1/channels           — JSON list of live channels
+//	GET /v1/groups             — JSON list of multi-rate groups and their
+//	                             variant asset names (used by edges to
+//	                             mirror whole groups)
 //
 // When Server.Admission is configured, every VOD/live session first
 // reserves its declared stream bandwidth (XOCPN channel set-up);
@@ -50,12 +55,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/asf"
 	"repro/internal/metrics"
+	"repro/internal/proto"
 	"repro/internal/vclock"
 )
 
@@ -438,16 +443,21 @@ func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// Handler returns the HTTP handler exposing the server.
+// Handler returns the HTTP handler exposing the server. Every route is
+// mounted under both the /v1 prefix and its legacy unversioned alias;
+// both forms share one handler (and one latency series) per endpoint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/vod/", s.timed("vod", s.handleVOD))
-	mux.HandleFunc("/live/", s.timed("live", s.handleLive))
-	mux.HandleFunc("/group/", s.timed("group", s.handleGroup))
-	mux.HandleFunc("/fetch/", s.timed("fetch", s.handleFetch))
-	mux.HandleFunc("/assets", s.timed("assets", s.handleAssets))
-	mux.HandleFunc("/channels", s.timed("channels", s.handleChannels))
-	mux.HandleFunc("/groups", s.timed("groups", s.handleGroups))
+	handle := func(path, endpoint string, h http.HandlerFunc) {
+		proto.HandleFunc(mux, path, s.timed(endpoint, h))
+	}
+	handle(proto.PrefixVOD, "vod", s.handleVOD)
+	handle(proto.PrefixLive, "live", s.handleLive)
+	handle(proto.PrefixGroup, "group", s.handleGroup)
+	handle(proto.PrefixFetch, "fetch", s.handleFetch)
+	handle(proto.PathAssets, "assets", s.handleAssets)
+	handle(proto.PathChannels, "channels", s.handleChannels)
+	handle(proto.PathGroups, "groups", s.handleGroups)
 	return mux
 }
 
@@ -490,7 +500,7 @@ func (s *Server) handleGroups(w http.ResponseWriter, _ *http.Request) {
 // origin-side mirror path of the relay tier: edges pull an asset once and
 // then serve it to their own clients.
 func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/fetch/")
+	name := proto.StreamName(r.URL.Path, proto.StreamFetch)
 	asset, ok := s.Asset(name)
 	if !ok {
 		http.NotFound(w, r)
@@ -569,23 +579,25 @@ func (s *Server) handleChannels(w http.ResponseWriter, _ *http.Request) {
 
 // handleVOD streams a stored asset, pacing by send times. A `start` query
 // parameter (Go duration, e.g. ?start=30s) seeks to the last keyframe at
-// or before that presentation time using the stored index.
+// or before that presentation time using the stored index; a malformed
+// or negative value is answered with 400 and a proto.Error body rather
+// than silently played from the top.
 func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 	reqStart := s.clock.Now()
 	if s.refuseDraining(w) {
 		return
 	}
-	name := strings.TrimPrefix(r.URL.Path, "/vod/")
+	name := proto.StreamName(r.URL.Path, proto.StreamVOD)
 	asset, ok := s.Asset(name)
 	if !ok {
 		http.NotFound(w, r)
 		return
 	}
 	firstIdx := 0
-	if raw := r.URL.Query().Get("start"); raw != "" {
-		at, err := time.ParseDuration(raw)
-		if err != nil || at < 0 {
-			http.Error(w, "bad start parameter", http.StatusBadRequest)
+	if raw := r.URL.Query().Get(proto.ParamStart); raw != "" {
+		at, err := proto.ParseStart(raw)
+		if err != nil {
+			proto.WriteErr(w, err)
 			return
 		}
 		firstIdx = asset.SeekIndex(at)
@@ -657,7 +669,7 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
-	name := strings.TrimPrefix(r.URL.Path, "/live/")
+	name := proto.StreamName(r.URL.Path, proto.StreamLive)
 	s.mu.RLock()
 	ch, ok := s.channels[name]
 	s.mu.RUnlock()

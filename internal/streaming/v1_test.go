@@ -1,0 +1,69 @@
+package streaming
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/asf"
+)
+
+// TestServerServesBothAPIVersions pins the /v1 rollout rule on the
+// streaming server: every endpoint answers identically under the /v1
+// prefix and its legacy unversioned alias.
+func TestServerServesBothAPIVersions(t *testing.T) {
+	srv := NewServer(nil)
+	srv.Pacing = false
+	data := encodeTestAsset(t, time.Second)
+	if _, err := srv.RegisterAsset("lec", asf.NewReader(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// Streams: byte-identical through either form.
+	legacyCode, legacyBody := get("/vod/lec")
+	v1Code, v1Body := get("/v1/vod/lec")
+	if legacyCode != 200 || v1Code != 200 || !bytes.Equal(legacyBody, v1Body) {
+		t.Fatalf("vod mismatch: legacy %d (%d bytes), v1 %d (%d bytes)",
+			legacyCode, len(legacyBody), v1Code, len(v1Body))
+	}
+	if fetchCode, fetchBody := get("/v1/fetch/lec"); fetchCode != 200 || len(fetchBody) == 0 {
+		t.Fatalf("v1 fetch = %d (%d bytes)", fetchCode, len(fetchBody))
+	}
+
+	// Listings: same JSON either way.
+	for _, path := range []string{"/assets", "/channels", "/groups"} {
+		lc, lb := get(path)
+		vc, vb := get("/v1" + path)
+		if lc != 200 || vc != 200 || !bytes.Equal(lb, vb) {
+			t.Fatalf("listing %s mismatch: legacy %d, v1 %d", path, lc, vc)
+		}
+	}
+
+	// Missing assets 404 under both forms.
+	if code, _ := get("/v1/vod/nope"); code != 404 {
+		t.Fatalf("v1 missing asset = %d, want 404", code)
+	}
+
+	// Both forms share one session accounting.
+	if got := srv.Stats().VODSessions; got != 2 {
+		t.Fatalf("VOD sessions = %d, want 2 (one per form)", got)
+	}
+}
