@@ -1,0 +1,96 @@
+// Command lodlint runs the repo-native static-analysis suite over Go
+// packages. It is the mechanical successor to the old `make api-check`
+// grep: four AST-level analyzers enforce the wire contract, the
+// virtual-clock discipline, cancellation hygiene, and the proto error
+// body. See internal/lint for the analyzers and DESIGN.md for the
+// invariants they encode.
+//
+// Usage:
+//
+//	lodlint [-checks name,name] [-list] [packages]
+//
+// Packages default to ./... and accept any `go list` pattern. The exit
+// status is 1 when findings are reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lodlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: lodlint [-checks name,name] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected := all
+	if *checks != "" {
+		byName := make(map[string]*lint.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "lodlint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(stderr, "lodlint: -checks selected no analyzers\n")
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lodlint: %v\n", err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, selected)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "lodlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

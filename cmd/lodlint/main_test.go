@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListNamesAllAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"wirecontract", "vclocktime", "ctxhttp", "protoerror"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownCheckIsUsageError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-checks", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-checks nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", errOut.String())
+	}
+}
+
+func TestLintPackageIsSelfClean(t *testing.T) {
+	// The linter must pass over its own driver: exit 0, no findings.
+	var out, errOut strings.Builder
+	if code := run([]string{"./."}, &out, &errOut); code != 0 {
+		t.Fatalf("run(./.) = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("unexpected findings:\n%s", out.String())
+	}
+}

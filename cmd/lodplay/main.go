@@ -102,7 +102,7 @@ func run(args []string) error {
 	if *rawURL != "" && *failover > 0 {
 		m, err = playFailover(opts, *rawURL, *failover)
 	} else if *rawURL != "" {
-		m, err = player.New(opts).PlayURL(*rawURL)
+		m, err = player.New(opts).PlayURL(context.Background(), *rawURL)
 	} else {
 		var f *os.File
 		f, err = os.Open(*in)
@@ -226,7 +226,13 @@ func printServerStatus(streamURL string) error {
 		return err
 	}
 	statusURL := u.Scheme + "://" + u.Host + proto.Versioned(proto.PathStatus)
-	resp, err := http.Get(statusURL)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, statusURL, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}

@@ -206,7 +206,7 @@ func run(args []string) error {
 		snap := func() relay.NodeStats { return relay.SnapshotStats(srv) }
 		fmt.Printf("registering %s with registry %s\n", c.edgeURL, c.registry)
 		go func() {
-			errc <- relay.RunHeartbeats(sigCtx, nil, c.registry, info, snap, c.heartbeat)
+			errc <- relay.RunHeartbeats(sigCtx, nil, c.registry, info, snap, c.heartbeat, nil)
 		}()
 	}
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/encoder"
 	"repro/internal/netsim"
 	"repro/internal/player"
+	"repro/internal/proto"
 	"repro/internal/session"
 	"repro/internal/streaming"
 )
@@ -32,6 +33,8 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// --- The live lecture, encoded for modem-class students. ---
 	profile, err := codec.ByName("modem-56k")
 	if err != nil {
@@ -76,7 +79,7 @@ func run() error {
 		go func(id int) {
 			defer wg.Done()
 			pl := player.New(player.Options{})
-			m, err := pl.PlayURL(fmt.Sprintf("%s/live/lecture-hall", ts.URL))
+			m, err := pl.PlayURL(ctx, ts.URL+proto.StreamPath(proto.StreamLive, "lecture-hall"))
 			results[id], errs[id] = m, err
 		}(i)
 	}
@@ -86,7 +89,7 @@ func run() error {
 	for channel.ClientCount() < studentCount {
 		time.Sleep(time.Millisecond)
 	}
-	if err := channel.PublishPaced(context.Background(), instantClock{}, packets); err != nil {
+	if err := channel.PublishPaced(ctx, instantClock{}, packets); err != nil {
 		return err
 	}
 	channel.Close()

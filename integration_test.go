@@ -135,7 +135,7 @@ func TestFullDistributedPipeline(t *testing.T) {
 	defer ts.Close()
 
 	// Full VOD replay over HTTP.
-	m, err := player.New(player.Options{}).PlayURL(ts.URL + "/vod/integration")
+	m, err := player.New(player.Options{}).PlayURL(context.Background(), ts.URL+"/vod/integration")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestFullDistributedPipeline(t *testing.T) {
 	}
 
 	// Seeked replay delivers strictly fewer packets but still works.
-	seeked, err := player.New(player.Options{}).PlayURL(ts.URL + "/vod/integration?start=6s")
+	seeked, err := player.New(player.Options{}).PlayURL(context.Background(), ts.URL+"/vod/integration?start=6s")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +153,11 @@ func TestFullDistributedPipeline(t *testing.T) {
 	}
 
 	// Multi-rate selection: modem bandwidth gets the lean variant.
-	lean, err := player.New(player.Options{}).PlayURL(ts.URL + "/group/integration-group?bw=60000")
+	lean, err := player.New(player.Options{}).PlayURL(context.Background(), ts.URL+"/group/integration-group?bw=60000")
 	if err != nil {
 		t.Fatal(err)
 	}
-	fat, err := player.New(player.Options{}).PlayURL(ts.URL + "/group/integration-group?bw=5000000")
+	fat, err := player.New(player.Options{}).PlayURL(context.Background(), ts.URL+"/group/integration-group?bw=5000000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestFullDistributedPipeline(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			results[id], errs[id] = player.New(player.Options{}).PlayURL(ts.URL + "/live/live-int")
+			results[id], errs[id] = player.New(player.Options{}).PlayURL(context.Background(), ts.URL+"/live/live-int")
 		}(i)
 	}
 	deadline := time.Now().Add(10 * time.Second)
@@ -341,7 +341,7 @@ func TestRelayCluster(t *testing.T) {
 		}
 		return m
 	}
-	direct, err := player.New(player.Options{}).PlayURL(originTS.URL + "/vod/cluster-lec")
+	direct, err := player.New(player.Options{}).PlayURL(context.Background(), originTS.URL+"/vod/cluster-lec")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,8 +430,8 @@ func TestRelayCluster(t *testing.T) {
 		go func(id int, url string) {
 			defer wg.Done()
 			// Pinned to an edge (not through the registry), on the /v1 form.
-			results[id], errs[id] = player.New(player.Options{}).PlayURL(
-				url + proto.Versioned(proto.StreamPath(proto.StreamLive, "cluster-live")))
+			results[id], errs[id] = player.New(player.Options{}).PlayURL(context.Background(),
+				url+proto.Versioned(proto.StreamPath(proto.StreamLive, "cluster-live")))
 		}(i, base)
 	}
 	deadline := time.Now().Add(10 * time.Second)
@@ -568,7 +568,7 @@ func TestClusterEdgeCacheBounded(t *testing.T) {
 	edgeTS := httptest.NewServer(mountMetrics(edge.Handler(), edgeSrv.Metrics()))
 	defer edgeTS.Close()
 
-	direct, err := player.New(player.Options{}).PlayURL(originTS.URL + "/vod/lec0")
+	direct, err := player.New(player.Options{}).PlayURL(context.Background(), originTS.URL+"/vod/lec0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -584,7 +584,7 @@ func TestClusterEdgeCacheBounded(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			m, err := player.New(player.Options{}).PlayURL(edgeTS.URL + fmt.Sprintf("/vod/lec%d", id%assets))
+			m, err := player.New(player.Options{}).PlayURL(context.Background(), edgeTS.URL+fmt.Sprintf("/vod/lec%d", id%assets))
 			if err != nil {
 				errs[id] = err
 				return
@@ -606,7 +606,7 @@ func TestClusterEdgeCacheBounded(t *testing.T) {
 	// assets one after another forces at least one eviction, and the
 	// final residency fits the budget again.
 	for _, name := range []string{"lec0", "lec1", "lec2", "lec0"} {
-		if _, err := player.New(player.Options{}).PlayURL(edgeTS.URL + "/vod/" + name); err != nil {
+		if _, err := player.New(player.Options{}).PlayURL(context.Background(), edgeTS.URL+"/vod/"+name); err != nil {
 			t.Fatalf("sequential replay of %s failed: %v", name, err)
 		}
 	}

@@ -41,6 +41,7 @@ func (s *System) BroadcastLecture(lec *capture.Lecture, channelName string) (*Br
 		return nil, err
 	}
 
+	//lodlint:allow bare-ctx the broadcast owns its lifecycle; Stop cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	b := &Broadcast{Channel: ch, cancel: cancel, done: make(chan struct{})}
 	go func() {

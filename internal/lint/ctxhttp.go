@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Ctxhttp enforces cancellation hygiene on the request path. Drain
+// (PR 4) and failover (PR 5) only work because every in-flight HTTP
+// call can be cancelled through its context; a single http.Get pins a
+// session to a dead edge until TCP gives up. The analyzer flags:
+//
+//   - the context-free request helpers http.Get/Post/PostForm/Head
+//     anywhere in the tree (build the request with
+//     http.NewRequestWithContext instead);
+//   - http.NewRequest, which silently attaches context.Background
+//     (use http.NewRequestWithContext);
+//   - context.Background()/context.TODO() inside internal packages,
+//     which sever the caller's cancellation chain — internal code takes
+//     a ctx parameter; only the binaries in cmd/ and the examples own
+//     context roots.
+//
+// A deliberate detached context (a lifecycle owned by a handle with
+// its own Stop, say) is annotated with `//lodlint:allow bare-ctx` and a
+// justification.
+var Ctxhttp = &Analyzer{
+	Name:  "ctxhttp",
+	Alias: "bare-ctx",
+	Doc:   "HTTP requests carry the caller's context; internal packages never mint context roots",
+	Run:   runCtxhttp,
+}
+
+// ctxFreeHTTPFuncs are the net/http package helpers that issue a
+// request with no context attached.
+var ctxFreeHTTPFuncs = map[string]bool{
+	"Get":      true,
+	"Post":     true,
+	"PostForm": true,
+	"Head":     true,
+}
+
+func runCtxhttp(pass *Pass) {
+	internal := pathIsInternal(pass.Pkg.ImportPath)
+	for _, f := range pass.Pkg.Files {
+		httpNames := importNames(f, "net/http")
+		eachPkgCall(f, httpNames, func(call *ast.CallExpr, sel *ast.SelectorExpr) {
+			switch {
+			case ctxFreeHTTPFuncs[sel.Sel.Name]:
+				pass.Reportf(call.Pos(),
+					"http.%s is not cancellable: build the request with http.NewRequestWithContext and the caller's context so drain/failover can abort it",
+					sel.Sel.Name)
+			case sel.Sel.Name == "NewRequest":
+				pass.Reportf(call.Pos(),
+					"http.NewRequest attaches context.Background: use http.NewRequestWithContext with the caller's context")
+			}
+		})
+		if !internal {
+			continue
+		}
+		ctxNames := importNames(f, "context")
+		eachPkgCall(f, ctxNames, func(call *ast.CallExpr, sel *ast.SelectorExpr) {
+			if name := sel.Sel.Name; name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(),
+					"context.%s in an internal package severs the caller's cancellation chain: accept a ctx parameter (a deliberately detached lifecycle may carry %s bare-ctx)",
+					name, AllowDirective)
+			}
+		})
+	}
+}

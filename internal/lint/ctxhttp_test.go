@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxhttpFlagsInternal(t *testing.T) {
+	linttest.Run(t, lint.Ctxhttp, testdata("ctxhttp"), "repro/internal/relay")
+}
+
+func TestCtxhttpAllowsContextRootsInCmd(t *testing.T) {
+	linttest.Run(t, lint.Ctxhttp, testdata("ctxhttp", "cmd"), "repro/cmd/lodplay")
+}

@@ -1,0 +1,136 @@
+// Package linttest runs a lint.Analyzer over a testdata package and
+// checks its findings against `// want "regexp"` expectations, the
+// golang.org/x/tools/go/analysis/analysistest idiom:
+//
+//	resp, err := http.Get(url) // want `http\.Get is not cancellable`
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched by a diagnostic; a line may carry several quoted or
+// backquoted want patterns. Files under testdata are parsed, never
+// compiled, so they may reference packages loosely — but they are kept
+// gofmt-clean because the repository-wide fmt-check walks them.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run analyzes the package in dir under the given import path (the
+// analyzers scope their rules by import path, so testdata chooses which
+// regime it is tested under) and reports expectation mismatches on t.
+func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+
+	matched := make(map[*want]bool)
+	for _, d := range diags {
+		w := matchWant(wants[lineKey{d.Pos.Filename, d.Pos.Line}], matched, d.Message)
+		if w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", posOf(d.Pos), d.Message)
+			continue
+		}
+		matched[w] = true
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct{ re *regexp.Regexp }
+
+// matchWant returns a want whose pattern matches msg, preferring one
+// not yet consumed so several wants on a line pair with several
+// diagnostics.
+func matchWant(ws []*want, matched map[*want]bool, msg string) *want {
+	var fallback *want
+	for _, w := range ws {
+		if !w.re.MatchString(msg) {
+			continue
+		}
+		if !matched[w] {
+			return w
+		}
+		fallback = w
+	}
+	return fallback
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// collectWants extracts the want expectations from every comment in the
+// package.
+func collectWants(t *testing.T, pkg *lint.Package) map[lineKey][]*want {
+	t.Helper()
+	out := make(map[lineKey][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posOf(pos), pat, err)
+					}
+					key := lineKey{pos.Filename, pos.Line}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns parses the quoted/backquoted patterns after a want
+// keyword.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		q := s[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("%s: want patterns must be quoted or backquoted, got %q", posOf(pos), s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", posOf(pos), s)
+		}
+		raw := s[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", posOf(pos), raw, err)
+		}
+		out = append(out, pat)
+		s = s[end+2:]
+	}
+}
+
+func posOf(p token.Position) string { return fmt.Sprintf("%s:%d", p.Filename, p.Line) }

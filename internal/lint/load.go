@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadDir parses the non-test Go files of a single directory as one
+// Package under the given import path. It is the loader behind
+// linttest (testdata packages are not resolvable through `go list`).
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return parsePackage(importPath, dir, names)
+}
+
+// LoadPatterns resolves Go package patterns (e.g. "./...") through
+// `go list` and parses every matched package's non-test files. Test
+// files are deliberately out of scope for the whole suite: pinning the
+// wire contract with raw literals from the outside, or reading the
+// wall clock, is exactly a test's job.
+func LoadPatterns(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-f",
+		"{{.ImportPath}}\t{{.Dir}}\t{{join .GoFiles \",\"}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []*Package
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 || parts[2] == "" {
+			continue // no buildable non-test files
+		}
+		pkg, err := parsePackage(parts[0], parts[1], strings.Split(parts[2], ","))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// parsePackage parses the named files (relative to dir) with comments,
+// which the allow-directive filter needs.
+func parsePackage(importPath, dir string, names []string) (*Package, error) {
+	pkg := &Package{ImportPath: importPath, Fset: token.NewFileSet()}
+	for _, name := range names {
+		f, err := parser.ParseFile(pkg.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg, nil
+}

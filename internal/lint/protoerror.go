@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Protoerror flags http.Error in the internal server packages. The /v1
+// contract answers failures with the proto.Error JSON body
+// (proto.WriteError / proto.WriteErr), which clients branch on without
+// parsing prose; http.Error's bare text line predates the contract and
+// every surviving call site is a handler that slipped through PR 5's
+// sweep. The cmd/ binaries and examples are out of scope — they render
+// for humans, not for the wire.
+var Protoerror = &Analyzer{
+	Name:  "protoerror",
+	Alias: "http-error",
+	Doc:   "internal server handlers answer errors with proto.WriteError/WriteErr, not http.Error",
+	Run:   runProtoerror,
+}
+
+func runProtoerror(pass *Pass) {
+	if !pathIsInternal(pass.Pkg.ImportPath) || pathHasSuffix(pass.Pkg.ImportPath, "internal/proto") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		httpNames := importNames(f, "net/http")
+		eachPkgCall(f, httpNames, func(call *ast.CallExpr, sel *ast.SelectorExpr) {
+			if sel.Sel.Name != "Error" {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"http.Error writes a bare text line: the /v1 contract is the proto.Error JSON body — use proto.WriteError (or proto.WriteErr for *proto.Error values)")
+		})
+	}
+}

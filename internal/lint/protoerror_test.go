@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestProtoerrorFlagsInternalHandlers(t *testing.T) {
+	linttest.Run(t, lint.Protoerror, testdata("protoerror"), "repro/internal/streaming")
+}
+
+func TestProtoerrorIgnoresCommands(t *testing.T) {
+	linttest.Run(t, lint.Protoerror, testdata("protoerror", "outside"), "repro/cmd/lodplay")
+}

@@ -1,0 +1,47 @@
+// Package a exercises the ctxhttp analyzer under an internal import
+// path, where both the context-free http helpers and context roots are
+// findings.
+package a
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+func fetch(ctx context.Context, url string) error {
+	resp, err := http.Get(url) // want `http\.Get is not cancellable`
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	if _, err := http.Post(url, "text/plain", nil); err != nil { // want `http\.Post is not cancellable`
+		return err
+	}
+	if _, err := http.Head(url); err != nil { // want `http\.Head is not cancellable`
+		return err
+	}
+	if _, err := http.NewRequest(http.MethodGet, url, nil); err != nil { // want `http\.NewRequest attaches context\.Background`
+		return err
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	_, err = http.DefaultClient.Do(req)
+	return err
+}
+
+func roots() context.Context {
+	ctx := context.Background() // want `context\.Background in an internal package severs the caller's cancellation chain`
+	_ = context.TODO()          // want `context\.TODO in an internal package severs the caller's cancellation chain`
+
+	//lodlint:allow bare-ctx the broadcast owns its lifecycle via Stop
+	detached := context.Background()
+	_ = detached
+	return ctx
+}
+
+func reader(r io.Reader) io.Reader { return r }

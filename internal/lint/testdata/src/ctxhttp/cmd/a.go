@@ -1,0 +1,16 @@
+// Package a is analyzed under a cmd/ import path: binaries own their
+// context roots, so context.Background is fine — but a context-free
+// request helper is still a finding everywhere.
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+func main_() error {
+	ctx := context.Background()
+	_ = ctx
+	_, err := http.Get("http://registry.lod/status") // want `http\.Get is not cancellable`
+	return err
+}

@@ -1,0 +1,18 @@
+// Package a exercises the protoerror analyzer under an internal server
+// import path.
+package a
+
+import "net/http"
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed) // want `http\.Error writes a bare text line`
+		return
+	}
+	//lodlint:allow http-error the draining refusal predates /v1 clients
+	http.Error(w, "draining", http.StatusServiceUnavailable)
+
+	// The contract helpers and non-error writes are clean.
+	http.NotFound(w, r)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,10 @@
+// Package a is analyzed under a cmd/ import path: binaries render for
+// humans, not for the wire, so http.Error is out of protoerror's
+// scope.
+package a
+
+import "net/http"
+
+func cliHandler(w http.ResponseWriter) {
+	http.Error(w, "local tool error", http.StatusInternalServerError)
+}

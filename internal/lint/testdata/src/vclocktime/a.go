@@ -1,0 +1,41 @@
+// Package a exercises the vclocktime analyzer under a
+// virtual-clock-participating import path (internal/streaming).
+package a
+
+import (
+	"time"
+
+	tm "time"
+)
+
+func clocky(d time.Duration) {
+	now := time.Now() // want `time\.Now in virtual-clock package streaming`
+	_ = now
+	time.Sleep(d)               // want `time\.Sleep in virtual-clock package streaming`
+	<-time.After(d)             // want `time\.After in virtual-clock package streaming`
+	_ = time.NewTimer(d)        // want `time\.NewTimer in virtual-clock package streaming`
+	_ = time.NewTicker(d)       // want `time\.NewTicker in virtual-clock package streaming`
+	_ = time.Since(time.Time{}) // want `time\.Since in virtual-clock package streaming`
+	_ = time.Until(time.Time{}) // want `time\.Until in virtual-clock package streaming`
+
+	_ = tm.Now() // want `time\.Now in virtual-clock package streaming`
+
+	generated := time.Now() //lodlint:allow wall-clock report timestamps are wall time
+	_ = generated
+
+	//lodlint:allow wall-clock the directive on its own line covers the next one
+	stamped := time.Now()
+	_ = stamped
+
+	// Types and constants off the wall clock stay usable.
+	var at time.Time
+	var dur time.Duration = 3 * time.Millisecond
+	_, _ = at, dur
+}
+
+// shadowed proves a local named like the package is not a finding.
+func shadowed() {
+	type fake struct{ Now func() int }
+	time := fake{Now: func() int { return 0 }}
+	_ = time.Now()
+}

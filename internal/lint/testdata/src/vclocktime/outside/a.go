@@ -1,0 +1,11 @@
+// Package a uses the wall clock freely: analyzed under an import path
+// (internal/codec) that does not participate in the virtual clock,
+// nothing here is reported.
+package a
+
+import "time"
+
+func wall() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,30 @@
+// Package a exercises the wirecontract analyzer under a non-exempt
+// import path. A comment mentioning /vod/lec-1 or X-Lod-Exclude is
+// never flagged — only string literals are examined.
+package a
+
+import "fmt"
+
+const badPrefix = "/vod/" // want `wire-contract literal "/vod/"`
+
+var (
+	badVersioned = "/v1/live/talk"                  // want `wire-contract literal "/v1/live/talk"`
+	badVersion   = "/v1"                            // want `wire-contract literal "/v1"`
+	badHeader    = "X-Lod-Exclude"                  // want `wire-contract literal "X-Lod-Exclude"`
+	badLower     = "x-lod-exclude"                  // want `route, header, and query-parameter strings live in internal/proto`
+	badParam     = "?start=30s"                     // want `wire-contract literal "\?start=30s"`
+	badAmpParam  = "&bw="                           // want `wire-contract literal "&bw="`
+	badRegistry  = "/registry/nodes"                // want `wire-contract literal "/registry/nodes"`
+	badConcat    = "/v1" + "/fetch/" + "lec"        // want `wire-contract literal "/v1"` `wire-contract literal "/fetch/"`
+	badSprintf   = fmt.Sprintf("%s/live/x", "h")    // want `wire-contract literal "%s/live/x"`
+	badQuery     = fmt.Sprintf("/group/g?bw=%d", 9) // want `wire-contract literal "/group/g\?bw=%d"`
+
+	allowedLit = "/vod/pinned" //lodlint:allow wire-literal pinned fixture path
+
+	// Prose and near-misses stay clean.
+	okProse   = "not a vod/live/group stream path"
+	okWord    = "supervod"
+	okSlash   = "/video/intro"
+	okVerb    = "%d groups"
+	okKindTag = `{"kind":"vod"}`
+)

@@ -1,0 +1,11 @@
+// Package a holds the same literals as the flagged fixture but is
+// analyzed under the internal/proto import path, where the wire
+// contract is *defined* — nothing here may be reported.
+package a
+
+const (
+	PrefixVOD     = "/vod/"
+	VersionPrefix = "/v1"
+	ExcludeHeader = "X-Lod-Exclude"
+	startParam    = "?start="
+)

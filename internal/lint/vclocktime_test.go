@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestVclocktimeFlags(t *testing.T) {
+	linttest.Run(t, lint.Vclocktime, testdata("vclocktime"), "repro/internal/streaming")
+}
+
+func TestVclocktimeIgnoresOutsidePackages(t *testing.T) {
+	linttest.Run(t, lint.Vclocktime, testdata("vclocktime", "outside"), "repro/internal/codec")
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/proto"
+)
+
+// Wirecontract flags wire-contract string literals outside
+// internal/proto: route prefixes (versioned or legacy), the version
+// prefix itself, the failover exclude header, and the streaming query
+// parameters. It is the AST-level successor of the retired `make
+// api-check` grep: because it examines string literals — including
+// fmt.Sprintf format strings and concatenation operands — it catches
+// compositions like "%s/live/x" that the grep missed, and it cannot
+// trip over comments or unrelated prose, which the grep could.
+var Wirecontract = &Analyzer{
+	Name:  "wirecontract",
+	Alias: "wire-literal",
+	Doc:   "wire-contract strings (routes, /" + proto.Version + ", " + proto.ExcludeHeader + ", query params) belong in internal/proto",
+	Run:   runWirecontract,
+}
+
+// The patterns are built from the proto constants themselves, so the
+// analyzer can never drift from the contract it enforces (and this
+// package contains no raw wire literals of its own).
+var (
+	// routeFamilies is vod|live|group|fetch|registry, quoted for regexp
+	// use.
+	routeFamilies = func() string {
+		prefixes := []string{proto.PrefixVOD, proto.PrefixLive, proto.PrefixGroup, proto.PrefixFetch}
+		names := make([]string, 0, len(prefixes)+1)
+		for _, p := range prefixes {
+			names = append(names, regexp.QuoteMeta(strings.Trim(p, "/")))
+		}
+		// The registry control-plane routes share one first segment.
+		reg := strings.TrimPrefix(proto.PathRegister, "/")
+		if i := strings.Index(reg, "/"); i > 0 {
+			reg = reg[:i]
+		}
+		return strings.Join(append(names, regexp.QuoteMeta(reg)), "|")
+	}()
+
+	// A route mention is path-like: the family segment is slash-led,
+	// starts the string or follows a non-alphanumeric boundary, and is
+	// followed by a path/query continuation or the end of the string.
+	// That keeps prose such as "not a vod/live/group stream path" out.
+	routeLitRe = regexp.MustCompile(
+		`(^|[^a-zA-Z0-9])(/` + regexp.QuoteMeta(proto.Version) + `)?/(` + routeFamilies + `)([/?]|$)`)
+
+	// The bare version prefix ("/v1", "/v1/...") is contract too: new
+	// surfaces compose it with proto.Versioned, never by hand.
+	versionLitRe = regexp.MustCompile(
+		`(^|[^a-zA-Z0-9])/` + regexp.QuoteMeta(proto.Version) + `([/?]|$)`)
+
+	// Query-parameter assembly ("?start=", "&bw=", or a literal that is
+	// itself the assignment) belongs to FormatStart and url.Values with
+	// the proto.Param* names.
+	paramLitRe = regexp.MustCompile(
+		`(^|[?&])(` + regexp.QuoteMeta(proto.ParamStart) + `|` + regexp.QuoteMeta(proto.ParamBandwidth) + `)=`)
+
+	// Format verbs act as value boundaries: "%s/live/x" composes a
+	// route even though 's' is a letter. Collapse them before matching.
+	verbRe        = regexp.MustCompile(`%[^a-zA-Z%]*[a-zA-Z]`)
+	doublePercent = strings.Repeat("%", 2)
+)
+
+func runWirecontract(pass *Pass) {
+	if pathHasSuffix(pass.Pkg.ImportPath, "internal/proto") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		importPaths := make(map[token.Pos]bool)
+		for _, imp := range f.Imports {
+			importPaths[imp.Path.Pos()] = true
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || importPaths[lit.Pos()] {
+				return true
+			}
+			val, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if frag := wireFragment(val); frag != "" {
+				pass.Reportf(lit.Pos(),
+					"wire-contract literal %q (%s): route, header, and query-parameter strings live in internal/proto — compose with its constants and builders",
+					val, frag)
+			}
+			return true
+		})
+	}
+}
+
+// wireFragment returns the contract fragment a literal embeds, or ""
+// when the literal is clean.
+func wireFragment(s string) string {
+	if h := proto.ExcludeHeader; strings.Contains(strings.ToLower(s), strings.ToLower(h)) {
+		return h
+	}
+	// Collapse %-verbs to a boundary marker so formatted compositions
+	// match; literal %% is just a percent sign.
+	collapsed := verbRe.ReplaceAllString(strings.ReplaceAll(s, doublePercent, "%"), "\x00")
+	for _, re := range []*regexp.Regexp{routeLitRe, versionLitRe, paramLitRe} {
+		if m := re.FindString(collapsed); m != "" {
+			return strings.Trim(strings.ReplaceAll(m, "\x00", ""), " \t")
+		}
+	}
+	return ""
+}

@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func testdata(elem ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, elem...)...)
+}
+
+func TestWirecontractFlags(t *testing.T) {
+	linttest.Run(t, lint.Wirecontract, testdata("wirecontract"), "repro/internal/relay")
+}
+
+func TestWirecontractExemptsProto(t *testing.T) {
+	linttest.Run(t, lint.Wirecontract, testdata("wirecontract", "proto"), "repro/internal/proto")
+}

@@ -14,7 +14,7 @@ func TestClusterKillAndRestartEdge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := StartCluster(s, 2, time.Second)
+	c, err := StartCluster(context.Background(), s, 2, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestSessionFailsOverMidStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := StartCluster(s, 2, time.Second)
+	c, err := StartCluster(context.Background(), s, 2, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestChurnScenarioValidation(t *testing.T) {
 		t.Error("negative first kill accepted")
 	}
 	// Churn demands a cluster with somewhere to fail over to.
-	if _, err := StartCluster(base, 1, time.Second); err == nil {
+	if _, err := StartCluster(context.Background(), base, 1, time.Second); err == nil {
 		t.Error("churn on a single-edge cluster accepted")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/netsim"
 	"repro/internal/player"
+	"repro/internal/vclock"
 )
 
 // SessionResult is what one virtual client measured.
@@ -81,16 +82,18 @@ func (c *Cluster) sessionSpec(kind Kind, rng *rand.Rand) client.Spec {
 	return client.Spec{Kind: client.VOD, Name: c.AssetNames[0]}
 }
 
-// firstByteReader stamps the arrival of the first stream byte.
+// firstByteReader stamps the arrival of the first stream byte on the
+// scenario's clock.
 type firstByteReader struct {
-	r  io.Reader
-	at *time.Time
+	r     io.Reader
+	clock vclock.Clock
+	at    *time.Time
 }
 
 func (f *firstByteReader) Read(p []byte) (int, error) {
 	n, err := f.r.Read(p)
 	if n > 0 && f.at.IsZero() {
-		*f.at = time.Now()
+		*f.at = f.clock.Now()
 	}
 	return n, err
 }
@@ -137,12 +140,13 @@ func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResu
 	// stall/skew numbers the player measures on post-shaping arrivals.
 	// Only the very first byte of the whole session stamps it; failover
 	// reconnects don't reset startup.
+	clock := s.clock()
 	var firstByte time.Time
 	spec.WrapBody = func(r io.Reader) io.Reader {
-		return &firstByteReader{r: netsim.NewLinkReader(r, link, nil), at: &firstByte}
+		return &firstByteReader{r: netsim.NewLinkReader(r, link, nil), clock: clock, at: &firstByte}
 	}
 
-	t0 := time.Now()
+	t0 := clock.Now()
 	session, err := c.sdk.Open(ctx, spec)
 	if err != nil {
 		res.Err = err.Error()
@@ -172,16 +176,14 @@ func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResu
 	return res
 }
 
-// sleepCtx waits for d or until ctx is cancelled, reporting whether the
-// full wait elapsed.
-func sleepCtx(ctx context.Context, d time.Duration) bool {
+// sleepCtx waits for d on the clock or until ctx is cancelled,
+// reporting whether the full wait elapsed.
+func sleepCtx(ctx context.Context, clock vclock.Clock, d time.Duration) bool {
 	if d <= 0 {
 		return ctx.Err() == nil
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
 	select {
-	case <-t.C:
+	case <-clock.After(d):
 		return true
 	case <-ctx.Done():
 		return false

@@ -16,7 +16,6 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/relay"
 	"repro/internal/streaming"
-	"repro/internal/vclock"
 )
 
 // Cluster hosts names on the in-process network.
@@ -82,16 +81,17 @@ type edgeRuntime struct {
 
 // StartCluster builds and starts the cluster for a scenario: content
 // encoded and registered on the origin, live channels pumping in real
-// time for liveFor, edges registered and heartbeating. Call Close when
-// done.
-func StartCluster(s Scenario, edges int, liveFor time.Duration) (*Cluster, error) {
+// time for liveFor, edges registered and heartbeating. The cluster's
+// background work (live pumps, heartbeats) stops when ctx is cancelled
+// or Close is called, whichever comes first. Call Close when done.
+func StartCluster(ctx context.Context, s Scenario, edges int, liveFor time.Duration) (*Cluster, error) {
 	if edges < 1 {
 		return nil, fmt.Errorf("loadgen: need at least one edge, got %d", edges)
 	}
 	if s.Churn.Enabled() && edges < 2 {
 		return nil, fmt.Errorf("loadgen: churn needs at least two edges to fail over between, got %d", edges)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	c := &Cluster{
 		Scenario: s,
 		Origin:   streaming.NewServer(nil),
@@ -157,7 +157,7 @@ func (c *Cluster) startEdgeLocked(rt *edgeRuntime) error {
 		_ = relay.RunHeartbeats(hbCtx, c.client, RegistryURL,
 			relay.NodeInfo{ID: id, URL: "http://" + host},
 			func() relay.NodeStats { return relay.SnapshotStats(srv) },
-			250*time.Millisecond)
+			250*time.Millisecond, c.Scenario.clock())
 	}(rt.id, rt.host)
 	rt.alive = true
 	return nil
@@ -293,7 +293,7 @@ func (c *Cluster) populateOrigin(ctx context.Context, liveFor time.Duration) err
 			go func(ch *streaming.Channel) {
 				defer close(pump)
 				defer ch.Close()
-				_ = ch.PublishPaced(ctx, vclock.Real{}, packets)
+				_ = ch.PublishPaced(ctx, s.clock(), packets)
 			}(ch)
 		}
 	}
@@ -319,7 +319,8 @@ func (c *Cluster) Client() *http.Client { return c.client }
 // AwaitReady blocks until every edge is registered and alive in the
 // registry, so the first client join cannot race the cluster coming up.
 func (c *Cluster) AwaitReady(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	clock := c.Scenario.clock()
+	deadline := clock.Now().Add(timeout)
 	for {
 		alive := 0
 		for _, n := range c.Registry.Nodes() {
@@ -330,10 +331,10 @@ func (c *Cluster) AwaitReady(timeout time.Duration) error {
 		if alive >= len(c.Edges) {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if clock.Now().After(deadline) {
 			return fmt.Errorf("loadgen: %d/%d edges alive after %v", alive, len(c.Edges), timeout)
 		}
-		time.Sleep(time.Millisecond)
+		clock.Sleep(time.Millisecond)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/vclock"
 )
 
 // Kind names one virtual-client workload.
@@ -137,7 +138,23 @@ type Scenario struct {
 	// churn scenario needs at least two edges.
 	Churn ChurnSpec `json:"churn"`
 
+	// Clock drives every wait the harness itself makes — arrival
+	// offsets, churn schedules, readiness polls, heartbeats, failover
+	// backoff, and the first-byte/startup stamps. Nil uses the real
+	// clock; a simulated clock makes the whole run schedule
+	// deterministic. Not part of the scenario's identity, so it is
+	// excluded from the JSON record.
+	Clock vclock.Clock `json:"-"`
+
 	Seed int64 `json:"seed"`
+}
+
+// clock returns the scenario's clock, defaulting to the wall clock.
+func (s Scenario) clock() vclock.Clock {
+	if s.Clock != nil {
+		return s.Clock
+	}
+	return vclock.Real{}
 }
 
 // Validate reports the first structural problem with the scenario.

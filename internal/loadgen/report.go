@@ -191,6 +191,7 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration,
 		Schema:      ReportSchema,
 		Scenario:    s.Name,
 		Description: s.Description,
+		//lodlint:allow wall-clock GeneratedAt is a record timestamp, not a schedule
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/vclock"
 )
 
 // Run executes one scenario: start the cluster, release the swarm on
@@ -35,7 +36,7 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 	// Live broadcasts must outlive the last joiner by a full session.
 	liveFor := window + s.AssetDuration + 2*time.Second
 
-	cluster, err := StartCluster(s, edges, liveFor)
+	cluster, err := StartCluster(ctx, s, edges, liveFor)
 	if err != nil {
 		return nil, err
 	}
@@ -58,14 +59,15 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 		edgePre[i] = e.Server.Metrics().Snapshot()
 	}
 
-	t0 := time.Now()
+	clock := s.clock()
+	t0 := clock.Now()
 	churnCtx, stopChurn := context.WithCancel(ctx)
 	var churnWG sync.WaitGroup
 	if s.Churn.Enabled() {
 		churnWG.Add(1)
 		go func() {
 			defer churnWG.Done()
-			runChurn(churnCtx, cluster, s.Churn, t0, edges)
+			runChurn(churnCtx, clock, cluster, s.Churn, t0, edges)
 		}()
 	}
 	results := make([]SessionResult, clients)
@@ -74,9 +76,9 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			if wait := time.Until(t0.Add(offsets[id])); wait > 0 {
+			if wait := t0.Add(offsets[id]).Sub(clock.Now()); wait > 0 {
 				select {
-				case <-time.After(wait):
+				case <-clock.After(wait):
 				case <-ctx.Done():
 					results[id] = SessionResult{ID: id, Kind: kinds[id], Err: ctx.Err().Error()}
 					return
@@ -88,7 +90,7 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 	wg.Wait()
 	stopChurn()
 	churnWG.Wait()
-	wall := time.Since(t0)
+	wall := clock.Now().Sub(t0)
 
 	regDelta := cluster.Registry.Metrics().Snapshot().Delta(regPre)
 	originDelta := cluster.Origin.Metrics().Snapshot().Delta(originPre)
@@ -107,10 +109,10 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 // the next kill is considered — the driver is sequential, so at most
 // one edge is ever down and the registry always has a failover target.
 // A RestartAfter of zero leaves victims down for the rest of the run.
-func runChurn(ctx context.Context, c *Cluster, spec ChurnSpec, t0 time.Time, edges int) {
+func runChurn(ctx context.Context, clock vclock.Clock, c *Cluster, spec ChurnSpec, t0 time.Time, edges int) {
 	for k := 0; k < spec.Kills; k++ {
 		due := t0.Add(spec.FirstKill + time.Duration(k)*spec.Every)
-		if !sleepCtx(ctx, time.Until(due)) {
+		if !sleepCtx(ctx, clock, due.Sub(clock.Now())) {
 			return
 		}
 		victim := k % edges
@@ -120,7 +122,7 @@ func runChurn(ctx context.Context, c *Cluster, spec ChurnSpec, t0 time.Time, edg
 		if spec.RestartAfter <= 0 {
 			continue
 		}
-		alive := sleepCtx(ctx, spec.RestartAfter)
+		alive := sleepCtx(ctx, clock, spec.RestartAfter)
 		// Restart even on cancellation so the cluster is whole for the
 		// final metric snapshots and teardown.
 		_ = c.RestartEdge(victim)

@@ -107,7 +107,7 @@ func TestRunRejectsInvalidInput(t *testing.T) {
 	if _, err := Run(context.Background(), Scenario{}, 1, 1); err == nil {
 		t.Error("zero-value scenario accepted")
 	}
-	if _, err := StartCluster(s, 0, time.Second); err == nil {
+	if _, err := StartCluster(context.Background(), s, 0, time.Second); err == nil {
 		t.Error("zero edges accepted")
 	}
 }
@@ -119,7 +119,7 @@ func TestRunSessionKindsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := StartCluster(s, 1, 2*time.Second)
+	c, err := StartCluster(context.Background(), s, 1, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -115,7 +115,7 @@ func (r *Registry) StatusHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r.Status()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			proto.WriteError(w, http.StatusInternalServerError, err.Error())
 		}
 	})
 }

@@ -10,6 +10,7 @@
 package player
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -236,9 +237,15 @@ func New(opts Options) *Player {
 	return &Player{opts: opts}
 }
 
-// PlayURL fetches the stream over HTTP and plays it.
-func (p *Player) PlayURL(url string) (*Metrics, error) {
-	resp, err := http.Get(url)
+// PlayURL fetches the stream over HTTP and plays it. Cancelling ctx
+// aborts the fetch — including a blocked in-flight body read — so a
+// draining caller never waits out a stalled lecture.
+func (p *Player) PlayURL(ctx context.Context, url string) (*Metrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("player: fetch %s: %w", url, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("player: fetch %s: %w", url, err)
 	}

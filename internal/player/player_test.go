@@ -2,7 +2,9 @@ package player
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -142,7 +144,7 @@ func TestPlayURLOverHTTP(t *testing.T) {
 	defer ts.Close()
 
 	pl := New(Options{})
-	m, err := pl.PlayURL(ts.URL + "/vod/lec")
+	m, err := pl.PlayURL(context.Background(), ts.URL+"/vod/lec")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,15 +156,56 @@ func TestPlayURLOverHTTP(t *testing.T) {
 	}
 }
 
+// TestPlayURLCancellation proves the fetch is abortable mid-stream: the
+// server sends a valid header then blocks forever, and cancelling the
+// context must unblock PlayURL with the context error instead of
+// leaving it waiting on a read that will never return.
+func TestPlayURLCancellation(t *testing.T) {
+	data, _ := testLectureBytes(t, 2*time.Second, encoder.Config{})
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A taste of real bytes so the player is mid-read, then stall.
+		_, _ = w.Write(data[:64])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := New(Options{}).PlayURL(ctx, ts.URL+"/vod/lec")
+		done <- err
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the fetch reach the stalled body
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("PlayURL returned nil error after cancellation")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("PlayURL error = %v, want context.Canceled in chain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PlayURL did not return within 5s of cancellation: in-flight fetch is not abortable")
+	}
+}
+
 func TestPlayURLErrors(t *testing.T) {
 	srv := streaming.NewServer(nil)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	pl := New(Options{})
-	if _, err := pl.PlayURL(ts.URL + "/vod/none"); err == nil {
+	if _, err := pl.PlayURL(context.Background(), ts.URL+"/vod/none"); err == nil {
 		t.Fatal("404 accepted")
 	}
-	if _, err := pl.PlayURL("http://127.0.0.1:1/nope"); err == nil {
+	if _, err := pl.PlayURL(context.Background(), "http://127.0.0.1:1/nope"); err == nil {
 		t.Fatal("connection error accepted")
 	}
 }

@@ -434,5 +434,5 @@ func pullError(w http.ResponseWriter, r *http.Request, err error) {
 		http.NotFound(w, r)
 		return
 	}
-	http.Error(w, err.Error(), http.StatusBadGateway)
+	proto.WriteError(w, http.StatusBadGateway, err.Error())
 }

@@ -222,7 +222,7 @@ func TestRejoinAfterRegistryRestartHeartbeatsImmediately(t *testing.T) {
 	defer cancel()
 	go func() {
 		_ = RunHeartbeats(ctx, nil, ts.URL, NodeInfo{ID: "e1", URL: "http://edge1:8081"},
-			func() NodeStats { return NodeStats{ActiveClients: 7} }, interval)
+			func() NodeStats { return NodeStats{ActiveClients: 7} }, interval, nil)
 	}()
 
 	waitStats := func(g *Registry, timeout time.Duration) time.Duration {

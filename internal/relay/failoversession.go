@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/player"
+	"repro/internal/vclock"
 )
 
 // FailoverSession plays one stream through a cluster registry with
@@ -49,6 +50,10 @@ type FailoverSession struct {
 	// edge names the failed edge host, empty when the registry leg
 	// failed (no live edge, transport error).
 	OnRetry func(edge string, err error)
+	// Clock times the backoff between attempts; nil uses the real
+	// clock. A simulated clock makes failover schedules deterministic
+	// under test.
+	Clock vclock.Clock
 }
 
 // Run executes the session until clean end, exhausted attempts, or ctx
@@ -56,6 +61,10 @@ type FailoverSession struct {
 // nil), the last edge host contacted, and the final error (nil when
 // the stream completed).
 func (s *FailoverSession) Run(ctx context.Context) (*player.Metrics, string, error) {
+	clock := s.Clock
+	if clock == nil {
+		clock = vclock.Real{}
+	}
 	agg := &player.Metrics{}
 	attempts := s.Attempts + 1
 	resumeAt := StartOf(s.Target)
@@ -81,7 +90,7 @@ func (s *FailoverSession) Run(ctx context.Context) (*player.Metrics, string, err
 				errors.As(err, &fe)
 				s.OnRetry(fe.Edge, err)
 			}
-			if !sleepCtx(ctx, FailoverBackoff(s.Backoff, attempt)) {
+			if !sleepCtx(ctx, clock, FailoverBackoff(s.Backoff, attempt)) {
 				break
 			}
 			continue
@@ -116,7 +125,7 @@ func (s *FailoverSession) Run(ctx context.Context) (*player.Metrics, string, err
 			s.OnRetry(edge, err)
 		}
 		resuming = true
-		if !sleepCtx(ctx, FailoverBackoff(s.Backoff, attempt)) {
+		if !sleepCtx(ctx, clock, FailoverBackoff(s.Backoff, attempt)) {
 			break
 		}
 	}
@@ -125,14 +134,12 @@ func (s *FailoverSession) Run(ctx context.Context) (*player.Metrics, string, err
 
 // sleepCtx waits for d or until ctx is cancelled, reporting whether the
 // full wait elapsed.
-func sleepCtx(ctx context.Context, d time.Duration) bool {
+func sleepCtx(ctx context.Context, clock vclock.Clock, d time.Duration) bool {
 	if d <= 0 {
 		return ctx.Err() == nil
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
 	select {
-	case <-t.C:
+	case <-clock.After(d):
 		return true
 	case <-ctx.Done():
 		return false

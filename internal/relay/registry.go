@@ -451,7 +451,7 @@ func (g *Registry) handleDeregister(w http.ResponseWriter, r *http.Request) {
 func (g *Registry) handleNodes(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(g.Nodes()); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		proto.WriteError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 

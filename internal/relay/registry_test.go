@@ -328,7 +328,7 @@ func TestHeartbeatsSurviveRegistryRestart(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- RunHeartbeats(ctx, nil, ts.URL, NodeInfo{ID: "e1", URL: "http://edge1:8081"},
-			func() NodeStats { return NodeStats{} }, 2*time.Millisecond)
+			func() NodeStats { return NodeStats{} }, 2*time.Millisecond, nil)
 	}()
 
 	waitRegistered := func(g *Registry) {

@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/proto"
 	"repro/internal/streaming"
+	"repro/internal/vclock"
 )
 
 // Errors.
@@ -181,7 +182,10 @@ func Deregister(client *http.Client, base, id string) error {
 // that wants the registry told right away calls Deregister itself
 // (cmd/lodserver does on SIGTERM), while a crash-simulation harness
 // (loadgen churn) cancels silently and lets death detection do its job.
-func RunHeartbeats(ctx context.Context, client *http.Client, base string, info NodeInfo, snap func() NodeStats, interval time.Duration) error {
+func RunHeartbeats(ctx context.Context, client *http.Client, base string, info NodeInfo, snap func() NodeStats, interval time.Duration, clock vclock.Clock) error {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
 	if err := RegisterWith(client, base, info); err != nil {
 		return err
 	}
@@ -189,13 +193,11 @@ func RunHeartbeats(ctx context.Context, client *http.Client, base string, info N
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-tick.C:
+		case <-clock.After(interval):
 			err := Heartbeat(client, base, info.ID, snap())
 			// Rejoin only while the node is actually staying up: once ctx
 			// is cancelled the node is shutting down, and a heartbeat that

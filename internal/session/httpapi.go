@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/proto"
 )
 
 // API exposes a Classroom over HTTP so distributed students participate
@@ -43,7 +45,7 @@ func (a *API) Handler() http.Handler {
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		proto.WriteError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -63,7 +65,7 @@ func statusFor(err error) int {
 
 func requirePost(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		proto.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return false
 	}
 	return true
@@ -79,7 +81,7 @@ func (a *API) handleJoin(w http.ResponseWriter, r *http.Request) {
 		role = RoleTeacher
 	}
 	if _, err := a.class.Join(user, role); err != nil {
-		http.Error(w, err.Error(), statusFor(err))
+		proto.WriteError(w, statusFor(err), err.Error())
 		return
 	}
 	writeJSON(w, map[string]string{"user": user, "role": role.String()})
@@ -91,7 +93,7 @@ func (a *API) handleLeave(w http.ResponseWriter, r *http.Request) {
 	}
 	user := r.URL.Query().Get("user")
 	if err := a.class.Leave(user); err != nil {
-		http.Error(w, err.Error(), statusFor(err))
+		proto.WriteError(w, statusFor(err), err.Error())
 		return
 	}
 	writeJSON(w, map[string]string{"left": user})
@@ -104,7 +106,7 @@ func (a *API) handleFloorRequest(w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	granted, err := a.class.Floor.Request(user)
 	if err != nil {
-		http.Error(w, err.Error(), statusFor(err))
+		proto.WriteError(w, statusFor(err), err.Error())
 		return
 	}
 	writeJSON(w, map[string]bool{"granted": granted})
@@ -116,7 +118,7 @@ func (a *API) handleFloorRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	user := r.URL.Query().Get("user")
 	if err := a.class.Floor.Release(user); err != nil {
-		http.Error(w, err.Error(), statusFor(err))
+		proto.WriteError(w, statusFor(err), err.Error())
 		return
 	}
 	writeJSON(w, map[string]string{"released": user})
@@ -128,7 +130,7 @@ func (a *API) handleFloorRevoke(w http.ResponseWriter, r *http.Request) {
 	}
 	was, err := a.class.Floor.Revoke()
 	if err != nil {
-		http.Error(w, err.Error(), statusFor(err))
+		proto.WriteError(w, statusFor(err), err.Error())
 		return
 	}
 	writeJSON(w, map[string]string{"revoked": was})
@@ -141,11 +143,11 @@ func (a *API) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	text := r.URL.Query().Get("text")
 	if text == "" {
-		http.Error(w, "empty text", http.StatusBadRequest)
+		proto.WriteError(w, http.StatusBadRequest, "empty text")
 		return
 	}
 	if err := a.class.Annotate(user, text); err != nil {
-		http.Error(w, err.Error(), statusFor(err))
+		proto.WriteError(w, statusFor(err), err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -164,7 +166,7 @@ func (a *API) handleAnnotations(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("since"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 0 {
-			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			proto.WriteError(w, http.StatusBadRequest, "bad since parameter")
 			return
 		}
 		since = v

@@ -112,7 +112,7 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 	}
 	asset, ok := g.Select(bw)
 	if !ok {
-		http.Error(w, "empty group", http.StatusNotFound)
+		proto.WriteError(w, http.StatusNotFound, "empty group")
 		return
 	}
 	// Rewrite the path (already decoded, so the raw name concatenates

@@ -230,7 +230,8 @@ func newServerInstruments(reg *metrics.Registry) serverInstruments {
 		packetsPaced: reg.Counter("lod_packets_paced_total",
 			"VOD packets that waited for their send time (pacing delays)."),
 		rejects: reg.Counter("lod_admission_rejects_total", "Sessions refused by admission control or closed channels."),
-		mirrors: reg.Counter("lod_mirror_fetches_total", "Whole-container transfers served from /fetch/ (edge mirror pulls)."),
+		mirrors: reg.Counter("lod_mirror_fetches_total",
+			"Whole-container transfers served from "+proto.PrefixFetch+" (edge mirror pulls)."),
 		firstPacketVOD: reg.Histogram("lod_first_packet_seconds", firstPacket,
 			firstPacketBuckets, metrics.Label{Key: "kind", Value: "vod"}),
 		firstPacketLive: reg.Histogram("lod_first_packet_seconds", firstPacket,
@@ -340,8 +341,6 @@ func (s *Server) Draining() bool {
 // a kill — simply severs connections and lets clients fail over.
 func (s *Server) Drain(ctx context.Context) error {
 	s.SetDraining(true)
-	tick := time.NewTicker(10 * time.Millisecond)
-	defer tick.Stop()
 	for {
 		if s.Stats().ActiveClients == 0 {
 			return nil
@@ -350,7 +349,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		case <-ctx.Done():
 			return fmt.Errorf("streaming: drain: %d sessions still active: %w",
 				s.Stats().ActiveClients, ctx.Err())
-		case <-tick.C:
+		case <-s.clock.After(10 * time.Millisecond):
 		}
 	}
 }
@@ -362,7 +361,7 @@ func (s *Server) refuseDraining(w http.ResponseWriter) bool {
 		return false
 	}
 	s.reject()
-	http.Error(w, "streaming: server draining", http.StatusServiceUnavailable)
+	proto.WriteError(w, http.StatusServiceUnavailable, "streaming: server draining")
 	return true
 }
 
@@ -438,7 +437,8 @@ func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 		"Request handling time by endpoint; whole session duration for streaming endpoints.",
 		nil, metrics.Label{Key: "endpoint", Value: endpoint})
 	return func(w http.ResponseWriter, r *http.Request) {
-		defer hist.ObserveSince(time.Now())
+		start := s.clock.Now()
+		defer func() { hist.Observe(s.clock.Now().Sub(start).Seconds()) }()
 		h(w, r)
 	}
 }
@@ -491,7 +491,7 @@ func (s *Server) Groups() []GroupInfo {
 func (s *Server) handleGroups(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(s.Groups()); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		proto.WriteError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -514,7 +514,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-wmp-stream")
 	writer, err := asf.NewWriter(w, asset.Header)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		proto.WriteError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	var sentPkts, sentBytes int64
@@ -553,7 +553,7 @@ func (s *Server) handleAssets(w http.ResponseWriter, _ *http.Request) {
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		proto.WriteError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -573,7 +573,7 @@ func (s *Server) handleChannels(w http.ResponseWriter, _ *http.Request) {
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		proto.WriteError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -607,7 +607,7 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 		token, err := s.Admission.Reserve(rate)
 		if err != nil {
 			s.reject()
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			proto.WriteError(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
 		defer s.Admission.Release(token)
@@ -617,7 +617,7 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-wmp-stream")
 	writer, err := asf.NewWriter(w, asset.Header)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		proto.WriteError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	flusher, _ := w.(http.Flusher)
@@ -682,7 +682,7 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 		token, err := s.Admission.Reserve(rate)
 		if err != nil {
 			s.reject()
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			proto.WriteError(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
 		defer s.Admission.Release(token)
@@ -693,14 +693,14 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	sub, err := ch.Subscribe()
 	if err != nil {
 		s.reject()
-		http.Error(w, err.Error(), http.StatusGone)
+		proto.WriteError(w, http.StatusGone, err.Error())
 		return
 	}
 	defer sub.Close()
 
 	writer, err := asf.NewWriter(w, ch.Header())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		proto.WriteError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	flusher, _ := w.(http.Flusher)
