@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS := ./...
 
-.PHONY: all build test vet fmt-check lint fuzz-smoke race bench bench-smoke bench-cluster bench-churn
+.PHONY: all build test vet fmt-check lint fuzz-smoke race bench bench-smoke bench-profile bench-cluster bench-churn bench-fanout
 
 all: build test vet fmt-check lint
 
@@ -56,6 +56,15 @@ bench-smoke:
 	$(GO) run ./cmd/lodbench -scenario 'churn?kills=1&firstkill=500ms&restartafter=1s&duration=2s&rate=40' \
 		-clients 20 -edges 2 -out BENCH_churn_smoke.json
 
+# A small fan-out run with CPU/heap profiles captured and the perf
+# block asserted nonzero: keeps the profiling plumbing (-cpuprofile,
+# -memprofile, perf measurement in loadgen.Run) working on every push.
+# The profiles land next to the record for `go tool pprof`.
+bench-profile:
+	$(GO) run ./cmd/lodbench -scenario fanout -clients 200 -edges 1 \
+		-cpuprofile fanout_cpu.pprof -memprofile fanout_mem.pprof \
+		-assert-perf -out BENCH_fanout_smoke.json
+
 # The benchmarks of record (BENCHMARKS.md); append their numbers to
 # EXPERIMENTS.md when they move.
 bench-cluster:
@@ -63,3 +72,9 @@ bench-cluster:
 
 bench-churn:
 	$(GO) run ./cmd/lodbench -scenario churn -clients 400 -edges 3 -out BENCH_churn.json
+
+# The committed before/after pair is BENCH_fanout_before.json (pre
+# zero-copy serving path, saturated at 2500 clients) against this run.
+# GOMAXPROCS=1 makes the number a per-core serving capacity.
+bench-fanout:
+	GOMAXPROCS=1 $(GO) run ./cmd/lodbench -scenario fanout -clients 7500 -edges 1 -out BENCH_fanout.json

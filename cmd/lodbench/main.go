@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
@@ -45,6 +47,9 @@ func run(args []string) error {
 	clients := fs.Int("clients", 1000, "virtual clients to run (cluster mode)")
 	edges := fs.Int("edges", 3, "edge nodes in the cluster (cluster mode)")
 	out := fs.String("out", "", "benchmark record path (cluster mode); default BENCH_cluster.json for the mixed scenario, BENCH_<scenario>.json otherwise")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the scenario run to this file (cluster mode)")
+	memprofile := fs.String("memprofile", "", "write a post-run heap profile to this file (cluster mode)")
+	assertPerf := fs.Bool("assert-perf", false, "fail unless the record's perf block is populated (packetsPerSec, bytesPerSec, allocsPerPacket, nsPerPacket all nonzero)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,7 +61,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *scenario != "" {
-		return runScenario(*scenario, *clients, *edges, *out)
+		return runScenario(*scenario, *clients, *edges, *out, *cpuprofile, *memprofile, *assertPerf)
 	}
 
 	if *list {
@@ -97,7 +102,10 @@ func run(args []string) error {
 // runScenario executes one load scenario and writes the record to out.
 // An empty out derives the path from the scenario name, so running a
 // side scenario can never clobber the committed benchmark of record.
-func runScenario(spec string, clients, edges int, out string) error {
+// cpuprofile/memprofile capture pprof profiles of exactly the scenario
+// run; assertPerf fails the command when the record's perf block came
+// out empty (the CI guard behind `make bench-profile`).
+func runScenario(spec string, clients, edges int, out, cpuprofile, memprofile string, assertPerf bool) error {
 	s, err := loadgen.ParseScenario(spec)
 	if err != nil {
 		return err
@@ -109,10 +117,32 @@ func runScenario(spec string, clients, edges int, out string) error {
 			out = "BENCH_" + s.Name + ".json"
 		}
 	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	fmt.Printf("running scenario %s: %d clients, %d edges...\n", s.Name, clients, edges)
 	rep, err := loadgen.Run(context.Background(), s, clients, edges)
 	if err != nil {
 		return err
+	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // surface live retention, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("heap profile: %w", err)
+		}
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -132,6 +162,12 @@ func runScenario(spec string, clients, edges int, out string) error {
 	if rep.Sessions.Failed > 0 {
 		return fmt.Errorf("%d/%d sessions failed: %v",
 			rep.Sessions.Failed, rep.Sessions.Requested, rep.Sessions.Errors)
+	}
+	if assertPerf {
+		p := rep.Perf
+		if p.PacketsPerSec <= 0 || p.BytesPerSec <= 0 || p.AllocsPerPacket <= 0 || p.NsPerPacket <= 0 {
+			return fmt.Errorf("perf block not populated: %+v", p)
+		}
 	}
 	return nil
 }

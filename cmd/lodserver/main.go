@@ -40,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -80,6 +81,7 @@ type config struct {
 	registry   string // URL → register with it; listen address → host it
 	heartbeat  time.Duration
 	metricsOn  bool
+	pprofOn    bool
 	cacheBytes int64
 	drain      time.Duration
 }
@@ -103,6 +105,7 @@ func parseConfig(args []string) (*config, error) {
 	fs.StringVar(&c.registry, "registry", "", `cluster registry: a URL ("http://host:9090") registers this node with it, a listen address (":9090") hosts a registry there`)
 	fs.DurationVar(&c.heartbeat, "heartbeat", 5*time.Second, "registry heartbeat interval")
 	fs.BoolVar(&c.metricsOn, "metrics", true, "serve GET /metrics and GET /status on every role's listener")
+	fs.BoolVar(&c.pprofOn, "pprof", false, "serve net/http/pprof under /debug/pprof/ on the main listener (profile a live node without restarting it)")
 	fs.Int64Var(&c.cacheBytes, "cache-bytes", 0, "edge mirror cache capacity in payload bytes (0 = unbounded; requires -origin)")
 	fs.DurationVar(&c.drain, "drain", 10*time.Second, "how long to let in-flight sessions finish on SIGINT/SIGTERM before exiting")
 	if err := fs.Parse(args); err != nil {
@@ -179,10 +182,22 @@ func run(args []string) error {
 	} else {
 		handler = srv.Handler()
 	}
-	if c.metricsOn {
+	if c.metricsOn || c.pprofOn {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
-		srv.Metrics().Expose(mux)
+		if c.metricsOn {
+			srv.Metrics().Expose(mux)
+		}
+		if c.pprofOn {
+			// Mounted explicitly rather than via DefaultServeMux so the
+			// debug surface exists only when asked for.
+			mux.HandleFunc("/debug/pprof/", netpprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+			fmt.Printf("pprof serving on %s/debug/pprof/\n", c.addr)
+		}
 		handler = mux
 	}
 

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/media"
@@ -116,12 +117,21 @@ func (s *scanner) dur() time.Duration {
 	return d
 }
 
+// scratchPool recycles the encode scratch buffers: header and index
+// objects are encoded once per session (or per seek), and the payload
+// is length-prefixed so it must be staged before the final copy. The
+// pool keeps those stagings from costing a fresh buffer per session.
+var scratchPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // EncodeHeader serializes the header object.
 func EncodeHeader(h Header) ([]byte, error) {
 	if err := h.Validate(); err != nil {
 		return nil, err
 	}
-	payload := &cursor{buf: &bytes.Buffer{}}
+	buf := scratchPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer scratchPool.Put(buf)
+	payload := &cursor{buf: buf}
 	payload.u16(Version)
 	payload.u16(h.Flags)
 	payload.u32(h.PacketAlign)
@@ -151,11 +161,10 @@ func EncodeHeader(h Header) ([]byte, error) {
 		}
 	}
 
-	out := &cursor{buf: &bytes.Buffer{}}
-	out.buf.Write(headerMagic[:])
-	out.u32(uint32(payload.buf.Len()))
-	out.buf.Write(payload.buf.Bytes())
-	return out.buf.Bytes(), nil
+	out := make([]byte, 0, len(headerMagic)+4+buf.Len())
+	out = append(out, headerMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(buf.Len()))
+	return append(out, buf.Bytes()...), nil
 }
 
 // DecodeHeader reads and parses a header object from r.
@@ -225,24 +234,30 @@ func DecodeHeader(r *bufio.Reader) (Header, error) {
 	return h, nil
 }
 
-// EncodePacket serializes a packet including its CRC.
+// appendPacket appends p's complete wire encoding (fixed header, CRC,
+// payload) to dst in one pass — the header and payload land in the same
+// buffer, so one Write sends both (the writev-style coalescing the
+// serving path relies on).
+func appendPacket(dst []byte, p Packet) []byte {
+	dst = append(dst, packetMagic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(p.Stream))
+	dst = append(dst, uint8(p.Kind), p.Flags)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(durToI64(p.PTS)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(durToI64(p.Dur)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(durToI64(p.SendAt)))
+	dst = binary.LittleEndian.AppendUint32(dst, p.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, payloadCRC(p.Payload))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Payload)))
+	return append(dst, p.Payload...)
+}
+
+// EncodePacket serializes a packet including its CRC. One allocation,
+// exactly sized.
 func EncodePacket(p Packet) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	c := &cursor{buf: &bytes.Buffer{}}
-	c.buf.Write(packetMagic[:])
-	c.u16(uint16(p.Stream))
-	c.u8(uint8(p.Kind))
-	c.u8(p.Flags)
-	c.i64(durToI64(p.PTS))
-	c.i64(durToI64(p.Dur))
-	c.i64(durToI64(p.SendAt))
-	c.u32(p.Seq)
-	c.u32(payloadCRC(p.Payload))
-	c.u32(uint32(len(p.Payload)))
-	c.buf.Write(p.Payload)
-	return c.buf.Bytes(), nil
+	return appendPacket(make([]byte, 0, packetWireSize+len(p.Payload)), p), nil
 }
 
 // decodePacketAfterMagic parses a packet body once the "PK" magic has been
@@ -277,19 +292,20 @@ func decodePacketAfterMagic(s *scanner) (Packet, error) {
 	return p, nil
 }
 
-// EncodeIndex serializes the index object.
+// EncodeIndex serializes the index object. One allocation, exactly
+// sized.
 func EncodeIndex(ix Index) ([]byte, error) {
 	if len(ix) > MaxIndexEntries {
 		return nil, fmt.Errorf("%w: %d index entries", ErrLimit, len(ix))
 	}
-	c := &cursor{buf: &bytes.Buffer{}}
-	c.buf.Write(indexMagic[:])
-	c.u32(uint32(len(ix)))
+	out := make([]byte, 0, len(indexMagic)+4+len(ix)*(8+4))
+	out = append(out, indexMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ix)))
 	for _, e := range ix {
-		c.i64(durToI64(e.PTS))
-		c.u32(e.Seq)
+		out = binary.LittleEndian.AppendUint64(out, uint64(durToI64(e.PTS)))
+		out = binary.LittleEndian.AppendUint32(out, e.Seq)
 	}
-	return c.buf.Bytes(), nil
+	return out, nil
 }
 
 // decodeIndexAfterMagic parses an index body once "IX" has been consumed.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // TestClusterKillAndRestartEdge covers the churn primitives: a killed
@@ -88,18 +90,14 @@ func TestSessionFailsOverMidStream(t *testing.T) {
 
 	// Find the edge the session landed on.
 	serving := -1
-	deadline := time.Now().Add(10 * time.Second)
-	for serving < 0 && time.Now().Before(deadline) {
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
 		for i, e := range c.Edges {
 			if e.Server.Stats().ActiveClients > 0 {
 				serving = i
 			}
 		}
-		time.Sleep(time.Millisecond)
-	}
-	if serving < 0 {
-		t.Fatal("session never started streaming")
-	}
+		return serving >= 0
+	}, "session never started streaming")
 	// Let some media flow so the resume has an offset to carry.
 	time.Sleep(300 * time.Millisecond)
 	if err := c.KillEdge(serving); err != nil {

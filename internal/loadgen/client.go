@@ -74,7 +74,7 @@ func (c *Cluster) sessionSpec(kind Kind, rng *rand.Rand) client.Spec {
 			bw = 1 << 30
 		}
 		return client.Spec{Kind: client.Group, Name: name, Bandwidth: bw}
-	case KindLive:
+	case KindLive, KindLiveFan:
 		return client.Spec{Kind: client.Live, Name: c.LiveNames[rng.Intn(len(c.LiveNames))]}
 	case KindVOD:
 		return client.Spec{Kind: client.VOD, Name: c.AssetNames[rng.Intn(len(c.AssetNames))]}
@@ -152,6 +152,9 @@ func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResu
 		res.Err = err.Error()
 		return res
 	}
+	if kind == KindLiveFan {
+		return c.drainSession(session, spec, res, clock, t0, &firstByte)
+	}
 	agg, err := session.Play()
 	st := session.Stats()
 	res.Edge = st.Edge
@@ -173,6 +176,44 @@ func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResu
 	res.VideoFrames = agg.VideoFrames
 	res.BrokenFrames = agg.BrokenFrames
 	res.SlidesShown = agg.SlidesShown
+	return res
+}
+
+// drainSession is the KindLiveFan session body: rip the raw container
+// body as fast as it arrives, counting bytes but never parsing packets
+// or pacing presentation. The session ends when the broadcast does.
+// Because the client costs almost nothing, the server's per-subscriber
+// write path is what saturates — the number the fanout scenario exists
+// to measure.
+func (c *Cluster) drainSession(session client.Session, spec client.Spec,
+	res SessionResult, clock vclock.Clock, t0 time.Time, firstByte *time.Time) SessionResult {
+
+	body, err := session.Fetch()
+	st := session.Stats()
+	res.Edge = st.Edge
+	res.Failovers = st.Failovers
+	res.Retries = st.Retries
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	defer body.Close()
+	// Fetch hands back the raw response body; route it through the
+	// spec's wrapper anyway so the first-byte stamp (and any link
+	// shaping the scenario insists on) behaves like every other kind.
+	r := io.Reader(body)
+	if spec.WrapBody != nil {
+		r = spec.WrapBody(body)
+	}
+	n, err := io.Copy(io.Discard, r)
+	res.BytesRead = n
+	if err != nil {
+		res.Err = err.Error()
+	}
+	if !firstByte.IsZero() {
+		res.StartupMs = float64(firstByte.Sub(t0)) / float64(time.Millisecond)
+	}
+	res.DurationMs = float64(clock.Now().Sub(t0)) / float64(time.Millisecond)
 	return res
 }
 

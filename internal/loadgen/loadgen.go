@@ -54,6 +54,12 @@ const (
 	KindGroup Kind = "group"
 	// KindLive joins a live broadcast and plays until it ends.
 	KindLive Kind = "live"
+	// KindLiveFan joins a live broadcast and drains the raw container
+	// as fast as the server can write it — no player, no pacing, no
+	// packet parsing. Fan-out capacity benchmarks use it so the
+	// server's per-subscriber write path is the bottleneck being
+	// measured, not the broadcast's presentation rate.
+	KindLiveFan Kind = "livefan"
 )
 
 // Share is one weighted entry of a scenario's workload mix.
@@ -187,14 +193,14 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("loadgen: scenario %s: non-positive weight for %q", s.Name, sh.Kind)
 		}
 		switch sh.Kind {
-		case KindVOD, KindSeek, KindGroup, KindLive:
+		case KindVOD, KindSeek, KindGroup, KindLive, KindLiveFan:
 		default:
 			return fmt.Errorf("loadgen: scenario %s: unknown workload kind %q", s.Name, sh.Kind)
 		}
 		if sh.Kind == KindGroup && s.Groups < 1 {
 			return fmt.Errorf("loadgen: scenario %s: group workload but no groups", s.Name)
 		}
-		if sh.Kind == KindLive && s.LiveChannels < 1 {
+		if (sh.Kind == KindLive || sh.Kind == KindLiveFan) && s.LiveChannels < 1 {
 			return fmt.Errorf("loadgen: scenario %s: live workload but no live channels", s.Name)
 		}
 		total += sh.Weight
@@ -250,6 +256,23 @@ func Scenarios() []Scenario {
 			FailoverAttempts:  6, FailoverBackoff: 100 * time.Millisecond,
 			Churn: ChurnSpec{Kills: 2, FirstKill: time.Second, Every: 2 * time.Second, RestartAfter: 1500 * time.Millisecond},
 			Seed:  1,
+		},
+		{
+			Name: "fanout",
+			Description: "raw-drain live fan-out: every client rips one broadcast as fast as the server can write it; " +
+				"measures per-packet serving cost (perf block is the headline)",
+			Assets:        1, // content template for the broadcast; no VOD traffic
+			AssetDuration: 3 * time.Second,
+			Profile:       "dsl-300k", LiveChannels: 1, Slides: 2,
+			Mix: []Share{{KindLiveFan, 100}},
+			// Everyone piles in at once so the whole broadcast runs at
+			// full subscriber count. No link shaping: a modeled last
+			// mile would become the bottleneck instead of the serving
+			// path.
+			Arrival:          Arrival{Process: "burst", Rate: 2000, Burst: 500},
+			LeadTime:         300 * time.Millisecond,
+			FailoverAttempts: 3, FailoverBackoff: 50 * time.Millisecond,
+			Seed: 1,
 		},
 		{
 			Name:        "mixed",

@@ -129,12 +129,37 @@ type ThroughputInfo struct {
 	SlidesShown       int64   `json:"slidesShown"`
 }
 
+// PerfInfo is the hot-path serving-cost block of the record: how fast
+// the cluster's servers (origin + every edge) wrote media packets over
+// the run window, and what each written packet cost in allocations and
+// wall time. The inputs are metric deltas (lod_packets_sent_total,
+// lod_bytes_sent_total) and a runtime.MemStats delta captured around
+// the client swarm, so the numbers isolate exactly the benchmark's
+// traffic. AllocsPerPacket is the allocation-regression signal: the
+// zero-copy fan-out keeps it flat as subscriber counts grow, and
+// `make bench-profile` fails when any of these fields is zero.
+type PerfInfo struct {
+	// PacketsPerSec / BytesPerSec are server-side media packets and
+	// payload bytes written per wall-clock second, summed across the
+	// origin and every edge.
+	PacketsPerSec float64 `json:"packetsPerSec"`
+	BytesPerSec   float64 `json:"bytesPerSec"`
+	// AllocsPerPacket is whole-process heap allocations per written
+	// packet (runtime.MemStats Mallocs delta / packets). Client-side
+	// allocations are included, so compare like scenarios only.
+	AllocsPerPacket float64 `json:"allocsPerPacket"`
+	// NsPerPacket is wall-clock nanoseconds per written packet. With
+	// GOMAXPROCS=1 it bounds the CPU cost of serving one packet.
+	NsPerPacket float64 `json:"nsPerPacket"`
+}
+
 // EdgeReport is one edge's metric delta over the run window.
 type EdgeReport struct {
 	ID              string  `json:"id"`
 	Redirects       float64 `json:"redirects"`
 	SessionsVOD     float64 `json:"sessionsVod"`
 	SessionsLive    float64 `json:"sessionsLive"`
+	PacketsSent     float64 `json:"packetsSent"`
 	BytesSent       float64 `json:"bytesSent"`
 	CacheHits       float64 `json:"cacheHits"`
 	CacheMisses     float64 `json:"cacheMisses"`
@@ -170,6 +195,10 @@ type Report struct {
 	GeneratedAt string `json:"generatedAt"`
 	GoVersion   string `json:"goVersion"`
 	NumCPU      int    `json:"numCPU"`
+	// GoMaxProcs is the scheduler's P count for the run — the "per
+	// core" divisor for the perf block (GOMAXPROCS=1 runs measure
+	// per-core serving capacity directly).
+	GoMaxProcs int `json:"goMaxProcs"`
 
 	Config      RunConfig `json:"config"`
 	WallSeconds float64   `json:"wallSeconds"`
@@ -179,11 +208,14 @@ type Report struct {
 	PacingJitterMs Quantiles      `json:"pacingJitterMs"`
 	Rebuffer       RebufferInfo   `json:"rebuffer"`
 	Throughput     ThroughputInfo `json:"throughput"`
+	Perf           PerfInfo       `json:"perf"`
 	Cluster        ClusterReport  `json:"cluster"`
 }
 
 // buildReport folds session results and metric deltas into the record.
-func buildReport(s Scenario, clients, edges int, wall time.Duration,
+// allocs is the process-wide heap-allocation count (MemStats.Mallocs
+// delta) over the swarm window, feeding Perf.AllocsPerPacket.
+func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint64,
 	results []SessionResult, registryDelta, originDelta metrics.Snapshot,
 	edgeIDs []string, edgeDeltas []metrics.Snapshot) *Report {
 
@@ -195,6 +227,7 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Config: RunConfig{
 			Clients: clients, Edges: edges, Seed: s.Seed,
 			Arrival: s.Arrival, Assets: s.Assets,
@@ -293,6 +326,7 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration,
 			Redirects:       registryDelta.Get(fmt.Sprintf(`lod_registry_node_redirects_total{node="%s"}`, edgeIDs[i])),
 			SessionsVOD:     d.Get(`lod_sessions_started_total{kind="vod"}`),
 			SessionsLive:    d.Get(`lod_sessions_started_total{kind="live"}`),
+			PacketsSent:     d.Get("lod_packets_sent_total"),
 			BytesSent:       d.Get("lod_bytes_sent_total"),
 			CacheHits:       d.Get("lod_edge_cache_hits_total"),
 			CacheMisses:     d.Get("lod_edge_cache_misses_total"),
@@ -308,6 +342,23 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration,
 	}
 	if hits+misses > 0 {
 		r.Cluster.CacheHitRate = hits / (hits + misses)
+	}
+
+	// Serving-cost block: packets and payload bytes written by every
+	// server in the cluster over the window, per second and per packet.
+	pkts := originDelta.Get("lod_packets_sent_total")
+	byts := originDelta.Get("lod_bytes_sent_total")
+	for _, d := range edgeDeltas {
+		pkts += d.Get("lod_packets_sent_total")
+		byts += d.Get("lod_bytes_sent_total")
+	}
+	if wall > 0 && pkts > 0 {
+		r.Perf = PerfInfo{
+			PacketsPerSec:   pkts / wall.Seconds(),
+			BytesPerSec:     byts / wall.Seconds(),
+			AllocsPerPacket: float64(allocs) / pkts,
+			NsPerPacket:     float64(wall.Nanoseconds()) / pkts,
+		}
 	}
 	return r
 }
@@ -352,5 +403,9 @@ func (r *Report) Summary() string {
 		r.Throughput.VideoFrames, r.Throughput.BrokenFrames)
 	fmt.Fprintf(&b, "  cluster: %d redirects, cache hit rate %.2f, %d origin mirror fetches\n",
 		int64(r.Cluster.Redirects), r.Cluster.CacheHitRate, int64(r.Cluster.OriginMirrors))
+	if r.Perf.PacketsPerSec > 0 {
+		fmt.Fprintf(&b, "  serving: %.0f packets/s, %.2f MB/s, %.1f allocs/packet, %.0f ns/packet\n",
+			r.Perf.PacketsPerSec, r.Perf.BytesPerSec/1e6, r.Perf.AllocsPerPacket, r.Perf.NsPerPacket)
+	}
 	return b.String()
 }

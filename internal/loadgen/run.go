@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -61,6 +62,11 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 
 	clock := s.clock()
 	t0 := clock.Now()
+	// The Mallocs delta around the swarm (cluster setup and content
+	// encoding excluded) feeds the record's perf.allocsPerPacket — the
+	// allocation-regression signal for the zero-copy serving path.
+	var memPre runtime.MemStats
+	runtime.ReadMemStats(&memPre)
 	churnCtx, stopChurn := context.WithCancel(ctx)
 	var churnWG sync.WaitGroup
 	if s.Churn.Enabled() {
@@ -71,16 +77,17 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 		}()
 	}
 	results := make([]SessionResult, clients)
+	// One timer wheel schedules every client's arrival: thousands of
+	// swarm goroutines share slot timers instead of owning one each.
+	arrivals := vclock.NewWheel(clock, vclock.DefaultGranularity)
 	var wg sync.WaitGroup
 	for i := range results {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			if wait := t0.Add(offsets[id]).Sub(clock.Now()); wait > 0 {
-				select {
-				case <-clock.After(wait):
-				case <-ctx.Done():
-					results[id] = SessionResult{ID: id, Kind: kinds[id], Err: ctx.Err().Error()}
+				if err := arrivals.Sleep(ctx, wait); err != nil {
+					results[id] = SessionResult{ID: id, Kind: kinds[id], Err: err.Error()}
 					return
 				}
 			}
@@ -91,6 +98,9 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 	stopChurn()
 	churnWG.Wait()
 	wall := clock.Now().Sub(t0)
+	var memPost runtime.MemStats
+	runtime.ReadMemStats(&memPost)
+	allocs := memPost.Mallocs - memPre.Mallocs
 
 	regDelta := cluster.Registry.Metrics().Snapshot().Delta(regPre)
 	originDelta := cluster.Origin.Metrics().Snapshot().Delta(originPre)
@@ -99,7 +109,7 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 		edgeDeltas[i] = e.Server.Metrics().Snapshot().Delta(edgePre[i])
 	}
 
-	return buildReport(s, clients, edges, wall, results, regDelta, originDelta,
+	return buildReport(s, clients, edges, wall, allocs, results, regDelta, originDelta,
 		cluster.EdgeIDs, edgeDeltas), nil
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/asf"
 	"repro/internal/streaming"
+	"repro/internal/testutil"
 	"repro/internal/vclock"
 )
 
@@ -224,13 +225,8 @@ func TestEdgeCachePinsStreamingAsset(t *testing.T) {
 			pkts++
 		}
 	}()
-	deadline := time.Now().Add(10 * time.Second)
-	for edgeSrv.AssetActiveSessions("hot") == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("session on hot never started")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return edgeSrv.AssetActiveSessions("hot") > 0 },
+		"session on hot never started")
 
 	// Two more mirrors exceed the budget while "hot" is mid-stream. The
 	// eviction must land on cold1, never on the pinned hot asset.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/encoder"
 	"repro/internal/streaming"
+	"repro/internal/testutil"
 )
 
 func encodeTestLecture(t *testing.T, dur time.Duration, live bool) []byte {
@@ -302,21 +303,16 @@ func TestEdgeRelaysLiveChannel(t *testing.T) {
 
 	// Wait for the relay chain to attach: the edge subscribes upstream,
 	// the client subscribes to the edge.
-	deadline := time.Now().Add(10 * time.Second)
-	for originCh.ClientCount() < 1 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	edgeCh, ok := edgeSrv.Channel("lecture")
-	for !ok && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-		edgeCh, ok = edgeSrv.Channel("lecture")
-	}
-	if !ok {
-		t.Fatal("edge never created the relayed channel")
-	}
-	for edgeCh.ClientCount() < 1 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return originCh.ClientCount() >= 1 },
+		"edge never subscribed upstream")
+	var edgeCh *streaming.Channel
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		ch, ok := edgeSrv.Channel("lecture")
+		edgeCh = ch
+		return ok
+	}, "edge never created the relayed channel")
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return edgeCh.ClientCount() >= 1 },
+		"client never attached to the relayed channel")
 	if originCh.ClientCount() != 1 {
 		t.Fatalf("origin has %d subscribers, want exactly the edge", originCh.ClientCount())
 	}
@@ -336,12 +332,8 @@ func TestEdgeRelaysLiveChannel(t *testing.T) {
 		t.Fatalf("client received %d packets, published %d", len(res.pkts), len(packets))
 	}
 	// The origin's broadcast end propagates: the edge channel closes too.
-	for !edgeCh.Closed() && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if !edgeCh.Closed() {
-		t.Fatal("edge channel still open after origin close")
-	}
+	testutil.WaitUntil(t, 10*time.Second, edgeCh.Closed,
+		"edge channel still open after origin close")
 
 	// A late join on a finished relayed broadcast is 410, as on the origin.
 	resp, err := http.Get(edgeTS.URL + "/live/lecture")
@@ -451,27 +443,16 @@ func TestEdgeRelaysEscapedChannelName(t *testing.T) {
 	// Wait for the whole relay chain to attach, as the unescaped live
 	// test does: edge subscribed upstream, local channel created under
 	// the decoded name, client subscribed to it.
-	deadline := time.Now().Add(10 * time.Second)
-	for originCh.ClientCount() < 1 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if originCh.ClientCount() != 1 {
-		t.Fatal("edge never subscribed upstream with the escaped name")
-	}
-	edgeCh, ok := edgeSrv.Channel(name)
-	for !ok && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-		edgeCh, ok = edgeSrv.Channel(name)
-	}
-	if !ok {
-		t.Fatalf("edge relayed channel under wrong name: have %v", edgeSrv.AssetNames())
-	}
-	for edgeCh.ClientCount() < 1 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if edgeCh.ClientCount() < 1 {
-		t.Fatal("client never attached to the relayed channel")
-	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return originCh.ClientCount() >= 1 },
+		"edge never subscribed upstream with the escaped name")
+	var edgeCh *streaming.Channel
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		ch, ok := edgeSrv.Channel(name)
+		edgeCh = ch
+		return ok
+	}, "edge relayed channel never appeared under the decoded name")
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return edgeCh.ClientCount() >= 1 },
+		"client never attached to the relayed channel")
 	for _, p := range packets {
 		if err := originCh.Publish(p); err != nil {
 			t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/proto"
 	"repro/internal/streaming"
+	"repro/internal/testutil"
 )
 
 func mustRegister(t *testing.T, g *Registry, nodes ...NodeInfo) {
@@ -228,16 +229,11 @@ func TestRejoinAfterRegistryRestartHeartbeatsImmediately(t *testing.T) {
 	waitStats := func(g *Registry, timeout time.Duration) time.Duration {
 		t.Helper()
 		t0 := time.Now()
-		deadline := t0.Add(timeout)
-		for time.Now().Before(deadline) {
+		testutil.WaitUntil(t, timeout, func() bool {
 			nodes := g.Nodes()
-			if len(nodes) == 1 && nodes[0].Stats.ActiveClients == 7 {
-				return time.Since(t0)
-			}
-			time.Sleep(time.Millisecond)
-		}
-		t.Fatal("node never reported stats")
-		return 0
+			return len(nodes) == 1 && nodes[0].Stats.ActiveClients == 7
+		}, "node never reported stats")
+		return time.Since(t0)
 	}
 	waitStats(cur.Load(), 5*time.Second)
 
@@ -246,18 +242,8 @@ func TestRejoinAfterRegistryRestartHeartbeatsImmediately(t *testing.T) {
 	// in the same breath rather than one full interval later.
 	fresh := NewRegistry(nil)
 	cur.Store(fresh)
-	waitRegistered := func() time.Time {
-		deadline := time.Now().Add(5 * time.Second)
-		for time.Now().Before(deadline) {
-			if len(fresh.Nodes()) == 1 {
-				return time.Now()
-			}
-			time.Sleep(time.Millisecond)
-		}
-		t.Fatal("node never re-registered")
-		return time.Time{}
-	}
-	waitRegistered()
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return len(fresh.Nodes()) == 1 },
+		"node never re-registered")
 	if lag := waitStats(fresh, interval); lag > interval/2 {
 		t.Fatalf("stats arrived %v after rejoin; an immediate heartbeat should beat %v", lag, interval/2)
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/streaming"
+	"repro/internal/testutil"
 	"repro/internal/vclock"
 )
 
@@ -333,14 +334,10 @@ func TestHeartbeatsSurviveRegistryRestart(t *testing.T) {
 
 	waitRegistered := func(g *Registry) {
 		t.Helper()
-		deadline := time.Now().Add(10 * time.Second)
-		for time.Now().Before(deadline) {
-			if nodes := g.Nodes(); len(nodes) == 1 && nodes[0].ID == "e1" {
-				return
-			}
-			time.Sleep(time.Millisecond)
-		}
-		t.Fatal("node never (re)registered")
+		testutil.WaitUntil(t, 10*time.Second, func() bool {
+			nodes := g.Nodes()
+			return len(nodes) == 1 && nodes[0].ID == "e1"
+		}, "node never (re)registered")
 	}
 	waitRegistered(cur.Load())
 

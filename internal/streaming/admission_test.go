@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/asf"
+	"repro/internal/testutil"
 	"repro/internal/vclock"
 )
 
@@ -92,10 +93,8 @@ func TestVODAdmissionControl(t *testing.T) {
 		}
 	}
 	// Wait until both reservations are in place.
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Admission.Sessions() < 2 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return srv.Admission.Sessions() >= 2 },
+		"both admitted sessions never reserved bandwidth")
 	// Third is refused.
 	resp3, err := ts.Client().Get(ts.URL + "/vod/lec")
 	if err != nil {
@@ -112,15 +111,8 @@ func TestVODAdmissionControl(t *testing.T) {
 	for _, resp := range resps {
 		resp.Body.Close()
 	}
-	for time.Now().Before(deadline) {
-		if srv.Admission.Sessions() == 0 {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
-	if got := srv.Admission.Sessions(); got != 0 {
-		t.Fatalf("reservations leaked: %d", got)
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return srv.Admission.Sessions() == 0 },
+		"reservations leaked after sessions hung up")
 }
 
 // TestLiveAdmissionControl mirrors the check for live channels.
@@ -155,10 +147,8 @@ func TestLiveAdmissionControl(t *testing.T) {
 			}
 		}
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for ch.ClientCount() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return ch.ClientCount() > 0 },
+		"first live subscriber never attached")
 	// Second join exceeds capacity.
 	resp2, err := ts.Client().Get(ts.URL + "/live/c")
 	if err != nil {

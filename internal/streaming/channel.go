@@ -19,12 +19,17 @@ const DefaultSubscriberBuffer = 256
 // of subscribers receive them. New subscribers get a catch-up backlog
 // starting at the most recent video keyframe so their decoder can start
 // immediately.
+//
+// Fan-out is zero-copy: a packet is encoded exactly once at publish
+// (asf.NewShared) and every subscriber — and every late joiner's
+// backlog replay — receives a pointer to the same immutable wire
+// buffer. Nothing downstream may mutate a *asf.Shared.
 type Channel struct {
 	Name string
 
 	mu        sync.Mutex
 	header    asf.Header
-	backlog   []asf.Packet
+	backlog   []*asf.Shared
 	subs      map[int]*Subscriber
 	nextID    int
 	closed    bool
@@ -36,14 +41,15 @@ type Channel struct {
 
 // Subscriber is one attached client.
 type Subscriber struct {
-	// C delivers live packets; closed when the broadcast ends.
-	C <-chan asf.Packet
+	// C delivers live packets; closed when the broadcast ends. Packets
+	// are shared immutable buffers — read-only for every receiver.
+	C <-chan *asf.Shared
 	// Backlog is the catch-up burst to send before live packets.
-	Backlog []asf.Packet
+	Backlog []*asf.Shared
 
 	ch   *Channel
 	id   int
-	send chan asf.Packet
+	send chan *asf.Shared
 	once sync.Once
 }
 
@@ -96,9 +102,24 @@ func (c *Channel) Dropped() int64 {
 	return c.dropped
 }
 
-// Publish fans the packet out to every subscriber and maintains the
-// keyframe-aligned backlog. Slow subscribers lose the packet.
+// Publish encodes the packet once and fans the shared form out to every
+// subscriber; see PublishShared. The publisher keeps ownership of
+// p.Payload — the encode copies it — so callers may reuse their payload
+// buffer immediately.
 func (c *Channel) Publish(p asf.Packet) error {
+	sp, err := asf.NewShared(p)
+	if err != nil {
+		return err
+	}
+	return c.PublishShared(sp)
+}
+
+// PublishShared fans a pre-encoded packet out to every subscriber and
+// maintains the keyframe-aligned backlog. Slow subscribers lose the
+// packet. This is the allocation-free steady-state path: the shared
+// buffer is handed out by pointer, and the backlog slice's capacity is
+// reused across keyframe resets.
+func (c *Channel) PublishShared(sp *asf.Shared) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -106,13 +127,13 @@ func (c *Channel) Publish(p asf.Packet) error {
 	}
 	c.published++
 	// Reset the catch-up window at video keyframes so joins start clean.
-	if p.Keyframe() && p.Kind == media.KindVideo {
+	if sp.Keyframe() && sp.Kind() == media.KindVideo {
 		c.backlog = c.backlog[:0]
 	}
-	c.backlog = append(c.backlog, p)
+	c.backlog = append(c.backlog, sp)
 	for _, sub := range c.subs {
 		select {
-		case sub.send <- p:
+		case sub.send <- sp:
 		default:
 			c.dropped++
 		}
@@ -132,11 +153,11 @@ func (c *Channel) Subscribe() (*Subscriber, error) {
 	if depth <= 0 {
 		depth = DefaultSubscriberBuffer
 	}
-	send := make(chan asf.Packet, depth)
+	send := make(chan *asf.Shared, depth)
 	sub := &Subscriber{
 		C:       send,
 		send:    send,
-		Backlog: append([]asf.Packet(nil), c.backlog...),
+		Backlog: append([]*asf.Shared(nil), c.backlog...),
 		ch:      c,
 		id:      c.nextID,
 	}
@@ -171,14 +192,24 @@ func (c *Channel) Close() {
 
 // PublishPaced publishes the packets honoring their send times against the
 // clock, stopping early if ctx is cancelled. It is the bridge between a
-// stored/encoded packet sequence and a live broadcast.
+// stored/encoded packet sequence and a live broadcast. Each packet is
+// encoded into its shared form once, up front, so the pacing loop's
+// publishes are allocation-free.
 func (c *Channel) PublishPaced(ctx context.Context, clock vclock.Clock, packets []asf.Packet) error {
 	if clock == nil {
 		clock = vclock.Real{}
 	}
+	shared := make([]*asf.Shared, len(packets))
+	for i, p := range packets {
+		sp, err := asf.NewShared(p)
+		if err != nil {
+			return err
+		}
+		shared[i] = sp
+	}
 	start := clock.Now()
-	for _, p := range packets {
-		due := start.Add(p.SendAt)
+	for _, sp := range shared {
+		due := start.Add(sp.SendAt())
 		if wait := due.Sub(clock.Now()); wait > 0 {
 			select {
 			case <-clock.After(wait):
@@ -189,7 +220,7 @@ func (c *Channel) PublishPaced(ctx context.Context, clock vclock.Clock, packets 
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := c.Publish(p); err != nil {
+		if err := c.PublishShared(sp); err != nil {
 			return err
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/asf"
+	"repro/internal/testutil"
 )
 
 // TestDrainRefusesNewSessionsAndWaits: a draining server answers new
@@ -45,13 +46,8 @@ func TestDrainRefusesNewSessionsAndWaits(t *testing.T) {
 			}
 		}
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Stats().ActiveClients == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if srv.Stats().ActiveClients == 0 {
-		t.Fatal("session never started")
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return srv.Stats().ActiveClients > 0 },
+		"session never started")
 
 	// Draining: new sessions are refused on every streaming endpoint.
 	srv.SetDraining(true)

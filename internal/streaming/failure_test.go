@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/asf"
+	"repro/internal/testutil"
 	"repro/internal/vclock"
 )
 
@@ -44,16 +45,8 @@ func TestVODClientDisconnectMidStream(t *testing.T) {
 	cancel()
 	resp.Body.Close()
 
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if srv.Stats().ActiveClients == 0 {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
-	if got := srv.Stats().ActiveClients; got != 0 {
-		t.Fatalf("ActiveClients = %d after disconnect", got)
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return srv.Stats().ActiveClients == 0 },
+		"ActiveClients never returned to 0 after disconnect")
 }
 
 // TestLiveSubscriberDisconnectDuringBroadcast verifies a live client
@@ -76,24 +69,12 @@ func TestLiveSubscriberDisconnectDuringBroadcast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for ch.ClientCount() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if ch.ClientCount() != 1 {
-		t.Fatal("subscriber never attached")
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return ch.ClientCount() == 1 },
+		"subscriber never attached")
 	cancel()
 	resp.Body.Close()
-	for time.Now().Before(deadline) {
-		if ch.ClientCount() == 0 {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
-	if ch.ClientCount() != 0 {
-		t.Fatal("subscriber not detached after disconnect")
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return ch.ClientCount() == 0 },
+		"subscriber not detached after disconnect")
 	// Publishing still works for a fresh client.
 	sub, err := ch.Subscribe()
 	if err != nil {

@@ -53,12 +53,12 @@ func TestLateJoinDecodesCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range sub.Backlog {
-		if _, err := w.WritePacket(p); err != nil {
+		if err := w.WriteShared(p); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for p := range sub.C {
-		if _, err := w.WritePacket(p); err != nil {
+		if err := w.WriteShared(p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -68,8 +68,8 @@ func TestLateJoinDecodesCleanly(t *testing.T) {
 	}
 	// The backlog must start at a video keyframe.
 	first := sub.Backlog[0]
-	if !(first.Keyframe() && first.Kind == media.KindVideo) {
-		t.Fatalf("backlog starts with %v keyframe=%v", first.Kind, first.Keyframe())
+	if !(first.Keyframe() && first.Kind() == media.KindVideo) {
+		t.Fatalf("backlog starts with %v keyframe=%v", first.Kind(), first.Keyframe())
 	}
 
 	// Play the joined-late stream: zero broken frames (the chain starts at

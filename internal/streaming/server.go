@@ -84,6 +84,30 @@ type Asset struct {
 	// built once on first use; Packets must not change after that.
 	seekOnce sync.Once
 	seekPos  map[uint32]int
+
+	// shared caches the pre-encoded wire form of Packets, built once on
+	// first streaming use and then handed to every session — the VOD
+	// half of zero-copy serving. Packets must not change after that.
+	sharedOnce sync.Once
+	shared     []*asf.Shared
+}
+
+// SharedPackets returns the asset's packets in pre-encoded shared form
+// (asf.Shared): encoded exactly once, then written as-is by every
+// session and mirror fetch. Encoding stops at the first invalid packet,
+// matching the truncation the old per-session encode produced.
+func (a *Asset) SharedPackets() []*asf.Shared {
+	a.sharedOnce.Do(func() {
+		a.shared = make([]*asf.Shared, 0, len(a.Packets))
+		for _, p := range a.Packets {
+			sp, err := asf.NewShared(p)
+			if err != nil {
+				break
+			}
+			a.shared = append(a.shared, sp)
+		}
+	})
+	return a.shared
 }
 
 // Bytes returns the total payload size.
@@ -143,6 +167,10 @@ type ServerStats struct {
 // assets and channels, and expose via Handler.
 type Server struct {
 	clock vclock.Clock
+	// pacer batches every paced VOD session's sleeps onto shared slot
+	// timers (vclock.Wheel): thousands of concurrent sessions share a
+	// handful of timer slots instead of allocating a timer per packet.
+	pacer *vclock.Wheel
 
 	mu       sync.RWMutex
 	assets   map[string]*Asset
@@ -177,6 +205,7 @@ func NewServer(clock vclock.Clock) *Server {
 	}
 	s := &Server{
 		clock:         clock,
+		pacer:         vclock.NewWheel(clock, vclock.DefaultGranularity),
 		assets:        make(map[string]*Asset),
 		channels:      make(map[string]*Channel),
 		assetSessions: make(map[string]int),
@@ -265,6 +294,7 @@ func (s *Server) RegisterAsset(name string, r *asf.Reader) (*Asset, error) {
 	}
 	a.Index = r.Index()
 	a.seekOnce.Do(a.buildSeekPos)
+	a.SharedPackets() // pre-encode now so the first session pays nothing
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -518,15 +548,15 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var sentPkts, sentBytes int64
-	for _, p := range asset.Packets {
+	for _, sp := range asset.SharedPackets() {
 		if r.Context().Err() != nil {
 			break
 		}
-		if _, err := writer.WritePacket(p); err != nil {
+		if err := writer.WriteShared(sp); err != nil {
 			break // mirror went away
 		}
 		sentPkts++
-		sentBytes += int64(len(p.Payload))
+		sentBytes += int64(sp.PayloadLen())
 	}
 	_ = writer.Close()
 	s.addSent(sentPkts, sentBytes)
@@ -624,18 +654,23 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 
 	start := s.clock.Now()
 	var sentPkts, sentBytes int64
-	var sendBase time.Duration
-	if firstIdx < len(asset.Packets) {
-		sendBase = asset.Packets[firstIdx].SendAt
+	shared := asset.SharedPackets()
+	if firstIdx > len(shared) {
+		firstIdx = len(shared)
 	}
-	for _, p := range asset.Packets[firstIdx:] {
+	var sendBase time.Duration
+	if firstIdx < len(shared) {
+		sendBase = shared[firstIdx].SendAt()
+	}
+	for _, sp := range shared[firstIdx:] {
 		if s.Pacing {
-			due := start.Add(p.SendAt - sendBase)
+			due := start.Add(sp.SendAt() - sendBase)
 			if wait := due.Sub(s.clock.Now()); wait > 0 {
 				s.inst.packetsPaced.Inc()
-				select {
-				case <-s.clock.After(wait):
-				case <-r.Context().Done():
+				// The wheel batches this session's sleep with every
+				// other paced session's; granularity-rounded lateness
+				// is recorded by pacingLag like any other skew.
+				if err := s.pacer.Sleep(r.Context(), wait); err != nil {
 					s.addSent(sentPkts, sentBytes)
 					return
 				}
@@ -646,14 +681,14 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 		if r.Context().Err() != nil {
 			break
 		}
-		if _, err := writer.WritePacket(p); err != nil {
+		if err := writer.WriteShared(sp); err != nil {
 			break // client went away
 		}
 		if sentPkts == 0 {
 			s.inst.firstPacketVOD.Observe(s.clock.Now().Sub(reqStart).Seconds())
 		}
 		sentPkts++
-		sentBytes += int64(len(p.Payload))
+		sentBytes += int64(sp.PayloadLen())
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -721,30 +756,54 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Replay the catch-up burst.
-	for _, p := range sub.Backlog {
-		if _, err := writer.WritePacket(p); err != nil {
+	// Replay the catch-up burst. Shared packets go out as-is: one write
+	// of the already-encoded buffer per packet, one flush for the burst.
+	for _, sp := range sub.Backlog {
+		if err := writer.WriteShared(sp); err != nil {
 			return
 		}
 		firstPacket()
 		sentPkts++
-		sentBytes += int64(len(p.Payload))
+		sentBytes += int64(sp.PayloadLen())
 	}
 	if flusher != nil {
 		flusher.Flush()
 	}
 	for {
 		select {
-		case p, open := <-sub.C:
+		case sp, open := <-sub.C:
 			if !open {
 				return // channel closed by the encoder
 			}
-			if _, err := writer.WritePacket(p); err != nil {
+			if err := writer.WriteShared(sp); err != nil {
 				return
 			}
 			firstPacket()
 			sentPkts++
-			sentBytes += int64(len(p.Payload))
+			sentBytes += int64(sp.PayloadLen())
+			// Coalesce: drain whatever else is already queued before
+			// flushing once. Under fan-out load this turns N tiny HTTP
+			// chunks into one big one — the write-batching half of the
+			// hot-path work — while an idle channel still flushes every
+			// packet immediately.
+			for drained := false; !drained; {
+				select {
+				case sp2, open2 := <-sub.C:
+					if !open2 {
+						if flusher != nil {
+							flusher.Flush()
+						}
+						return
+					}
+					if err := writer.WriteShared(sp2); err != nil {
+						return
+					}
+					sentPkts++
+					sentBytes += int64(sp2.PayloadLen())
+				default:
+					drained = true
+				}
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}

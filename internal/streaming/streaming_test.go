@@ -16,10 +16,11 @@ import (
 	"repro/internal/codec"
 	"repro/internal/encoder"
 	"repro/internal/media"
+	"repro/internal/testutil"
 )
 
 // encodeTestAsset produces a short stored lecture container.
-func encodeTestAsset(t *testing.T, dur time.Duration) []byte {
+func encodeTestAsset(t testing.TB, dur time.Duration) []byte {
 	t.Helper()
 	p, err := codec.ByName("modem-56k")
 	if err != nil {
@@ -207,8 +208,8 @@ func TestChannelPublishSubscribe(t *testing.T) {
 	// The first subscriber received the live packet.
 	select {
 	case p := <-sub.C:
-		if p.PTS != 2*time.Second {
-			t.Fatalf("live packet PTS %v", p.PTS)
+		if p.PTS() != 2*time.Second {
+			t.Fatalf("live packet PTS %v", p.PTS())
 		}
 	default:
 		t.Fatal("live packet not delivered")
@@ -340,10 +341,8 @@ func TestLiveEndpointEndToEnd(t *testing.T) {
 	}()
 
 	// Wait for the subscriber to attach, then publish and close.
-	deadline := time.Now().Add(5 * time.Second)
-	for ch.ClientCount() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return ch.ClientCount() > 0 },
+		"live subscriber never attached")
 	for i := 0; i < 10; i++ {
 		if err := ch.Publish(videoPacket(time.Duration(i)*100*time.Millisecond, i == 0, 64)); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,36 @@
+// Package testutil holds small helpers shared by the repo's test
+// suites. It must only be imported from _test.go files.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitUntil polls cond until it returns true, or fails the test with
+// the formatted message once timeout has elapsed. Polling backs off
+// from 200µs doubling to a 10ms cap, so fast conditions are caught in
+// microseconds while slow ones don't spin a core. It replaces the
+// hand-rolled `for !cond { time.Sleep(time.Millisecond) }` loops that
+// make suites both slower (fixed 1ms grain) and flakier (silent
+// fall-through when the deadline lapses without the condition).
+//
+// Must be called from the test's own goroutine: failure is reported
+// via t.Fatalf.
+func WaitUntil(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	const maxBackoff = 10 * time.Millisecond
+	for backoff := 200 * time.Microsecond; ; backoff *= 2 {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf(format, args...)
+		}
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		time.Sleep(backoff)
+	}
+}

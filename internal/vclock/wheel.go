@@ -1,0 +1,131 @@
+package vclock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// DefaultGranularity is the slot width a Wheel rounds deadlines up to
+// when the caller passes zero. One millisecond keeps pacing error well
+// under the player's stall tolerance while collapsing thousands of
+// per-session timers into a handful of slots.
+const DefaultGranularity = time.Millisecond
+
+// Wheel batches many sleepers onto shared slot timers: each deadline is
+// rounded up to the wheel's granularity and every sleeper landing in
+// the same slot shares one broadcast channel backed by one timer. N
+// paced sessions therefore cost one timer per active slot instead of
+// one timer allocation per packet per session — the batched replacement
+// for the per-session clock.After pacing loops.
+//
+// Each active slot is fired by its own short-lived goroutine rather
+// than a central scheduler: on a loaded box a single scheduler
+// goroutine becomes a serialization point (every slot's lateness
+// includes the scheduler's own wait for CPU), whereas independent slot
+// goroutines wake straight off their timers. An idle Wheel holds no
+// goroutine and needs no Stop.
+//
+// A Wheel never fires a sleeper early: After(d) closes its channel
+// between d and d+granularity after the call (plus wakeup latency). A
+// Wheel on a Virtual clock participates in the usual
+// NextDeadline/AdvanceTo driver idiom through its underlying clock.
+type Wheel struct {
+	clock Clock
+	gran  time.Duration
+
+	mu    sync.Mutex
+	slots map[int64]chan struct{}
+}
+
+// NewWheel builds a wheel over clock (nil means the real clock) with
+// the given slot granularity (non-positive means DefaultGranularity).
+func NewWheel(clock Clock, gran time.Duration) *Wheel {
+	if clock == nil {
+		clock = Real{}
+	}
+	if gran <= 0 {
+		gran = DefaultGranularity
+	}
+	return &Wheel{
+		clock: clock,
+		gran:  gran,
+		slots: make(map[int64]chan struct{}),
+	}
+}
+
+// closedSlot serves every non-positive wait without touching the wheel.
+var closedSlot = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// slotOf rounds an absolute instant up to its slot index.
+func (w *Wheel) slotOf(t time.Time) int64 {
+	g := int64(w.gran)
+	n := t.UnixNano()
+	return (n + g - 1) / g
+}
+
+// After returns a channel that is closed once the wheel's clock reaches
+// now+d, rounded up to the wheel's granularity. The channel is shared
+// by every sleeper in the same slot; it carries no value — closing is
+// the broadcast.
+func (w *Wheel) After(d time.Duration) <-chan struct{} {
+	if d <= 0 {
+		return closedSlot
+	}
+	slot := w.slotOf(w.clock.Now().Add(d))
+	w.mu.Lock()
+	ch, ok := w.slots[slot]
+	if !ok {
+		ch = make(chan struct{})
+		w.slots[slot] = ch
+		go w.fire(slot, ch)
+	}
+	w.mu.Unlock()
+	return ch
+}
+
+// Sleep blocks until d has elapsed on the wheel (rounded up to the
+// granularity) or ctx is done, returning ctx's error in that case.
+func (w *Wheel) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-w.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// fire sleeps on the wheel's clock until the slot's instant, then
+// broadcasts to every sleeper in the slot by closing its channel. The
+// slot leaves the table before the close, so a sleeper arriving for the
+// same index afterwards starts a fresh (immediately due) slot instead
+// of racing the broadcast.
+func (w *Wheel) fire(slot int64, ch chan struct{}) {
+	due := time.Unix(0, slot*int64(w.gran))
+	for {
+		wait := due.Sub(w.clock.Now())
+		if wait <= 0 {
+			break
+		}
+		<-w.clock.After(wait)
+	}
+	w.mu.Lock()
+	delete(w.slots, slot)
+	w.mu.Unlock()
+	close(ch)
+}
+
+// PendingSlots reports how many distinct slots currently have sleepers,
+// for tests and introspection.
+func (w *Wheel) PendingSlots() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.slots)
+}

@@ -1,0 +1,167 @@
+package vclock
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// advanceUntil drives a virtual clock forward in granularity steps
+// until cond holds or the budget of steps runs out. The wheel's
+// scheduler goroutine races the test goroutine for the clock's timer,
+// so each step yields briefly.
+func advanceUntil(t *testing.T, clk *Virtual, step time.Duration, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if cond() {
+			return
+		}
+		clk.Advance(step)
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("condition never held while advancing the clock")
+}
+
+func TestWheelNonPositiveWaitFiresImmediately(t *testing.T) {
+	w := NewWheel(NewVirtual(), time.Millisecond)
+	for _, d := range []time.Duration{0, -time.Second} {
+		select {
+		case <-w.After(d):
+		default:
+			t.Fatalf("After(%v) not already fired", d)
+		}
+	}
+	if err := w.Sleep(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWheelNeverFiresEarlyAndRoundsUp(t *testing.T) {
+	clk := NewVirtual()
+	w := NewWheel(clk, time.Millisecond)
+
+	// 2.5 ms rounds up to the 3 ms slot: not fired at 2 ms.
+	ch := w.After(2500 * time.Microsecond)
+	advanceUntil(t, clk, time.Millisecond, func() bool { return clk.Now().Sub(Epoch) >= 2*time.Millisecond })
+	select {
+	case <-ch:
+		t.Fatal("fired before the deadline")
+	default:
+	}
+	advanceUntil(t, clk, time.Millisecond, func() bool {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	})
+	if elapsed := clk.Now().Sub(Epoch); elapsed < 3*time.Millisecond {
+		t.Fatalf("fired at %v, before the rounded-up 3ms deadline", elapsed)
+	}
+}
+
+func TestWheelSharesSlotChannels(t *testing.T) {
+	clk := NewVirtual()
+	w := NewWheel(clk, time.Millisecond)
+	// Same slot after rounding: one channel, one pending slot.
+	a := w.After(400 * time.Microsecond)
+	b := w.After(900 * time.Microsecond)
+	if a != b {
+		t.Fatal("sleepers in one slot got distinct channels")
+	}
+	if got := w.PendingSlots(); got != 1 {
+		t.Fatalf("PendingSlots = %d, want 1", got)
+	}
+	c := w.After(5 * time.Millisecond)
+	if c == a {
+		t.Fatal("distinct slots share a channel")
+	}
+	if got := w.PendingSlots(); got != 2 {
+		t.Fatalf("PendingSlots = %d, want 2", got)
+	}
+}
+
+// TestWheelEarlierSlotPreemptsSleep: a far-future slot must not delay
+// an earlier deadline that arrives while it pends — slots fire
+// independently.
+func TestWheelEarlierSlotPreemptsSleep(t *testing.T) {
+	clk := NewVirtual()
+	w := NewWheel(clk, time.Millisecond)
+	far := w.After(time.Hour)
+	// Let the far slot's goroutine park on the hour-long timer first.
+	advanceUntil(t, clk, 0, func() bool { return clk.PendingWaiters() > 0 })
+	near := w.After(2 * time.Millisecond)
+	advanceUntil(t, clk, time.Millisecond, func() bool {
+		select {
+		case <-near:
+			return true
+		default:
+			return false
+		}
+	})
+	select {
+	case <-far:
+		t.Fatal("hour-long sleeper fired after milliseconds")
+	default:
+	}
+}
+
+func TestWheelSleepCancellation(t *testing.T) {
+	w := NewWheel(NewVirtual(), time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Sleep(ctx, time.Hour) }()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Sleep returned %v, want context.Canceled", err)
+	}
+}
+
+// TestWheelDrainsAndRestarts proves slot goroutines exit once fired and
+// fresh sleepers start fresh slots.
+func TestWheelDrainsAndRestarts(t *testing.T) {
+	clk := NewVirtual()
+	w := NewWheel(clk, time.Millisecond)
+	for round := 0; round < 3; round++ {
+		ch := w.After(time.Millisecond)
+		advanceUntil(t, clk, time.Millisecond, func() bool {
+			select {
+			case <-ch:
+				return true
+			default:
+				return false
+			}
+		})
+		advanceUntil(t, clk, 0, func() bool { return w.PendingSlots() == 0 })
+	}
+}
+
+// TestWheelManyConcurrentSleepers hammers one wheel from many
+// goroutines on the real clock — the production shape (thousands of
+// paced sessions) in miniature, and the -race target for the wheel's
+// internal locking.
+func TestWheelManyConcurrentSleepers(t *testing.T) {
+	w := NewWheel(Real{}, time.Millisecond)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			d := time.Duration(n%8+1) * time.Millisecond
+			if err := w.Sleep(context.Background(), d); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := w.PendingSlots(); got != 0 {
+		t.Fatalf("PendingSlots = %d after all sleepers woke", got)
+	}
+}

@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+// reportTopLevelKeys is every key a lod-bench/1 record must carry. The
+// list is asserted against the raw JSON (not the decoded struct) so a
+// field dropped from the writer — or renamed, silently orphaning the
+// committed records — fails here rather than in a downstream consumer.
+var reportTopLevelKeys = []string{
+	"schema", "scenario", "description", "generatedAt", "goVersion", "numCPU",
+	"goMaxProcs", "config", "wallSeconds", "sessions", "startupMs",
+	"pacingJitterMs", "rebuffer", "throughput", "perf", "cluster",
+}
+
+// TestCommittedBenchRecordsMatchSchema golden-tests every BENCH_*.json
+// at the repo root against the lod-bench/1 schema: strict decode (no
+// unknown fields), the exact schema tag, all top-level keys present,
+// and a populated perf block. Each committed record is a contract with
+// whoever plots it; this is the regression net for the writer and the
+// records drifting apart.
+func TestCommittedBenchRecordsMatchSchema(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_*.json records found at the repo root")
+	}
+	for _, path := range paths {
+		t.Run(path, func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Strict decode: a record with fields the current Report
+			// doesn't know about was written by a different schema.
+			dec := json.NewDecoder(bytes.NewReader(data))
+			dec.DisallowUnknownFields()
+			var rep loadgen.Report
+			if err := dec.Decode(&rep); err != nil {
+				t.Fatalf("strict decode: %v", err)
+			}
+			if rep.Schema != loadgen.ReportSchema {
+				t.Fatalf("schema = %q, want %q", rep.Schema, loadgen.ReportSchema)
+			}
+			if rep.Scenario == "" || rep.GeneratedAt == "" || rep.GoVersion == "" {
+				t.Fatalf("provenance fields missing: scenario=%q generatedAt=%q goVersion=%q",
+					rep.Scenario, rep.GeneratedAt, rep.GoVersion)
+			}
+			if rep.NumCPU < 1 || rep.GoMaxProcs < 1 {
+				t.Fatalf("cpu fields missing: numCPU=%d goMaxProcs=%d", rep.NumCPU, rep.GoMaxProcs)
+			}
+			if rep.WallSeconds <= 0 {
+				t.Fatalf("wallSeconds = %v", rep.WallSeconds)
+			}
+			if rep.Sessions.Requested < 1 {
+				t.Fatalf("sessions.requested = %d", rep.Sessions.Requested)
+			}
+
+			// The perf block is the PR-over-PR speed signal: every
+			// scenario serves packets, so all four rates must be set.
+			p := rep.Perf
+			if p.PacketsPerSec <= 0 || p.BytesPerSec <= 0 || p.AllocsPerPacket <= 0 || p.NsPerPacket <= 0 {
+				t.Fatalf("perf block not populated: %+v", p)
+			}
+
+			// Key presence on the raw document: zero-valued struct fields
+			// decode fine, so the struct alone can't prove the writer
+			// still emits every field.
+			var raw map[string]json.RawMessage
+			if err := json.Unmarshal(data, &raw); err != nil {
+				t.Fatal(err)
+			}
+			for _, key := range reportTopLevelKeys {
+				if _, ok := raw[key]; !ok {
+					t.Errorf("top-level key %q missing", key)
+				}
+			}
+			if len(raw) != len(reportTopLevelKeys) {
+				t.Errorf("record has %d top-level keys, schema lists %d", len(raw), len(reportTopLevelKeys))
+			}
+		})
+	}
+}
