@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS := ./...
 
-.PHONY: all build test vet fmt-check lint fuzz-smoke race bench bench-smoke bench-profile bench-cluster bench-churn bench-fanout
+.PHONY: all build test vet fmt-check lint fuzz-smoke race bench bench-smoke bench-profile bench-cluster bench-churn bench-fanout bench-scale bench-scale-smoke
 
 all: build test vet fmt-check lint
 
@@ -78,3 +78,17 @@ bench-churn:
 # GOMAXPROCS=1 makes the number a per-core serving capacity.
 bench-fanout:
 	GOMAXPROCS=1 $(GO) run ./cmd/lodbench -scenario fanout -clients 7500 -edges 1 -out BENCH_fanout.json
+
+# "10× the cluster": 10k mixed-workload clients over a 16-edge fleet,
+# the population split across 8 shard drivers. The record's
+# cluster.redirectsPerSec and shards block are the headline numbers.
+bench-scale:
+	$(GO) run ./cmd/lodbench -scenario scale -clients 10000 -edges 16 -shards 8 -out BENCH_scale.json
+
+# The CI tier of the scale scenario: small enough for seconds, but the
+# same 16-edge fleet and sharded drivers, gated on zero session
+# failures (lodbench exits nonzero on any) and on startup p99 staying
+# under a generous regression bound.
+bench-scale-smoke:
+	$(GO) run ./cmd/lodbench -scenario 'scale?rate=400' -clients 400 -edges 16 -shards 4 \
+		-assert-startup-p99 2s -out BENCH_scale_smoke.json

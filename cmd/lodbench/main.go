@@ -8,6 +8,7 @@
 //	lodbench -scenario mixed -clients 1000 -edges 3     # writes BENCH_cluster.json
 //	lodbench -scenario smoke -out BENCH_smoke.json      # the seconds-long CI variant
 //	lodbench -scenario churn -clients 400 -edges 3      # kill/restart edges mid-run (BENCH_churn.json)
+//	lodbench -scenario scale -clients 10000 -edges 16 -shards 8   # sharded drivers (BENCH_scale.json)
 //	lodbench -scenario 'mixed?assets=12&rate=400'       # query-style overrides
 //	lodbench -scenarios                                 # list scenarios
 //
@@ -26,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
@@ -46,10 +48,12 @@ func run(args []string) error {
 	scenarios := fs.Bool("scenarios", false, "list load scenarios and exit")
 	clients := fs.Int("clients", 1000, "virtual clients to run (cluster mode)")
 	edges := fs.Int("edges", 3, "edge nodes in the cluster (cluster mode)")
+	shards := fs.Int("shards", 0, "shard drivers to split the client population across (cluster mode); 0 uses GOMAXPROCS")
 	out := fs.String("out", "", "benchmark record path (cluster mode); default BENCH_cluster.json for the mixed scenario, BENCH_<scenario>.json otherwise")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the scenario run to this file (cluster mode)")
 	memprofile := fs.String("memprofile", "", "write a post-run heap profile to this file (cluster mode)")
 	assertPerf := fs.Bool("assert-perf", false, "fail unless the record's perf block is populated (packetsPerSec, bytesPerSec, allocsPerPacket, nsPerPacket all nonzero)")
+	assertStartupP99 := fs.Duration("assert-startup-p99", 0, "fail when the record's startup p99 exceeds this bound (cluster mode); 0 disables the gate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,7 +65,11 @@ func run(args []string) error {
 		return nil
 	}
 	if *scenario != "" {
-		return runScenario(*scenario, *clients, *edges, *out, *cpuprofile, *memprofile, *assertPerf)
+		return runScenario(scenarioOpts{
+			spec: *scenario, clients: *clients, edges: *edges, shards: *shards,
+			out: *out, cpuprofile: *cpuprofile, memprofile: *memprofile,
+			assertPerf: *assertPerf, assertStartupP99: *assertStartupP99,
+		})
 	}
 
 	if *list {
@@ -99,17 +107,29 @@ func run(args []string) error {
 	return nil
 }
 
+// scenarioOpts is the cluster-mode flag bundle.
+type scenarioOpts struct {
+	spec                        string
+	clients, edges, shards      int
+	out, cpuprofile, memprofile string
+	assertPerf                  bool
+	assertStartupP99            time.Duration
+}
+
 // runScenario executes one load scenario and writes the record to out.
 // An empty out derives the path from the scenario name, so running a
 // side scenario can never clobber the committed benchmark of record.
 // cpuprofile/memprofile capture pprof profiles of exactly the scenario
 // run; assertPerf fails the command when the record's perf block came
-// out empty (the CI guard behind `make bench-profile`).
-func runScenario(spec string, clients, edges int, out, cpuprofile, memprofile string, assertPerf bool) error {
-	s, err := loadgen.ParseScenario(spec)
+// out empty (the CI guard behind `make bench-profile`), and
+// assertStartupP99 fails it when startup latency regressed past the
+// bound (the guard behind `make bench-scale-smoke`).
+func runScenario(o scenarioOpts) error {
+	s, err := loadgen.ParseScenario(o.spec)
 	if err != nil {
 		return err
 	}
+	out := o.out
 	if out == "" {
 		if s.Name == "mixed" {
 			out = "BENCH_cluster.json" // the benchmark of record
@@ -117,8 +137,12 @@ func runScenario(spec string, clients, edges int, out, cpuprofile, memprofile st
 			out = "BENCH_" + s.Name + ".json"
 		}
 	}
-	if cpuprofile != "" {
-		f, err := os.Create(cpuprofile)
+	shards := o.shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
 		if err != nil {
 			return err
 		}
@@ -128,13 +152,13 @@ func runScenario(spec string, clients, edges int, out, cpuprofile, memprofile st
 		}
 		defer pprof.StopCPUProfile()
 	}
-	fmt.Printf("running scenario %s: %d clients, %d edges...\n", s.Name, clients, edges)
-	rep, err := loadgen.Run(context.Background(), s, clients, edges)
+	fmt.Printf("running scenario %s: %d clients, %d edges, %d shards...\n", s.Name, o.clients, o.edges, shards)
+	rep, err := loadgen.RunSharded(context.Background(), s, o.clients, o.edges, shards)
 	if err != nil {
 		return err
 	}
-	if memprofile != "" {
-		f, err := os.Create(memprofile)
+	if o.memprofile != "" {
+		f, err := os.Create(o.memprofile)
 		if err != nil {
 			return err
 		}
@@ -163,10 +187,16 @@ func runScenario(spec string, clients, edges int, out, cpuprofile, memprofile st
 		return fmt.Errorf("%d/%d sessions failed: %v",
 			rep.Sessions.Failed, rep.Sessions.Requested, rep.Sessions.Errors)
 	}
-	if assertPerf {
+	if o.assertPerf {
 		p := rep.Perf
 		if p.PacketsPerSec <= 0 || p.BytesPerSec <= 0 || p.AllocsPerPacket <= 0 || p.NsPerPacket <= 0 {
 			return fmt.Errorf("perf block not populated: %+v", p)
+		}
+	}
+	if o.assertStartupP99 > 0 {
+		bound := float64(o.assertStartupP99) / float64(time.Millisecond)
+		if rep.StartupMs.P99 > bound {
+			return fmt.Errorf("startup p99 %.1fms exceeds the %.0fms bound", rep.StartupMs.P99, bound)
 		}
 	}
 	return nil

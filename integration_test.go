@@ -352,14 +352,43 @@ func TestRelayCluster(t *testing.T) {
 	if viaCluster.BytesRead != direct.BytesRead {
 		t.Fatalf("cluster replay read %d bytes, direct %d", viaCluster.BytesRead, direct.BytesRead)
 	}
-	// Consecutive joins between heartbeats alternate edges, so a second
-	// play lands on (and mirrors onto) the other edge.
+	// The consistent-hash ring pins the asset to one edge, so a second
+	// play lands on the same edge and is served from its mirror — the
+	// asset is mirrored once, not once per edge.
 	playVOD()
-	if _, ok := edgeA.Server.Asset("cluster-lec"); !ok {
-		t.Fatal("edge A never mirrored the asset")
+	type clusterNode struct {
+		id   string
+		edge *relay.Edge
+		ts   *httptest.Server
 	}
-	if _, ok := edgeB.Server.Asset("cluster-lec"); !ok {
-		t.Fatal("edge B never mirrored the asset")
+	pair := []clusterNode{{"edge-a", edgeA, edgeATS}, {"edge-b", edgeB, edgeBTS}}
+	prefInfo, err := registry.PickFor(proto.StreamPath(proto.StreamVOD, "cluster-lec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref, other := pair[0], pair[1]
+	if prefInfo.ID == pair[1].id {
+		pref, other = pair[1], pair[0]
+	}
+	if _, ok := pref.edge.Server.Asset("cluster-lec"); !ok {
+		t.Fatalf("preferred edge %s never mirrored the asset", pref.id)
+	}
+	if _, ok := other.edge.Server.Asset("cluster-lec"); ok {
+		t.Fatal("asset mirrored onto both edges despite ring affinity")
+	}
+	if got := origin.Stats().MirrorFetches; got != 1 {
+		t.Fatalf("origin mirror fetches = %d, want the preferred edge's single pull", got)
+	}
+
+	// The preferred edge is reported dead: the next play falls back to
+	// the other edge, which mirrors on first demand — failover costs one
+	// extra origin pull, not a reshuffle of every asset.
+	if !registry.ReportFailure(pref.id) {
+		t.Fatalf("failure report for %s ignored", pref.id)
+	}
+	playVOD()
+	if _, ok := other.edge.Server.Asset("cluster-lec"); !ok {
+		t.Fatalf("fallback edge %s never mirrored the asset", other.id)
 	}
 	if got := origin.Stats().MirrorFetches; got != 2 {
 		t.Fatalf("origin mirror fetches = %d, want one per edge", got)
@@ -367,19 +396,19 @@ func TestRelayCluster(t *testing.T) {
 	if got := origin.Stats().VODSessions; got != 1 {
 		t.Fatalf("origin VOD sessions = %d, want only the direct play", got)
 	}
-	// A third cluster play redirects back to edge A (tie-break on ID) and
-	// is served from its mirror — the cluster's first cache hit.
+	// The preferred edge revives on its next heartbeat; affinity snaps
+	// back and a third play is served from its existing mirror.
+	if err := relay.Heartbeat(nil, regTS.URL, pref.id, relay.SnapshotStats(pref.edge.Server)); err != nil {
+		t.Fatal(err)
+	}
 	playVOD()
+	if got := origin.Stats().MirrorFetches; got != 2 {
+		t.Fatalf("origin mirror fetches = %d after revival, want the mirrors to be reused", got)
+	}
 
-	// --- Redirects follow reported load: a heartbeat marking edge A busy
-	// sends the next client to edge B. Both API forms redirect, each
-	// preserving the version the client spoke. ---
-	if err := relay.Heartbeat(nil, regTS.URL, "edge-a", relay.NodeStats{ActiveClients: 9}); err != nil {
-		t.Fatal(err)
-	}
-	if err := relay.Heartbeat(nil, regTS.URL, "edge-b", relay.SnapshotStats(edgeB.Server)); err != nil {
-		t.Fatal(err)
-	}
+	// --- Both API forms redirect to the ring's preferred edge, each
+	// preserving the version the client spoke; naming that edge's host
+	// in the failover header diverts to the other. ---
 	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
 		return http.ErrUseLastResponse
 	}}
@@ -392,8 +421,21 @@ func TestRelayCluster(t *testing.T) {
 		if resp.StatusCode != http.StatusTemporaryRedirect {
 			t.Fatalf("registry status for %s = %d, want 307", path, resp.StatusCode)
 		}
-		if loc := resp.Header.Get("Location"); loc != edgeBTS.URL+path {
-			t.Fatalf("redirect went to %q, want the less-loaded edge %q", loc, edgeBTS.URL+path)
+		if loc := resp.Header.Get("Location"); loc != pref.ts.URL+path {
+			t.Fatalf("redirect went to %q, want the preferred edge %q", loc, pref.ts.URL+path)
+		}
+		req, err := http.NewRequest(http.MethodGet, regTS.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(proto.ExcludeHeader, pref.ts.URL)
+		resp, err = noFollow.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if loc := resp.Header.Get("Location"); loc != other.ts.URL+path {
+			t.Fatalf("excluded redirect went to %q, want the other edge %q", loc, other.ts.URL+path)
 		}
 	}
 

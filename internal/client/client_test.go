@@ -248,11 +248,19 @@ func TestFetchRawPackets(t *testing.T) {
 // the failover visible in Stats.
 func TestFailsOverToLiveEdge(t *testing.T) {
 	c := newCluster(t, "lec")
-	// Kill edge-a and make it the preferred pick.
-	deadURL := c.edgeTS[0].URL
-	c.edgeTS[0].Close()
-	if err := c.registry.Heartbeat("edge-b", relay.NodeStats{ActiveClients: 9}); err != nil {
+	// Kill whichever edge the consistent-hash ring prefers for the
+	// asset, so the registry's first redirect hands the client a corpse
+	// (the registry doesn't know yet — nothing reported the death).
+	preferred, err := c.registry.PickFor(proto.StreamPath(proto.StreamVOD, "lec"))
+	if err != nil {
 		t.Fatal(err)
+	}
+	var deadURL string
+	for i, id := range []string{"edge-a", "edge-b"} {
+		if id == preferred.ID {
+			deadURL = c.edgeTS[i].URL
+			c.edgeTS[i].Close()
+		}
 	}
 	cl := New(c.regTS.URL, WithBackoff(5*time.Millisecond))
 	sess, err := cl.Open(context.Background(), Spec{Kind: VOD, Name: "lec", Failover: 3})
@@ -281,8 +289,8 @@ func TestFailsOverToLiveEdge(t *testing.T) {
 	}
 	// The corpse was reported: the registry marks it dead for everyone.
 	for _, n := range c.registry.Nodes() {
-		if n.ID == "edge-a" && n.Health != proto.HealthDead {
-			t.Fatalf("edge-a health = %q, want dead", n.Health)
+		if n.ID == preferred.ID && n.Health != proto.HealthDead {
+			t.Fatalf("%s health = %q, want dead", preferred.ID, n.Health)
 		}
 	}
 }

@@ -111,6 +111,14 @@ func (f *firstByteReader) Read(p []byte) (int, error) {
 // so the report can distinguish sessions that survived via failover
 // from clean runs.
 func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResult {
+	return c.runSessionWith(ctx, c.sdk, id, kind)
+}
+
+// runSessionWith is RunSession against an explicit session SDK — shard
+// drivers pass their own so concurrent shards never share a connection
+// pool. The SDK choice changes transport affinity only; every draw
+// still derives from (seed, id), so results are SDK-independent.
+func (c *Cluster) runSessionWith(ctx context.Context, sdk *client.Client, id int, kind Kind) SessionResult {
 	s := c.Scenario
 	rng := rand.New(rand.NewSource(s.Seed<<20 + int64(id)))
 	res := SessionResult{ID: id, Kind: kind}
@@ -147,7 +155,7 @@ func (c *Cluster) RunSession(ctx context.Context, id int, kind Kind) SessionResu
 	}
 
 	t0 := clock.Now()
-	session, err := c.sdk.Open(ctx, spec)
+	session, err := sdk.Open(ctx, spec)
 	if err != nil {
 		res.Err = err.Error()
 		return res

@@ -327,6 +327,27 @@ func Scenarios() []Scenario {
 			Seed: 1,
 		},
 		{
+			Name: "scale",
+			Description: "10× the cluster: tens of thousands of mixed-workload clients over a 16-edge fleet; " +
+				"exercises the sharded load drivers and the registry's consistent-hash redirect path " +
+				"(cluster.redirectsPerSec and the shards block are the headline)",
+			Assets: 32, AssetDuration: 2 * time.Second,
+			Profile: "modem-56k", RichProfile: "dsl-300k",
+			Groups: 4, LiveChannels: 2, Slides: 2,
+			Mix: []Share{
+				{KindVOD, 55}, {KindSeek, 20}, {KindGroup, 15}, {KindLive, 10},
+			},
+			// A fast arrival ramp so the fleet holds thousands of
+			// concurrent sessions; a light link keeps the modeled last
+			// mile from becoming the bottleneck being measured.
+			Arrival:         Arrival{Process: "poisson", Rate: 1200},
+			Link:            netsim.Link{BitsPerSecond: 10_000_000, Latency: 2 * time.Millisecond},
+			ClientBandwidth: 768_000, JitterBufferDepth: 2,
+			LeadTime:         500 * time.Millisecond,
+			FailoverAttempts: 3, FailoverBackoff: 50 * time.Millisecond,
+			Seed: 1,
+		},
+		{
 			Name:        "smoke",
 			Description: "seconds-long CI mixed workload over a bounded edge cache",
 			Assets:      3, AssetDuration: 1500 * time.Millisecond,

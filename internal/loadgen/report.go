@@ -75,6 +75,24 @@ type RunConfig struct {
 	// Churn is the edge kill/restart schedule the run executed; absent
 	// when the scenario had none.
 	Churn *ChurnConfig `json:"churn,omitempty"`
+	// Shards is how many shard drivers split the client population
+	// (RunSharded); the session population itself is shard-invariant.
+	Shards int `json:"shards"`
+}
+
+// ShardInfo is one shard driver's summary in the record: which
+// contiguous slice of the population it owned and how it fared. The
+// latency distributions are NOT summarized per shard — quantiles are
+// computed once over the union of raw samples (averaging per-shard
+// p99s yields a number that is not a percentile of anything).
+type ShardInfo struct {
+	Index   int `json:"index"`
+	Clients int `json:"clients"`
+	// WallSeconds is t0 → the shard's last session finishing; the
+	// spread across shards is the merge-skew the scale scenario watches.
+	WallSeconds float64 `json:"wallSeconds"`
+	Completed   int     `json:"completed"`
+	Failed      int     `json:"failed"`
 }
 
 // ChurnConfig is the JSON form of a scenario's churn schedule.
@@ -173,12 +191,17 @@ type EdgeReport struct {
 // ClusterReport is the server-side view of the run, from metric
 // snapshot deltas.
 type ClusterReport struct {
-	Redirects     float64 `json:"redirects"`
-	NoEdge        float64 `json:"noEdge"`
-	CacheHitRate  float64 `json:"cacheHitRate"`
-	OriginMirrors float64 `json:"originMirrorFetches"`
-	OriginBytes   float64 `json:"originBytesSent"`
-	OriginLive    float64 `json:"originLiveRelays"`
+	Redirects float64 `json:"redirects"`
+	// RedirectsPerSec is the registry's redirect answer rate over the
+	// run window — the control-plane throughput the consistent-hash
+	// ring keeps flat as the fleet grows (BenchmarkRegistryRedirect
+	// measures its upper bound).
+	RedirectsPerSec float64 `json:"redirectsPerSec"`
+	NoEdge          float64 `json:"noEdge"`
+	CacheHitRate    float64 `json:"cacheHitRate"`
+	OriginMirrors   float64 `json:"originMirrorFetches"`
+	OriginBytes     float64 `json:"originBytesSent"`
+	OriginLive      float64 `json:"originLiveRelays"`
 	// NodeDeaths counts registry death marks over the run window, both
 	// reasons folded (client failure reports and graceful drains);
 	// FailureReports counts the raw client reports that drove them.
@@ -210,6 +233,9 @@ type Report struct {
 	Throughput     ThroughputInfo `json:"throughput"`
 	Perf           PerfInfo       `json:"perf"`
 	Cluster        ClusterReport  `json:"cluster"`
+	// Shards carries the per-shard driver timings; one entry per shard,
+	// ordered by index.
+	Shards []ShardInfo `json:"shards"`
 }
 
 // buildReport folds session results and metric deltas into the record.
@@ -217,7 +243,7 @@ type Report struct {
 // delta) over the swarm window, feeding Perf.AllocsPerPacket.
 func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint64,
 	results []SessionResult, registryDelta, originDelta metrics.Snapshot,
-	edgeIDs []string, edgeDeltas []metrics.Snapshot) *Report {
+	edgeIDs []string, edgeDeltas []metrics.Snapshot, shards []ShardInfo) *Report {
 
 	r := &Report{
 		Schema:      ReportSchema,
@@ -247,7 +273,9 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint
 		},
 		WallSeconds: wall.Seconds(),
 		Sessions:    SessionsInfo{Requested: len(results), ByKind: make(map[string]int)},
+		Shards:      shards,
 	}
+	r.Config.Shards = len(shards)
 	if s.Churn.Enabled() {
 		r.Config.Churn = &ChurnConfig{
 			Kills:           s.Churn.Kills,
@@ -307,6 +335,9 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint
 		OriginLive:     originDelta.Get(`lod_sessions_started_total{kind="live"}`),
 		NodeDeaths:     registryDelta.Sum("lod_registry_node_deaths_total"),
 		FailureReports: registryDelta.Get("lod_registry_failure_reports_total"),
+	}
+	if wall > 0 {
+		r.Cluster.RedirectsPerSec = r.Cluster.Redirects / wall.Seconds()
 	}
 	var hits, misses float64
 	// Histogram series render as name_count{labels}/name_sum{labels} in
@@ -401,8 +432,20 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "  delivered: %.1f MB (%.2f Mbit/s), %d video frames (%d broken)\n",
 		float64(r.Throughput.Bytes)/1e6, r.Throughput.MeanBitsPerSecond/1e6,
 		r.Throughput.VideoFrames, r.Throughput.BrokenFrames)
-	fmt.Fprintf(&b, "  cluster: %d redirects, cache hit rate %.2f, %d origin mirror fetches\n",
-		int64(r.Cluster.Redirects), r.Cluster.CacheHitRate, int64(r.Cluster.OriginMirrors))
+	fmt.Fprintf(&b, "  cluster: %d redirects (%.0f/s), cache hit rate %.2f, %d origin mirror fetches\n",
+		int64(r.Cluster.Redirects), r.Cluster.RedirectsPerSec, r.Cluster.CacheHitRate, int64(r.Cluster.OriginMirrors))
+	if len(r.Shards) > 1 {
+		min, max := r.Shards[0].WallSeconds, r.Shards[0].WallSeconds
+		for _, sh := range r.Shards[1:] {
+			if sh.WallSeconds < min {
+				min = sh.WallSeconds
+			}
+			if sh.WallSeconds > max {
+				max = sh.WallSeconds
+			}
+		}
+		fmt.Fprintf(&b, "  shards: %d drivers, wall %.1f–%.1fs\n", len(r.Shards), min, max)
+	}
 	if r.Perf.PacketsPerSec > 0 {
 		fmt.Fprintf(&b, "  serving: %.0f packets/s, %.2f MB/s, %.1f allocs/packet, %.0f ns/packet\n",
 			r.Perf.PacketsPerSec, r.Perf.BytesPerSec/1e6, r.Perf.AllocsPerPacket, r.Perf.NsPerPacket)

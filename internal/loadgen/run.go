@@ -16,18 +16,39 @@ import (
 // the arrival schedule, wait for every session to finish, and return
 // the benchmark record. It blocks for the run's wall time (bounded by
 // the arrival window plus the content length); cancel ctx to abort
-// early, which fails the in-flight sessions but still reports.
+// early, which fails the in-flight sessions but still reports. Run is
+// RunSharded with a single shard driver.
 //
 // A scenario with churn enabled additionally runs the kill/restart
 // driver alongside the swarm: edges go down mid-run and sessions are
 // expected to complete via failover (see ChurnSpec and
 // Cluster.KillEdge).
 func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
+	return RunSharded(ctx, s, clients, edges, 1)
+}
+
+// RunSharded is Run with the client population split across a pool of
+// independent shard drivers (ShardRun): shard i owns a contiguous
+// ID range, its own arrival wheel, its own SDK and HTTP connection
+// pool, and its own result buffer, so tens of thousands of concurrent
+// sessions never serialize on harness-side shared state. Which client
+// runs which session is decided before sharding from the scenario seed
+// alone, so the same seed produces the same session population — and
+// the same completion/failure totals — at any shard count; only the
+// measured timings differ. Per-shard timings are merged into one
+// record (MergeShardRuns) and reported in the record's shards block.
+func RunSharded(ctx context.Context, s Scenario, clients, edges, shards int) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	if clients < 1 {
 		return nil, fmt.Errorf("loadgen: need at least one client, got %d", clients)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("loadgen: need at least one shard, got %d", shards)
+	}
+	if shards > clients {
+		shards = clients
 	}
 	offsets, err := s.Arrival.Offsets(clients, s.Seed)
 	if err != nil {
@@ -76,22 +97,18 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 			runChurn(churnCtx, clock, cluster, s.Churn, t0, edges)
 		}()
 	}
-	results := make([]SessionResult, clients)
-	// One timer wheel schedules every client's arrival: thousands of
-	// swarm goroutines share slot timers instead of owning one each.
-	arrivals := vclock.NewWheel(clock, vclock.DefaultGranularity)
+	// The shard pool: each driver owns a contiguous ID range with its
+	// own arrival wheel, SDK, and result buffer (see ShardRun). kinds
+	// and offsets were drawn above, before the split, so the session
+	// population is shard-count-invariant.
+	bounds := shardBounds(clients, shards)
+	runs := make([]ShardRun, shards)
 	var wg sync.WaitGroup
-	for i := range results {
+	for i := 0; i < shards; i++ {
 		wg.Add(1)
-		go func(id int) {
+		go func(i int) {
 			defer wg.Done()
-			if wait := t0.Add(offsets[id]).Sub(clock.Now()); wait > 0 {
-				if err := arrivals.Sleep(ctx, wait); err != nil {
-					results[id] = SessionResult{ID: id, Kind: kinds[id], Err: err.Error()}
-					return
-				}
-			}
-			results[id] = cluster.RunSession(ctx, id, kinds[id])
+			runs[i] = cluster.runShard(ctx, i, bounds[i], bounds[i+1], kinds, offsets, t0)
 		}(i)
 	}
 	wg.Wait()
@@ -109,8 +126,9 @@ func Run(ctx context.Context, s Scenario, clients, edges int) (*Report, error) {
 		edgeDeltas[i] = e.Server.Metrics().Snapshot().Delta(edgePre[i])
 	}
 
+	results, shardInfos := MergeShardRuns(runs)
 	return buildReport(s, clients, edges, wall, allocs, results, regDelta, originDelta,
-		cluster.EdgeIDs, edgeDeltas), nil
+		cluster.EdgeIDs, edgeDeltas, shardInfos), nil
 }
 
 // runChurn executes a scenario's kill/restart schedule against the live

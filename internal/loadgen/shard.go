@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/vclock"
+)
+
+// ShardRun is one shard driver's raw output: the session results of
+// the contiguous client-ID range the shard owned, plus the shard's own
+// wall time (t0 → its last session finishing). The swarm is split
+// across a pool of independent shard drivers so nothing mutable is
+// shared on the session hot path — each shard owns its result buffer,
+// its arrival timer wheel, and its session SDK over a private HTTP
+// connection pool; the only shared objects are the MemNet (it IS the
+// network) and the cluster under test.
+type ShardRun struct {
+	Index int
+	// Start is the first global client ID in the shard; IDs are
+	// contiguous, so client IDs are Start..Start+len(Results)-1.
+	Start   int
+	Results []SessionResult
+	Wall    time.Duration
+}
+
+// shardBounds splits clients into shards near-equal contiguous ranges:
+// bounds[i]..bounds[i+1] is shard i's half-open ID range. Deterministic
+// in (clients, shards) only, so the split itself never perturbs which
+// client runs which session.
+func shardBounds(clients, shards int) []int {
+	bounds := make([]int, shards+1)
+	for i := 1; i <= shards; i++ {
+		bounds[i] = clients * i / shards
+	}
+	return bounds
+}
+
+// newSDK builds a shard-local session SDK over its own HTTP client
+// (own transport, own idle-connection pool), so concurrent shard
+// drivers contend on the network, not on a shared connection-pool
+// mutex or SDK state.
+func (c *Cluster) newSDK() *client.Client {
+	return client.New(RegistryURL,
+		client.WithHTTPClient(c.net.Client()),
+		client.WithBackoff(c.Scenario.FailoverBackoff))
+}
+
+// runShard drives the clients in [lo, hi): each arrives at
+// t0+offsets[id] on the shard's own timer wheel and runs its
+// predetermined workload kind through the shard's own SDK. Results
+// land in the shard-local buffer at id-lo; nothing here writes outside
+// the shard.
+func (c *Cluster) runShard(ctx context.Context, idx, lo, hi int, kinds []Kind, offsets []time.Duration, t0 time.Time) ShardRun {
+	clock := c.Scenario.clock()
+	sdk := c.newSDK()
+	arrivals := vclock.NewWheel(clock, vclock.DefaultGranularity)
+	results := make([]SessionResult, hi-lo)
+	var wg sync.WaitGroup
+	for j := range results {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			id := lo + j
+			if wait := t0.Add(offsets[id]).Sub(clock.Now()); wait > 0 {
+				if err := arrivals.Sleep(ctx, wait); err != nil {
+					results[j] = SessionResult{ID: id, Kind: kinds[id], Err: err.Error()}
+					return
+				}
+			}
+			results[j] = c.runSessionWith(ctx, sdk, id, kinds[id])
+		}(j)
+	}
+	wg.Wait()
+	return ShardRun{Index: idx, Start: lo, Results: results, Wall: clock.Now().Sub(t0)}
+}
+
+// MergeShardRuns folds per-shard outputs into the single ID-ordered
+// session-result slice buildReport consumes, plus the per-shard
+// summaries the record's shards block carries. The merge is
+// deterministic and order-independent — shards are sorted by index
+// before concatenation, so a report built from shuffled inputs is
+// byte-identical — and it recombines distributions from the raw
+// per-session samples: quantiles are computed downstream over the
+// union, never averaged across shards (the classic "mean of p99s"
+// mistake produces a number that is not any percentile of anything).
+func MergeShardRuns(runs []ShardRun) ([]SessionResult, []ShardInfo) {
+	sorted := append([]ShardRun(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	var results []SessionResult
+	infos := make([]ShardInfo, 0, len(sorted))
+	for _, r := range sorted {
+		info := ShardInfo{
+			Index:       r.Index,
+			Clients:     len(r.Results),
+			WallSeconds: r.Wall.Seconds(),
+		}
+		for _, res := range r.Results {
+			if res.Err != "" {
+				info.Failed++
+			} else {
+				info.Completed++
+			}
+		}
+		results = append(results, r.Results...)
+		infos = append(infos, info)
+	}
+	return results, infos
+}

@@ -1,0 +1,262 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// -update regenerates the committed merge golden from the current
+// writer: go test ./internal/loadgen -run MergeShardRunsGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestShardBounds pins the population split: contiguous, exhaustive,
+// near-equal ranges that depend on (clients, shards) alone.
+func TestShardBounds(t *testing.T) {
+	cases := []struct{ clients, shards int }{
+		{1, 1}, {10, 1}, {10, 3}, {16, 4}, {17, 4}, {10000, 8}, {7, 7},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%dc%ds", tc.clients, tc.shards), func(t *testing.T) {
+			b := shardBounds(tc.clients, tc.shards)
+			if len(b) != tc.shards+1 {
+				t.Fatalf("len(bounds) = %d, want %d", len(b), tc.shards+1)
+			}
+			if b[0] != 0 || b[tc.shards] != tc.clients {
+				t.Fatalf("bounds %v don't cover [0, %d)", b, tc.clients)
+			}
+			min, max := tc.clients, 0
+			for i := 0; i < tc.shards; i++ {
+				n := b[i+1] - b[i]
+				if n < 1 {
+					t.Fatalf("shard %d is empty: bounds %v", i, b)
+				}
+				if n < min {
+					min = n
+				}
+				if n > max {
+					max = n
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("shard sizes spread %d–%d, want near-equal: %v", min, max, b)
+			}
+		})
+	}
+}
+
+// mergeFixture is a fixed synthetic shard-pool output: three shards
+// with deliberately different latency shapes (shard 0 carries the lone
+// outlier), failures, and failovers, so the merged record exercises
+// every aggregation path without running a cluster.
+func mergeFixture() (Scenario, []ShardRun) {
+	sc := Scenario{
+		Name:        "merge-golden",
+		Description: "synthetic shard-merge fixture",
+		Assets:      2, AssetDuration: time.Second,
+		Profile: "modem-56k",
+		Mix:     []Share{{KindVOD, 3}, {KindLive, 1}},
+		Arrival: Arrival{Process: "uniform", Rate: 10},
+		Seed:    7,
+	}
+	session := func(id int, kind Kind, startup float64, stalls int, err string) SessionResult {
+		res := SessionResult{
+			ID: id, Kind: kind, Edge: "edge-1", Err: err,
+			StartupMs: startup, DurationMs: 1000,
+			Stalls: stalls, StallMs: float64(stalls) * 40,
+			MaxSkewMs: startup / 10, MeanSkewMs: startup / 20,
+			BytesRead: 1 << 14, VideoFrames: 50, SlidesShown: 2,
+		}
+		if err != "" {
+			res = SessionResult{ID: id, Kind: kind, Err: err}
+		}
+		return res
+	}
+	runs := []ShardRun{
+		{Index: 0, Start: 0, Wall: 4200 * time.Millisecond, Results: []SessionResult{
+			session(0, KindVOD, 12, 0, ""),
+			session(1, KindVOD, 900, 2, ""), // the union's p99 tail lives here
+			session(2, KindLive, 15, 0, ""),
+		}},
+		{Index: 1, Start: 3, Wall: 3900 * time.Millisecond, Results: []SessionResult{
+			session(3, KindVOD, 18, 0, ""),
+			session(4, KindVOD, 22, 1, ""),
+			session(5, KindVOD, 0, 0, "edge refused"),
+		}},
+		{Index: 2, Start: 6, Wall: 4050 * time.Millisecond, Results: []SessionResult{
+			session(6, KindLive, 25, 0, ""),
+			session(7, KindVOD, 30, 0, ""),
+			session(8, KindVOD, 28, 0, ""),
+		}},
+	}
+	// One survivor-by-failover so sessions.failedOver is nonzero.
+	runs[2].Results[1].Failovers = 1
+	runs[2].Results[1].Retries = 2
+	return sc, runs
+}
+
+// mergedReport folds the fixture runs into a full record and strips the
+// environment-dependent provenance so the bytes are machine-stable.
+func mergedReport(sc Scenario, runs []ShardRun) *Report {
+	results, infos := MergeShardRuns(runs)
+	rep := buildReport(sc, len(results), 2, 4200*time.Millisecond, 0, results,
+		metrics.Snapshot{}, metrics.Snapshot{}, nil, nil, infos)
+	rep.GeneratedAt = "2026-01-01T00:00:00Z"
+	rep.GoVersion = "go-fixed"
+	rep.NumCPU = 1
+	rep.GoMaxProcs = 1
+	return rep
+}
+
+// TestMergeShardRunsGolden is the merge's byte-stability contract: the
+// record built from the fixture matches the committed golden exactly,
+// and feeding the shards in any order produces the identical bytes —
+// the merge sorts by shard index, it does not trust arrival order.
+func TestMergeShardRunsGolden(t *testing.T) {
+	sc, runs := mergeFixture()
+	var got bytes.Buffer
+	if err := mergedReport(sc, runs).WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	shuffled := []ShardRun{runs[2], runs[0], runs[1]}
+	var again bytes.Buffer
+	if err := mergedReport(sc, shuffled).WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), again.Bytes()) {
+		t.Fatal("merge is order-dependent: shuffled shard input changed the record bytes")
+	}
+
+	golden := filepath.Join("testdata", "merge_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("merged record drifted from golden %s (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+			golden, got.Bytes(), want)
+	}
+}
+
+// TestMergeQuantileRecombination pins the percentile math: the merged
+// p99 is the p99 of the union of raw samples, not the mean of per-shard
+// p99s — the classic aggregation bug this test exists to catch. The
+// fixture puts the whole tail in shard 0, so the two numbers differ by
+// an order of magnitude.
+func TestMergeQuantileRecombination(t *testing.T) {
+	sc, runs := mergeFixture()
+	rep := mergedReport(sc, runs)
+
+	var union []float64
+	var meanOfP99s float64
+	for _, r := range runs {
+		var startups []float64
+		for _, res := range r.Results {
+			if res.Err == "" {
+				startups = append(startups, res.StartupMs)
+			}
+		}
+		union = append(union, startups...)
+		meanOfP99s += quantiles(startups).P99
+	}
+	meanOfP99s /= float64(len(runs))
+
+	wantP99 := quantiles(union).P99
+	if rep.StartupMs.P99 != wantP99 {
+		t.Errorf("merged p99 = %v, want union p99 %v", rep.StartupMs.P99, wantP99)
+	}
+	if rep.StartupMs.P99 == meanOfP99s {
+		t.Errorf("merged p99 equals the mean of per-shard p99s (%v); the fixture no longer discriminates", meanOfP99s)
+	}
+	if wantP99 < 5*meanOfP99s/3 && meanOfP99s < 5*wantP99/3 {
+		t.Errorf("fixture too tame: union p99 %v vs mean-of-p99s %v should differ sharply", wantP99, meanOfP99s)
+	}
+
+	// The shards block mirrors the fixture.
+	if len(rep.Shards) != len(runs) {
+		t.Fatalf("shards block has %d entries, want %d", len(rep.Shards), len(runs))
+	}
+	if rep.Config.Shards != len(runs) {
+		t.Errorf("config.shards = %d, want %d", rep.Config.Shards, len(runs))
+	}
+	totalClients, completed, failed := 0, 0, 0
+	for i, sh := range rep.Shards {
+		if sh.Index != i {
+			t.Errorf("shards[%d].index = %d, want sorted order", i, sh.Index)
+		}
+		totalClients += sh.Clients
+		completed += sh.Completed
+		failed += sh.Failed
+	}
+	if totalClients != rep.Sessions.Requested {
+		t.Errorf("shard clients sum to %d, sessions.requested = %d", totalClients, rep.Sessions.Requested)
+	}
+	if completed != rep.Sessions.Completed || failed != rep.Sessions.Failed {
+		t.Errorf("shard totals %d/%d, sessions block %d/%d",
+			completed, failed, rep.Sessions.Completed, rep.Sessions.Failed)
+	}
+}
+
+// TestRunShardedShardCountInvariant is the determinism contract behind
+// -shards: the same seed produces the same session population — the
+// same kinds, the same completion and failure totals, the same frames
+// delivered — at any shard count; only the measured timings move.
+func TestRunShardedShardCountInvariant(t *testing.T) {
+	s, err := ParseScenario("smoke?rate=120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, edges = 24, 2
+	one, err := RunSharded(context.Background(), s, clients, edges, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunSharded(context.Background(), s, clients, edges, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if one.Config.Shards != 1 || four.Config.Shards != 4 {
+		t.Fatalf("config.shards = %d / %d, want 1 / 4", one.Config.Shards, four.Config.Shards)
+	}
+	if len(one.Shards) != 1 || len(four.Shards) != 4 {
+		t.Fatalf("shards blocks = %d / %d entries, want 1 / 4", len(one.Shards), len(four.Shards))
+	}
+	if one.Sessions.Requested != clients || four.Sessions.Requested != clients {
+		t.Fatalf("requested = %d / %d, want %d", one.Sessions.Requested, four.Sessions.Requested, clients)
+	}
+	if one.Sessions.Failed != 0 || four.Sessions.Failed != 0 {
+		t.Fatalf("failures: shards=1 %v, shards=4 %v", one.Sessions.Errors, four.Sessions.Errors)
+	}
+	if one.Sessions.Completed != four.Sessions.Completed {
+		t.Errorf("completed = %d vs %d across shard counts", one.Sessions.Completed, four.Sessions.Completed)
+	}
+	if !reflect.DeepEqual(one.Sessions.ByKind, four.Sessions.ByKind) {
+		t.Errorf("session mix moved with the shard count: %v vs %v", one.Sessions.ByKind, four.Sessions.ByKind)
+	}
+	if one.Throughput.VideoFrames != four.Throughput.VideoFrames ||
+		one.Throughput.SlidesShown != four.Throughput.SlidesShown {
+		t.Errorf("delivered media moved with the shard count: %+v vs %+v", one.Throughput, four.Throughput)
+	}
+	var clientsAcross int
+	for _, sh := range four.Shards {
+		clientsAcross += sh.Clients
+	}
+	if clientsAcross != clients {
+		t.Errorf("4-shard split covers %d clients, want %d", clientsAcross, clients)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -48,6 +49,13 @@ const ExcludeHeader = proto.ExcludeHeader
 // nodes) but takes no redirects until it explicitly re-registers —
 // heartbeats alone cannot resurrect it, so a heartbeat racing a
 // deliberate shutdown never undoes the drain.
+//
+// Redirects for asset-keyed requests route through a consistent-hash
+// ring (hashRing) over the eligible nodes, so each asset concentrates
+// on one edge and Pick is a binary search instead of a table scan; the
+// ring is rebuilt on membership changes and swapped atomically, and
+// PickFor falls back to the least-loaded eligible node when the ring's
+// choice is dead, draining, expired, or excluded.
 type Registry struct {
 	clock vclock.Clock
 	// TTL overrides DefaultNodeTTL when positive.
@@ -59,9 +67,27 @@ type Registry struct {
 	reports      *metrics.Counter
 	deathFailure *metrics.Counter
 	deathDrain   *metrics.Counter
+	ringHits     *metrics.Counter
+	ringFallback *metrics.Counter
+
+	// ring is the consistent-hash ring over the eligible nodes, swapped
+	// atomically on every membership change so PickFor can do its
+	// lookup without g.mu (a reader never sees a torn ring; staleness is
+	// handled by re-validating the chosen node under the lock).
+	ring atomic.Pointer[hashRing]
 
 	mu    sync.Mutex
 	nodes map[string]*regNode
+	// eligible is the incrementally maintained not-dead, not-draining
+	// subset of nodes — the least-loaded fallback scans it instead of
+	// re-filtering the whole table (TTL expiry is still checked per
+	// candidate: it is passive and cannot maintain a list). Membership
+	// invariant: n is in eligible iff !n.dead && !n.draining.
+	eligible []*regNode
+	// byRef resolves every name a client may know a node by — ID, URL,
+	// and URL host — in O(1), replacing the per-request scan the
+	// exclude-list handling and failure reports used to do.
+	byRef map[string]*regNode
 }
 
 type regNode struct {
@@ -88,10 +114,10 @@ type regNode struct {
 	redirects *metrics.Counter
 }
 
-// matches reports whether ref names this node: its ID, its URL, or its
-// URL's host.
-func (n *regNode) matches(ref string) bool {
-	return ref != "" && (ref == n.info.ID || ref == n.info.URL || ref == n.host)
+// refs returns every name a client may know this node by: its ID, its
+// URL, and its URL's host.
+func (n *regNode) refs() [3]string {
+	return [3]string{n.info.ID, n.info.URL, n.host}
 }
 
 // NewRegistry creates a registry on the given clock (nil = real clock).
@@ -99,10 +125,17 @@ func NewRegistry(clock vclock.Clock) *Registry {
 	if clock == nil {
 		clock = vclock.Real{}
 	}
-	g := &Registry{clock: clock, nodes: make(map[string]*regNode), metrics: metrics.NewRegistry()}
+	g := &Registry{
+		clock:   clock,
+		nodes:   make(map[string]*regNode),
+		byRef:   make(map[string]*regNode),
+		metrics: metrics.NewRegistry(),
+	}
 	g.redirects = g.metrics.Counter("lod_registry_redirects_total", "Client redirects issued to edges.")
 	g.noNode = g.metrics.Counter("lod_registry_no_edge_total", "Client requests refused because no edge was live.")
 	g.reports = g.metrics.Counter("lod_registry_failure_reports_total", "Client reports of a failed edge fetch.")
+	g.ringHits = g.metrics.Counter("lod_registry_ring_hits_total", "Keyed redirects served by the consistent-hash ring's preferred node.")
+	g.ringFallback = g.metrics.Counter("lod_registry_ring_fallbacks_total", "Keyed redirects that fell back to least-loaded (preferred node dead, draining, expired, or excluded).")
 	deaths := "Nodes marked dead before TTL expiry, by reason."
 	g.deathFailure = g.metrics.Counter("lod_registry_node_deaths_total", deaths, metrics.Label{Key: "reason", Value: "failure"})
 	g.deathDrain = g.metrics.Counter("lod_registry_node_deaths_total", deaths, metrics.Label{Key: "reason", Value: "drain"})
@@ -129,6 +162,61 @@ func (g *Registry) ttl() time.Duration {
 	return DefaultNodeTTL
 }
 
+// syncEligibilityLocked reconciles n's membership in the eligible list
+// with its dead/draining flags and rebuilds the ring when membership
+// changed. Callers capture `was` (the membership before mutating the
+// flags) and call this after. Holding g.mu is required.
+func (g *Registry) syncEligibilityLocked(n *regNode, was bool) {
+	is := !n.dead && !n.draining
+	if is == was {
+		return
+	}
+	if is {
+		g.eligible = append(g.eligible, n)
+	} else {
+		g.dropEligibleLocked(n)
+	}
+	g.rebuildRingLocked()
+}
+
+// dropEligibleLocked removes n from the eligible list (no-op when
+// absent). Mutation-path only; the pick path never calls it.
+func (g *Registry) dropEligibleLocked(n *regNode) {
+	for i, e := range g.eligible {
+		if e == n {
+			g.eligible = append(g.eligible[:i], g.eligible[i+1:]...)
+			return
+		}
+	}
+}
+
+// rebuildRingLocked rebuilds the consistent-hash ring from the current
+// eligible list and publishes it atomically. Holding g.mu serializes
+// writers; readers load the pointer lock-free.
+func (g *Registry) rebuildRingLocked() {
+	g.ring.Store(buildRing(g.eligible))
+}
+
+// setRefsLocked points every ref of n (ID, URL, host) at n in the byRef
+// index; dropRefsLocked removes them, but only where the index still
+// points at n — two nodes registered on the same URL must not unhook
+// each other.
+func (g *Registry) setRefsLocked(n *regNode) {
+	for _, ref := range n.refs() {
+		if ref != "" {
+			g.byRef[ref] = n
+		}
+	}
+}
+
+func (g *Registry) dropRefsLocked(n *regNode) {
+	for _, ref := range n.refs() {
+		if ref != "" && g.byRef[ref] == n {
+			delete(g.byRef, ref)
+		}
+	}
+}
+
 // pruneLocked drops nodes not seen for pruneAfterTTLs TTLs — long-dead
 // corpses and drained nodes that never came back. Callers hold g.mu.
 // Alive nodes are never eligible: staying alive requires heartbeats,
@@ -137,10 +225,17 @@ func (g *Registry) ttl() time.Duration {
 // exactly like after a registry restart.
 func (g *Registry) pruneLocked() {
 	cut := g.clock.Now().Add(-time.Duration(pruneAfterTTLs) * g.ttl())
+	pruned := false
 	for id, n := range g.nodes {
 		if n.lastSeen.Before(cut) {
 			delete(g.nodes, id)
+			g.dropRefsLocked(n)
+			g.dropEligibleLocked(n)
+			pruned = true
 		}
+	}
+	if pruned {
+		g.rebuildRingLocked()
 	}
 }
 
@@ -183,9 +278,15 @@ func (g *Registry) Register(info NodeInfo) error {
 	defer g.mu.Unlock()
 	g.pruneLocked()
 	n := g.nodes[info.ID]
+	was := false
 	if n == nil {
 		n = &regNode{}
 		g.nodes[info.ID] = n
+	} else {
+		was = !n.dead && !n.draining
+		// Re-registration may move the node to a new URL; unhook the old
+		// refs before indexing the new ones.
+		g.dropRefsLocked(n)
 	}
 	n.info = info
 	n.host = u.Host
@@ -193,6 +294,8 @@ func (g *Registry) Register(info NodeInfo) error {
 	n.lastSeen = g.clock.Now()
 	n.dead = false
 	n.draining = false
+	g.setRefsLocked(n)
+	g.syncEligibilityLocked(n, was)
 	return nil
 }
 
@@ -210,10 +313,12 @@ func (g *Registry) Heartbeat(id string, stats NodeStats) error {
 	if !ok {
 		return ErrUnknownNode
 	}
+	was := !n.dead && !n.draining
 	n.stats = stats
 	n.assigned = 0
 	n.lastSeen = g.clock.Now()
 	n.dead = false
+	g.syncEligibilityLocked(n, was)
 	return nil
 }
 
@@ -227,12 +332,10 @@ func (g *Registry) ReportFailure(ref string) bool {
 	g.reports.Inc()
 	g.mu.Lock()
 	var killed bool
-	for _, n := range g.nodes {
-		if n.matches(ref) && !n.dead && !n.draining {
-			n.dead = true
-			killed = true
-			break
-		}
+	if n := g.byRef[ref]; n != nil && !n.dead && !n.draining {
+		n.dead = true
+		g.syncEligibilityLocked(n, true)
+		killed = true
 	}
 	g.mu.Unlock()
 	if killed {
@@ -253,7 +356,9 @@ func (g *Registry) Deregister(id string) bool {
 	n, ok := g.nodes[id]
 	marked := ok && !n.draining
 	if marked {
+		was := !n.dead
 		n.draining = true
+		g.syncEligibilityLocked(n, was)
 	}
 	g.mu.Unlock()
 	if marked {
@@ -313,19 +418,73 @@ func (g *Registry) Nodes() []NodeStatus {
 // excluded Pick returns ErrNoNodes and the client should drop its
 // stale exclusions and retry.
 func (g *Registry) Pick(exclude ...string) (NodeInfo, error) {
+	return g.PickFor("", exclude...)
+}
+
+// PickFor selects the node serving key — a stream path in its
+// unversioned form (proto.StreamPath), e.g. "/vod/lec-3" — and counts
+// the assignment. A non-empty key routes through the consistent-hash
+// ring: the preferred node is an O(log n) lookup, computable without
+// scanning the node table, and stable across requests, so each asset
+// concentrates on one edge and the cluster mirrors it once instead of
+// once per edge. When the preferred node is dead, draining, expired,
+// or excluded — or the key is empty — PickFor falls back to the
+// least-loaded eligible node, exactly the old Pick behaviour.
+//
+// The ring lookup runs lock-free on an atomically published ring; only
+// the validation and load accounting take g.mu. The whole path is
+// allocation-free for exclude lists up to 8 entries (the failover SDK
+// never accumulates more than the edge count).
+func (g *Registry) PickFor(key string, exclude ...string) (NodeInfo, error) {
+	var preferred *regNode
+	if key != "" {
+		if r := g.ring.Load(); r != nil {
+			preferred = r.pick(key)
+		}
+	}
+
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	cut := g.clock.Now().Add(-g.ttl())
-	var best *regNode
-next:
-	for _, n := range g.nodes {
-		if n.dead || n.draining || n.lastSeen.Before(cut) {
-			continue
+	// Resolve the exclude refs to nodes once, O(1) each via the byRef
+	// index — the old code re-matched every node against every ref on
+	// every request. The stack buffer keeps the hot path alloc-free.
+	var exclBuf [8]*regNode
+	excl := exclBuf[:0]
+	for _, ref := range exclude {
+		if n := g.byRef[ref]; n != nil {
+			excl = append(excl, n)
 		}
-		for _, ref := range exclude {
-			if n.matches(ref) {
-				continue next
+	}
+	usable := func(n *regNode) bool {
+		if n.dead || n.draining || n.lastSeen.Before(cut) {
+			return false
+		}
+		for _, x := range excl {
+			if x == n {
+				return false
 			}
+		}
+		return true
+	}
+
+	if preferred != nil {
+		if usable(preferred) {
+			preferred.assigned++
+			preferred.redirects.Inc()
+			g.ringHits.Inc()
+			return preferred.info, nil
+		}
+		g.ringFallback.Inc()
+	}
+
+	// Least-loaded fallback (and the whole path for unkeyed picks): scan
+	// the incrementally maintained eligible list — dead and draining
+	// nodes never appear in it, so a table full of corpses costs nothing.
+	var best *regNode
+	for _, n := range g.eligible {
+		if !usable(n) {
+			continue
 		}
 		if best == nil || n.load() < best.load() ||
 			(n.load() == best.load() && n.info.ID < best.info.ID) {
@@ -353,11 +512,14 @@ next:
 //	GET  {/v1}/registry/nodes          — JSON list of proto.NodeStatus
 //	                                     (health + heartbeat age per node)
 //	GET  {/v1}/vod/..., /live/..., /group/...
-//	                                   — 307 redirect to the least-loaded
-//	                                     edge, path and query preserved;
-//	                                     nodes named in the
-//	                                     proto.ExcludeHeader are skipped;
-//	                                     503 when no edge is live
+//	                                   — 307 redirect to the edge the
+//	                                     consistent-hash ring assigns the
+//	                                     stream path (least-loaded when
+//	                                     that node is down), path and
+//	                                     query preserved; nodes named in
+//	                                     the proto.ExcludeHeader are
+//	                                     skipped; 503 when no edge is
+//	                                     live
 func (g *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	proto.HandleFunc(mux, proto.PathRegister, g.handleRegister)
@@ -457,7 +619,10 @@ func (g *Registry) handleNodes(w http.ResponseWriter, _ *http.Request) {
 
 func (g *Registry) handleRedirect(w http.ResponseWriter, r *http.Request) {
 	exclude := proto.SplitExclude(r.Header.Get(proto.ExcludeHeader))
-	node, err := g.Pick(exclude...)
+	// The ring key is the unversioned escaped path, so /v1/vod/x and its
+	// legacy alias /vod/x land on the same edge, and the query (seek
+	// offsets, bandwidth) never splits an asset across nodes.
+	node, err := g.PickFor(proto.Unversioned(r.URL.EscapedPath()), exclude...)
 	if err != nil {
 		g.noNode.Inc()
 		proto.WriteError(w, http.StatusServiceUnavailable, err.Error())

@@ -20,6 +20,17 @@ var reportTopLevelKeys = []string{
 	"pacingJitterMs", "rebuffer", "throughput", "perf", "cluster",
 }
 
+// reportOptionalKeys are keys the current writer always emits but
+// historical records legitimately lack. BENCH_fanout_before.json is the
+// pre-zero-copy baseline of a before/after comparison — regenerating it
+// with today's code would destroy the "before" — so keys added to the
+// schema after it was frozen are optional on read, required on write
+// (the sharded-merge golden and the record consistency checks below
+// cover the writer side).
+var reportOptionalKeys = map[string]bool{
+	"shards": true, // added with the sharded load drivers (lodbench -shards)
+}
+
 // TestCommittedBenchRecordsMatchSchema golden-tests every BENCH_*.json
 // at the repo root against the lod-bench/1 schema: strict decode (no
 // unknown fields), the exact schema tag, all top-level keys present,
@@ -85,8 +96,53 @@ func TestCommittedBenchRecordsMatchSchema(t *testing.T) {
 					t.Errorf("top-level key %q missing", key)
 				}
 			}
-			if len(raw) != len(reportTopLevelKeys) {
-				t.Errorf("record has %d top-level keys, schema lists %d", len(raw), len(reportTopLevelKeys))
+			extra := len(raw) - len(reportTopLevelKeys)
+			for key := range reportOptionalKeys {
+				if _, ok := raw[key]; ok {
+					extra--
+				}
+			}
+			if extra != 0 {
+				t.Errorf("record has %d top-level keys, schema lists %d required + %d optional",
+					len(raw), len(reportTopLevelKeys), len(reportOptionalKeys))
+			}
+
+			// Records carrying the shards block must be self-consistent:
+			// the block mirrors config.shards, covers the whole
+			// population, and its totals reconcile with the sessions
+			// block — the cross-check that the sharded merge did not
+			// drop or double-count anyone.
+			if _, ok := raw["shards"]; ok {
+				if rep.Config.Shards != len(rep.Shards) {
+					t.Errorf("config.shards = %d but shards block has %d entries",
+						rep.Config.Shards, len(rep.Shards))
+				}
+				clients, completed, failed := 0, 0, 0
+				for i, sh := range rep.Shards {
+					if sh.Index != i {
+						t.Errorf("shards[%d].index = %d, want sorted order", i, sh.Index)
+					}
+					if sh.WallSeconds <= 0 {
+						t.Errorf("shards[%d].wallSeconds = %v", i, sh.WallSeconds)
+					}
+					clients += sh.Clients
+					completed += sh.Completed
+					failed += sh.Failed
+				}
+				if clients != rep.Sessions.Requested {
+					t.Errorf("shard clients sum to %d, sessions.requested = %d",
+						clients, rep.Sessions.Requested)
+				}
+				if completed != rep.Sessions.Completed || failed != rep.Sessions.Failed {
+					t.Errorf("shard totals %d completed / %d failed, sessions block %d / %d",
+						completed, failed, rep.Sessions.Completed, rep.Sessions.Failed)
+				}
+				// redirectsPerSec rides the same window as wallSeconds.
+				want := rep.Cluster.Redirects / rep.WallSeconds
+				if diff := rep.Cluster.RedirectsPerSec - want; diff > 1e-6 || diff < -1e-6 {
+					t.Errorf("cluster.redirectsPerSec = %v, want redirects/wall = %v",
+						rep.Cluster.RedirectsPerSec, want)
+				}
 			}
 		})
 	}
