@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS := ./...
 
-.PHONY: all build test vet fmt-check lint fuzz-smoke race bench bench-smoke bench-profile bench-cluster bench-churn bench-fanout bench-scale bench-scale-smoke
+.PHONY: all build test vet fmt-check lint fuzz-smoke race bench bench-smoke bench-profile bench-cluster bench-churn bench-fanout bench-scale bench-scale-smoke bench-registrychurn bench-registrychurn-smoke
 
 all: build test vet fmt-check lint
 
@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test ./internal/proto -run='^$$' -fuzz=FuzzParseStart -fuzztime=5s
 	$(GO) test ./internal/proto -run='^$$' -fuzz=FuzzParseBandwidth -fuzztime=5s
 	$(GO) test ./internal/proto -run='^$$' -fuzz=FuzzSplitExclude -fuzztime=5s
+	$(GO) test ./internal/catalog -run='^$$' -fuzz=FuzzStateRoundTrip -fuzztime=5s
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -72,6 +73,19 @@ bench-cluster:
 
 bench-churn:
 	$(GO) run ./cmd/lodbench -scenario churn -clients 400 -edges 3 -out BENCH_churn.json
+
+# Registry kill/restart mid-run: the control plane goes down for 1.2s,
+# comes back restored from its durable catalog snapshot, and must serve
+# redirects from restored membership before any edge re-heartbeats
+# (cluster.snapshotRedirects in the record). Gated on zero session
+# failures — clients ride the outage out on their failover budget.
+bench-registrychurn:
+	$(GO) run ./cmd/lodbench -scenario registrychurn -clients 400 -edges 3 -out BENCH_registrychurn.json
+
+# The CI tier: same kill/restart cycle, seconds-long population.
+bench-registrychurn-smoke:
+	$(GO) run ./cmd/lodbench -scenario 'registrychurn?rate=60&firstkill=1s&restartafter=800ms&duration=2s' \
+		-clients 60 -edges 2 -out BENCH_registrychurn_smoke.json
 
 # The committed before/after pair is BENCH_fanout_before.json (pre
 # zero-copy serving path, saturated at 2500 clients) against this run.

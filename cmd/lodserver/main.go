@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/asf"
 	"repro/internal/capture"
+	"repro/internal/catalog"
 	"repro/internal/codec"
 	"repro/internal/encoder"
 	"repro/internal/relay"
@@ -79,6 +80,7 @@ type config struct {
 	origin     string // non-empty: run as an edge of this origin
 	edgeURL    string // advertised URL for registry registration
 	registry   string // URL → register with it; listen address → host it
+	stateDir   string // non-empty: hosted registry persists its state here
 	heartbeat  time.Duration
 	metricsOn  bool
 	pprofOn    bool
@@ -103,6 +105,7 @@ func parseConfig(args []string) (*config, error) {
 	fs.StringVar(&c.origin, "origin", "", "origin base URL; serve as an edge relaying live channels and mirroring assets from it")
 	fs.StringVar(&c.edgeURL, "edge", "", "advertised base URL of this node, required when registering with a registry")
 	fs.StringVar(&c.registry, "registry", "", `cluster registry: a URL ("http://host:9090") registers this node with it, a listen address (":9090") hosts a registry there`)
+	fs.StringVar(&c.stateDir, "state-dir", "", "directory where a hosted registry persists node membership and the content catalog; restored on restart (requires hosting the registry)")
 	fs.DurationVar(&c.heartbeat, "heartbeat", 5*time.Second, "registry heartbeat interval")
 	fs.BoolVar(&c.metricsOn, "metrics", true, "serve GET /metrics and GET /status on every role's listener")
 	fs.BoolVar(&c.pprofOn, "pprof", false, "serve net/http/pprof under /debug/pprof/ on the main listener (profile a live node without restarting it)")
@@ -125,6 +128,9 @@ func parseConfig(args []string) (*config, error) {
 	}
 	if c.cacheBytes > 0 && c.origin == "" {
 		return nil, fmt.Errorf("-cache-bytes bounds the edge mirror cache; it requires -origin")
+	}
+	if c.stateDir != "" && !c.hostsRegistry() {
+		return nil, fmt.Errorf(`-state-dir persists registry state; it requires -registry with a listen address (":9090")`)
 	}
 	return c, nil
 }
@@ -171,8 +177,9 @@ func run(args []string) error {
 	}
 
 	handler := http.Handler(nil)
+	var edge *relay.Edge
 	if c.origin != "" {
-		edge := relay.NewEdge(c.origin, srv)
+		edge = relay.NewEdge(c.origin, srv)
 		edge.CacheBytes = c.cacheBytes
 		handler = edge.Handler()
 		fmt.Printf("edge mode: pulling through from origin %s\n", c.origin)
@@ -206,7 +213,15 @@ func run(args []string) error {
 
 	errc := make(chan error, 2)
 	if c.hostsRegistry() {
-		reg := relay.NewRegistry(nil)
+		store, err := catalog.Open(c.stateDir)
+		if err != nil {
+			return fmt.Errorf("open -state-dir: %w", err)
+		}
+		reg := relay.NewRegistryWithStore(nil, store)
+		if c.stateDir != "" {
+			fmt.Printf("registry state persisted under %s (restored version %d)\n",
+				c.stateDir, reg.CatalogVersion())
+		}
 		regHandler := http.Handler(reg.Handler())
 		if c.metricsOn {
 			mux := http.NewServeMux()
@@ -217,12 +232,23 @@ func run(args []string) error {
 		fmt.Printf("cluster registry listening on %s\n", c.registry)
 		go func() { errc <- http.ListenAndServe(c.registry, regHandler) }()
 	} else if c.registry != "" {
-		info := relay.NodeInfo{ID: c.edgeURL, URL: c.edgeURL}
-		snap := func() relay.NodeStats { return relay.SnapshotStats(srv) }
+		hb := &relay.Heartbeats{
+			Registry: c.registry,
+			Info:     relay.NodeInfo{ID: c.edgeURL, URL: c.edgeURL},
+			Snapshot: func() relay.NodeStats { return relay.SnapshotStats(srv) },
+			Interval: c.heartbeat,
+		}
+		if edge != nil {
+			// Heartbeat answers carry the registry's catalog version; when
+			// it moves, re-fetch the catalog and invalidate stale mirrors.
+			hb.OnCatalog = func(uint64) {
+				if err := edge.SyncCatalogFrom(nil, c.registry); err != nil {
+					fmt.Fprintln(os.Stderr, "lodserver: catalog sync:", err)
+				}
+			}
+		}
 		fmt.Printf("registering %s with registry %s\n", c.edgeURL, c.registry)
-		go func() {
-			errc <- relay.RunHeartbeats(sigCtx, nil, c.registry, info, snap, c.heartbeat, nil)
-		}()
+		go func() { errc <- hb.Run(sigCtx) }()
 	}
 
 	fmt.Printf("LOD server listening on %s (assets: %v)\n", c.addr, srv.AssetNames())

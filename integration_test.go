@@ -28,6 +28,7 @@ import (
 	"repro/internal/relay"
 	"repro/internal/session"
 	"repro/internal/streaming"
+	"repro/internal/testutil"
 )
 
 // mountMetrics serves h with the registry's GET /metrics and GET /status
@@ -398,7 +399,7 @@ func TestRelayCluster(t *testing.T) {
 	}
 	// The preferred edge revives on its next heartbeat; affinity snaps
 	// back and a third play is served from its existing mirror.
-	if err := relay.Heartbeat(nil, regTS.URL, pref.id, relay.SnapshotStats(pref.edge.Server)); err != nil {
+	if _, err := relay.Heartbeat(nil, regTS.URL, pref.id, relay.SnapshotStats(pref.edge.Server)); err != nil {
 		t.Fatal(err)
 	}
 	playVOD()
@@ -665,5 +666,201 @@ func TestClusterEdgeCacheBounded(t *testing.T) {
 	}
 	if m["lod_edge_cache_hits_total"] < 1 {
 		t.Fatalf("hits = %v, want >= 1", m["lod_edge_cache_hits_total"])
+	}
+}
+
+// TestCatalogHotSwap drives the durable control plane end to end over
+// real sockets: a running origin/edge/registry cluster with live
+// heartbeat loops takes a brand-new publish, a republish of an asset an
+// edge has already mirrored, and an unpublish while a read is in
+// flight — each change reaching the serving tier through the catalog
+// version carried on heartbeat answers, with no restarts anywhere.
+func TestCatalogHotSwap(t *testing.T) {
+	profile, err := codec.ByName("modem-56k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(title string, dur time.Duration) []byte {
+		t.Helper()
+		lec, err := capture.NewLecture(capture.LectureConfig{
+			Title: title, Duration: dur, Profile: profile, SlideCount: 2, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := encoder.EncodeLecture(lec, encoder.Config{}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	origin := streaming.NewServer(nil)
+	origin.Pacing = false
+	gen1 := encode("swap gen 1", 4*time.Second)
+	if _, err := origin.RegisterAsset("swap-lec", asf.NewReader(bytes.NewReader(gen1))); err != nil {
+		t.Fatal(err)
+	}
+	originTS := httptest.NewServer(origin.Handler())
+	defer originTS.Close()
+
+	registry := relay.NewRegistry(nil)
+	defer registry.Close()
+	regTS := httptest.NewServer(registry.Handler())
+	defer regTS.Close()
+	if _, err := registry.PublishAsset("swap-lec"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two edges on the full production wiring: heartbeat loops whose
+	// answers carry the catalog version, re-syncing on every advance.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type node struct {
+		edge *relay.Edge
+		ts   *httptest.Server
+	}
+	var nodes []node
+	for _, id := range []string{"hot-a", "hot-b"} {
+		srv := streaming.NewServer(nil)
+		srv.Pacing = false
+		edge := relay.NewEdge(originTS.URL, srv)
+		ts := httptest.NewServer(edge.Handler())
+		defer ts.Close()
+		nodes = append(nodes, node{edge, ts})
+		hb := &relay.Heartbeats{
+			Registry: regTS.URL,
+			Info:     relay.NodeInfo{ID: id, URL: ts.URL},
+			Snapshot: func() relay.NodeStats { return relay.SnapshotStats(srv) },
+			Interval: 10 * time.Millisecond,
+			OnCatalog: func(uint64) {
+				if err := edge.SyncCatalogFrom(nil, regTS.URL); err != nil {
+					t.Logf("catalog sync: %v", err)
+				}
+			},
+		}
+		go func() { _ = hb.Run(ctx) }()
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return len(registry.Nodes()) == 2
+	}, "edges never registered")
+
+	sdk := client.New(regTS.URL)
+	play := func(name string) (*player.Metrics, error) {
+		sess, err := sdk.Open(context.Background(), client.Spec{Kind: client.VOD, Name: name})
+		if err != nil {
+			return nil, err
+		}
+		return sess.Play()
+	}
+	directBytes := func(name string) int64 {
+		t.Helper()
+		m, err := player.New(player.Options{}).PlayURL(context.Background(), originTS.URL+"/vod/"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.BytesRead
+	}
+
+	m, err := play("swap-lec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := directBytes("swap-lec"); m.BytesRead != want {
+		t.Fatalf("cluster play read %d bytes, origin serves %d", m.BytesRead, want)
+	}
+	serving := -1
+	for i, n := range nodes {
+		if _, ok := n.edge.Server.Asset("swap-lec"); ok {
+			serving = i
+		}
+	}
+	if serving < 0 {
+		t.Fatal("no edge mirrored the asset")
+	}
+
+	// --- A brand-new asset published live: origin push, then the
+	// catalog announcement. New sessions can open it immediately — the
+	// edge mirror is pulled on first demand. ---
+	hot := encode("hot lecture", 2*time.Second)
+	if err := relay.PublishAsset(nil, originTS.URL, "hot-lec", bytes.NewReader(hot)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := relay.PublishCatalog(nil, regTS.URL, proto.PublishMsg{
+		Asset: &proto.CatalogAsset{Name: "hot-lec"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = play("hot-lec"); err != nil {
+		t.Fatal(err)
+	}
+	if want := directBytes("hot-lec"); m.BytesRead != want {
+		t.Fatalf("hot-published play read %d bytes, want %d", m.BytesRead, want)
+	}
+
+	// --- Republish the mirrored asset with new bytes: the rev bump
+	// rides the next heartbeat and invalidates the stale mirror, so the
+	// next play re-pulls gen 2. ---
+	gen2 := encode("swap gen 2", 2*time.Second)
+	if err := relay.PublishAsset(nil, originTS.URL, "swap-lec", bytes.NewReader(gen2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := relay.PublishCatalog(nil, regTS.URL, proto.PublishMsg{
+		Asset: &proto.CatalogAsset{Name: "swap-lec"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		_, ok := nodes[serving].edge.Server.Asset("swap-lec")
+		return !ok
+	}, "stale mirror never invalidated after republish")
+	if m, err = play("swap-lec"); err != nil {
+		t.Fatal(err)
+	}
+	if want := directBytes("swap-lec"); m.BytesRead != want {
+		t.Fatalf("post-republish play read %d bytes, want gen 2's %d", m.BytesRead, want)
+	}
+
+	// --- Unpublish while a read is in flight: the open stream finishes
+	// on its own reference; once the catalog change propagates, new
+	// opens fail cluster-wide. ---
+	servingTS := nodes[serving].ts
+	resp, err := http.Get(servingTS.URL + "/vod/swap-lec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	inflight := asf.NewReader(resp.Body)
+	if _, err := inflight.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.UnpublishAsset(nil, originTS.URL, "swap-lec"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := relay.UnpublishCatalog(nil, regTS.URL, proto.UnpublishMsg{Asset: "swap-lec"}); err != nil {
+		t.Fatal(err)
+	}
+	packets := 0
+	for {
+		if _, err := inflight.ReadPacket(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("in-flight stream broken by unpublish: %v", err)
+		}
+		packets++
+	}
+	if packets == 0 {
+		t.Fatal("in-flight stream delivered nothing")
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		for _, n := range nodes {
+			if _, ok := n.edge.Server.Asset("swap-lec"); ok {
+				return false
+			}
+		}
+		return true
+	}, "mirrors survived the unpublish")
+	if _, err := play("swap-lec"); err == nil {
+		t.Fatal("unpublished asset still playable through the cluster")
 	}
 }

@@ -1,0 +1,48 @@
+package catalog
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// FuzzStateRoundTrip guards the restore path's strictness: any input
+// DecodeState accepts must re-encode and decode to the identical state
+// (the history is a fixed point of the codec), and obviously damaged
+// documents — truncations, trailing garbage, wrong schema — must be
+// rejected so Open walks back to the previous history entry instead of
+// restoring a half-read state.
+func FuzzStateRoundTrip(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"schema":"lod-state/1","version":1,"nodes":[],"assets":[],"groups":[]}`))
+	f.Add(EncodeState(State{Schema: StateSchema, Version: 3,
+		Nodes:  []NodeRecord{{ID: "edge-1", URL: "http://e1", Draining: true}},
+		Assets: []proto.CatalogAsset{{Name: "lec-1", Rev: 2}},
+		Groups: []proto.CatalogGroup{{Name: "grp-1", Variants: []string{"a", "b"}, Rev: 3}}}))
+	seed := EncodeState(State{Schema: StateSchema, Version: 7, SavedAt: "2026-01-01T00:00:00Z"})
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])                             // truncated
+	f.Add(append(append([]byte{}, seed...), '{'))         // trailing data
+	f.Add([]byte(`{"schema":"lod-state/0","version":1}`)) // wrong schema
+	f.Add([]byte(`{"schema":"lod-state/1","version":1,"bogus":true}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeState(data)
+		if err != nil {
+			return
+		}
+		if st.Schema != StateSchema || st.Version == 0 {
+			t.Fatalf("decode accepted invalid schema/version: %+v", st)
+		}
+		re := EncodeState(st)
+		st2, err := DecodeState(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded state failed: %v\ninput: %q\nre-encoded: %q", err, data, re)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatalf("round trip not a fixed point:\n got %+v\nwant %+v", st2, st)
+		}
+	})
+}

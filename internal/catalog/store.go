@@ -1,0 +1,323 @@
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// currentFile is the pointer file naming the history entry to restore;
+// stateFilePrefix/-Suffix frame the entries themselves
+// (state-<version>.json).
+const (
+	currentFile     = "current"
+	stateFilePrefix = "state-"
+	stateFileSuffix = ".json"
+)
+
+// defaultKeepHistory is how many history entries survive pruning. More
+// than one so a corrupt newest file has somewhere to walk back to;
+// bounded so a long-lived registry doesn't grow the directory forever.
+const defaultKeepHistory = 8
+
+// ErrClosed is returned by Apply after Close.
+var ErrClosed = errors.New("catalog: store closed")
+
+// Snapshot pairs one immutable state version with its pre-marshaled
+// catalog listing — the bytes PathCatalog serves verbatim, rendered
+// once at swap time rather than per request.
+type Snapshot struct {
+	State       State
+	CatalogJSON []byte
+	// VersionString is proto.FormatCatalogVersion(State.Version),
+	// pre-rendered so setting CatalogVersionHeader on the redirect hot
+	// path allocates nothing.
+	VersionString string
+}
+
+// Store owns the durable control-plane state. Readers load the current
+// Snapshot from an atomic pointer (lock-free, always fully consistent);
+// writers funnel through Apply, which hands the mutation to the single
+// update goroutine.
+type Store struct {
+	dir  string // "" = memory-only (tests, registries run without -state-dir)
+	keep int
+
+	cur  atomic.Pointer[Snapshot]
+	reqs chan applyReq
+
+	closeOnce sync.Once
+	closed    chan struct{} // closed by Close; loop drains and exits
+	done      chan struct{} // closed when the loop has exited
+}
+
+type applyReq struct {
+	mut  func(*State)
+	resp chan applyResp
+}
+
+type applyResp struct {
+	st  State
+	err error
+}
+
+// Open restores a store from dir, creating the directory if needed. The
+// `current` pointer names the entry to load; if it is missing,
+// unreadable, or names a corrupt/truncated file, Open walks the history
+// newest-version-first and restores the first entry that decodes — and
+// starts fresh only when none do. dir == "" opens a memory-only store
+// with no persistence (every Apply still versions and swaps
+// atomically).
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		dir:    dir,
+		keep:   defaultKeepHistory,
+		reqs:   make(chan applyReq),
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	st := State{Schema: StateSchema}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("catalog: open %s: %w", dir, err)
+		}
+		st = restore(dir)
+	}
+	s.cur.Store(newSnapshot(st))
+	go s.loop()
+	return s, nil
+}
+
+func newSnapshot(st State) *Snapshot {
+	return &Snapshot{
+		State:         st,
+		CatalogJSON:   marshalCatalog(st),
+		VersionString: proto.FormatCatalogVersion(st.Version),
+	}
+}
+
+func marshalCatalog(st State) []byte {
+	data, err := json.Marshal(st.Catalog())
+	if err != nil {
+		panic("catalog: marshal catalog: " + err.Error())
+	}
+	return append(data, '\n')
+}
+
+// restore loads the best available history entry from dir; see Open.
+func restore(dir string) State {
+	if name := readCurrent(dir); name != "" {
+		if st, err := loadStateFile(filepath.Join(dir, name)); err == nil {
+			return st
+		}
+	}
+	for _, v := range historyVersions(dir) {
+		if st, err := loadStateFile(filepath.Join(dir, stateFileName(v))); err == nil {
+			return st
+		}
+	}
+	return State{Schema: StateSchema}
+}
+
+func readCurrent(dir string) string {
+	b, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if err != nil {
+		return ""
+	}
+	name := strings.TrimSpace(string(b))
+	// The pointer names a file in dir, nothing else.
+	if name == "" || name != filepath.Base(name) {
+		return ""
+	}
+	return name
+}
+
+func loadStateFile(path string) (State, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return State{}, err
+	}
+	return DecodeState(b)
+}
+
+// historyVersions lists the state-file versions present in dir, newest
+// first.
+func historyVersions(dir string) []uint64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []uint64
+	for _, e := range entries {
+		if v, ok := parseStateFileName(e.Name()); ok {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+func stateFileName(version uint64) string {
+	return stateFilePrefix + strconv.FormatUint(version, 10) + stateFileSuffix
+}
+
+func parseStateFileName(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, stateFilePrefix)
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, stateFileSuffix)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Apply runs one mutation through the update goroutine and returns the
+// state it produced. The goroutine clones the current state, bumps the
+// version, applies mut to the clone (so mut sees the successor's
+// Version — catalog revs stamp from it), persists it, and swaps it in.
+// A mutation that changes nothing is a no-op: no version bump, no disk
+// write, and the returned state is the current one. A persist failure
+// rejects the mutation — the returned error — and keeps the current
+// state.
+func (s *Store) Apply(mut func(*State)) (State, error) {
+	req := applyReq{mut: mut, resp: make(chan applyResp, 1)}
+	select {
+	case s.reqs <- req:
+	case <-s.closed:
+		return State{}, ErrClosed
+	}
+	select {
+	case resp := <-req.resp:
+		return resp.st, resp.err
+	case <-s.closed:
+		// The loop drains racing requests after Close and answers them
+		// with ErrClosed, so the response still arrives.
+		resp := <-req.resp
+		return resp.st, resp.err
+	}
+}
+
+// Current returns the current snapshot: the state plus its
+// pre-marshaled catalog bytes.
+func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// State returns the current state.
+func (s *Store) State() State { return s.cur.Load().State }
+
+// Version returns the current state version.
+func (s *Store) Version() uint64 { return s.cur.Load().State.Version }
+
+// CatalogJSON returns the pre-marshaled catalog listing. Callers serve
+// it verbatim and must not mutate it.
+func (s *Store) CatalogJSON() []byte { return s.cur.Load().CatalogJSON }
+
+// Dir returns the history directory ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// Close stops the update goroutine; subsequent Applys return ErrClosed.
+// It does not remove the history — a successor Open(dir) restores it.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
+	<-s.done
+}
+
+func (s *Store) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case req := <-s.reqs:
+			req.resp <- s.apply(req.mut)
+		case <-s.closed:
+			// Answer senders that won the race against Close, then exit.
+			for {
+				select {
+				case req := <-s.reqs:
+					req.resp <- applyResp{err: ErrClosed}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// apply builds the successor state aside, persists it, and swaps it in.
+// Runs only on the update goroutine.
+func (s *Store) apply(mut func(*State)) applyResp {
+	cur := s.cur.Load()
+	next := cur.State.Clone()
+	next.Version++
+	// The history timestamp is provenance for operators reading the
+	// files, not an ordering signal; it is genuinely wall time.
+	next.SavedAt = time.Now().UTC().Format(time.RFC3339) //lodlint:allow wall-clock
+	mut(&next)
+	next.Schema = StateSchema
+	if next.sameContent(cur.State) {
+		return applyResp{st: cur.State}
+	}
+	if s.dir != "" {
+		if err := s.persist(next); err != nil {
+			return applyResp{err: err}
+		}
+	}
+	s.cur.Store(newSnapshot(next))
+	return applyResp{st: next}
+}
+
+// persist writes the successor to the history: the state file first,
+// then the `current` pointer, both atomically via tmp+rename, then
+// prunes entries older than the keep window. Failing before the pointer
+// flip leaves `current` naming the previous good entry.
+func (s *Store) persist(st State) error {
+	name := stateFileName(st.Version)
+	if err := writeFileAtomic(filepath.Join(s.dir, name), EncodeState(st)); err != nil {
+		return fmt.Errorf("catalog: persist state %d: %w", st.Version, err)
+	}
+	if err := writeFileAtomic(filepath.Join(s.dir, currentFile), []byte(name+"\n")); err != nil {
+		return fmt.Errorf("catalog: persist current pointer: %w", err)
+	}
+	for _, v := range historyVersions(s.dir) {
+		if st.Version-v >= uint64(s.keep) {
+			_ = os.Remove(filepath.Join(s.dir, stateFileName(v)))
+		}
+	}
+	return nil
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package catalog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func mustApply(t *testing.T, s *Store, mut func(*State)) State {
+	t.Helper()
+	st, err := s.Apply(mut)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return st
+}
+
+func TestStoreRestoresAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, s, func(st *State) {
+		st.UpsertNode(NodeRecord{ID: "edge-b", URL: "http://b"})
+		st.UpsertNode(NodeRecord{ID: "edge-a", URL: "http://a"})
+	})
+	mustApply(t, s, func(st *State) { st.PublishAsset("lec-1") })
+	mustApply(t, s, func(st *State) { st.PublishGroup("grp-1", []string{"grp-1-lean", "grp-1-rich"}) })
+	want := s.State()
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.State()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored state = %+v, want %+v", got, want)
+	}
+	if got.Version != 3 {
+		t.Fatalf("restored version = %d, want 3", got.Version)
+	}
+	if len(got.Nodes) != 2 || got.Nodes[0].ID != "edge-a" {
+		t.Fatalf("nodes not sorted/restored: %+v", got.Nodes)
+	}
+	if !bytes.Equal(s2.CatalogJSON(), s.CatalogJSON()) {
+		t.Fatalf("catalog bytes differ after restore")
+	}
+}
+
+func TestStoreWalksBackPastCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, s, func(st *State) { st.PublishAsset("lec-1") })
+	mustApply(t, s, func(st *State) { st.PublishAsset("lec-2") })
+	s.Close()
+
+	// Truncate the newest entry mid-document, as a crash during write
+	// would (tmp+rename normally prevents this; simulate disk damage).
+	newest := filepath.Join(dir, stateFileName(2))
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.State()
+	if st.Version != 1 {
+		t.Fatalf("restored version = %d, want walkback to 1", st.Version)
+	}
+	if len(st.Assets) != 1 || st.Assets[0].Name != "lec-1" {
+		t.Fatalf("walkback state assets = %+v, want [lec-1]", st.Assets)
+	}
+}
+
+func TestStoreStartsFreshWhenWholeHistoryCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, stateFileName(1)), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, currentFile), []byte(stateFileName(1)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if v := s.Version(); v != 0 {
+		t.Fatalf("version = %d, want fresh 0", v)
+	}
+}
+
+func TestStoreNoOpMutationSkipsVersionBump(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustApply(t, s, func(st *State) { st.UpsertNode(NodeRecord{ID: "e", URL: "http://e"}) })
+	st := mustApply(t, s, func(st *State) { st.UpsertNode(NodeRecord{ID: "e", URL: "http://e"}) })
+	if st.Version != 1 {
+		t.Fatalf("version after no-op re-register = %d, want 1", st.Version)
+	}
+	if _, err := os.Stat(filepath.Join(dir, stateFileName(2))); !os.IsNotExist(err) {
+		t.Fatalf("no-op mutation persisted a new history entry")
+	}
+	// Removing a node that isn't there is a no-op too.
+	st = mustApply(t, s, func(st *State) { st.RemoveNode("ghost") })
+	if st.Version != 1 {
+		t.Fatalf("version after no-op remove = %d, want 1", st.Version)
+	}
+}
+
+func TestStoreDrainingSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, s, func(st *State) { st.UpsertNode(NodeRecord{ID: "e", URL: "http://e"}) })
+	mustApply(t, s, func(st *State) { st.SetNodeDraining("e", true) })
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.State()
+	if len(st.Nodes) != 1 || !st.Nodes[0].Draining {
+		t.Fatalf("restored node = %+v, want draining", st.Nodes)
+	}
+	// Re-registration clears the durable mark.
+	mustApply(t, s2, func(st *State) { st.UpsertNode(NodeRecord{ID: "e", URL: "http://e"}) })
+	if st := s2.State(); st.Nodes[0].Draining {
+		t.Fatalf("re-register did not clear draining: %+v", st.Nodes)
+	}
+}
+
+func TestStorePrunesHistory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.keep = 3
+	for i := 0; i < 6; i++ {
+		mustApply(t, s, func(st *State) { st.PublishAsset("lec-" + string(rune('a'+i))) })
+	}
+	got := historyVersions(dir)
+	want := []uint64{6, 5, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("history versions = %v, want %v", got, want)
+	}
+	if name := readCurrent(dir); name != stateFileName(6) {
+		t.Fatalf("current = %q, want %q", name, stateFileName(6))
+	}
+}
+
+func TestStoreMemoryOnly(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st := mustApply(t, s, func(st *State) { st.PublishAsset("lec-1") })
+	if st.Version != 1 || s.Version() != 1 {
+		t.Fatalf("memory store version = %d/%d, want 1", st.Version, s.Version())
+	}
+}
+
+func TestStoreApplyAfterClose(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Apply(func(*State) {}); err != ErrClosed {
+		t.Fatalf("Apply after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPublishRevTracksVersion(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustApply(t, s, func(st *State) { st.PublishAsset("lec-1") })
+	st := mustApply(t, s, func(st *State) { st.PublishAsset("lec-1") }) // republish
+	if st.Version != 2 || st.Assets[0].Rev != 2 {
+		t.Fatalf("republish version/rev = %d/%d, want 2/2", st.Version, st.Assets[0].Rev)
+	}
+	if !st.UnpublishAsset("lec-1") {
+		t.Fatalf("unpublish existing asset reported false")
+	}
+	if st.UnpublishAsset("lec-1") {
+		t.Fatalf("unpublish absent asset reported true")
+	}
+}

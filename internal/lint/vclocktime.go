@@ -29,6 +29,7 @@ var vclockPackages = []string{
 	"internal/relay",
 	"internal/netsim",
 	"internal/loadgen",
+	"internal/catalog",
 }
 
 // vclockForbidden are the time-package members that read or schedule on

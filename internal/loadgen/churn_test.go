@@ -40,7 +40,7 @@ func TestClusterKillAndRestartEdge(t *testing.T) {
 	}
 	// The registry was NOT told (crash semantics): the node only falls
 	// off via TTL or a client's failure report.
-	if !c.Registry.ReportFailure("edge-1.lod") {
+	if !c.Registry().ReportFailure("edge-1.lod") {
 		t.Fatal("killed edge was already dead at the registry; kill should be silent")
 	}
 
@@ -121,7 +121,7 @@ func TestSessionFailsOverMidStream(t *testing.T) {
 	// The client's failure report killed the node at the registry, so
 	// later clients are spared the corpse without waiting out the TTL.
 	dead := false
-	for _, n := range c.Registry.Nodes() {
+	for _, n := range c.Registry().Nodes() {
 		if n.ID == c.EdgeIDs[serving] && n.Dead {
 			dead = true
 		}

@@ -5,14 +5,17 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/asf"
 	"repro/internal/capture"
+	"repro/internal/catalog"
 	"repro/internal/client"
 	"repro/internal/codec"
 	"repro/internal/encoder"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/relay"
 	"repro/internal/streaming"
@@ -38,11 +41,14 @@ const RegistryURL = "http://" + registryHost
 // (RestartEdge), which is how the churn scenarios exercise failover:
 // a kill severs the edge's connections and silences its heartbeats
 // without telling the registry — death is discovered by client failure
-// reports or TTL expiry, exactly like a crashed process.
+// reports or TTL expiry, exactly like a crashed process. The registry
+// itself is killable too (KillRegistry/RestartRegistry): a restart
+// builds a brand-new relay.Registry over the same on-disk catalog
+// state, exactly like a registry process crash-looping on a durable
+// -state-dir.
 type Cluster struct {
 	Scenario Scenario
 	Origin   *streaming.Server
-	Registry *relay.Registry
 	Edges    []*relay.Edge
 	EdgeIDs  []string
 
@@ -63,6 +69,22 @@ type Cluster struct {
 
 	edgeMu sync.Mutex
 	edgeRT []*edgeRuntime
+
+	// Registry runtime: the relay.Registry instance is replaceable
+	// mid-run (KillRegistry/RestartRegistry), so everything reading it
+	// goes through regMu and the Registry() accessor. regAccum banks the
+	// metric deltas of dead registry instances — a restarted registry
+	// starts its counters at zero, so the run's registry numbers are the
+	// sum over every instance's window (RegistryWindowDelta).
+	regMu       sync.Mutex
+	registry    *relay.Registry
+	regSrv      *http.Server
+	regAlive    bool
+	regBase     metrics.Snapshot // window start within the current instance
+	regAccum    metrics.Snapshot // banked deltas of previous instances
+	regRestarts int
+	stateDir    string // registry catalog state; "" = memory-only store
+	ownStateDir bool   // we created stateDir; remove it in Close
 }
 
 // edgeRuntime is the killable part of one edge: its listener-facing
@@ -88,18 +110,36 @@ func StartCluster(ctx context.Context, s Scenario, edges int, liveFor time.Durat
 	if edges < 1 {
 		return nil, fmt.Errorf("loadgen: need at least one edge, got %d", edges)
 	}
-	if s.Churn.Enabled() && edges < 2 {
+	if s.Churn.Enabled() && !s.Churn.KillRegistry && edges < 2 {
 		return nil, fmt.Errorf("loadgen: churn needs at least two edges to fail over between, got %d", edges)
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	c := &Cluster{
 		Scenario: s,
 		Origin:   streaming.NewServer(nil),
-		Registry: relay.NewRegistry(nil),
 		net:      netsim.NewMemNet(),
 		ctx:      ctx,
 		cancel:   cancel,
 	}
+	// Registry churn needs on-disk catalog state to restore from; a
+	// registry that is never killed keeps its state in memory only.
+	if s.Churn.KillRegistry {
+		dir, err := os.MkdirTemp("", "lod-state-")
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		c.stateDir, c.ownStateDir = dir, true
+	}
+	store, err := catalog.Open(c.stateDir)
+	if err != nil {
+		cancel()
+		if c.ownStateDir {
+			_ = os.RemoveAll(c.stateDir)
+		}
+		return nil, err
+	}
+	c.registry = relay.NewRegistryWithStore(nil, store)
 	c.client = c.net.Client()
 	c.sdk = client.New(RegistryURL,
 		client.WithHTTPClient(c.client),
@@ -113,7 +153,7 @@ func StartCluster(ctx context.Context, s Scenario, edges int, liveFor time.Durat
 		c.Close()
 		return nil, err
 	}
-	if err := c.serve(registryHost, c.Registry.Handler()); err != nil {
+	if err := c.serveRegistryLocked(); err != nil {
 		c.Close()
 		return nil, err
 	}
@@ -151,14 +191,23 @@ func (c *Cluster) startEdgeLocked(rt *edgeRuntime) error {
 	hbCtx, stop := context.WithCancel(c.ctx)
 	rt.stopHB = stop
 	srv := rt.edge.Server
+	edge := rt.edge
+	hb := &relay.Heartbeats{
+		Client:   c.client,
+		Registry: RegistryURL,
+		Info:     relay.NodeInfo{ID: rt.id, URL: "http://" + rt.host},
+		Snapshot: func() relay.NodeStats { return relay.SnapshotStats(srv) },
+		Interval: 250 * time.Millisecond,
+		Clock:    c.Scenario.clock(),
+		// Heartbeat answers carry the catalog version; when it moves the
+		// edge re-fetches the catalog and drops stale mirrors.
+		OnCatalog: func(uint64) { _ = edge.SyncCatalogFrom(c.client, RegistryURL) },
+	}
 	c.wg.Add(1)
-	go func(id, host string) {
+	go func() {
 		defer c.wg.Done()
-		_ = relay.RunHeartbeats(hbCtx, c.client, RegistryURL,
-			relay.NodeInfo{ID: id, URL: "http://" + host},
-			func() relay.NodeStats { return relay.SnapshotStats(srv) },
-			250*time.Millisecond, c.Scenario.clock())
-	}(rt.id, rt.host)
+		_ = hb.Run(hbCtx)
+	}()
 	rt.alive = true
 	return nil
 }
@@ -207,6 +256,114 @@ func (c *Cluster) EdgeAlive(i int) bool {
 	return i >= 0 && i < len(c.edgeRT) && c.edgeRT[i].alive
 }
 
+// Registry returns the current registry instance. It changes across
+// KillRegistry/RestartRegistry, so callers must not cache it across a
+// churn window.
+func (c *Cluster) Registry() *relay.Registry {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	return c.registry
+}
+
+// serveRegistryLocked mounts the current registry instance on the
+// registry host. Callers hold regMu or are still single-threaded in
+// StartCluster.
+func (c *Cluster) serveRegistryLocked() error {
+	l, err := c.net.Listen(registryHost)
+	if err != nil {
+		return err
+	}
+	c.regSrv = &http.Server{Handler: c.registry.Handler()}
+	go c.regSrv.Serve(l)
+	c.regAlive = true
+	return nil
+}
+
+// KillRegistry abruptly stops the registry: its HTTP server closes —
+// refusing every control-plane request — and its catalog store shuts
+// down. Edges and clients are deliberately NOT told; heartbeats fail
+// until the restart and clients retry through their failover budget,
+// exactly like a crashed registry process. The dead instance's metric
+// window is banked so the run's registry numbers span every instance.
+func (c *Cluster) KillRegistry() error {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	if !c.regAlive {
+		return fmt.Errorf("loadgen: registry already down")
+	}
+	d := c.registry.Metrics().Snapshot().Delta(c.regBase)
+	if c.regAccum == nil {
+		c.regAccum = metrics.Snapshot{}
+	}
+	for k, v := range d {
+		c.regAccum[k] += v
+	}
+	_ = c.regSrv.Close()
+	c.registry.Close()
+	c.regAlive = false
+	return nil
+}
+
+// RestartRegistry brings a killed registry back as a brand-new
+// relay.Registry restored from the on-disk catalog state the dead one
+// persisted: node membership (draining marks included) comes back from
+// the snapshot, so the restored registry redirects clients before any
+// edge has re-heartbeated.
+func (c *Cluster) RestartRegistry() error {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	if c.regAlive {
+		return fmt.Errorf("loadgen: registry already up")
+	}
+	store, err := catalog.Open(c.stateDir)
+	if err != nil {
+		return err
+	}
+	c.registry = relay.NewRegistryWithStore(nil, store)
+	c.regBase = nil // fresh instance: counters start at zero
+	c.regRestarts++
+	return c.serveRegistryLocked()
+}
+
+// RegistryAlive reports whether the registry is currently serving.
+func (c *Cluster) RegistryAlive() bool {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	return c.regAlive
+}
+
+// RegistryRestarts counts RestartRegistry calls so far.
+func (c *Cluster) RegistryRestarts() int {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	return c.regRestarts
+}
+
+// MarkRegistryWindow starts the registry metric window the next
+// RegistryWindowDelta reports over, discarding banked history.
+func (c *Cluster) MarkRegistryWindow() {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	c.regBase = c.registry.Metrics().Snapshot()
+	c.regAccum = nil
+}
+
+// RegistryWindowDelta returns the registry metric delta since
+// MarkRegistryWindow, summed across every registry instance that served
+// during the window (kill/restart cycles included).
+func (c *Cluster) RegistryWindowDelta() metrics.Snapshot {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	out := metrics.Snapshot{}
+	for k, v := range c.regAccum {
+		out[k] += v
+	}
+	for k, v := range c.registry.Metrics().Snapshot().Delta(c.regBase) {
+		out[k] += v
+	}
+	return out
+}
+
 // populateOrigin encodes the scenario's content and registers it:
 // stored assets, multi-rate groups (lean + rich variants), and live
 // channels pumped at presentation pace for liveFor.
@@ -244,6 +401,11 @@ func (c *Cluster) populateOrigin(ctx context.Context, liveFor time.Duration) err
 		if _, err := c.Origin.RegisterAsset(name, asf.NewReader(bytes.NewReader(base))); err != nil {
 			return err
 		}
+		// Announce in the registry's catalog, so restored registries and
+		// edge invalidation see the real published content set.
+		if _, err := c.registry.PublishAsset(name); err != nil {
+			return err
+		}
 		c.AssetNames = append(c.AssetNames, name)
 	}
 
@@ -268,6 +430,9 @@ func (c *Cluster) populateOrigin(ctx context.Context, liveFor time.Duration) err
 			}
 			g.AddVariant(lean)
 			g.AddVariant(richA)
+			if _, err := c.registry.PublishGroup(name, []string{name + "-lean", name + "-rich"}); err != nil {
+				return err
+			}
 			c.GroupNames = append(c.GroupNames, name)
 		}
 	}
@@ -323,7 +488,7 @@ func (c *Cluster) AwaitReady(timeout time.Duration) error {
 	deadline := clock.Now().Add(timeout)
 	for {
 		alive := 0
-		for _, n := range c.Registry.Nodes() {
+		for _, n := range c.Registry().Nodes() {
 			if n.Alive {
 				alive++
 			}
@@ -345,6 +510,18 @@ func (c *Cluster) Close() {
 	for _, srv := range c.servers {
 		_ = srv.Close()
 	}
+	c.regMu.Lock()
+	if c.regAlive {
+		_ = c.regSrv.Close()
+		c.regAlive = false
+	}
+	if c.registry != nil {
+		c.registry.Close() // idempotent: a killed instance is already closed
+	}
+	if c.ownStateDir {
+		_ = os.RemoveAll(c.stateDir)
+	}
+	c.regMu.Unlock()
 	c.edgeMu.Lock()
 	for _, rt := range c.edgeRT {
 		if rt.alive {

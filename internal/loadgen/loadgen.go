@@ -77,11 +77,19 @@ type Share struct {
 // that long after each kill; the driver is sequential, so at most one
 // edge is down at a time and the cluster always has somewhere to fail
 // over to. Zero Kills disables churn.
+//
+// KillRegistry redirects the whole schedule at the control plane: each
+// kill takes down the registry instead of an edge, and RestartAfter
+// later a brand-new registry instance comes up restored from the
+// durable catalog snapshot (Cluster.RestartRegistry). RestartAfter must
+// be positive in that mode — a run cannot end without a registry to
+// snapshot.
 type ChurnSpec struct {
 	Kills        int           `json:"kills"`
 	FirstKill    time.Duration `json:"-"`
 	Every        time.Duration `json:"-"`
 	RestartAfter time.Duration `json:"-"`
+	KillRegistry bool          `json:"killRegistry,omitempty"`
 }
 
 // Enabled reports whether the spec schedules any kills.
@@ -186,6 +194,8 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("loadgen: scenario %s: negative churn delay", s.Name)
 	case s.Churn.Kills > 1 && s.Churn.Every <= 0:
 		return fmt.Errorf("loadgen: scenario %s: %d churn kills need a positive interval", s.Name, s.Churn.Kills)
+	case s.Churn.KillRegistry && s.Churn.Kills > 0 && s.Churn.RestartAfter <= 0:
+		return fmt.Errorf("loadgen: scenario %s: registry churn needs a positive restartafter", s.Name)
 	}
 	total := 0
 	for _, sh := range s.Mix {
@@ -327,6 +337,29 @@ func Scenarios() []Scenario {
 			Seed: 1,
 		},
 		{
+			Name: "registrychurn",
+			Description: "the registry is killed mid-run and restarted from its durable catalog snapshot; " +
+				"sessions must ride out the control-plane outage on their failover budget and the restored " +
+				"registry must serve redirects from restored membership before any edge re-heartbeats " +
+				"(cluster.snapshotRedirects is the headline)",
+			Assets: 6, AssetDuration: 4 * time.Second,
+			Profile: "modem-56k", RichProfile: "dsl-300k",
+			Groups: 2, LiveChannels: 1, Slides: 3,
+			Mix: []Share{
+				{KindVOD, 50}, {KindSeek, 15}, {KindGroup, 20}, {KindLive, 15},
+			},
+			Arrival:         Arrival{Process: "poisson", Rate: 100},
+			Link:            netsim.Link{BitsPerSecond: 2_000_000, Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond},
+			ClientBandwidth: 768_000, JitterBufferDepth: 4,
+			LeadTime: 500 * time.Millisecond,
+			// A generous retry budget: clients arriving during the outage
+			// must outlast it (bounded backoff sums to well past the
+			// 1.2s restart window).
+			FailoverAttempts: 8, FailoverBackoff: 100 * time.Millisecond,
+			Churn: ChurnSpec{Kills: 1, FirstKill: 2 * time.Second, RestartAfter: 1200 * time.Millisecond, KillRegistry: true},
+			Seed:  1,
+		},
+		{
 			Name: "scale",
 			Description: "10× the cluster: tens of thousands of mixed-workload clients over a 16-edge fleet; " +
 				"exercises the sharded load drivers and the registry's consistent-hash redirect path " +
@@ -377,9 +410,9 @@ func Scenarios() []Scenario {
 //
 // Recognized override keys: assets, duration, process, rate, burst,
 // seed, leadtime, cachebytes, failover (retry attempts), backoff,
-// kills, firstkill, every, restartafter (the churn schedule). Unknown
-// names and keys are errors, as are overrides that leave the scenario
-// invalid.
+// kills, firstkill, every, restartafter, killregistry (the churn
+// schedule). Unknown names and keys are errors, as are overrides that
+// leave the scenario invalid.
 func ParseScenario(spec string) (Scenario, error) {
 	name, query, hasQuery := strings.Cut(spec, "?")
 	var sc Scenario
@@ -434,6 +467,8 @@ func ParseScenario(spec string) (Scenario, error) {
 				sc.Churn.Every, err = time.ParseDuration(v)
 			case "restartafter":
 				sc.Churn.RestartAfter, err = time.ParseDuration(v)
+			case "killregistry":
+				sc.Churn.KillRegistry, err = strconv.ParseBool(v)
 			default:
 				return Scenario{}, fmt.Errorf("loadgen: unknown scenario override %q", key)
 			}

@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// registryCatalog decodes the registry's persisted catalog listing.
+func registryCatalog(t *testing.T, c *Cluster) proto.Catalog {
+	t.Helper()
+	var cat proto.Catalog
+	if err := json.Unmarshal(c.Registry().CatalogJSON(), &cat); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestClusterKillAndRestartRegistry covers the control-plane churn
+// primitives: a killed registry stops answering, and a restart brings
+// it back restored from the durable state dir — same membership, same
+// catalog — before any edge has re-heartbeated.
+func TestClusterKillAndRestartRegistry(t *testing.T) {
+	s, err := ParseScenario("registrychurn?kills=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := StartCluster(context.Background(), s, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.AwaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assetsBefore := len(registryCatalog(t, c).Assets)
+	if assetsBefore == 0 {
+		t.Fatal("populated cluster published no catalog assets")
+	}
+
+	if err := c.KillRegistry(); err != nil {
+		t.Fatal(err)
+	}
+	if c.RegistryAlive() {
+		t.Fatal("registry still alive after kill")
+	}
+	if err := c.KillRegistry(); err == nil {
+		t.Fatal("double kill accepted")
+	}
+	if _, err := c.Client().Get(RegistryURL + "/nodes"); err == nil {
+		t.Fatal("killed registry still answering")
+	}
+
+	if err := c.RestartRegistry(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartRegistry(); err == nil {
+		t.Fatal("double restart accepted")
+	}
+	if c.RegistryRestarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", c.RegistryRestarts())
+	}
+	// Restored from the snapshot: full membership and catalog are back
+	// immediately, no heartbeat round needed.
+	if got := len(c.Registry().Nodes()); got != 2 {
+		t.Fatalf("restored %d nodes, want 2", got)
+	}
+	if got := len(registryCatalog(t, c).Assets); got != assetsBefore {
+		t.Fatalf("restored %d catalog assets, want %d", got, assetsBefore)
+	}
+	if err := c.AwaitReady(5 * time.Second); err != nil {
+		t.Fatalf("cluster not ready after registry restart: %v", err)
+	}
+}
+
+// TestRunRegistryChurnScenario runs the registrychurn family end to
+// end, small: the control plane dies and comes back mid-swarm, and
+// every session rides the outage out on its failover budget.
+func TestRunRegistryChurnScenario(t *testing.T) {
+	s, err := ParseScenario("registrychurn?rate=50&firstkill=400ms&restartafter=600ms&duration=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, edges = 12, 2
+	rep, err := Run(context.Background(), s, clients, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions.Failed > 0 {
+		t.Fatalf("%d sessions failed across the registry outage: %v",
+			rep.Sessions.Failed, rep.Sessions.Errors)
+	}
+	if rep.Sessions.Completed != clients {
+		t.Fatalf("completed = %d, want %d", rep.Sessions.Completed, clients)
+	}
+	if rep.Cluster.RegistryRestarts != 1 {
+		t.Fatalf("registryRestarts = %d, want 1", rep.Cluster.RegistryRestarts)
+	}
+	if rep.Config.Churn == nil || !rep.Config.Churn.KillRegistry {
+		t.Fatalf("killRegistry missing from the record: %+v", rep.Config.Churn)
+	}
+}
+
+// TestRegistryChurnValidation: registry churn needs a restart time (the
+// cluster has exactly one control plane, there is no failing over to a
+// second registry), but does not need a second edge.
+func TestRegistryChurnValidation(t *testing.T) {
+	base, err := ParseScenario("registrychurn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := base
+	bad.Churn.RestartAfter = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("registry churn without restartafter accepted")
+	}
+	// A single edge is fine: the registry outage is what is under test.
+	c, err := StartCluster(context.Background(), base, 1, time.Second)
+	if err != nil {
+		t.Fatalf("registry churn on a single-edge cluster refused: %v", err)
+	}
+	c.Close()
+}

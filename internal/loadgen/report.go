@@ -101,6 +101,9 @@ type ChurnConfig struct {
 	FirstKillSec    float64 `json:"firstKillSec"`
 	EverySec        float64 `json:"everySec"`
 	RestartAfterSec float64 `json:"restartAfterSec"`
+	// KillRegistry marks a control-plane churn run: the kills hit the
+	// registry (restored from its durable snapshot) instead of edges.
+	KillRegistry bool `json:"killRegistry,omitempty"`
 }
 
 // LinkSpec is the JSON form of the per-client link prototype.
@@ -205,9 +208,17 @@ type ClusterReport struct {
 	// NodeDeaths counts registry death marks over the run window, both
 	// reasons folded (client failure reports and graceful drains);
 	// FailureReports counts the raw client reports that drove them.
-	NodeDeaths     float64      `json:"nodeDeaths"`
-	FailureReports float64      `json:"failureReports"`
-	Edges          []EdgeReport `json:"edges"`
+	NodeDeaths     float64 `json:"nodeDeaths"`
+	FailureReports float64 `json:"failureReports"`
+	// RegistryRestarts counts registry kill/restart cycles the run
+	// executed (registry churn); SnapshotRedirects counts redirects a
+	// restored registry answered from snapshot-restored membership
+	// before the node's first post-restart heartbeat — the proof the
+	// durable control plane routed traffic while edges were still
+	// silent. Both absent when the registry never restarted.
+	RegistryRestarts  int          `json:"registryRestarts,omitempty"`
+	SnapshotRedirects float64      `json:"snapshotRedirects,omitempty"`
+	Edges             []EdgeReport `json:"edges"`
 }
 
 // Report is the complete benchmark record emitted as BENCH_*.json.
@@ -243,7 +254,8 @@ type Report struct {
 // delta) over the swarm window, feeding Perf.AllocsPerPacket.
 func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint64,
 	results []SessionResult, registryDelta, originDelta metrics.Snapshot,
-	edgeIDs []string, edgeDeltas []metrics.Snapshot, shards []ShardInfo) *Report {
+	edgeIDs []string, edgeDeltas []metrics.Snapshot, shards []ShardInfo,
+	registryRestarts int) *Report {
 
 	r := &Report{
 		Schema:      ReportSchema,
@@ -282,6 +294,7 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint
 			FirstKillSec:    s.Churn.FirstKill.Seconds(),
 			EverySec:        s.Churn.Every.Seconds(),
 			RestartAfterSec: s.Churn.RestartAfter.Seconds(),
+			KillRegistry:    s.Churn.KillRegistry,
 		}
 	}
 
@@ -328,13 +341,15 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint
 	}
 
 	r.Cluster = ClusterReport{
-		Redirects:      registryDelta.Get("lod_registry_redirects_total"),
-		NoEdge:         registryDelta.Get("lod_registry_no_edge_total"),
-		OriginMirrors:  originDelta.Get("lod_mirror_fetches_total"),
-		OriginBytes:    originDelta.Get("lod_bytes_sent_total"),
-		OriginLive:     originDelta.Get(`lod_sessions_started_total{kind="live"}`),
-		NodeDeaths:     registryDelta.Sum("lod_registry_node_deaths_total"),
-		FailureReports: registryDelta.Get("lod_registry_failure_reports_total"),
+		Redirects:         registryDelta.Get("lod_registry_redirects_total"),
+		NoEdge:            registryDelta.Get("lod_registry_no_edge_total"),
+		OriginMirrors:     originDelta.Get("lod_mirror_fetches_total"),
+		OriginBytes:       originDelta.Get("lod_bytes_sent_total"),
+		OriginLive:        originDelta.Get(`lod_sessions_started_total{kind="live"}`),
+		NodeDeaths:        registryDelta.Sum("lod_registry_node_deaths_total"),
+		FailureReports:    registryDelta.Get("lod_registry_failure_reports_total"),
+		RegistryRestarts:  registryRestarts,
+		SnapshotRedirects: registryDelta.Get("lod_registry_snapshot_redirects_total"),
 	}
 	if wall > 0 {
 		r.Cluster.RedirectsPerSec = r.Cluster.Redirects / wall.Seconds()
@@ -422,6 +437,10 @@ func (r *Report) Summary() string {
 	if r.Sessions.Failovers > 0 || r.Sessions.Retries > 0 || r.Cluster.NodeDeaths > 0 {
 		fmt.Fprintf(&b, "  churn: %d sessions survived via failover (%d failovers, %d retries), %d node deaths\n",
 			r.Sessions.FailedOver, r.Sessions.Failovers, r.Sessions.Retries, int64(r.Cluster.NodeDeaths))
+	}
+	if r.Cluster.RegistryRestarts > 0 {
+		fmt.Fprintf(&b, "  registry: %d restarts, %d redirects served from the restored snapshot\n",
+			r.Cluster.RegistryRestarts, int64(r.Cluster.SnapshotRedirects))
 	}
 	fmt.Fprintf(&b, "  startup ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
 		r.StartupMs.P50, r.StartupMs.P90, r.StartupMs.P99, r.StartupMs.Max)

@@ -74,7 +74,9 @@ func RunSharded(ctx context.Context, s Scenario, clients, edges, shards int) (*R
 		kinds[i] = s.pickKind(mixRng)
 	}
 
-	regPre := cluster.Registry.Metrics().Snapshot()
+	// Registry metrics are windowed through the cluster (not a raw
+	// snapshot) because registry churn can replace the instance mid-run.
+	cluster.MarkRegistryWindow()
 	originPre := cluster.Origin.Metrics().Snapshot()
 	edgePre := make([]metrics.Snapshot, len(cluster.Edges))
 	for i, e := range cluster.Edges {
@@ -119,7 +121,7 @@ func RunSharded(ctx context.Context, s Scenario, clients, edges, shards int) (*R
 	runtime.ReadMemStats(&memPost)
 	allocs := memPost.Mallocs - memPre.Mallocs
 
-	regDelta := cluster.Registry.Metrics().Snapshot().Delta(regPre)
+	regDelta := cluster.RegistryWindowDelta()
 	originDelta := cluster.Origin.Metrics().Snapshot().Delta(originPre)
 	edgeDeltas := make([]metrics.Snapshot, len(cluster.Edges))
 	for i, e := range cluster.Edges {
@@ -128,7 +130,7 @@ func RunSharded(ctx context.Context, s Scenario, clients, edges, shards int) (*R
 
 	results, shardInfos := MergeShardRuns(runs)
 	return buildReport(s, clients, edges, wall, allocs, results, regDelta, originDelta,
-		cluster.EdgeIDs, edgeDeltas, shardInfos), nil
+		cluster.EdgeIDs, edgeDeltas, shardInfos, cluster.RegistryRestarts()), nil
 }
 
 // runChurn executes a scenario's kill/restart schedule against the live
@@ -137,11 +139,30 @@ func RunSharded(ctx context.Context, s Scenario, clients, edges, shards int) (*R
 // the next kill is considered — the driver is sequential, so at most
 // one edge is ever down and the registry always has a failover target.
 // A RestartAfter of zero leaves victims down for the rest of the run.
+//
+// With KillRegistry set, the victim is the registry itself instead:
+// each kill takes the control plane down for RestartAfter, then brings
+// up a fresh registry restored from the durable catalog snapshot
+// (Scenario validation guarantees RestartAfter is positive here — a
+// run cannot end registry-less).
 func runChurn(ctx context.Context, clock vclock.Clock, c *Cluster, spec ChurnSpec, t0 time.Time, edges int) {
 	for k := 0; k < spec.Kills; k++ {
 		due := t0.Add(spec.FirstKill + time.Duration(k)*spec.Every)
 		if !sleepCtx(ctx, clock, due.Sub(clock.Now())) {
 			return
+		}
+		if spec.KillRegistry {
+			if err := c.KillRegistry(); err != nil {
+				continue
+			}
+			alive := sleepCtx(ctx, clock, spec.RestartAfter)
+			// Restart even on cancellation so the final metric snapshots
+			// and teardown have a registry to talk to.
+			_ = c.RestartRegistry()
+			if !alive {
+				return
+			}
+			continue
 		}
 		victim := k % edges
 		if err := c.KillEdge(victim); err != nil {

@@ -28,9 +28,15 @@ func TestREADMEDocumentsContract(t *testing.T) {
 		Versioned(PathReportFailure),
 		Versioned(PathDeregister),
 		Versioned(PathNodes),
+		Versioned(PathCatalog),
+		Versioned(PathCatalogPublish),
+		Versioned(PathCatalogUnpublish),
+		Versioned(PrefixPublish),
+		Versioned(PrefixUnpublish),
 		PathMetrics,
 		PathStatus,
 		ExcludeHeader,
+		CatalogVersionHeader,
 		"?" + ParamStart + "=",
 		"?" + ParamBandwidth + "=",
 	} {

@@ -108,3 +108,47 @@ type FailureReport struct {
 type DeregisterMsg struct {
 	ID string `json:"id"`
 }
+
+// CatalogAsset is one published stored asset in the cluster catalog.
+type CatalogAsset struct {
+	Name string `json:"name"`
+	// Rev is the catalog version at which this entry was last published.
+	// A republish under the same name bumps it, which is what tells an
+	// edge that a mirrored copy went stale even though the name is
+	// unchanged.
+	Rev uint64 `json:"rev"`
+}
+
+// CatalogGroup is one published multi-rate group in the cluster
+// catalog. Variants lists its member asset names lean-to-rich.
+type CatalogGroup struct {
+	Name     string   `json:"name"`
+	Variants []string `json:"variants"`
+	Rev      uint64   `json:"rev"`
+}
+
+// Catalog is the GET PathCatalog body: the full published-content
+// listing at one version. Version is the registry's catalog version
+// (the CatalogVersionHeader value), which also moves on node-membership
+// changes — so entries carry their own Rev and consumers diff on those,
+// not on Version alone.
+type Catalog struct {
+	Version uint64         `json:"version"`
+	Assets  []CatalogAsset `json:"assets"`
+	Groups  []CatalogGroup `json:"groups"`
+}
+
+// PublishMsg is the POST PathCatalogPublish body. Exactly one of Asset
+// or Group is set; the Rev fields are assigned by the registry and
+// ignored on input.
+type PublishMsg struct {
+	Asset *CatalogAsset `json:"asset,omitempty"`
+	Group *CatalogGroup `json:"group,omitempty"`
+}
+
+// UnpublishMsg is the POST PathCatalogUnpublish body. Exactly one of
+// Asset or Group names the entry to remove.
+type UnpublishMsg struct {
+	Asset string `json:"asset,omitempty"`
+	Group string `json:"group,omitempty"`
+}

@@ -82,6 +82,28 @@ const (
 	PathNodes         = "/registry/nodes"
 )
 
+// Registry catalog endpoints: the durable, versioned record of what is
+// published on the cluster. GET PathCatalog returns a Catalog; the POST
+// bodies of PathCatalogPublish/PathCatalogUnpublish are PublishMsg and
+// UnpublishMsg. Every catalog mutation bumps the version carried in
+// CatalogVersionHeader.
+const (
+	PathCatalog          = "/registry/catalog"
+	PathCatalogPublish   = "/registry/publish"
+	PathCatalogUnpublish = "/registry/unpublish"
+)
+
+// Content-publication endpoints of the streaming server: POST
+// PrefixPublish{name} with a container body registers (or replaces) the
+// named asset live — in-flight sessions of the old content finish,
+// new opens get the new bytes; POST PrefixUnpublish{name} removes an
+// asset or rate group. The path segment after the prefix is the
+// percent-encoded name, exactly like the streaming routes.
+const (
+	PrefixPublish   = "/publish/"
+	PrefixUnpublish = "/unpublish/"
+)
+
 // Observability endpoints every role serves (internal/metrics mounts
 // them): Prometheus text and a flat JSON snapshot.
 const (
@@ -105,6 +127,14 @@ const (
 // redirected back to — the nodes it just escaped. Values are
 // comma-separated; see JoinExclude/SplitExclude.
 const ExcludeHeader = "X-Lod-Exclude"
+
+// CatalogVersionHeader is the response header the registry sets on
+// heartbeat, redirect, and catalog responses: the current catalog
+// version, a decimal uint64 that only ever grows. Edges compare it
+// against the version they last synced and re-fetch PathCatalog when it
+// moved, invalidating mirrored copies whose entries changed. See
+// FormatCatalogVersion/ParseCatalogVersion.
+const CatalogVersionHeader = "X-Lod-Catalog-Version"
 
 // Prefix returns the route prefix of a stream kind.
 func Prefix(k StreamKind) string {
@@ -206,6 +236,39 @@ func ParseBandwidth(raw string) (int64, error) {
 			Message: "bad " + ParamBandwidth + " parameter " + strconv.Quote(raw) + ": want positive bits/s"}
 	}
 	return v, nil
+}
+
+// RoutePath builds the request path for a named resource under one of
+// the control prefixes (PrefixPublish, PrefixUnpublish),
+// percent-encoding the name like StreamPath does. Prepend VersionPrefix
+// (Versioned) for the /v1 form.
+func RoutePath(prefix, name string) string {
+	return prefix + url.PathEscape(name)
+}
+
+// RouteName extracts the resource name following prefix from a decoded
+// request path, accepting both the versioned and legacy forms — the
+// handler-side inverse of RoutePath.
+func RouteName(path, prefix string) string {
+	return strings.TrimPrefix(Unversioned(path), prefix)
+}
+
+// FormatCatalogVersion renders a catalog version as the
+// CatalogVersionHeader value.
+func FormatCatalogVersion(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// ParseCatalogVersion parses a CatalogVersionHeader value, reporting
+// false for an absent or malformed header (clients treat either as
+// "version unknown" and skip the sync).
+func ParseCatalogVersion(raw string) (uint64, bool) {
+	if raw == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
 }
 
 // JoinExclude renders an exclude list as the ExcludeHeader value.

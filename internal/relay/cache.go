@@ -74,6 +74,22 @@ func (c *assetCache) enforce(capacity int64, except string, pinned func(string) 
 	return evicted
 }
 
+// remove drops name from the accounting (catalog invalidation — the
+// caller unregisters the asset itself), reporting whether it was
+// tracked.
+func (c *assetCache) remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[name]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.entries, name)
+	c.total -= el.Value.(*cacheEntry).size
+	return true
+}
+
 // touch marks name most recently used; unknown names are ignored.
 func (c *assetCache) touch(name string) {
 	c.mu.Lock()

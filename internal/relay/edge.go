@@ -50,17 +50,33 @@ type Edge struct {
 	// serve for each asset, pinning them so eviction cannot win the race
 	// against a session that is about to start.
 	demand map[string]int
+
+	// catMu guards the edge's view of the cluster catalog: the last
+	// synced version and the per-entry revisions SyncCatalog diffs
+	// against to find stale mirrors. Separate from mu — a catalog sync
+	// calls RemoveAsset and budget accounting, which take mu themselves.
+	catMu      sync.Mutex
+	catVersion uint64
+	catAssets  map[string]uint64 // name → Rev at last sync
+	catGroups  map[string]catGroupRec
+}
+
+// catGroupRec is the edge's remembered view of one cataloged group.
+type catGroupRec struct {
+	rev      uint64
+	variants []string
 }
 
 // edgeInstruments are the edge's metric handles on its server's
 // registry.
 type edgeInstruments struct {
-	hits        *metrics.Counter
-	misses      *metrics.Counter
-	evictions   *metrics.Counter
-	originBytes *metrics.Counter
-	pulls       *metrics.Gauge
-	cacheBytes  *metrics.Gauge
+	hits          *metrics.Counter
+	misses        *metrics.Counter
+	evictions     *metrics.Counter
+	originBytes   *metrics.Counter
+	invalidations *metrics.Counter
+	pulls         *metrics.Gauge
+	cacheBytes    *metrics.Gauge
 }
 
 // pull tracks one in-progress origin fetch so concurrent demands for the
@@ -84,12 +100,13 @@ func NewEdge(origin string, srv *streaming.Server) *Edge {
 		demand:   make(map[string]int),
 		cache:    newAssetCache(),
 		inst: edgeInstruments{
-			hits:        reg.Counter("lod_edge_cache_hits_total", "Mirror demands served from already-cached content."),
-			misses:      reg.Counter("lod_edge_cache_misses_total", "Mirror demands that required an origin pull."),
-			evictions:   reg.Counter("lod_edge_cache_evictions_total", "Mirrored assets dropped by the byte-capacity LRU."),
-			originBytes: reg.Counter("lod_edge_origin_bytes_total", "Bytes pulled from the origin (mirrors, groups, live relays)."),
-			pulls:       reg.Gauge("lod_edge_pulls_in_flight", "Origin pulls currently in progress."),
-			cacheBytes:  reg.Gauge("lod_edge_cache_bytes", "Payload bytes of mirrored assets resident in the cache."),
+			hits:          reg.Counter("lod_edge_cache_hits_total", "Mirror demands served from already-cached content."),
+			misses:        reg.Counter("lod_edge_cache_misses_total", "Mirror demands that required an origin pull."),
+			evictions:     reg.Counter("lod_edge_cache_evictions_total", "Mirrored assets dropped by the byte-capacity LRU."),
+			originBytes:   reg.Counter("lod_edge_origin_bytes_total", "Bytes pulled from the origin (mirrors, groups, live relays)."),
+			invalidations: reg.Counter("lod_edge_catalog_invalidations_total", "Mirrored copies dropped because their catalog entry changed or vanished."),
+			pulls:         reg.Gauge("lod_edge_pulls_in_flight", "Origin pulls currently in progress."),
+			cacheBytes:    reg.Gauge("lod_edge_cache_bytes", "Payload bytes of mirrored assets resident in the cache."),
 		},
 	}
 }
@@ -427,11 +444,12 @@ func (e *Edge) Handler() http.Handler {
 }
 
 // pullError maps an origin pull failure onto the client response: a
-// missing upstream resource is the client's 404, anything else means the
-// edge could not reach or parse the origin — 502.
-func pullError(w http.ResponseWriter, r *http.Request, err error) {
+// missing upstream resource is the client's 404 (with the proto.Error
+// JSON body every /v1 error carries), anything else means the edge
+// could not reach or parse the origin — 502.
+func pullError(w http.ResponseWriter, _ *http.Request, err error) {
 	if errors.Is(err, streaming.ErrNotFound) {
-		http.NotFound(w, r)
+		proto.WriteError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	proto.WriteError(w, http.StatusBadGateway, err.Error())

@@ -1,0 +1,121 @@
+package relay
+
+import (
+	"net/http"
+
+	"repro/internal/proto"
+)
+
+// This file is the edge's half of the catalog hot-swap: the registry
+// versions its published-content catalog (internal/catalog via
+// Registry), edges learn of movement from the CatalogVersionHeader on
+// their heartbeat answers (Heartbeats.OnCatalog), fetch the new catalog,
+// and invalidate exactly the mirrored copies whose entries changed.
+
+// SyncCatalog reconciles the edge's mirrors with a fetched catalog and
+// returns the names of the mirrored copies it invalidated. The diff is
+// against the edge's *previously synced* catalog, not against the
+// edge's resident content: a mirror is dropped only when its catalog
+// entry vanished (unpublish) or changed Rev (republish — the origin's
+// bytes are new, so the cached copy is stale). Content the catalog
+// never mentioned — legacy direct registrations, live channels — is
+// deliberately untouched, and the very first sync only records the
+// baseline. Catalogs at or below the last synced version are ignored
+// (a catalog fetched from a lagging registry replica must not undo a
+// newer sync).
+//
+// In-flight sessions on an invalidated asset finish unharmed:
+// streaming.Server.RemoveAsset unlists the asset but running sessions
+// keep their packet buffers; the next open misses and re-mirrors the
+// fresh bytes from the origin.
+func (e *Edge) SyncCatalog(cat proto.Catalog) []string {
+	e.catMu.Lock()
+	defer e.catMu.Unlock()
+	if cat.Version <= e.catVersion && e.catAssets != nil {
+		return nil
+	}
+
+	curAssets := make(map[string]uint64, len(cat.Assets))
+	for _, a := range cat.Assets {
+		curAssets[a.Name] = a.Rev
+	}
+	curGroups := make(map[string]catGroupRec, len(cat.Groups))
+	// inAnyGroup marks variant names still referenced by the new
+	// catalog, so invalidating a removed group never drops a variant
+	// another live entry still needs.
+	inAnyGroup := make(map[string]bool)
+	for _, g := range cat.Groups {
+		curGroups[g.Name] = catGroupRec{rev: g.Rev, variants: append([]string(nil), g.Variants...)}
+		for _, v := range g.Variants {
+			inAnyGroup[v] = true
+		}
+	}
+
+	var invalidated []string
+	if e.catAssets != nil { // not the baseline sync
+		for name, rev := range e.catAssets {
+			if cur, ok := curAssets[name]; !ok || cur != rev {
+				if e.dropMirror(name) {
+					invalidated = append(invalidated, name)
+				}
+			}
+		}
+		for name, rec := range e.catGroups {
+			cur, ok := curGroups[name]
+			if ok && cur.rev == rec.rev {
+				continue
+			}
+			// The group definition is gone or re-cut: drop the local group
+			// so the next /group/ demand re-mirrors it, and invalidate its
+			// old variants unless the new catalog still wants them.
+			if e.Server.RemoveRateGroup(name) {
+				e.inst.invalidations.Inc()
+			}
+			for _, v := range rec.variants {
+				if _, still := curAssets[v]; still || inAnyGroup[v] {
+					continue
+				}
+				if e.dropMirror(v) {
+					invalidated = append(invalidated, v)
+				}
+			}
+		}
+	}
+
+	e.catVersion = cat.Version
+	e.catAssets = curAssets
+	e.catGroups = curGroups
+	return invalidated
+}
+
+// dropMirror removes one stale mirrored asset: out of the LRU
+// accounting, off the edge server. Assets the cache never tracked were
+// not mirrored by this edge (direct registrations) and are left alone.
+func (e *Edge) dropMirror(name string) bool {
+	if !e.cache.remove(name) {
+		return false
+	}
+	e.Server.RemoveAsset(name)
+	e.inst.invalidations.Inc()
+	e.inst.cacheBytes.Set(e.cache.bytes())
+	return true
+}
+
+// CatalogVersion returns the version of the last synced catalog.
+func (e *Edge) CatalogVersion() uint64 {
+	e.catMu.Lock()
+	defer e.catMu.Unlock()
+	return e.catVersion
+}
+
+// SyncCatalogFrom fetches the registry's catalog and applies it —
+// the convenience Heartbeats.OnCatalog callbacks use. A nil client
+// uses http.DefaultClient.
+func (e *Edge) SyncCatalogFrom(client *http.Client, registry string) error {
+	cat, err := GetCatalog(client, registry)
+	if err != nil {
+		return err
+	}
+	e.SyncCatalog(cat)
+	return nil
+}

@@ -1,0 +1,150 @@
+package relay
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Heartbeats is a node's registry membership loop: register, post load
+// snapshots every Interval, rejoin after a registry restart, and
+// surface catalog-version movement to the node.
+//
+// The loop survives registry downtime. Historically the initial
+// registration was fatal — an edge whose heartbeat loop started while
+// the registry was restarting (connection refused) silently fell out of
+// the cluster forever. Now transport-level registration failures retry
+// with the same bounded exponential backoff the client failover path
+// uses (FailoverBackoff on the loop's Clock), and heartbeat failures
+// simply retry on the next tick; only a protocol rejection of the
+// registration itself (a 4xx — the registry understood us and said no)
+// is fatal, since retrying a malformed NodeInfo can never succeed.
+type Heartbeats struct {
+	// Client for all registry calls; nil uses http.DefaultClient.
+	Client *http.Client
+	// Registry is the registry's base URL.
+	Registry string
+	// Info identifies this node; it is re-sent on every (re)registration.
+	Info NodeInfo
+	// Snapshot produces the load snapshot each heartbeat posts.
+	Snapshot func() NodeStats
+	// Interval between heartbeats; <= 0 defaults to 5s.
+	Interval time.Duration
+	// Clock paces the loop (ticks and registration backoff); nil is the
+	// real clock.
+	Clock vclock.Clock
+	// OnCatalog, when set, is called from the loop whenever the
+	// registry's catalog version (carried on every heartbeat answer)
+	// exceeds the largest version previously observed — the node's cue
+	// to re-fetch the catalog (Edge.SyncCatalogFrom). Never called
+	// concurrently with itself.
+	OnCatalog func(version uint64)
+	// RegisterBackoff is the base backoff between registration retries;
+	// <= 0 defaults to 100ms. Attempts back off exponentially, capped at
+	// 2s (FailoverBackoff).
+	RegisterBackoff time.Duration
+}
+
+// Run drives the loop until ctx is cancelled. The first registration is
+// retried through registry downtime as described on Heartbeats; once
+// registered, a snapshot is posted immediately — the registry balances
+// on the node's real load from its very first redirect instead of
+// scoring the newcomer zero for a whole interval (without it, a swarm
+// of joins arriving right after an edge registers piles onto the
+// newcomer). The same applies after a registry restart: the loop
+// re-registers on ErrUnknownNode and posts an immediate snapshot.
+//
+// Run does not deregister on cancellation: a draining caller that wants
+// the registry told right away calls Deregister itself (cmd/lodserver
+// does on SIGTERM), while a crash-simulation harness (loadgen churn)
+// cancels silently and lets death detection do its job.
+func (h *Heartbeats) Run(ctx context.Context) error {
+	clock := h.Clock
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	interval := h.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if err := h.register(ctx, clock); err != nil {
+		return err
+	}
+	var lastCatalog uint64
+	h.beat(&lastCatalog)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-clock.After(interval):
+			err := h.beat(&lastCatalog)
+			// Rejoin only while the node is actually staying up: once ctx
+			// is cancelled the node is shutting down, and a heartbeat that
+			// raced a deliberate Deregister must not resurrect the entry.
+			if errors.Is(err, ErrUnknownNode) && ctx.Err() == nil {
+				// The registry restarted without its durable state (or
+				// pruned us); rejoin so the cluster keeps routing clients
+				// here, with an immediate snapshot for the same
+				// score-from-real-load reason as at startup. Transport
+				// failures here retry on the next tick rather than
+				// blocking the beat cadence in a backoff sleep.
+				if RegisterWith(h.Client, h.Registry, h.Info) == nil {
+					_ = h.beat(&lastCatalog)
+				}
+			}
+		}
+	}
+}
+
+// register announces the node, retrying transport failures with bounded
+// exponential backoff until ctx is cancelled. Only a protocol rejection
+// (4xx) is returned as fatal.
+func (h *Heartbeats) register(ctx context.Context, clock vclock.Clock) error {
+	backoff := h.RegisterBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for attempt := 1; ; attempt++ {
+		err := RegisterWith(h.Client, h.Registry, h.Info)
+		if err == nil {
+			return nil
+		}
+		var he *httpError
+		if errors.As(err, &he) && he.Status >= 400 && he.Status < 500 {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-clock.After(FailoverBackoff(backoff, attempt)):
+		}
+	}
+}
+
+// beat posts one snapshot and relays a grown catalog version to
+// OnCatalog.
+func (h *Heartbeats) beat(lastCatalog *uint64) error {
+	ver, err := Heartbeat(h.Client, h.Registry, h.Info.ID, h.Snapshot())
+	if err != nil {
+		return err
+	}
+	if ver > *lastCatalog {
+		*lastCatalog = ver
+		if h.OnCatalog != nil {
+			h.OnCatalog(ver)
+		}
+	}
+	return nil
+}
+
+// RunHeartbeats registers the node, posts one snapshot from snap
+// immediately, and then posts a fresh snapshot every interval until ctx
+// is cancelled — the plain-function form of Heartbeats.Run, kept for
+// callers that need no catalog sync.
+func RunHeartbeats(ctx context.Context, client *http.Client, base string, info NodeInfo, snap func() NodeStats, interval time.Duration, clock vclock.Clock) error {
+	h := &Heartbeats{Client: client, Registry: base, Info: info, Snapshot: snap, Interval: interval, Clock: clock}
+	return h.Run(ctx)
+}

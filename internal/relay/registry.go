@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/vclock"
@@ -61,14 +62,21 @@ type Registry struct {
 	// TTL overrides DefaultNodeTTL when positive.
 	TTL time.Duration
 
-	metrics      *metrics.Registry
-	redirects    *metrics.Counter
-	noNode       *metrics.Counter
-	reports      *metrics.Counter
-	deathFailure *metrics.Counter
-	deathDrain   *metrics.Counter
-	ringHits     *metrics.Counter
-	ringFallback *metrics.Counter
+	// store is the durable control-plane state (internal/catalog): the
+	// persisted node table the registry restores on start plus the
+	// published-content catalog. Never nil — a registry without a state
+	// dir runs on a memory-only store with identical semantics.
+	store *catalog.Store
+
+	metrics       *metrics.Registry
+	redirects     *metrics.Counter
+	noNode        *metrics.Counter
+	reports       *metrics.Counter
+	deathFailure  *metrics.Counter
+	deathDrain    *metrics.Counter
+	ringHits      *metrics.Counter
+	ringFallback  *metrics.Counter
+	snapRedirects *metrics.Counter
 
 	// ring is the consistent-hash ring over the eligible nodes, swapped
 	// atomically on every membership change so PickFor can do its
@@ -88,7 +96,25 @@ type Registry struct {
 	// and URL host — in O(1), replacing the per-request scan the
 	// exclude-list handling and failure reports used to do.
 	byRef map[string]*regNode
+
+	// nodesCache holds the rendered GET /v1/registry/nodes body so the
+	// listing is served from stored bytes instead of re-marshaling per
+	// request. Invalidated (set nil) by every node-table mutation, and
+	// additionally bounded by nodesListingMaxAge because TTL expiry is
+	// passive — time alone changes the health labels.
+	nodesCache atomic.Pointer[nodesListing]
 }
+
+// nodesListing is one rendered node listing and when it was rendered.
+type nodesListing struct {
+	body []byte
+	at   time.Time
+}
+
+// nodesListingMaxAge bounds how stale a cached node listing may be:
+// heartbeat ages and TTL-derived health change with nothing but the
+// clock, so mutation-invalidation alone would serve a frozen view.
+const nodesListingMaxAge = time.Second
 
 type regNode struct {
 	info NodeInfo
@@ -112,6 +138,14 @@ type regNode struct {
 	// created once at registration so the redirect hot path never takes
 	// the metric registry's lookup lock.
 	redirects *metrics.Counter
+	// restored marks a node recreated from the durable snapshot rather
+	// than a live registration: the restored registry redirects at it on
+	// faith (its process most likely outlived the registry restart) and
+	// clears the mark on its first post-restart registration or
+	// heartbeat. Redirects issued while the mark is up are counted on
+	// lod_registry_snapshot_redirects_total — the proof that the snapshot
+	// carried traffic before the heartbeat round caught up.
+	restored bool
 }
 
 // refs returns every name a client may know this node by: its ID, its
@@ -120,13 +154,31 @@ func (n *regNode) refs() [3]string {
 	return [3]string{n.info.ID, n.info.URL, n.host}
 }
 
-// NewRegistry creates a registry on the given clock (nil = real clock).
+// NewRegistry creates a registry on the given clock (nil = real clock)
+// with a memory-only state store — nothing survives the process.
 func NewRegistry(clock vclock.Clock) *Registry {
+	return NewRegistryWithStore(clock, nil)
+}
+
+// NewRegistryWithStore creates a registry on the given clock (nil =
+// real clock) backed by a durable state store (nil = memory-only). The
+// store's persisted node table is restored immediately: every recorded
+// node comes back marked `restored` with its liveness clock reset, so
+// the registry serves redirects from the snapshot before the first
+// post-restart heartbeat arrives; recorded draining marks are kept —
+// a drain deliberately survives a registry restart. The registry owns
+// the store from here on; Close releases it.
+func NewRegistryWithStore(clock vclock.Clock, store *catalog.Store) *Registry {
 	if clock == nil {
 		clock = vclock.Real{}
 	}
+	if store == nil {
+		// Open("") cannot fail: there is no directory to create or read.
+		store, _ = catalog.Open("")
+	}
 	g := &Registry{
 		clock:   clock,
+		store:   store,
 		nodes:   make(map[string]*regNode),
 		byRef:   make(map[string]*regNode),
 		metrics: metrics.NewRegistry(),
@@ -139,6 +191,8 @@ func NewRegistry(clock vclock.Clock) *Registry {
 	deaths := "Nodes marked dead before TTL expiry, by reason."
 	g.deathFailure = g.metrics.Counter("lod_registry_node_deaths_total", deaths, metrics.Label{Key: "reason", Value: "failure"})
 	g.deathDrain = g.metrics.Counter("lod_registry_node_deaths_total", deaths, metrics.Label{Key: "reason", Value: "drain"})
+	g.snapRedirects = g.metrics.Counter("lod_registry_snapshot_redirects_total",
+		"Redirects served at nodes restored from the durable snapshot before their first post-restart heartbeat.")
 	g.metrics.GaugeFunc("lod_registry_nodes_alive", "Registered nodes within their TTL.", func() float64 {
 		var alive float64
 		for _, n := range g.Nodes() {
@@ -148,8 +202,21 @@ func NewRegistry(clock vclock.Clock) *Registry {
 		}
 		return alive
 	})
+	g.metrics.GaugeFunc("lod_registry_catalog_version", "Current control-plane state version.", func() float64 {
+		return float64(g.store.Version())
+	})
+	for _, rec := range g.store.State().Nodes {
+		// A record that no longer parses as a node is skipped, not fatal —
+		// the rest of the snapshot still restores.
+		_ = g.addNode(NodeInfo{ID: rec.ID, URL: rec.URL}, rec.Draining, true)
+	}
 	return g
 }
+
+// Close releases the registry's durable store. The registry itself
+// keeps answering (memory-state only) — Close is for the shutdown path
+// and for handing the state directory to a successor registry.
+func (g *Registry) Close() { g.store.Close() }
 
 // Metrics returns the registry's metric registry; cmd/lodserver mounts
 // it next to the redirect endpoints when hosting the registry role.
@@ -225,28 +292,58 @@ func (g *Registry) dropRefsLocked(n *regNode) {
 // exactly like after a registry restart.
 func (g *Registry) pruneLocked() {
 	cut := g.clock.Now().Add(-time.Duration(pruneAfterTTLs) * g.ttl())
-	pruned := false
+	var pruned []string
 	for id, n := range g.nodes {
 		if n.lastSeen.Before(cut) {
 			delete(g.nodes, id)
 			g.dropRefsLocked(n)
 			g.dropEligibleLocked(n)
-			pruned = true
+			pruned = append(pruned, id)
 		}
 	}
-	if pruned {
-		g.rebuildRingLocked()
+	if pruned == nil {
+		return
 	}
+	g.rebuildRingLocked()
+	g.invalidateNodesListing()
+	// Drop the pruned nodes from the durable record too, or a restart
+	// would resurrect corpses the live registry already forgot. Apply
+	// under g.mu is safe: the store goroutine takes no registry locks.
+	_, _ = g.store.Apply(func(st *catalog.State) {
+		for _, id := range pruned {
+			st.RemoveNode(id)
+		}
+	})
 }
 
 // Register adds or refreshes a node. Re-registering an existing ID
-// updates its URL and resets its liveness.
+// updates its URL and resets its liveness. The registration is recorded
+// in the durable store (clearing any persisted draining mark), so a
+// restarted registry restores the node table instead of waiting for
+// every edge to stumble over ErrUnknownNode.
+func (g *Registry) Register(info NodeInfo) error {
+	if err := g.addNode(info, false, false); err != nil {
+		return err
+	}
+	// A persist failure is not a registration failure: the in-memory
+	// table already routes to the node, and the store kept its previous
+	// consistent state. The durable record simply lags until the next
+	// successful mutation.
+	_, _ = g.store.Apply(func(st *catalog.State) {
+		st.UpsertNode(catalog.NodeRecord{ID: info.ID, URL: info.URL})
+	})
+	return nil
+}
+
+// addNode is the shared in-memory half of Register and the
+// restore-from-snapshot path: validate, create metric series, and
+// insert/update the node under g.mu.
 //
 // The node's metric series are created OUTSIDE g.mu: scrapes hold the
 // metrics registry's lock while calling gauge functions that take g.mu,
 // so taking the locks in the opposite order here would deadlock the
 // registry against a concurrent /metrics scrape.
-func (g *Registry) Register(info NodeInfo) error {
+func (g *Registry) addNode(info NodeInfo, draining, restored bool) error {
 	if info.ID == "" {
 		return &badNodeError{"empty node id"}
 	}
@@ -293,9 +390,11 @@ func (g *Registry) Register(info NodeInfo) error {
 	n.redirects = redirects
 	n.lastSeen = g.clock.Now()
 	n.dead = false
-	n.draining = false
+	n.draining = draining
+	n.restored = restored
 	g.setRefsLocked(n)
 	g.syncEligibilityLocked(n, was)
+	g.invalidateNodesListing()
 	return nil
 }
 
@@ -318,7 +417,11 @@ func (g *Registry) Heartbeat(id string, stats NodeStats) error {
 	n.assigned = 0
 	n.lastSeen = g.clock.Now()
 	n.dead = false
+	// The node has spoken for itself; it is no longer running on
+	// snapshot faith.
+	n.restored = false
 	g.syncEligibilityLocked(n, was)
+	g.invalidateNodesListing()
 	return nil
 }
 
@@ -335,6 +438,7 @@ func (g *Registry) ReportFailure(ref string) bool {
 	if n := g.byRef[ref]; n != nil && !n.dead && !n.draining {
 		n.dead = true
 		g.syncEligibilityLocked(n, true)
+		g.invalidateNodesListing()
 		killed = true
 	}
 	g.mu.Unlock()
@@ -359,10 +463,16 @@ func (g *Registry) Deregister(id string) bool {
 		was := !n.dead
 		n.draining = true
 		g.syncEligibilityLocked(n, was)
+		g.invalidateNodesListing()
 	}
 	g.mu.Unlock()
 	if marked {
 		g.deathDrain.Inc()
+		// The drain is durable: a registry restart must not resurrect a
+		// node that deliberately exited rotation.
+		_, _ = g.store.Apply(func(st *catalog.State) {
+			st.SetNodeDraining(id, true)
+		})
 	}
 	return marked
 }
@@ -409,6 +519,80 @@ func (g *Registry) Nodes() []NodeStatus {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// invalidateNodesListing drops the cached node-listing bytes; the next
+// NodesJSON re-renders. Safe with or without g.mu — the pointer store
+// is atomic.
+func (g *Registry) invalidateNodesListing() {
+	g.nodesCache.Store(nil)
+}
+
+// NodesJSON returns the GET /v1/registry/nodes body: the Nodes()
+// listing rendered once per node-table change (plus a one-second
+// staleness bound for the purely clock-driven fields) and served as
+// stored bytes from then on — the listing hot path does zero marshal
+// work per request. Callers must not mutate the returned slice.
+func (g *Registry) NodesJSON() []byte {
+	now := g.clock.Now()
+	if l := g.nodesCache.Load(); l != nil && now.Sub(l.at) < nodesListingMaxAge && !l.at.After(now) {
+		return l.body
+	}
+	body, err := json.Marshal(g.Nodes())
+	if err != nil {
+		// []NodeStatus holds only plain data; Marshal cannot fail on it.
+		panic("relay: marshal node listing: " + err.Error())
+	}
+	body = append(body, '\n')
+	g.nodesCache.Store(&nodesListing{body: body, at: now})
+	return body
+}
+
+// CatalogVersion returns the current control-plane state version — the
+// value of the CatalogVersionHeader on every control response.
+func (g *Registry) CatalogVersion() uint64 { return g.store.Version() }
+
+// CatalogJSON returns the GET /v1/registry/catalog body: the persisted
+// catalog bytes, pre-marshaled by the store at swap time. Callers must
+// not mutate the returned slice.
+func (g *Registry) CatalogJSON() []byte { return g.store.CatalogJSON() }
+
+// PublishAsset records an asset in the durable catalog (insert or
+// republish — a republish bumps the entry's Rev, which is what tells
+// edges their mirrored copy went stale). Returns the catalog version
+// carrying the change.
+func (g *Registry) PublishAsset(name string) (uint64, error) {
+	if name == "" {
+		return 0, &badNodeError{"empty asset name"}
+	}
+	st, err := g.store.Apply(func(st *catalog.State) { st.PublishAsset(name) })
+	return st.Version, err
+}
+
+// UnpublishAsset removes an asset from the durable catalog, reporting
+// whether it was published, and the catalog version after the call.
+func (g *Registry) UnpublishAsset(name string) (uint64, bool, error) {
+	var removed bool
+	st, err := g.store.Apply(func(st *catalog.State) { removed = st.UnpublishAsset(name) })
+	return st.Version, removed, err
+}
+
+// PublishGroup records a multi-rate group (and implicitly its variant
+// list) in the durable catalog; semantics mirror PublishAsset.
+func (g *Registry) PublishGroup(name string, variants []string) (uint64, error) {
+	if name == "" {
+		return 0, &badNodeError{"empty group name"}
+	}
+	st, err := g.store.Apply(func(st *catalog.State) { st.PublishGroup(name, variants) })
+	return st.Version, err
+}
+
+// UnpublishGroup removes a group from the durable catalog; semantics
+// mirror UnpublishAsset.
+func (g *Registry) UnpublishGroup(name string) (uint64, bool, error) {
+	var removed bool
+	st, err := g.store.Apply(func(st *catalog.State) { removed = st.UnpublishGroup(name) })
+	return st.Version, removed, err
 }
 
 // Pick selects the least-loaded live node and counts the assignment.
@@ -473,6 +657,9 @@ func (g *Registry) PickFor(key string, exclude ...string) (NodeInfo, error) {
 			preferred.assigned++
 			preferred.redirects.Inc()
 			g.ringHits.Inc()
+			if preferred.restored {
+				g.snapRedirects.Inc()
+			}
 			return preferred.info, nil
 		}
 		g.ringFallback.Inc()
@@ -496,6 +683,9 @@ func (g *Registry) PickFor(key string, exclude ...string) (NodeInfo, error) {
 	}
 	best.assigned++
 	best.redirects.Inc()
+	if best.restored {
+		g.snapRedirects.Inc()
+	}
 	return best.info, nil
 }
 
@@ -510,7 +700,15 @@ func (g *Registry) PickFor(key string, exclude ...string) (NodeInfo, error) {
 //	                                     marks a shutting-down node
 //	                                     draining
 //	GET  {/v1}/registry/nodes          — JSON list of proto.NodeStatus
-//	                                     (health + heartbeat age per node)
+//	                                     (health + heartbeat age per node),
+//	                                     served from cached bytes
+//	GET  {/v1}/registry/catalog        — proto.Catalog JSON, the persisted
+//	                                     bytes verbatim
+//	POST {/v1}/registry/publish        — body: proto.PublishMsg JSON;
+//	                                     records an asset or group in the
+//	                                     durable catalog
+//	POST {/v1}/registry/unpublish      — body: proto.UnpublishMsg JSON;
+//	                                     404 when not in the catalog
 //	GET  {/v1}/vod/..., /live/..., /group/...
 //	                                   — 307 redirect to the edge the
 //	                                     consistent-hash ring assigns the
@@ -527,10 +725,20 @@ func (g *Registry) Handler() http.Handler {
 	proto.HandleFunc(mux, proto.PathReportFailure, g.handleReportFailure)
 	proto.HandleFunc(mux, proto.PathDeregister, g.handleDeregister)
 	proto.HandleFunc(mux, proto.PathNodes, g.handleNodes)
+	proto.HandleFunc(mux, proto.PathCatalog, g.handleCatalog)
+	proto.HandleFunc(mux, proto.PathCatalogPublish, g.handleCatalogPublish)
+	proto.HandleFunc(mux, proto.PathCatalogUnpublish, g.handleCatalogUnpublish)
 	proto.HandleFunc(mux, proto.PrefixVOD, g.handleRedirect)
 	proto.HandleFunc(mux, proto.PrefixLive, g.handleRedirect)
 	proto.HandleFunc(mux, proto.PrefixGroup, g.handleRedirect)
 	return mux
+}
+
+// setCatalogVersion stamps the response with the current catalog
+// version. The string is pre-rendered at state-swap time, so this costs
+// one atomic load on the redirect hot path.
+func (g *Registry) setCatalogVersion(w http.ResponseWriter) {
+	w.Header().Set(proto.CatalogVersionHeader, g.store.Current().VersionString)
 }
 
 func (g *Registry) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -569,6 +777,10 @@ func (g *Registry) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		proto.WriteError(w, status, err.Error())
 		return
 	}
+	// The heartbeat answer doubles as the catalog-change signal: an edge
+	// seeing the version move re-fetches the catalog and invalidates
+	// stale mirrors, with no extra polling round trip.
+	g.setCatalogVersion(w)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -612,9 +824,77 @@ func (g *Registry) handleDeregister(w http.ResponseWriter, r *http.Request) {
 
 func (g *Registry) handleNodes(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(g.Nodes()); err != nil {
-		proto.WriteError(w, http.StatusInternalServerError, err.Error())
+	g.setCatalogVersion(w)
+	_, _ = w.Write(g.NodesJSON())
+}
+
+func (g *Registry) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	g.setCatalogVersion(w)
+	_, _ = w.Write(g.CatalogJSON())
+}
+
+func (g *Registry) handleCatalogPublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		proto.WriteError(w, http.StatusMethodNotAllowed, "POST required")
+		return
 	}
+	var msg proto.PublishMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		proto.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var err error
+	switch {
+	case msg.Asset != nil && msg.Group == nil:
+		_, err = g.PublishAsset(msg.Asset.Name)
+	case msg.Group != nil && msg.Asset == nil:
+		_, err = g.PublishGroup(msg.Group.Name, msg.Group.Variants)
+	default:
+		proto.WriteError(w, http.StatusBadRequest, "relay: publish wants exactly one of asset or group")
+		return
+	}
+	if err != nil {
+		proto.WriteErr(w, err)
+		return
+	}
+	g.setCatalogVersion(w)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Registry) handleCatalogUnpublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		proto.WriteError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var msg proto.UnpublishMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		proto.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var (
+		removed bool
+		err     error
+	)
+	switch {
+	case msg.Asset != "" && msg.Group == "":
+		_, removed, err = g.UnpublishAsset(msg.Asset)
+	case msg.Group != "" && msg.Asset == "":
+		_, removed, err = g.UnpublishGroup(msg.Group)
+	default:
+		proto.WriteError(w, http.StatusBadRequest, "relay: unpublish wants exactly one of asset or group")
+		return
+	}
+	if err != nil {
+		proto.WriteErr(w, err)
+		return
+	}
+	if !removed {
+		proto.WriteError(w, http.StatusNotFound, "relay: not in catalog")
+		return
+	}
+	g.setCatalogVersion(w)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (g *Registry) handleRedirect(w http.ResponseWriter, r *http.Request) {
@@ -634,6 +914,7 @@ func (g *Registry) handleRedirect(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		target += "?" + r.URL.RawQuery
 	}
+	g.setCatalogVersion(w)
 	http.Redirect(w, r, target, http.StatusTemporaryRedirect)
 }
 

@@ -253,10 +253,10 @@ func TestRegistryHTTPRoundTrip(t *testing.T) {
 	if err := RegisterWith(nil, ts.URL, NodeInfo{ID: "e1", URL: "http://edge1:8081"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := Heartbeat(nil, ts.URL, "e1", NodeStats{ActiveClients: 2}); err != nil {
+	if _, err := Heartbeat(nil, ts.URL, "e1", NodeStats{ActiveClients: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := Heartbeat(nil, ts.URL, "nope", NodeStats{}); err == nil {
+	if _, err := Heartbeat(nil, ts.URL, "nope", NodeStats{}); err == nil {
 		t.Fatal("heartbeat for unregistered node accepted")
 	}
 

@@ -42,16 +42,14 @@ package relay
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"time"
 
 	"repro/internal/proto"
 	"repro/internal/streaming"
-	"repro/internal/vclock"
 )
 
 // Errors.
@@ -103,21 +101,39 @@ func (e *httpError) Error() string {
 	return fmt.Sprintf("relay: %s: status %d: %s", e.URL, e.Status, e.Msg)
 }
 
+// IsNotFound reports whether err is a server answer saying the named
+// thing does not exist (HTTP 404) — as opposed to a transport failure
+// or a rejection. Unpublish tooling uses it to treat "already gone" as
+// a skippable condition rather than a hard stop.
+func IsNotFound(err error) bool {
+	var he *httpError
+	return errors.As(err, &he) && he.Status == http.StatusNotFound
+}
+
 func postJSON(client *http.Client, url string, v interface{}) error {
+	_, err := postJSONVersioned(client, url, v)
+	return err
+}
+
+// postJSONVersioned is postJSON returning the registry's catalog
+// version header (0 when absent — older registries, non-registry
+// targets).
+func postJSONVersioned(client *http.Client, url string, v interface{}) (uint64, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
 		perr := proto.ReadError(resp) // closes the body
-		return &httpError{URL: url, Status: perr.Status, Msg: perr.Message}
+		return 0, &httpError{URL: url, Status: perr.Status, Msg: perr.Message}
 	}
+	ver, _ := proto.ParseCatalogVersion(resp.Header.Get(proto.CatalogVersionHeader))
 	resp.Body.Close()
-	return nil
+	return ver, nil
 }
 
 // RegisterWith announces the node to the registry at base. A nil client
@@ -129,19 +145,23 @@ func RegisterWith(client *http.Client, base string, info NodeInfo) error {
 	return postJSON(client, base+proto.Versioned(proto.PathRegister), info)
 }
 
-// Heartbeat posts one load snapshot for the node to the registry at base.
-// A registry that no longer knows the node (it restarted and lost its
-// state) yields an error wrapping ErrUnknownNode: re-register and retry.
-func Heartbeat(client *http.Client, base, id string, stats NodeStats) error {
+// Heartbeat posts one load snapshot for the node to the registry at
+// base, returning the registry's current catalog version (the
+// CatalogVersionHeader on the answer; 0 from a pre-catalog registry) —
+// the signal a node compares against its last synced version to decide
+// whether to re-fetch the catalog. A registry that no longer knows the
+// node (it restarted and lost its state) yields an error wrapping
+// ErrUnknownNode: re-register and retry.
+func Heartbeat(client *http.Client, base, id string, stats NodeStats) (uint64, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	err := postJSON(client, base+proto.Versioned(proto.PathHeartbeat), proto.HeartbeatMsg{ID: id, Stats: stats})
+	ver, err := postJSONVersioned(client, base+proto.Versioned(proto.PathHeartbeat), proto.HeartbeatMsg{ID: id, Stats: stats})
 	var he *httpError
 	if errors.As(err, &he) && he.Status == http.StatusNotFound {
-		return fmt.Errorf("%w: %v", ErrUnknownNode, err)
+		return 0, fmt.Errorf("%w: %v", ErrUnknownNode, err)
 	}
-	return err
+	return ver, err
 }
 
 // ReportFailure tells the registry at base that the node named by ref
@@ -166,52 +186,86 @@ func Deregister(client *http.Client, base, id string) error {
 	return postJSON(client, base+proto.Versioned(proto.PathDeregister), proto.DeregisterMsg{ID: id})
 }
 
-// RunHeartbeats registers the node, posts one snapshot from snap
-// immediately, and then posts a fresh snapshot every interval until ctx
-// is cancelled. The immediate first heartbeat means the registry
-// balances on the node's real load from its very first redirect instead
-// of scoring the node zero for a whole interval — without it, a swarm
-// of joins arriving right after an edge registers (the loadgen startup
-// pattern) would pile onto the newcomer. The same applies after a
-// registry restart: re-registering on ErrUnknownNode posts an immediate
-// heartbeat too, so the rejoined node is never scored at load 0 for a
-// full interval. Transient heartbeat failures are retried on the next
-// tick; only the initial registration failure is fatal.
-//
-// RunHeartbeats does not deregister on cancellation: a draining caller
-// that wants the registry told right away calls Deregister itself
-// (cmd/lodserver does on SIGTERM), while a crash-simulation harness
-// (loadgen churn) cancels silently and lets death detection do its job.
-func RunHeartbeats(ctx context.Context, client *http.Client, base string, info NodeInfo, snap func() NodeStats, interval time.Duration, clock vclock.Clock) error {
-	if clock == nil {
-		clock = vclock.Real{}
+// GetCatalog fetches the registry's published-content catalog. A nil
+// client uses http.DefaultClient.
+func GetCatalog(client *http.Client, base string) (proto.Catalog, error) {
+	if client == nil {
+		client = http.DefaultClient
 	}
-	if err := RegisterWith(client, base, info); err != nil {
+	url := base + proto.Versioned(proto.PathCatalog)
+	resp, err := client.Get(url)
+	if err != nil {
+		return proto.Catalog{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		perr := proto.ReadError(resp) // closes the body
+		return proto.Catalog{}, &httpError{URL: url, Status: perr.Status, Msg: perr.Message}
+	}
+	defer resp.Body.Close()
+	var cat proto.Catalog
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		return proto.Catalog{}, fmt.Errorf("relay: decode catalog from %s: %w", url, err)
+	}
+	return cat, nil
+}
+
+// PublishCatalog records a publish (asset or group) in the registry's
+// durable catalog and returns the catalog version carrying it. A nil
+// client uses http.DefaultClient.
+func PublishCatalog(client *http.Client, base string, msg proto.PublishMsg) (uint64, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return postJSONVersioned(client, base+proto.Versioned(proto.PathCatalogPublish), msg)
+}
+
+// UnpublishCatalog removes an entry from the registry's durable catalog
+// and returns the catalog version carrying the removal. A nil client
+// uses http.DefaultClient.
+func UnpublishCatalog(client *http.Client, base string, msg proto.UnpublishMsg) (uint64, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return postJSONVersioned(client, base+proto.Versioned(proto.PathCatalogUnpublish), msg)
+}
+
+// PublishAsset uploads a container to a streaming server's live publish
+// endpoint (POST /v1/publish/{name}), registering or replacing the
+// asset under traffic. A nil client uses http.DefaultClient.
+func PublishAsset(client *http.Client, base, name string, body io.Reader) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := base + proto.Versioned(proto.RoutePath(proto.PrefixPublish, name))
+	resp, err := client.Post(url, "application/octet-stream", body)
+	if err != nil {
 		return err
 	}
-	_ = Heartbeat(client, base, info.ID, snap())
-	if interval <= 0 {
-		interval = 5 * time.Second
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		perr := proto.ReadError(resp) // closes the body
+		return &httpError{URL: url, Status: perr.Status, Msg: perr.Message}
 	}
-	for {
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-clock.After(interval):
-			err := Heartbeat(client, base, info.ID, snap())
-			// Rejoin only while the node is actually staying up: once ctx
-			// is cancelled the node is shutting down, and a heartbeat that
-			// raced a deliberate Deregister must not resurrect the entry.
-			if errors.Is(err, ErrUnknownNode) && ctx.Err() == nil {
-				// The registry restarted and forgot us; rejoin so the
-				// cluster keeps routing clients here, and post stats at
-				// once so the newcomer isn't scored idle until the next
-				// tick (the join pile-on the immediate first heartbeat
-				// exists to prevent). Failures retry on the next tick.
-				if RegisterWith(client, base, info) == nil {
-					_ = Heartbeat(client, base, info.ID, snap())
-				}
-			}
-		}
+	resp.Body.Close()
+	return nil
+}
+
+// UnpublishAsset removes an asset (or rate group) from a streaming
+// server via its live unpublish endpoint (POST /v1/unpublish/{name}).
+// In-flight sessions finish; new opens 404. A nil client uses
+// http.DefaultClient.
+func UnpublishAsset(client *http.Client, base, name string) error {
+	if client == nil {
+		client = http.DefaultClient
 	}
+	url := base + proto.Versioned(proto.RoutePath(proto.PrefixUnpublish, name))
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		perr := proto.ReadError(resp) // closes the body
+		return &httpError{URL: url, Status: perr.Status, Msg: perr.Message}
+	}
+	resp.Body.Close()
+	return nil
 }

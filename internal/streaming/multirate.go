@@ -89,6 +89,20 @@ func (s *Server) RateGroup(name string) (*RateGroup, bool) {
 	return g, ok
 }
 
+// RemoveRateGroup unregisters a multi-rate group, reporting whether it
+// was present. Its variant assets stay registered (they may be served
+// directly or belong to other groups); sessions streaming a variant
+// finish normally. The unpublish/catalog-invalidation hook.
+func (s *Server) RemoveRateGroup(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.groups[name]; !ok {
+		return false
+	}
+	delete(s.groups, name)
+	return true
+}
+
 // handleGroup serves /group/{name}?bw=<bits per second>: it selects the
 // best-fitting variant and streams it exactly like a VOD session.
 func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
@@ -98,7 +112,7 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 	name := proto.StreamName(r.URL.Path, proto.StreamGroup)
 	g, ok := s.RateGroup(name)
 	if !ok {
-		http.NotFound(w, r)
+		proto.WriteError(w, http.StatusNotFound, "streaming: unknown group "+name)
 		return
 	}
 	bw := int64(1 << 62)

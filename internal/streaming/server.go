@@ -275,8 +275,11 @@ func newServerInstruments(reg *metrics.Registry) serverInstruments {
 // /status endpoints with Metrics().Expose(mux).
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
-// RegisterAsset parses a stored container and registers it by name.
-func (s *Server) RegisterAsset(name string, r *asf.Reader) (*Asset, error) {
+// parseAsset reads a whole stored container into a ready-to-serve
+// Asset: seek positions built and shared packets pre-encoded, all
+// before any server lock is taken — registration under traffic never
+// parses inside the lock.
+func parseAsset(name string, r *asf.Reader) (*Asset, error) {
 	h, err := r.ReadHeader()
 	if err != nil {
 		return nil, fmt.Errorf("streaming: register %q: %w", name, err)
@@ -295,13 +298,41 @@ func (s *Server) RegisterAsset(name string, r *asf.Reader) (*Asset, error) {
 	a.Index = r.Index()
 	a.seekOnce.Do(a.buildSeekPos)
 	a.SharedPackets() // pre-encode now so the first session pays nothing
+	return a, nil
+}
 
+// RegisterAsset parses a stored container and registers it by name. An
+// already-registered name is ErrDuplicate — the pull-through mirror
+// path must not clobber a copy that raced it; live replacement is
+// PublishAsset.
+func (s *Server) RegisterAsset(name string, r *asf.Reader) (*Asset, error) {
+	a, err := parseAsset(name, r)
+	if err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.assets[name]; ok {
 		return nil, fmt.Errorf("%w: asset %q", ErrDuplicate, name)
 	}
 	s.assets[name] = a
+	return a, nil
+}
+
+// PublishAsset parses a stored container and registers it by name,
+// replacing any existing asset — the live publish path. The new copy is
+// built fully aside and swapped in under the lock, so concurrent opens
+// see either the old asset or the new one, never a partial state;
+// sessions already streaming the old copy hold their own reference and
+// finish on the old bytes.
+func (s *Server) PublishAsset(name string, r *asf.Reader) (*Asset, error) {
+	a, err := parseAsset(name, r)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.assets[name] = a
+	s.mu.Unlock()
 	return a, nil
 }
 
@@ -485,10 +516,55 @@ func (s *Server) Handler() http.Handler {
 	handle(proto.PrefixLive, "live", s.handleLive)
 	handle(proto.PrefixGroup, "group", s.handleGroup)
 	handle(proto.PrefixFetch, "fetch", s.handleFetch)
+	handle(proto.PrefixPublish, "publish", s.handlePublish)
+	handle(proto.PrefixUnpublish, "unpublish", s.handleUnpublish)
 	handle(proto.PathAssets, "assets", s.handleAssets)
 	handle(proto.PathChannels, "channels", s.handleChannels)
 	handle(proto.PathGroups, "groups", s.handleGroups)
 	return mux
+}
+
+// handlePublish accepts a stored container in the request body and
+// publishes it under the path name, replacing any existing asset —
+// the live half of the durable control plane. The container is parsed
+// and pre-encoded fully before the swap, so a malformed upload changes
+// nothing and concurrent opens never see a partial asset.
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		proto.WriteError(w, http.StatusMethodNotAllowed, "streaming: publish requires POST")
+		return
+	}
+	name := proto.RouteName(r.URL.Path, proto.PrefixPublish)
+	if name == "" {
+		proto.WriteError(w, http.StatusBadRequest, "streaming: publish: empty asset name")
+		return
+	}
+	if _, err := s.PublishAsset(name, asf.NewReader(r.Body)); err != nil {
+		proto.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleUnpublish removes the named asset or multi-rate group.
+// In-flight sessions finish on their own references; new opens 404.
+func (s *Server) handleUnpublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		proto.WriteError(w, http.StatusMethodNotAllowed, "streaming: unpublish requires POST")
+		return
+	}
+	name := proto.RouteName(r.URL.Path, proto.PrefixUnpublish)
+	if name == "" {
+		proto.WriteError(w, http.StatusBadRequest, "streaming: unpublish: empty asset name")
+		return
+	}
+	removedAsset := s.RemoveAsset(name)
+	removedGroup := s.RemoveRateGroup(name)
+	if !removedAsset && !removedGroup {
+		proto.WriteError(w, http.StatusNotFound, "streaming: unknown asset "+name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // GroupInfo describes one multi-rate group in the /groups listing.
@@ -533,7 +609,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	name := proto.StreamName(r.URL.Path, proto.StreamFetch)
 	asset, ok := s.Asset(name)
 	if !ok {
-		http.NotFound(w, r)
+		proto.WriteError(w, http.StatusNotFound, "streaming: unknown asset "+name)
 		return
 	}
 	s.mu.Lock()
@@ -620,7 +696,9 @@ func (s *Server) handleVOD(w http.ResponseWriter, r *http.Request) {
 	name := proto.StreamName(r.URL.Path, proto.StreamVOD)
 	asset, ok := s.Asset(name)
 	if !ok {
-		http.NotFound(w, r)
+		// proto.Error body, not a bare text 404: an unpublished asset's
+		// rejections are part of the /v1 contract like any other error.
+		proto.WriteError(w, http.StatusNotFound, "streaming: unknown asset "+name)
 		return
 	}
 	firstIdx := 0
@@ -709,7 +787,7 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	ch, ok := s.channels[name]
 	s.mu.RUnlock()
 	if !ok {
-		http.NotFound(w, r)
+		proto.WriteError(w, http.StatusNotFound, "streaming: unknown channel "+name)
 		return
 	}
 	rate := headerRate(ch.Header())
