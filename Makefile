@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS := ./...
 
-.PHONY: all build test vet fmt-check lint fuzz-smoke race bench bench-smoke bench-profile bench-cluster bench-churn bench-fanout bench-scale bench-scale-smoke bench-registrychurn bench-registrychurn-smoke
+.PHONY: all build test vet fmt-check lint fuzz-smoke race bench bench-smoke bench-profile bench-cluster bench-churn bench-fanout bench-scale bench-scale-smoke bench-registrychurn bench-registrychurn-smoke bench-flashcrowd bench-flashcrowd-smoke bench-zipf
 
 all: build test vet fmt-check lint
 
@@ -106,3 +106,26 @@ bench-scale:
 bench-scale-smoke:
 	$(GO) run ./cmd/lodbench -scenario 'scale?rate=400' -clients 400 -edges 16 -shards 4 \
 		-assert-startup-p99 2s -out BENCH_scale_smoke.json
+
+# The committed before/after pair for the popularity-aware edge cache:
+# the same flash crowd once with the LRU baseline and once with
+# W-TinyLFU admission + miss coalescing. cache.originBytes and
+# cache.perAsset maxEdgePulls are the headline (BENCHMARKS.md).
+bench-flashcrowd:
+	$(GO) run ./cmd/lodbench -scenario 'flashcrowd?cachepolicy=lru' -clients 1200 -edges 2 -out BENCH_flashcrowd_lru.json
+	$(GO) run ./cmd/lodbench -scenario flashcrowd -clients 1200 -edges 2 -out BENCH_flashcrowd.json
+
+# The CI tier: the whole crowd lands inside ~50ms (rate=3000), so the
+# hot asset's first pull is still in flight when the next demands
+# arrive — the miss-coalescing case. Gated on zero session failures
+# (lodbench exits nonzero on any) and on coalescing + admission holding
+# duplicate origin pulls of the hot asset to at most one per edge.
+bench-flashcrowd-smoke:
+	$(GO) run ./cmd/lodbench -scenario 'flashcrowd?rate=3000' -clients 150 -edges 2 \
+		-assert-hot-pulls 1 -out BENCH_flashcrowd_smoke.json
+
+# Zipf-popular VOD over a tight cache: the cache.hitRate pair is the
+# frequency-gated-admission headline.
+bench-zipf:
+	$(GO) run ./cmd/lodbench -scenario 'zipf?cachepolicy=lru' -clients 800 -edges 2 -out BENCH_zipf_lru.json
+	$(GO) run ./cmd/lodbench -scenario zipf -clients 800 -edges 2 -out BENCH_zipf.json

@@ -54,6 +54,7 @@ func run(args []string) error {
 	memprofile := fs.String("memprofile", "", "write a post-run heap profile to this file (cluster mode)")
 	assertPerf := fs.Bool("assert-perf", false, "fail unless the record's perf block is populated (packetsPerSec, bytesPerSec, allocsPerPacket, nsPerPacket all nonzero)")
 	assertStartupP99 := fs.Duration("assert-startup-p99", 0, "fail when the record's startup p99 exceeds this bound (cluster mode); 0 disables the gate")
+	assertHotPulls := fs.Int("assert-hot-pulls", 0, "fail when the hottest asset's worst-edge origin-pull count (cache.perAsset maxEdgePulls) exceeds this bound (cluster mode); 0 disables the gate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +70,7 @@ func run(args []string) error {
 			spec: *scenario, clients: *clients, edges: *edges, shards: *shards,
 			out: *out, cpuprofile: *cpuprofile, memprofile: *memprofile,
 			assertPerf: *assertPerf, assertStartupP99: *assertStartupP99,
+			assertHotPulls: *assertHotPulls,
 		})
 	}
 
@@ -114,6 +116,7 @@ type scenarioOpts struct {
 	out, cpuprofile, memprofile string
 	assertPerf                  bool
 	assertStartupP99            time.Duration
+	assertHotPulls              int
 }
 
 // runScenario executes one load scenario and writes the record to out.
@@ -197,6 +200,19 @@ func runScenario(o scenarioOpts) error {
 		bound := float64(o.assertStartupP99) / float64(time.Millisecond)
 		if rep.StartupMs.P99 > bound {
 			return fmt.Errorf("startup p99 %.1fms exceeds the %.0fms bound", rep.StartupMs.P99, bound)
+		}
+	}
+	// The flashcrowd smoke gate: under miss coalescing and admission, no
+	// single edge should re-pull the hot asset from the origin — each
+	// flash-crowd demand either hits the mirror or attaches to the one
+	// in-flight pull.
+	if o.assertHotPulls > 0 {
+		if rep.Cache == nil || len(rep.Cache.PerAsset) == 0 {
+			return fmt.Errorf("assert-hot-pulls: record has no cache.perAsset block")
+		}
+		if top := rep.Cache.PerAsset[0]; top.MaxEdgePulls > int64(o.assertHotPulls) {
+			return fmt.Errorf("hot asset %s pulled %d× by one edge, bound is %d (duplicate origin pulls)",
+				top.Name, top.MaxEdgePulls, o.assertHotPulls)
 		}
 	}
 	return nil

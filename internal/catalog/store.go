@@ -33,6 +33,11 @@ const defaultKeepHistory = 8
 // ErrClosed is returned by Apply after Close.
 var ErrClosed = errors.New("catalog: store closed")
 
+// ErrNoSnapshot is returned by Rollback when the requested version has
+// no retained history entry — memory-only store, a version that never
+// persisted, or one already pruned past the keep horizon.
+var ErrNoSnapshot = errors.New("catalog: no snapshot for version")
+
 // Snapshot pairs one immutable state version with its pre-marshaled
 // catalog listing — the bytes PathCatalog serves verbatim, rendered
 // once at swap time rather than per request.
@@ -211,6 +216,32 @@ func (s *Store) Apply(mut func(*State)) (State, error) {
 		resp := <-req.resp
 		return resp.st, resp.err
 	}
+}
+
+// Rollback restores the published content (assets and groups) of a
+// retained on-disk snapshot, applied as a regular mutation through the
+// update goroutine: node membership is preserved — live nodes would be
+// stale the moment an old snapshot resurrected them — and the catalog
+// version keeps growing, so consumers never see the version header move
+// backwards. Rolling back to content identical to the current state is
+// a no-op like any other Apply. An unretained version returns
+// ErrNoSnapshot.
+func (s *Store) Rollback(version uint64) (State, error) {
+	if s.dir == "" {
+		return State{}, fmt.Errorf("%w %d: store has no history directory", ErrNoSnapshot, version)
+	}
+	old, err := loadStateFile(filepath.Join(s.dir, stateFileName(version)))
+	if err != nil || old.Version != version {
+		return State{}, fmt.Errorf("%w %d", ErrNoSnapshot, version)
+	}
+	return s.Apply(func(st *State) {
+		st.Assets = append([]proto.CatalogAsset(nil), old.Assets...)
+		st.Groups = make([]proto.CatalogGroup, len(old.Groups))
+		for i, g := range old.Groups {
+			g.Variants = append([]string(nil), g.Variants...)
+			st.Groups[i] = g
+		}
+	})
 }
 
 // Current returns the current snapshot: the state plus its

@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -213,5 +214,72 @@ func TestPublishRevTracksVersion(t *testing.T) {
 	}
 	if st.UnpublishAsset("lec-1") {
 		t.Fatalf("unpublish absent asset reported true")
+	}
+}
+
+func TestStoreRollbackRestoresContent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustApply(t, s, func(st *State) { st.UpsertNode(NodeRecord{ID: "edge-a", URL: "http://a"}) })
+	v2 := mustApply(t, s, func(st *State) {
+		st.PublishAsset("lec-1")
+		st.PublishGroup("grp-1", []string{"grp-1-lean", "grp-1-rich"})
+	})
+	mustApply(t, s, func(st *State) { st.UnpublishAsset("lec-1") })
+	mustApply(t, s, func(st *State) { st.UnpublishGroup("grp-1") })
+	mustApply(t, s, func(st *State) { st.UpsertNode(NodeRecord{ID: "edge-b", URL: "http://b"}) })
+
+	st, err := s.Rollback(v2.Version)
+	if err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	// Content restored from v2 under a fresh, higher version; the node
+	// added after v2 is preserved.
+	if st.Version != 6 {
+		t.Fatalf("post-rollback version = %d, want 6", st.Version)
+	}
+	if !reflect.DeepEqual(st.Assets, v2.Assets) {
+		t.Fatalf("assets = %+v, want %+v", st.Assets, v2.Assets)
+	}
+	if !reflect.DeepEqual(st.Groups, v2.Groups) {
+		t.Fatalf("groups = %+v, want %+v", st.Groups, v2.Groups)
+	}
+	if len(st.Nodes) != 2 {
+		t.Fatalf("nodes = %+v, want both preserved", st.Nodes)
+	}
+
+	// Rolling back to the state we are already at is a no-op Apply.
+	again, err := s.Rollback(st.Version)
+	if err != nil {
+		t.Fatalf("no-op Rollback: %v", err)
+	}
+	if again.Version != st.Version {
+		t.Fatalf("no-op rollback bumped version to %d", again.Version)
+	}
+}
+
+func TestStoreRollbackUnknownVersion(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustApply(t, s, func(st *State) { st.PublishAsset("lec-1") })
+	if _, err := s.Rollback(99); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("unknown version rollback err = %v, want ErrNoSnapshot", err)
+	}
+
+	mem, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if _, err := mem.Rollback(1); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("memory-only rollback err = %v, want ErrNoSnapshot", err)
 	}
 }

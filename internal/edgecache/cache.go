@@ -1,0 +1,456 @@
+package edgecache
+
+import (
+	"sort"
+	"sync"
+)
+
+// Policy selects the cache's replacement strategy.
+type Policy string
+
+// Policies. TinyLFU is the default: a small recency window in front of
+// a frequency-gated main segment. LRU is the pre-admission behaviour —
+// one recency list, evict the tail — kept so before/after benchmarks
+// can run both policies over identical traffic.
+const (
+	TinyLFU Policy = "tinylfu"
+	LRU     Policy = "lru"
+)
+
+// Default tuning. The window gets a small slice of the byte budget —
+// enough for the newest mirrors to prove themselves — and the sketch
+// is sized far above any realistic resident-asset count.
+const (
+	defaultWindowFrac     = 0.10
+	defaultSketchCounters = 1024
+)
+
+// Config parameterizes a Cache. The zero value is a TinyLFU cache with
+// default window fraction and sketch size and no prewarm hook.
+type Config struct {
+	// Policy is TinyLFU (default) or LRU.
+	Policy Policy
+	// WindowFrac is the fraction of the byte budget held by the
+	// admission window (TinyLFU only); defaults to 0.10.
+	WindowFrac float64
+	// SketchCounters sizes the frequency sketch (rounded up to a power
+	// of two); defaults to 1024.
+	SketchCounters int
+	// PrewarmThreshold is the sketch frequency estimate (1–15) at which
+	// OnHot fires, once per asset. Zero disables the hook.
+	PrewarmThreshold int
+	// OnHot is called — outside the cache's lock, at most once per
+	// asset — when an asset's estimated frequency crosses
+	// PrewarmThreshold. The edge uses it to prewarm rate-group
+	// siblings.
+	OnHot func(name string)
+}
+
+// entry is one resident asset. Entries are their own typed list nodes
+// (prev/next), so recency bookkeeping never goes through container/list
+// and its interface{} boxing.
+type entry struct {
+	name       string
+	size       int64
+	hash       uint64
+	window     bool // which segment the entry lives in
+	prev, next *entry
+}
+
+// entryList is an intrusive doubly-linked recency list of entries:
+// front is most recent, back is the eviction end.
+type entryList struct {
+	front, back *entry
+	bytes       int64
+}
+
+func (l *entryList) pushFront(e *entry) {
+	e.prev, e.next = nil, l.front
+	if l.front != nil {
+		l.front.prev = e
+	}
+	l.front = e
+	if l.back == nil {
+		l.back = e
+	}
+	l.bytes += e.size
+}
+
+func (l *entryList) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.bytes -= e.size
+}
+
+func (l *entryList) moveToFront(e *entry) {
+	if l.front == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
+}
+
+// assetStat is the per-asset demand ledger. It outlives residency —
+// hits and pulls accumulate across evictions and re-mirrors — which is
+// exactly what the bench report's per-asset block and the duplicate-
+// pull count need.
+type assetStat struct {
+	hits, pulls uint64
+	hot         bool // OnHot already fired for this asset
+}
+
+// AssetStats is one asset's cumulative cache traffic.
+type AssetStats struct {
+	Name  string
+	Hits  uint64 // demands served from resident content
+	Pulls uint64 // origin pulls performed (first mirror + every re-mirror)
+}
+
+// Cache is the admission-controlled mirror cache. All methods are safe
+// for concurrent use. The cache tracks names and sizes; the caller owns
+// the actual bytes and removes them when Enforce names victims.
+type Cache struct {
+	cfg Config
+
+	mu         sync.Mutex
+	sketch     *sketch
+	entries    map[string]*entry
+	window     entryList
+	main       entryList
+	stats      map[string]*assetStat
+	pendingHot []string
+}
+
+// New builds a cache from cfg (zero value: TinyLFU defaults).
+func New(cfg Config) *Cache {
+	if cfg.Policy == "" {
+		cfg.Policy = TinyLFU
+	}
+	if cfg.WindowFrac <= 0 || cfg.WindowFrac > 1 {
+		cfg.WindowFrac = defaultWindowFrac
+	}
+	if cfg.SketchCounters <= 0 {
+		cfg.SketchCounters = defaultSketchCounters
+	}
+	return &Cache{
+		cfg:     cfg,
+		sketch:  newSketch(cfg.SketchCounters),
+		entries: make(map[string]*entry),
+		stats:   make(map[string]*assetStat),
+	}
+}
+
+// Policy returns the cache's replacement policy.
+func (c *Cache) Policy() Policy { return c.cfg.Policy }
+
+// Add books an asset as resident (insert or size refresh). New entries
+// land in the recency window (TinyLFU) or the single list (LRU);
+// re-added entries refresh their size and recency in place. Add does
+// not count demand — Touch and RecordPull do — so reinstating a
+// pin-rescued victim never skews the frequency sketch.
+func (c *Cache) Add(name string, size int64) {
+	c.mu.Lock()
+	if e, ok := c.entries[name]; ok {
+		l := c.list(e)
+		l.bytes += size - e.size
+		e.size = size
+		l.moveToFront(e)
+		c.mu.Unlock()
+		return
+	}
+	e := &entry{name: name, size: size, hash: hashString(name), window: c.cfg.Policy == TinyLFU}
+	c.entries[name] = e
+	c.list(e).pushFront(e)
+	c.mu.Unlock()
+}
+
+// Touch records a demand served from resident content: a frequency
+// observation, a recency bump, and a per-asset hit.
+func (c *Cache) Touch(name string) {
+	c.mu.Lock()
+	h := hashString(name)
+	c.sketch.increment(h)
+	c.stat(name).hits++
+	if e, ok := c.entries[name]; ok {
+		c.list(e).moveToFront(e)
+	}
+	c.checkHot(name, h)
+	c.mu.Unlock()
+	c.fireHot()
+}
+
+// RecordPull records a demand that went to the origin: a frequency
+// observation and a per-asset pull. Call it once per completed origin
+// fetch, before or after Add.
+func (c *Cache) RecordPull(name string) {
+	c.mu.Lock()
+	h := hashString(name)
+	c.sketch.increment(h)
+	c.stat(name).pulls++
+	c.checkHot(name, h)
+	c.mu.Unlock()
+	c.fireHot()
+}
+
+// Remove drops an asset from residency accounting, reporting whether it
+// was tracked. Its demand ledger survives.
+func (c *Cache) Remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return false
+	}
+	c.list(e).remove(e)
+	delete(c.entries, name)
+	return true
+}
+
+// Contains reports whether an asset is booked as resident.
+func (c *Cache) Contains(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[name]
+	return ok
+}
+
+// Bytes returns the summed size of resident entries.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.window.bytes + c.main.bytes
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Names returns resident names, most recent first, window segment
+// before main.
+func (c *Cache) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for e := c.window.front; e != nil; e = e.next {
+		out = append(out, e.name)
+	}
+	for e := c.main.front; e != nil; e = e.next {
+		out = append(out, e.name)
+	}
+	return out
+}
+
+// Frequency returns the sketch's current estimate for an asset.
+func (c *Cache) Frequency(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.estimate(hashString(name))
+}
+
+// Stats returns the cumulative per-asset demand ledger, sorted by
+// hits+pulls descending (name ascending on ties, so output is
+// deterministic).
+func (c *Cache) Stats() []AssetStats {
+	c.mu.Lock()
+	out := make([]AssetStats, 0, len(c.stats))
+	for name, st := range c.stats {
+		out = append(out, AssetStats{Name: name, Hits: st.hits, Pulls: st.pulls})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].Hits+out[i].Pulls, out[j].Hits+out[j].Pulls
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Enforce brings the cache toward the byte budget and returns the names
+// the caller must drop: evicted (lost to capacity pressure or a lost
+// frequency duel while resident in main) and rejected (window
+// candidates that failed the frequency duel against the main segment's
+// coldest resident — the one-hit wonders). Neither list ever contains
+// `except` (the demand in progress) or a name pinned() reports true
+// for; pins may leave the cache over budget, which a later Enforce
+// resolves once they release. budget <= 0 means unbounded: nothing is
+// evicted or rejected.
+func (c *Cache) Enforce(budget int64, except string, pinned func(string) bool) (evicted, rejected []string) {
+	if budget <= 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.cfg.Policy != TinyLFU {
+		// LRU: evict strictly by recency until the budget holds.
+		for c.window.bytes+c.main.bytes > budget {
+			victim := c.evictable(&c.main, except, pinned)
+			if victim == nil {
+				break // everything left is pinned or mid-demand
+			}
+			c.drop(victim)
+			evicted = append(evicted, victim.name)
+		}
+		return evicted, rejected
+	}
+	evicted, rejected = c.reclaim(budget, except, pinned)
+	c.drainWindow(budget, except, pinned)
+	return evicted, rejected
+}
+
+// reclaim is the TinyLFU capacity loop: while over budget, the window's
+// coldest unpinned entry duels the main segment's lowest-frequency
+// unpinned entry. Strictly greater estimated frequency wins the
+// newcomer a seat (the main victim is evicted, the candidate promoted);
+// otherwise the candidate is rejected. With only one side able to give
+// ground, that side's candidate is evicted outright. Runs under c.mu.
+func (c *Cache) reclaim(budget int64, except string, pinned func(string) bool) (evicted, rejected []string) {
+	for c.window.bytes+c.main.bytes > budget {
+		cand := c.evictable(&c.window, except, pinned)
+		victim := c.coldestMain(except, pinned)
+		switch {
+		case cand == nil && victim == nil:
+			return evicted, rejected // everything left is pinned or mid-demand
+		case cand == nil:
+			c.drop(victim)
+			evicted = append(evicted, victim.name)
+		case victim == nil:
+			c.drop(cand)
+			evicted = append(evicted, cand.name)
+		// The duel: strictly greater wins, so a single-demand newcomer
+		// can never displace an equally-counted (or hotter) resident.
+		case c.sketch.estimate(cand.hash) > c.sketch.estimate(victim.hash):
+			c.drop(victim)
+			evicted = append(evicted, victim.name)
+			c.promote(cand)
+		default:
+			c.drop(cand)
+			rejected = append(rejected, cand.name)
+		}
+	}
+	return evicted, rejected
+}
+
+// drainWindow promotes the window's overflow into the main segment once
+// the budget holds, keeping the window small enough to stay a probation
+// area rather than a shadow cache. Pinned and in-demand entries stay
+// windowed — the demand pinning them is still proving their popularity.
+// Runs under c.mu.
+func (c *Cache) drainWindow(budget int64, except string, pinned func(string) bool) {
+	target := int64(float64(budget) * c.cfg.WindowFrac)
+	if target < 1 {
+		target = 1
+	}
+	for c.window.bytes > target {
+		cand := c.evictable(&c.window, except, pinned)
+		if cand == nil {
+			return
+		}
+		c.promote(cand)
+	}
+}
+
+// coldestMain returns the main entry with the lowest frequency estimate
+// (ties broken toward the eviction end), skipping except and pinned
+// entries — the victim a window candidate duels. Frequency, not
+// recency, picks the victim so a freshly promoted one-hit wonder can
+// never outlive a long-resident hot asset. Runs under c.mu.
+func (c *Cache) coldestMain(except string, pinned func(string) bool) *entry {
+	var victim *entry
+	best := 16
+	for e := c.main.back; e != nil; e = e.prev {
+		if e.name == except || (pinned != nil && pinned(e.name)) {
+			continue
+		}
+		if f := c.sketch.estimate(e.hash); f < best {
+			best, victim = f, e
+		}
+	}
+	return victim
+}
+
+// evictable returns the coldest entry of l that is neither except nor
+// pinned, or nil.
+func (c *Cache) evictable(l *entryList, except string, pinned func(string) bool) *entry {
+	for e := l.back; e != nil; e = e.prev {
+		if e.name == except || (pinned != nil && pinned(e.name)) {
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// promote moves a window entry to the main segment's recent end. Runs
+// under c.mu.
+func (c *Cache) promote(e *entry) {
+	c.window.remove(e)
+	e.window = false
+	c.main.pushFront(e)
+}
+
+// drop removes an entry from its list and the index. Runs under c.mu.
+func (c *Cache) drop(e *entry) {
+	c.list(e).remove(e)
+	delete(c.entries, e.name)
+}
+
+func (c *Cache) list(e *entry) *entryList {
+	if e.window {
+		return &c.window
+	}
+	return &c.main
+}
+
+func (c *Cache) stat(name string) *assetStat {
+	st, ok := c.stats[name]
+	if !ok {
+		st = &assetStat{}
+		c.stats[name] = st
+	}
+	return st
+}
+
+// checkHot queues the OnHot callback when an asset's estimate crosses
+// the prewarm threshold for the first time. Runs under c.mu; the
+// callback itself fires from fireHot after the lock is released.
+func (c *Cache) checkHot(name string, h uint64) {
+	if c.cfg.PrewarmThreshold <= 0 || c.cfg.OnHot == nil {
+		return
+	}
+	st := c.stat(name)
+	if st.hot || c.sketch.estimate(h) < c.cfg.PrewarmThreshold {
+		return
+	}
+	st.hot = true
+	c.pendingHot = append(c.pendingHot, name)
+}
+
+// fireHot delivers queued OnHot callbacks outside the lock, so a
+// callback may re-enter the cache (mirror a sibling, say) freely.
+func (c *Cache) fireHot() {
+	if c.cfg.OnHot == nil {
+		return
+	}
+	c.mu.Lock()
+	pending := c.pendingHot
+	c.pendingHot = nil
+	c.mu.Unlock()
+	for _, name := range pending {
+		c.cfg.OnHot(name)
+	}
+}

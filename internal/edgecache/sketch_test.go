@@ -1,0 +1,83 @@
+package edgecache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSketchCountsAndSaturates(t *testing.T) {
+	sk := newSketch(1024)
+	h := hashString("lec-0")
+	if got := sk.estimate(h); got != 0 {
+		t.Fatalf("fresh estimate = %d, want 0", got)
+	}
+	for i := 1; i <= 20; i++ {
+		sk.increment(h)
+		want := i
+		if want > 15 {
+			want = 15
+		}
+		if got := sk.estimate(h); got != want {
+			t.Fatalf("after %d increments estimate = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSketchHalvesAfterSampleBudget(t *testing.T) {
+	sk := newSketch(64) // 64 counters → resetAt = 640
+	hot := hashString("hot")
+	for i := 0; i < 12; i++ {
+		sk.increment(hot)
+	}
+	before := sk.estimate(hot)
+	// Spend the remaining sample budget on distinct filler keys (a
+	// repeated key saturates and stops counting as a sample), stopping
+	// at the first halving. Fillers may collide with hot's rows and
+	// nudge the estimate up along the way; only a halving drops it.
+	for i := 0; i < 2000 && sk.estimate(hot) >= before; i++ {
+		sk.increment(hashString(fmt.Sprintf("filler-%d", i)))
+	}
+	after := sk.estimate(hot)
+	if after >= before {
+		t.Fatalf("estimate did not age: before %d, after %d", before, after)
+	}
+	if after < before/2 {
+		t.Fatalf("single halving cut too deep: before %d, after %d", before, after)
+	}
+}
+
+func TestSketchKeysIndependent(t *testing.T) {
+	sk := newSketch(4096)
+	for i := 0; i < 10; i++ {
+		sk.increment(hashString("popular"))
+	}
+	// A cold key may collide on some rows, but the count-min estimate
+	// over four rows should stay well below the hot key's count.
+	if got := sk.estimate(hashString("unrelated")); got >= 10 {
+		t.Fatalf("cold key estimate = %d, want < 10", got)
+	}
+	if got := sk.estimate(hashString("popular")); got != 10 {
+		t.Fatalf("hot key estimate = %d, want 10", got)
+	}
+}
+
+func TestSketchSizing(t *testing.T) {
+	for _, tc := range []struct{ n, counters int }{{0, 64}, {64, 64}, {65, 128}, {1000, 1024}} {
+		sk := newSketch(tc.n)
+		if got := len(sk.table) * 16; got != tc.counters {
+			t.Fatalf("newSketch(%d) holds %d counters, want %d", tc.n, got, tc.counters)
+		}
+		if sk.mask != uint64(tc.counters-1) {
+			t.Fatalf("newSketch(%d) mask = %d, want %d", tc.n, sk.mask, tc.counters-1)
+		}
+	}
+}
+
+func TestHashStringDeterministic(t *testing.T) {
+	if hashString("lec-3") != hashString("lec-3") {
+		t.Fatal("hashString not deterministic")
+	}
+	if hashString("lec-3") == hashString("lec-4") {
+		t.Fatal("distinct names hash equal")
+	}
+}

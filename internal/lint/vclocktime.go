@@ -30,6 +30,7 @@ var vclockPackages = []string{
 	"internal/netsim",
 	"internal/loadgen",
 	"internal/catalog",
+	"internal/edgecache",
 }
 
 // vclockForbidden are the time-package members that read or schedule on

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -41,8 +42,19 @@ func (a Arrival) Offsets(n int, seed int64) ([]time.Duration, error) {
 		for i := range out {
 			out[i] = time.Duration(i/a.Burst) * gap
 		}
+	case "flash":
+		// A flash crowd: every arrival is an independent uniform draw
+		// over the whole window (n/Rate seconds, preserving the long-run
+		// rate), then sorted — the crowd has no pacing at all, so
+		// arbitrarily deep pile-ups happen at the front of the window.
+		rng := rand.New(rand.NewSource(seed))
+		window := float64(n) / a.Rate * float64(time.Second)
+		for i := range out {
+			out[i] = time.Duration(rng.Float64() * window)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	default:
-		return nil, fmt.Errorf("loadgen: unknown arrival process %q (have poisson, uniform, burst)", a.Process)
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (have poisson, uniform, burst, flash)", a.Process)
 	}
 	return out, nil
 }

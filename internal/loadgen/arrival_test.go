@@ -80,6 +80,46 @@ func TestArrivalOffsetsBurst(t *testing.T) {
 	}
 }
 
+func TestArrivalOffsetsFlash(t *testing.T) {
+	a := Arrival{Process: "flash", Rate: 400}
+	const n = 2000
+	off, err := a.Offsets(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := float64(n) / a.Rate
+	for i, o := range off {
+		if i > 0 && o < off[i-1] {
+			t.Fatalf("offsets not sorted at %d: %v < %v", i, o, off[i-1])
+		}
+		if o < 0 || o.Seconds() > window {
+			t.Fatalf("offset[%d] = %v outside the %gs window", i, o, window)
+		}
+	}
+	// Determinism: same seed, same schedule; different seed, different.
+	again, _ := a.Offsets(n, 3)
+	for i := range off {
+		if off[i] != again[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	other, _ := a.Offsets(n, 4)
+	same := true
+	for i := range off {
+		if off[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// The long-run rate is preserved: the full window is ≈ n/Rate.
+	if got := off[n-1].Seconds(); math.Abs(got-window) > window/4 {
+		t.Fatalf("flash window = %.2fs, want ≈%.2fs", got, window)
+	}
+}
+
 func TestArrivalOffsetsErrors(t *testing.T) {
 	cases := []Arrival{
 		{Process: "poisson", Rate: 0},

@@ -59,25 +59,28 @@ type SessionResult struct {
 // SDK's job (client.Spec.Target → proto.StreamPath), so asset names
 // with spaces, slashes, or query metacharacters are percent-encoded by
 // construction — the loadgen side of the edge→origin escaping fix.
+// Name draws go through the scenario's popularity model (c.pop) with
+// the client's own rng, so the drawn population is identical however
+// the swarm is sharded.
 func (c *Cluster) sessionSpec(kind Kind, rng *rand.Rand) client.Spec {
 	s := c.Scenario
 	switch kind {
 	case KindSeek:
-		name := c.AssetNames[rng.Intn(len(c.AssetNames))]
+		name := c.AssetNames[c.pop.pick(rng, len(c.AssetNames))]
 		// Seek somewhere in the middle half of the presentation.
 		at := time.Duration((0.25 + 0.5*rng.Float64()) * float64(s.AssetDuration))
 		return client.Spec{Kind: client.VOD, Name: name, Start: at}
 	case KindGroup:
-		name := c.GroupNames[rng.Intn(len(c.GroupNames))]
+		name := c.GroupNames[c.pop.pick(rng, len(c.GroupNames))]
 		bw := s.ClientBandwidth
 		if bw <= 0 {
 			bw = 1 << 30
 		}
 		return client.Spec{Kind: client.Group, Name: name, Bandwidth: bw}
 	case KindLive, KindLiveFan:
-		return client.Spec{Kind: client.Live, Name: c.LiveNames[rng.Intn(len(c.LiveNames))]}
+		return client.Spec{Kind: client.Live, Name: c.LiveNames[c.pop.pick(rng, len(c.LiveNames))]}
 	case KindVOD:
-		return client.Spec{Kind: client.VOD, Name: c.AssetNames[rng.Intn(len(c.AssetNames))]}
+		return client.Spec{Kind: client.VOD, Name: c.AssetNames[c.pop.pick(rng, len(c.AssetNames))]}
 	}
 	return client.Spec{Kind: client.VOD, Name: c.AssetNames[0]}
 }

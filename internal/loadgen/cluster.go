@@ -14,6 +14,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/client"
 	"repro/internal/codec"
+	"repro/internal/edgecache"
 	"repro/internal/encoder"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -57,6 +58,10 @@ type Cluster struct {
 	AssetNames []string
 	GroupNames []string
 	LiveNames  []string
+
+	// pop is the compiled Scenario.Popularity model; sessionSpec draws
+	// every content name through it.
+	pop popularity
 
 	net     *netsim.MemNet
 	ctx     context.Context
@@ -121,6 +126,12 @@ func StartCluster(ctx context.Context, s Scenario, edges int, liveFor time.Durat
 		ctx:      ctx,
 		cancel:   cancel,
 	}
+	pop, err := parsePopularity(s.Popularity)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	c.pop = pop
 	// Registry churn needs on-disk catalog state to restore from; a
 	// registry that is never killed keeps its state in memory only.
 	if s.Churn.KillRegistry {
@@ -164,6 +175,11 @@ func StartCluster(ctx context.Context, s Scenario, edges int, liveFor time.Durat
 		edge := relay.NewEdge("http://"+originHost, srv)
 		edge.Client = c.client
 		edge.CacheBytes = s.CacheBytes
+		if s.CachePolicy == "lru" {
+			// The recency-only baseline the flashcrowd/zipf benchmark
+			// pairs compare frequency-gated admission against.
+			edge.ConfigureCache(edgecache.Config{Policy: edgecache.LRU})
+		}
 		rt := &edgeRuntime{id: id, host: id + ".lod", edge: edge, handler: edge.Handler()}
 		c.Edges = append(c.Edges, edge)
 		c.EdgeIDs = append(c.EdgeIDs, id)

@@ -145,8 +145,20 @@ type Scenario struct {
 	// FailoverBackoff is the base of the bounded exponential backoff
 	// between attempts (relay.FailoverBackoff).
 	FailoverBackoff time.Duration `json:"-"`
+	// Popularity weights which stored asset (and group or live channel)
+	// each client demands: "" or "uniform" (every name equally likely),
+	// "zipf:s=<s>[,v=<v>]" (Zipf-distributed ranks, lec-0 the most
+	// popular), or "hot:frac=<f>" (probability f of the single hot
+	// name, uniform otherwise). See popularity.go for the grammar.
+	Popularity string `json:"popularity,omitempty"`
 
 	// Cluster knobs.
+	// CachePolicy selects the edges' mirror-cache policy: "" or
+	// "tinylfu" (the default frequency-gated admission), or "lru"
+	// (recency-only eviction — the baseline the flashcrowd benchmark
+	// pair compares against).
+	CachePolicy string `json:"cachePolicy,omitempty"`
+
 	CacheBytes int64 `json:"cacheBytes"` // per-edge mirror budget; 0 = unbounded
 	// Churn kills (and restarts) edges mid-run; see ChurnSpec. Running a
 	// churn scenario needs at least two edges.
@@ -218,6 +230,14 @@ func (s Scenario) Validate() error {
 	if total <= 0 {
 		return fmt.Errorf("loadgen: scenario %s: zero total mix weight", s.Name)
 	}
+	if _, err := parsePopularity(s.Popularity); err != nil {
+		return fmt.Errorf("loadgen: scenario %s: %v", s.Name, err)
+	}
+	switch s.CachePolicy {
+	case "", "tinylfu", "lru":
+	default:
+		return fmt.Errorf("loadgen: scenario %s: unknown cache policy %q (have tinylfu, lru)", s.Name, s.CachePolicy)
+	}
 	if err := s.Link.Validate(); err != nil {
 		return err
 	}
@@ -280,6 +300,28 @@ func Scenarios() []Scenario {
 			// mile would become the bottleneck instead of the serving
 			// path.
 			Arrival:          Arrival{Process: "burst", Rate: 2000, Burst: 500},
+			LeadTime:         300 * time.Millisecond,
+			FailoverAttempts: 3, FailoverBackoff: 50 * time.Millisecond,
+			Seed: 1,
+		},
+		{
+			Name: "flashcrowd",
+			Description: "a flash crowd piles onto a few hot lectures through a tight edge cache; admission must keep " +
+				"the hot set resident against long-tail churn and miss coalescing must collapse the duplicate origin pulls " +
+				"(cache.originBytes and cache.perAsset maxEdgePulls are the headline; run with cachepolicy=lru for the baseline pair)",
+			Assets: 96, AssetDuration: 800 * time.Millisecond,
+			Profile: "modem-56k", Slides: 2,
+			Mix: []Share{{KindVOD, 100}},
+			// The pile-up spans many session lifetimes, so mid-tail assets
+			// go idle (unpinned) between demands — the window where capacity
+			// pressure can evict them and admission policy decides whether
+			// the one-hit-wonder tail churns them out. Actively streamed
+			// assets are pinned under either policy, so the pair isolates
+			// the replacement decision, not crash-protection.
+			Arrival:          Arrival{Process: "flash", Rate: 40},
+			Link:             netsim.Link{BitsPerSecond: 10_000_000, Latency: 2 * time.Millisecond},
+			Popularity:       "zipf:s=1.4",
+			CacheBytes:       768 << 10, // ~a quarter of one edge's catalog share
 			LeadTime:         300 * time.Millisecond,
 			FailoverAttempts: 3, FailoverBackoff: 50 * time.Millisecond,
 			Seed: 1,
@@ -397,6 +439,23 @@ func Scenarios() []Scenario {
 			FailoverAttempts: 3, FailoverBackoff: 50 * time.Millisecond,
 			Seed: 1,
 		},
+		{
+			Name: "zipf",
+			Description: "Zipf-popular VOD over a long-tail catalog and a tight edge cache; frequency-gated admission " +
+				"must hold the hot head resident against one-hit-wonder tail churn " +
+				"(cache.hitRate vs a cachepolicy=lru baseline is the headline)",
+			Assets: 192, AssetDuration: 800 * time.Millisecond,
+			Profile: "modem-56k", RichProfile: "isdn-128k",
+			Groups: 2, Slides: 2,
+			Mix:              []Share{{KindVOD, 85}, {KindGroup, 15}},
+			Arrival:          Arrival{Process: "poisson", Rate: 60},
+			Link:             netsim.Link{BitsPerSecond: 10_000_000, Latency: 2 * time.Millisecond},
+			Popularity:       "zipf:s=1.3",
+			CacheBytes:       768 << 10, // well under the catalog's footprint
+			LeadTime:         300 * time.Millisecond,
+			FailoverAttempts: 3, FailoverBackoff: 50 * time.Millisecond,
+			Seed: 1,
+		},
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -409,10 +468,11 @@ func Scenarios() []Scenario {
 //	mixed?assets=12&duration=2s&process=burst&rate=400&burst=100&seed=7
 //
 // Recognized override keys: assets, duration, process, rate, burst,
-// seed, leadtime, cachebytes, failover (retry attempts), backoff,
-// kills, firstkill, every, restartafter, killregistry (the churn
-// schedule). Unknown names and keys are errors, as are overrides that
-// leave the scenario invalid.
+// seed, leadtime, cachebytes, popularity (the asset-popularity model,
+// e.g. popularity=zipf:s=1.1), cachepolicy (tinylfu or lru), failover
+// (retry attempts), backoff, kills, firstkill, every, restartafter,
+// killregistry (the churn schedule). Unknown names and keys are
+// errors, as are overrides that leave the scenario invalid.
 func ParseScenario(spec string) (Scenario, error) {
 	name, query, hasQuery := strings.Cut(spec, "?")
 	var sc Scenario
@@ -455,6 +515,10 @@ func ParseScenario(spec string) (Scenario, error) {
 				sc.LeadTime, err = time.ParseDuration(v)
 			case "cachebytes":
 				sc.CacheBytes, err = strconv.ParseInt(v, 10, 64)
+			case "popularity":
+				sc.Popularity = v
+			case "cachepolicy":
+				sc.CachePolicy = v
 			case "failover":
 				sc.FailoverAttempts, err = strconv.Atoi(v)
 			case "backoff":

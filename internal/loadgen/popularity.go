@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// popularity is a scenario's asset-popularity model: the distribution a
+// client draws a content index from when it picks which lecture, group,
+// or channel to demand. Rank 0 (lec-0, grp-0, live-0) is always the
+// most popular name, so the hot set is stable across runs and shard
+// counts — the drawing rng is per-client (seeded from the global client
+// id), which is what makes the population shard-count-invariant.
+//
+// The spec grammar (Scenario.Popularity, URL-query-safe — parameters
+// separate with commas, never "&"):
+//
+//	""                     — alias for uniform
+//	"uniform"              — every name equally likely
+//	"zipf:s=1.1"           — Zipf-distributed ranks (optionally ",v=2";
+//	                         s > 1, v >= 1, rand.NewZipf's parameters)
+//	"hot:frac=0.9"         — probability frac of the single hot name
+//	                         (index 0), a uniform draw over the whole
+//	                         population otherwise
+type popularity struct {
+	mode string  // "uniform", "zipf", or "hot"
+	s, v float64 // zipf shape
+	frac float64 // hot-set probability mass
+}
+
+// parsePopularity validates and compiles a popularity spec.
+func parsePopularity(spec string) (popularity, error) {
+	mode, params, _ := strings.Cut(spec, ":")
+	p := popularity{mode: mode, s: 1.1, v: 1, frac: 0.9}
+	switch mode {
+	case "":
+		p.mode = "uniform"
+	case "uniform":
+		if params != "" {
+			return popularity{}, fmt.Errorf("loadgen: uniform popularity takes no parameters, got %q", params)
+		}
+	case "zipf", "hot":
+		for _, kv := range strings.Split(params, ",") {
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return popularity{}, fmt.Errorf("loadgen: popularity parameter %q is not key=value", kv)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return popularity{}, fmt.Errorf("loadgen: popularity parameter %s=%q: %v", key, val, err)
+			}
+			switch {
+			case mode == "zipf" && key == "s":
+				p.s = f
+			case mode == "zipf" && key == "v":
+				p.v = f
+			case mode == "hot" && key == "frac":
+				p.frac = f
+			default:
+				return popularity{}, fmt.Errorf("loadgen: unknown %s popularity parameter %q", mode, key)
+			}
+		}
+	default:
+		return popularity{}, fmt.Errorf("loadgen: unknown popularity model %q (have uniform, zipf, hot)", mode)
+	}
+	switch {
+	case p.mode == "zipf" && p.s <= 1:
+		return popularity{}, fmt.Errorf("loadgen: zipf popularity needs s > 1, got %v", p.s)
+	case p.mode == "zipf" && p.v < 1:
+		return popularity{}, fmt.Errorf("loadgen: zipf popularity needs v >= 1, got %v", p.v)
+	case p.mode == "hot" && (p.frac <= 0 || p.frac > 1):
+		return popularity{}, fmt.Errorf("loadgen: hot popularity needs 0 < frac <= 1, got %v", p.frac)
+	}
+	return p, nil
+}
+
+// pick draws one index in [0, n) from the model using the caller's rng.
+// Rank 0 is the most popular index.
+func (p popularity) pick(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	switch p.mode {
+	case "zipf":
+		// NewZipf consumes no randomness at construction, so building it
+		// per draw keeps the per-client rng stream identical to a shared
+		// generator while staying goroutine-free.
+		return int(rand.NewZipf(rng, p.s, p.v, uint64(n-1)).Uint64())
+	case "hot":
+		if rng.Float64() < p.frac {
+			return 0
+		}
+		return rng.Intn(n)
+	}
+	return rng.Intn(n)
+}

@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestParsePopularity(t *testing.T) {
+	valid := map[string]popularity{
+		"":                  {mode: "uniform", s: 1.1, v: 1, frac: 0.9},
+		"uniform":           {mode: "uniform", s: 1.1, v: 1, frac: 0.9},
+		"zipf":              {mode: "zipf", s: 1.1, v: 1, frac: 0.9},
+		"zipf:s=1.5":        {mode: "zipf", s: 1.5, v: 1, frac: 0.9},
+		"zipf:s=1.2,v=3":    {mode: "zipf", s: 1.2, v: 3, frac: 0.9},
+		"hot:frac=0.75":     {mode: "hot", s: 1.1, v: 1, frac: 0.75},
+		"hot":               {mode: "hot", s: 1.1, v: 1, frac: 0.9},
+		"zipf:v=2":          {mode: "zipf", s: 1.1, v: 2, frac: 0.9},
+		"hot:frac=1":        {mode: "hot", s: 1.1, v: 1, frac: 1},
+		"zipf:s=1.01,v=1.5": {mode: "zipf", s: 1.01, v: 1.5, frac: 0.9},
+	}
+	for spec, want := range valid {
+		got, err := parsePopularity(spec)
+		if err != nil {
+			t.Errorf("parsePopularity(%q): %v", spec, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parsePopularity(%q) = %+v, want %+v", spec, got, want)
+		}
+	}
+	invalid := []string{
+		"zipfian",          // unknown model
+		"uniform:s=2",      // uniform takes no parameters
+		"zipf:s=1",         // s must exceed 1
+		"zipf:s=0.5",       // s must exceed 1
+		"zipf:v=0.5",       // v must be >= 1
+		"zipf:frac=0.5",    // hot's parameter on zipf
+		"hot:s=1.2",        // zipf's parameter on hot
+		"hot:frac=0",       // frac must be positive
+		"hot:frac=1.5",     // frac must be <= 1
+		"hot:frac",         // not key=value
+		"zipf:s=abc",       // not a number
+		"zipf:s=1.1&v=2",   // "&" is not the separator (commas are)
+		"zipf:s=1.1;junk",  // not key=value
+		"hot:frac=0.9,x=1", // unknown parameter
+	}
+	for _, spec := range invalid {
+		if _, err := parsePopularity(spec); err == nil {
+			t.Errorf("parsePopularity(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+// TestPopularityPickShapes sanity-checks each model's distribution with
+// a seeded rng: uniform is flat-ish, zipf is head-heavy with rank 0 on
+// top, and hot puts at least frac of the mass on index 0.
+func TestPopularityPickShapes(t *testing.T) {
+	const n, draws = 8, 20000
+	histogram := func(spec string) []int {
+		t.Helper()
+		p, err := parsePopularity(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			idx := p.pick(rng, n)
+			if idx < 0 || idx >= n {
+				t.Fatalf("%s: pick returned %d, out of [0, %d)", spec, idx, n)
+			}
+			counts[idx]++
+		}
+		return counts
+	}
+
+	uni := histogram("uniform")
+	for i, c := range uni {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Errorf("uniform: index %d drew %d of %d, expected near %d", i, c, draws, draws/n)
+		}
+	}
+
+	zipf := histogram("zipf:s=1.1")
+	if zipf[0] < draws/3 {
+		t.Errorf("zipf: rank 0 drew %d of %d, expected a dominant head", zipf[0], draws)
+	}
+	if zipf[0] <= zipf[1] || zipf[1] <= zipf[n-1] {
+		t.Errorf("zipf: histogram %v is not head-heavy", zipf)
+	}
+
+	hot := histogram("hot:frac=0.9")
+	if float64(hot[0]) < 0.85*draws {
+		t.Errorf("hot: index 0 drew %d of %d, expected >= ~90%%", hot[0], draws)
+	}
+
+	// n <= 1 always picks 0, whatever the model.
+	for _, spec := range []string{"uniform", "zipf:s=1.1", "hot:frac=0.9"} {
+		p, _ := parsePopularity(spec)
+		rng := rand.New(rand.NewSource(1))
+		if got := p.pick(rng, 1); got != 0 {
+			t.Errorf("%s: pick(n=1) = %d, want 0", spec, got)
+		}
+		if got := p.pick(rng, 0); got != 0 {
+			t.Errorf("%s: pick(n=0) = %d, want 0", spec, got)
+		}
+	}
+}
+
+// TestZipfPopulationShardCountInvariant is the popularity side of the
+// determinism contract behind -shards (see
+// TestRunShardedShardCountInvariant): every name draw derives from the
+// client's global id alone — rng seeded Seed<<20+id, exactly as
+// runSessionWith does — so partitioning the population into shards, in
+// any order, reproduces the identical drawn multiset of asset names.
+func TestZipfPopulationShardCountInvariant(t *testing.T) {
+	s, err := ParseScenario("zipf?assets=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 600
+	c := &Cluster{Scenario: s}
+	for i := 0; i < s.Assets; i++ {
+		c.AssetNames = append(c.AssetNames, fmt.Sprintf("lec-%d", i))
+	}
+	for i := 0; i < s.Groups; i++ {
+		c.GroupNames = append(c.GroupNames, fmt.Sprintf("grp-%d", i))
+	}
+	if c.pop, err = parsePopularity(s.Popularity); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kinds are drawn once, before any shard split (as RunSharded does).
+	mixRng := rand.New(rand.NewSource(s.Seed))
+	kinds := make([]Kind, clients)
+	for i := range kinds {
+		kinds[i] = s.pickKind(mixRng)
+	}
+	population := func(ids []int) map[string]int {
+		counts := make(map[string]int)
+		for _, id := range ids {
+			rng := rand.New(rand.NewSource(s.Seed<<20 + int64(id)))
+			counts[c.sessionSpec(kinds[id], rng).Name]++
+		}
+		return counts
+	}
+
+	// One shard: ids in order. Four shards: each contiguous quarter
+	// drained round-robin, the interleaving a concurrent shard pool
+	// produces.
+	oneShard := make([]int, clients)
+	for i := range oneShard {
+		oneShard[i] = i
+	}
+	var fourShards []int
+	const per = clients / 4
+	for off := 0; off < per; off++ {
+		for shard := 0; shard < 4; shard++ {
+			fourShards = append(fourShards, shard*per+off)
+		}
+	}
+
+	one, four := population(oneShard), population(fourShards)
+	if !reflect.DeepEqual(one, four) {
+		t.Errorf("drawn population moved with the shard split:\n1 shard:  %v\n4 shards: %v", one, four)
+	}
+
+	// And the population is actually Zipf-shaped: lec-0 dominates.
+	if one["lec-0"] <= one["lec-1"] || one["lec-0"] < clients/4 {
+		t.Errorf("zipf population lost its head: %v", one)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/edgecache"
 	"repro/internal/metrics"
 )
 
@@ -68,6 +69,11 @@ type RunConfig struct {
 	Link             LinkSpec `json:"link"`
 	LeadTimeMs       float64  `json:"leadTimeMs"`
 	CacheBytes       int64    `json:"cacheBytes"`
+	// Popularity/CachePolicy are the asset-popularity model and the
+	// edges' cache policy the run used; absent for uniform popularity
+	// and the default (tinylfu) policy.
+	Popularity  string `json:"popularity,omitempty"`
+	CachePolicy string `json:"cachePolicy,omitempty"`
 	// FailoverAttempts/FailoverBackoffMs are the clients' retry budget
 	// after an edge failure; see Scenario.
 	FailoverAttempts  int     `json:"failoverAttempts"`
@@ -189,6 +195,52 @@ type EdgeReport struct {
 	PacketsPaced    float64 `json:"packetsPaced"`
 	FirstPacketMs   float64 `json:"firstPacketMsMean"`
 	PacingLagMsMean float64 `json:"pacingLagMsMean"`
+	// CoalescedPulls/AdmissionRejects/PrewarmFetches are the edge's
+	// popularity-aware cache counters over the window: demands that
+	// attached to an in-flight origin pull instead of issuing their own,
+	// window candidates the frequency duel refused to admit, and
+	// rate-group siblings fetched ahead of demand.
+	CoalescedPulls   float64 `json:"coalescedPulls,omitempty"`
+	AdmissionRejects float64 `json:"admissionRejects,omitempty"`
+	PrewarmFetches   float64 `json:"prewarmFetches,omitempty"`
+}
+
+// AssetCacheStat is one asset's cache-demand ledger summed over every
+// edge: local cache hits, origin pulls, and the worst single edge's
+// pull count. The ledger survives eviction, so a hot asset that was
+// churned out and re-pulled shows MaxEdgePulls > 1 — the duplicate-pull
+// signal the flashcrowd smoke gate asserts on.
+type AssetCacheStat struct {
+	Name         string `json:"name"`
+	Hits         int64  `json:"hits"`
+	Pulls        int64  `json:"pulls"`
+	MaxEdgePulls int64  `json:"maxEdgePulls"`
+}
+
+// CacheInfo is the edge-cache block of the record: the cluster-wide
+// view of how the popularity-aware cache fared over the run window.
+type CacheInfo struct {
+	// Policy is the admission policy the edges ran ("tinylfu" or "lru").
+	Policy string `json:"policy"`
+	// HitRate is cluster-wide hits/(hits+misses) — the same number as
+	// cluster.cacheHitRate, repeated here so the cache block is
+	// self-contained for comparisons.
+	HitRate float64 `json:"hitRate"`
+	// OriginBytes is the bytes every edge pulled from the origin over
+	// the window — the egress the cache exists to suppress.
+	OriginBytes float64 `json:"originBytes"`
+	// CoalescedPulls counts demands that attached to an in-flight pull
+	// (singleflight followers) instead of fetching themselves.
+	CoalescedPulls float64 `json:"coalescedPulls"`
+	// AdmissionRejects/PrewarmFetches sum the per-edge counters.
+	AdmissionRejects float64 `json:"admissionRejects"`
+	PrewarmFetches   float64 `json:"prewarmFetches"`
+	// DuplicatePulls counts origin pulls beyond the first per
+	// (edge, asset) pair: 0 means no edge ever re-fetched an asset it
+	// had already mirrored once.
+	DuplicatePulls int64 `json:"duplicatePulls"`
+	// PerAsset is the top-K (10) assets by demand (hits + pulls).
+	PerAsset []AssetCacheStat `json:"perAsset,omitempty"`
 }
 
 // ClusterReport is the server-side view of the run, from metric
@@ -244,6 +296,9 @@ type Report struct {
 	Throughput     ThroughputInfo `json:"throughput"`
 	Perf           PerfInfo       `json:"perf"`
 	Cluster        ClusterReport  `json:"cluster"`
+	// Cache is the edge-cache block; absent when the run collected no
+	// per-edge cache ledgers (merge fixtures, pre-cache records).
+	Cache *CacheInfo `json:"cache,omitempty"`
 	// Shards carries the per-shard driver timings; one entry per shard,
 	// ordered by index.
 	Shards []ShardInfo `json:"shards"`
@@ -254,8 +309,8 @@ type Report struct {
 // delta) over the swarm window, feeding Perf.AllocsPerPacket.
 func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint64,
 	results []SessionResult, registryDelta, originDelta metrics.Snapshot,
-	edgeIDs []string, edgeDeltas []metrics.Snapshot, shards []ShardInfo,
-	registryRestarts int) *Report {
+	edgeIDs []string, edgeDeltas []metrics.Snapshot, edgeCaches [][]edgecache.AssetStats,
+	shards []ShardInfo, registryRestarts int) *Report {
 
 	r := &Report{
 		Schema:      ReportSchema,
@@ -280,6 +335,8 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint
 			},
 			LeadTimeMs:        float64(s.LeadTime) / float64(time.Millisecond),
 			CacheBytes:        s.CacheBytes,
+			Popularity:        s.Popularity,
+			CachePolicy:       s.CachePolicy,
 			FailoverAttempts:  s.FailoverAttempts,
 			FailoverBackoffMs: float64(s.FailoverBackoff) / float64(time.Millisecond),
 		},
@@ -368,19 +425,22 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint
 	}
 	for i, d := range edgeDeltas {
 		e := EdgeReport{
-			ID:              edgeIDs[i],
-			Redirects:       registryDelta.Get(fmt.Sprintf(`lod_registry_node_redirects_total{node="%s"}`, edgeIDs[i])),
-			SessionsVOD:     d.Get(`lod_sessions_started_total{kind="vod"}`),
-			SessionsLive:    d.Get(`lod_sessions_started_total{kind="live"}`),
-			PacketsSent:     d.Get("lod_packets_sent_total"),
-			BytesSent:       d.Get("lod_bytes_sent_total"),
-			CacheHits:       d.Get("lod_edge_cache_hits_total"),
-			CacheMisses:     d.Get("lod_edge_cache_misses_total"),
-			CacheEvictions:  d.Get("lod_edge_cache_evictions_total"),
-			OriginBytes:     d.Get("lod_edge_origin_bytes_total"),
-			PacketsPaced:    d.Get("lod_packets_paced_total"),
-			FirstPacketMs:   histMean(d, "lod_first_packet_seconds"),
-			PacingLagMsMean: histMean(d, "lod_pacing_lag_seconds"),
+			ID:               edgeIDs[i],
+			Redirects:        registryDelta.Get(fmt.Sprintf(`lod_registry_node_redirects_total{node="%s"}`, edgeIDs[i])),
+			SessionsVOD:      d.Get(`lod_sessions_started_total{kind="vod"}`),
+			SessionsLive:     d.Get(`lod_sessions_started_total{kind="live"}`),
+			PacketsSent:      d.Get("lod_packets_sent_total"),
+			BytesSent:        d.Get("lod_bytes_sent_total"),
+			CacheHits:        d.Get("lod_edge_cache_hits_total"),
+			CacheMisses:      d.Get("lod_edge_cache_misses_total"),
+			CacheEvictions:   d.Get("lod_edge_cache_evictions_total"),
+			OriginBytes:      d.Get("lod_edge_origin_bytes_total"),
+			PacketsPaced:     d.Get("lod_packets_paced_total"),
+			FirstPacketMs:    histMean(d, "lod_first_packet_seconds"),
+			PacingLagMsMean:  histMean(d, "lod_pacing_lag_seconds"),
+			CoalescedPulls:   d.Get("lod_edge_coalesced_pulls_total"),
+			AdmissionRejects: d.Get("lod_edge_admission_rejects_total"),
+			PrewarmFetches:   d.Get("lod_edge_prewarm_fetches_total"),
 		}
 		hits += e.CacheHits
 		misses += e.CacheMisses
@@ -388,6 +448,9 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint
 	}
 	if hits+misses > 0 {
 		r.Cluster.CacheHitRate = hits / (hits + misses)
+	}
+	if cache := buildCacheInfo(s, r.Cluster, edgeCaches); cache != nil {
+		r.Cache = cache
 	}
 
 	// Serving-cost block: packets and payload bytes written by every
@@ -407,6 +470,64 @@ func buildReport(s Scenario, clients, edges int, wall time.Duration, allocs uint
 		}
 	}
 	return r
+}
+
+// cachePerAssetTopK bounds the record's cache.perAsset list.
+const cachePerAssetTopK = 10
+
+// buildCacheInfo folds the per-edge asset demand ledgers
+// (relay.Edge.CacheStats) and the cache counters already summed into
+// the cluster block into the record's cache block; nil when the run
+// collected no ledgers (merge fixtures, cache-less scenarios).
+func buildCacheInfo(s Scenario, cl ClusterReport, edgeCaches [][]edgecache.AssetStats) *CacheInfo {
+	if len(edgeCaches) == 0 {
+		return nil
+	}
+	policy := s.CachePolicy
+	if policy == "" {
+		policy = string(edgecache.TinyLFU)
+	}
+	info := &CacheInfo{Policy: policy, HitRate: cl.CacheHitRate}
+	for _, e := range cl.Edges {
+		info.OriginBytes += e.OriginBytes
+		info.CoalescedPulls += e.CoalescedPulls
+		info.AdmissionRejects += e.AdmissionRejects
+		info.PrewarmFetches += e.PrewarmFetches
+	}
+	perAsset := make(map[string]*AssetCacheStat)
+	for _, stats := range edgeCaches {
+		for _, st := range stats {
+			a := perAsset[st.Name]
+			if a == nil {
+				a = &AssetCacheStat{Name: st.Name}
+				perAsset[st.Name] = a
+			}
+			a.Hits += int64(st.Hits)
+			a.Pulls += int64(st.Pulls)
+			if int64(st.Pulls) > a.MaxEdgePulls {
+				a.MaxEdgePulls = int64(st.Pulls)
+			}
+			if st.Pulls > 1 {
+				info.DuplicatePulls += int64(st.Pulls) - 1
+			}
+		}
+	}
+	list := make([]AssetCacheStat, 0, len(perAsset))
+	for _, a := range perAsset {
+		list = append(list, *a)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		di, dj := list[i].Hits+list[i].Pulls, list[j].Hits+list[j].Pulls
+		if di != dj {
+			return di > dj
+		}
+		return list[i].Name < list[j].Name
+	})
+	if len(list) > cachePerAssetTopK {
+		list = list[:cachePerAssetTopK]
+	}
+	info.PerAsset = list
+	return info
 }
 
 // WriteJSON writes the indented record.
@@ -453,6 +574,16 @@ func (r *Report) Summary() string {
 		r.Throughput.VideoFrames, r.Throughput.BrokenFrames)
 	fmt.Fprintf(&b, "  cluster: %d redirects (%.0f/s), cache hit rate %.2f, %d origin mirror fetches\n",
 		int64(r.Cluster.Redirects), r.Cluster.RedirectsPerSec, r.Cluster.CacheHitRate, int64(r.Cluster.OriginMirrors))
+	if c := r.Cache; c != nil {
+		fmt.Fprintf(&b, "  cache (%s): %.1f MB from origin, %d coalesced, %d rejected, %d prewarmed, %d duplicate pulls\n",
+			c.Policy, c.OriginBytes/1e6, int64(c.CoalescedPulls), int64(c.AdmissionRejects),
+			int64(c.PrewarmFetches), c.DuplicatePulls)
+		if len(c.PerAsset) > 0 {
+			top := c.PerAsset[0]
+			fmt.Fprintf(&b, "  hottest asset %s: %d hits, %d pulls (worst edge pulled %d×)\n",
+				top.Name, top.Hits, top.Pulls, top.MaxEdgePulls)
+		}
+	}
 	if len(r.Shards) > 1 {
 		min, max := r.Shards[0].WallSeconds, r.Shards[0].WallSeconds
 		for _, sh := range r.Shards[1:] {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/edgecache"
 	"repro/internal/metrics"
 	"repro/internal/vclock"
 )
@@ -124,13 +125,15 @@ func RunSharded(ctx context.Context, s Scenario, clients, edges, shards int) (*R
 	regDelta := cluster.RegistryWindowDelta()
 	originDelta := cluster.Origin.Metrics().Snapshot().Delta(originPre)
 	edgeDeltas := make([]metrics.Snapshot, len(cluster.Edges))
+	edgeCaches := make([][]edgecache.AssetStats, len(cluster.Edges))
 	for i, e := range cluster.Edges {
 		edgeDeltas[i] = e.Server.Metrics().Snapshot().Delta(edgePre[i])
+		edgeCaches[i] = e.CacheStats()
 	}
 
 	results, shardInfos := MergeShardRuns(runs)
 	return buildReport(s, clients, edges, wall, allocs, results, regDelta, originDelta,
-		cluster.EdgeIDs, edgeDeltas, shardInfos, cluster.RegistryRestarts()), nil
+		cluster.EdgeIDs, edgeDeltas, edgeCaches, shardInfos, cluster.RegistryRestarts()), nil
 }
 
 // runChurn executes a scenario's kill/restart schedule against the live

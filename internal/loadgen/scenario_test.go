@@ -22,7 +22,7 @@ func TestNamedScenariosValidate(t *testing.T) {
 		}
 		seen[s.Name] = true
 	}
-	for _, want := range []string{"mixed", "smoke", "vod", "live", "seek"} {
+	for _, want := range []string{"mixed", "smoke", "vod", "live", "seek", "flashcrowd", "zipf"} {
 		if !seen[want] {
 			t.Errorf("missing scenario %q", want)
 		}
@@ -56,18 +56,32 @@ func TestParseScenarioOverrides(t *testing.T) {
 	if s.Seed != 9 || s.CacheBytes != 65536 {
 		t.Errorf("seed/cache = %d/%d", s.Seed, s.CacheBytes)
 	}
+
+	s, err = ParseScenario("flashcrowd?popularity=zipf:s=1.3,v=2&cachepolicy=lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Popularity != "zipf:s=1.3,v=2" {
+		t.Errorf("popularity = %q", s.Popularity)
+	}
+	if s.CachePolicy != "lru" {
+		t.Errorf("cachePolicy = %q", s.CachePolicy)
+	}
 }
 
 func TestParseScenarioErrors(t *testing.T) {
 	cases := []string{
-		"nope",                   // unknown name
-		"mixed?bogus=1",          // unknown key
-		"mixed?assets=x",         // bad value
-		"mixed?assets=0",         // invalid after override
-		"mixed?duration=-3s",     // invalid duration
-		"mixed?process=teleport", // invalid process
-		"mixed?process=burst",    // burst without size (mixed has Burst 0)
-		"mixed?rate=0",           // zero rate
+		"nope",                        // unknown name
+		"mixed?bogus=1",               // unknown key
+		"mixed?assets=x",              // bad value
+		"mixed?assets=0",              // invalid after override
+		"mixed?duration=-3s",          // invalid duration
+		"mixed?process=teleport",      // invalid process
+		"mixed?process=burst",         // burst without size (mixed has Burst 0)
+		"mixed?rate=0",                // zero rate
+		"mixed?popularity=zipf:s=0.5", // zipf needs s > 1
+		"mixed?popularity=heavy",      // unknown popularity model
+		"mixed?cachepolicy=arc",       // unknown cache policy
 	}
 	for _, spec := range cases {
 		if _, err := ParseScenario(spec); err == nil {

@@ -108,7 +108,7 @@ func mergeFixture() (Scenario, []ShardRun) {
 func mergedReport(sc Scenario, runs []ShardRun) *Report {
 	results, infos := MergeShardRuns(runs)
 	rep := buildReport(sc, len(results), 2, 4200*time.Millisecond, 0, results,
-		metrics.Snapshot{}, metrics.Snapshot{}, nil, nil, infos, 0)
+		metrics.Snapshot{}, metrics.Snapshot{}, nil, nil, nil, infos, 0)
 	rep.GeneratedAt = "2026-01-01T00:00:00Z"
 	rep.GoVersion = "go-fixed"
 	rep.NumCPU = 1

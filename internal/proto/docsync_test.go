@@ -31,6 +31,7 @@ func TestREADMEDocumentsContract(t *testing.T) {
 		Versioned(PathCatalog),
 		Versioned(PathCatalogPublish),
 		Versioned(PathCatalogUnpublish),
+		Versioned(PathCatalogRollback),
 		Versioned(PrefixPublish),
 		Versioned(PrefixUnpublish),
 		PathMetrics,

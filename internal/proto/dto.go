@@ -152,3 +152,12 @@ type UnpublishMsg struct {
 	Asset string `json:"asset,omitempty"`
 	Group string `json:"group,omitempty"`
 }
+
+// RollbackMsg is the POST PathCatalogRollback body: Version names the
+// on-disk catalog snapshot whose published content (assets and groups)
+// is restored. Node membership is untouched, and the restore lands as
+// a fresh mutation — the catalog version keeps growing. Only retained
+// snapshots qualify; rolling back to a pruned version is a 404.
+type RollbackMsg struct {
+	Version uint64 `json:"version"`
+}

@@ -84,13 +84,16 @@ const (
 
 // Registry catalog endpoints: the durable, versioned record of what is
 // published on the cluster. GET PathCatalog returns a Catalog; the POST
-// bodies of PathCatalogPublish/PathCatalogUnpublish are PublishMsg and
-// UnpublishMsg. Every catalog mutation bumps the version carried in
-// CatalogVersionHeader.
+// bodies of PathCatalogPublish/PathCatalogUnpublish/PathCatalogRollback
+// are PublishMsg, UnpublishMsg, and RollbackMsg. Every catalog
+// mutation bumps the version carried in CatalogVersionHeader — a
+// rollback restores an earlier snapshot's content under a new, higher
+// version, so the version header only ever grows.
 const (
 	PathCatalog          = "/registry/catalog"
 	PathCatalogPublish   = "/registry/publish"
 	PathCatalogUnpublish = "/registry/unpublish"
+	PathCatalogRollback  = "/registry/rollback"
 )
 
 // Content-publication endpoints of the streaming server: POST

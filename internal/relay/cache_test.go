@@ -5,94 +5,16 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/asf"
+	"repro/internal/edgecache"
 	"repro/internal/streaming"
 	"repro/internal/testutil"
 	"repro/internal/vclock"
 )
-
-func noPins(string) bool { return false }
-
-func TestAssetCacheLRUOrdering(t *testing.T) {
-	c := newAssetCache()
-	// Three 10-byte entries under a 30-byte budget: everything fits.
-	for _, name := range []string{"a", "b", "c"} {
-		c.add(name, 10)
-		if ev := c.enforce(30, name, noPins); ev != nil {
-			t.Fatalf("add %s evicted %v under capacity", name, ev)
-		}
-	}
-	if got := c.bytes(); got != 30 {
-		t.Fatalf("cache bytes = %d, want 30", got)
-	}
-	// Touching "a" promotes it, so "b" is now least recently used and
-	// goes first when "d" overflows the budget.
-	c.touch("a")
-	c.add("d", 10)
-	if ev := c.enforce(30, "d", noPins); !reflect.DeepEqual(ev, []string{"b"}) {
-		t.Fatalf("evicted %v, want [b]", ev)
-	}
-	// A big insert sweeps the tail oldest-first until the total fits:
-	// c, then a, then d — everything but the newcomer.
-	c.add("huge", 25)
-	if ev := c.enforce(30, "huge", noPins); !reflect.DeepEqual(ev, []string{"c", "a", "d"}) {
-		t.Fatalf("evicted %v, want [c a d]", ev)
-	}
-	if got := c.names(); !reflect.DeepEqual(got, []string{"huge"}) {
-		t.Fatalf("cache contents = %v", got)
-	}
-	if got := c.bytes(); got != 25 {
-		t.Fatalf("cache bytes = %d, want 25", got)
-	}
-	// Unbounded capacity never evicts.
-	c.add("more", 1000)
-	if ev := c.enforce(0, "more", noPins); ev != nil {
-		t.Fatalf("unbounded enforce evicted %v", ev)
-	}
-}
-
-func TestAssetCacheReAddRefreshesSize(t *testing.T) {
-	c := newAssetCache()
-	c.add("a", 10)
-	c.add("a", 25)
-	if got := c.bytes(); got != 25 {
-		t.Fatalf("re-added size = %d, want 25", got)
-	}
-	if got := len(c.names()); got != 1 {
-		t.Fatalf("re-add duplicated the entry: %v", c.names())
-	}
-}
-
-func TestAssetCachePinnedSurvival(t *testing.T) {
-	c := newAssetCache()
-	pinned := func(name string) bool { return name == "a" || name == "b" }
-	c.add("a", 10)
-	c.add("b", 10)
-	c.add("c", 10)
-	// a and b are pinned and c is the demand in progress, so nothing may
-	// go even though the budget is exceeded.
-	if ev := c.enforce(25, "c", pinned); ev != nil {
-		t.Fatalf("evicted %v despite pins", ev)
-	}
-	if got := c.names(); len(got) != 3 {
-		t.Fatalf("pinned entries evicted: %v", got)
-	}
-	// Once a fourth unpinned entry exists, pressure lands on the oldest
-	// unpinned one ("c") and never the pinned pair.
-	c.add("d", 10)
-	if ev := c.enforce(25, "d", pinned); !reflect.DeepEqual(ev, []string{"c"}) {
-		t.Fatalf("evicted %v, want [c]", ev)
-	}
-	// With the pins released, a later enforcement (any demand) brings the
-	// cache back under budget: the stale pinned pair drains LRU-first.
-	if ev := c.enforce(10, "d", noPins); !reflect.DeepEqual(ev, []string{"a", "b"}) {
-		t.Fatalf("evicted %v after pin release, want [a b]", ev)
-	}
-}
 
 // registerTestAsset encodes a small lecture and registers it on the
 // origin under the given name.
@@ -104,10 +26,13 @@ func registerTestAsset(t *testing.T, origin *streaming.Server, name string) {
 	}
 }
 
-// TestEdgeCacheEvictsUnderPressure drives real mirror traffic through an
-// edge whose byte budget holds fewer assets than the origin offers and
-// checks eviction, re-mirroring, and the cache counters.
-func TestEdgeCacheEvictsUnderPressure(t *testing.T) {
+// TestEdgeCacheAdmissionUnderPressure drives real mirror traffic
+// through an edge whose byte budget holds fewer assets than the origin
+// offers. Under the default TinyLFU policy the first-admitted asset is
+// protected: the overflow demand loses the frequency duel against it
+// and is admission-rejected, rather than the oldest mirror being
+// evicted LRU-style.
+func TestEdgeCacheAdmissionUnderPressure(t *testing.T) {
 	origin := streaming.NewServer(nil)
 	origin.Pacing = false
 	const assets = 3
@@ -127,19 +52,27 @@ func TestEdgeCacheEvictsUnderPressure(t *testing.T) {
 	edgeTS := httptest.NewServer(edge.Handler())
 	defer edgeTS.Close()
 
-	// Demand all three: mirroring lec2 must push out lec0 (the least
-	// recently demanded).
+	// Demand all three. Mirroring lec2 overflows the budget: lec1 (the
+	// window's coldest unpinned entry, frequency 1) duels lec0 (also
+	// frequency 1) and loses the strictly-greater test, so lec1 is
+	// rejected and lec0 keeps its seat.
 	for i := 0; i < assets; i++ {
 		readStream(t, edgeTS.URL+fmt.Sprintf("/vod/lec%d", i))
 	}
-	if _, ok := edgeSrv.Asset("lec0"); ok {
-		t.Fatal("lec0 survived capacity pressure")
+	if _, ok := edgeSrv.Asset("lec0"); !ok {
+		t.Fatal("lec0 lost its seat to a one-hit wonder")
+	}
+	if _, ok := edgeSrv.Asset("lec1"); ok {
+		t.Fatal("lec1 survived the admission duel")
 	}
 	if _, ok := edgeSrv.Asset("lec2"); !ok {
 		t.Fatal("lec2 missing right after its mirror")
 	}
-	if got := edge.inst.evictions.Value(); got != 1 {
-		t.Fatalf("evictions = %d, want 1", got)
+	if got := edge.inst.rejects.Value(); got != 1 {
+		t.Fatalf("admission rejects = %d, want 1", got)
+	}
+	if got := edge.inst.evictions.Value(); got != 0 {
+		t.Fatalf("evictions = %d, want 0 (rejection, not eviction)", got)
 	}
 	if got := edge.inst.misses.Value(); got != 3 {
 		t.Fatalf("misses = %d, want 3", got)
@@ -149,6 +82,77 @@ func TestEdgeCacheEvictsUnderPressure(t *testing.T) {
 	}
 	if got := edge.inst.originBytes.Value(); got <= 0 {
 		t.Fatal("no origin bytes counted")
+	}
+
+	// A repeat demand of the protected asset is a pure cache hit and
+	// raises its frequency estimate further.
+	readStream(t, edgeTS.URL+"/vod/lec0")
+	if got := edge.inst.hits.Value(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+
+	// Re-demanding the rejected asset re-mirrors it (a miss), and the
+	// churn lands on lec2 — never on lec0, whose estimate is now higher.
+	readStream(t, edgeTS.URL+"/vod/lec1")
+	if _, ok := edgeSrv.Asset("lec0"); !ok {
+		t.Fatal("hot lec0 displaced by cold churn")
+	}
+	if got := edge.inst.misses.Value(); got != 4 {
+		t.Fatalf("misses after re-mirror = %d, want 4", got)
+	}
+	if got := origin.Stats().MirrorFetches; got != 4 {
+		t.Fatalf("origin mirror fetches = %d, want 4", got)
+	}
+	stats := edge.CacheStats()
+	if len(stats) == 0 || stats[0].Name != "lec0" {
+		t.Fatalf("cache stats = %v, want lec0 first", stats)
+	}
+	if stats[0].Hits != 1 || stats[0].Pulls != 1 {
+		t.Fatalf("lec0 ledger = %+v, want 1 hit / 1 pull", stats[0])
+	}
+}
+
+// TestEdgeCacheLRUPolicyEvictsUnderPressure pins the edge to the plain
+// LRU policy (the before/after baseline) and checks the classic
+// behaviour: the least recently demanded mirror is evicted, and the
+// evicted asset is re-pulled on its next demand.
+func TestEdgeCacheLRUPolicyEvictsUnderPressure(t *testing.T) {
+	origin := streaming.NewServer(nil)
+	origin.Pacing = false
+	const assets = 3
+	for i := 0; i < assets; i++ {
+		registerTestAsset(t, origin, fmt.Sprintf("lec%d", i))
+	}
+	originTS := httptest.NewServer(origin.Handler())
+	defer originTS.Close()
+
+	a, _ := origin.Asset("lec0")
+	assetBytes := a.Bytes()
+
+	edgeSrv := streaming.NewServer(nil)
+	edgeSrv.Pacing = false
+	edge := NewEdge(originTS.URL, edgeSrv)
+	edge.ConfigureCache(edgecache.Config{Policy: edgecache.LRU})
+	edge.CacheBytes = 2 * assetBytes
+	edgeTS := httptest.NewServer(edge.Handler())
+	defer edgeTS.Close()
+
+	// Demand all three: mirroring lec2 must push out lec0 (the least
+	// recently demanded).
+	for i := 0; i < assets; i++ {
+		readStream(t, edgeTS.URL+fmt.Sprintf("/vod/lec%d", i))
+	}
+	if _, ok := edgeSrv.Asset("lec0"); ok {
+		t.Fatal("lec0 survived capacity pressure")
+	}
+	if got := edge.inst.evictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := edge.inst.rejects.Value(); got != 0 {
+		t.Fatalf("admission rejects = %d, want 0 under LRU", got)
+	}
+	if got := edge.inst.misses.Value(); got != 3 {
+		t.Fatalf("misses = %d, want 3", got)
 	}
 
 	// The evicted asset is simply re-mirrored on its next demand (counted
@@ -171,6 +175,63 @@ func TestEdgeCacheEvictsUnderPressure(t *testing.T) {
 	}
 	if got := origin.Stats().MirrorFetches; got != 4 {
 		t.Fatalf("origin mirror fetches = %d, want 4", got)
+	}
+}
+
+// TestEdgeCoalescesConcurrentPulls holds the origin's /fetch response
+// open while more demands for the same asset pile up: every later
+// demand must attach to the in-flight pull instead of issuing its own,
+// so the origin sees exactly one mirror fetch.
+func TestEdgeCoalescesConcurrentPulls(t *testing.T) {
+	origin := streaming.NewServer(nil)
+	origin.Pacing = false
+	registerTestAsset(t, origin, "hot")
+	base := origin.Handler()
+
+	arrived := make(chan struct{}, 1)
+	release := make(chan struct{})
+	originTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, "/fetch/") {
+			arrived <- struct{}{}
+			<-release
+		}
+		base.ServeHTTP(w, r)
+	}))
+	defer originTS.Close()
+
+	edgeSrv := streaming.NewServer(nil)
+	edgeSrv.Pacing = false
+	edge := NewEdge(originTS.URL, edgeSrv)
+
+	const demands = 9
+	errs := make(chan error, demands)
+	go func() { errs <- edge.MirrorAsset("hot") }()
+	<-arrived // the leader's pull is in flight and parked at the origin
+	for i := 1; i < demands; i++ {
+		go func() { errs <- edge.MirrorAsset("hot") }()
+	}
+	// Give the followers a moment to reach the flight, then let the
+	// leader's fetch finish. A straggler scheduled after completion
+	// short-circuits as a cache hit — also fine, also not a second pull.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	for i := 0; i < demands; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("demand %d: %v", i, err)
+		}
+	}
+	if got := origin.Stats().MirrorFetches; got != 1 {
+		t.Fatalf("origin mirror fetches = %d, want 1", got)
+	}
+	// Every demand either led (1), attached (coalesced), or arrived
+	// after completion (hit): the three must account for all of them.
+	coalesced := edge.inst.coalesced.Value()
+	hits := edge.inst.hits.Value()
+	if coalesced+hits+1 != demands {
+		t.Fatalf("coalesced %d + hits %d + 1 leader != %d demands", coalesced, hits, demands)
+	}
+	if coalesced == 0 {
+		t.Fatal("no demand coalesced onto the in-flight pull")
 	}
 }
 
@@ -229,7 +290,8 @@ func TestEdgeCachePinsStreamingAsset(t *testing.T) {
 		"session on hot never started")
 
 	// Two more mirrors exceed the budget while "hot" is mid-stream. The
-	// eviction must land on cold1, never on the pinned hot asset.
+	// capacity pressure must land on cold1, never on the pinned hot
+	// asset.
 	if err := edge.MirrorAsset("cold1"); err != nil {
 		t.Fatal(err)
 	}

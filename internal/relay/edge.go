@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/asf"
+	"repro/internal/edgecache"
 	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/streaming"
@@ -22,14 +24,21 @@ import (
 // /live and re-fanned-out through a local Channel, so the origin carries
 // one session per edge instead of one per viewer.
 //
-// The mirror cache is bounded when CacheBytes is set: mirrored assets
-// are tracked in a byte-capacity LRU, and pulling a new asset past the
-// budget evicts the least-recently-demanded mirrors. Assets with active
-// sessions or a rate-group membership are pinned and never evicted, so
-// capacity pressure cannot fail an in-flight stream; an evicted asset
-// is simply re-mirrored on its next demand. Cache traffic (hits,
-// misses, evictions, resident bytes, origin bytes pulled, pulls in
-// flight) is counted on the server's metrics registry.
+// The mirror cache is bounded when CacheBytes is set. Residency is
+// decided by edgecache: under the default TinyLFU policy a freshly
+// pulled asset sits in a small recency window and must beat the main
+// segment's coldest resident on sketch-estimated frequency to displace
+// it, so one-hit wonders churn through the window without evicting hot
+// mirrors; ConfigureCache selects plain LRU instead. Assets with active
+// sessions, an in-flight demand, or a rate-group membership are pinned
+// and never dropped, so capacity pressure cannot fail an in-flight
+// stream; a dropped asset is simply re-mirrored on its next demand.
+// Concurrent demands for the same uncached asset coalesce onto a single
+// origin pull, and an asset whose estimated frequency crosses the
+// prewarm threshold has its rate-group siblings fetched ahead of
+// demand. Cache traffic (hits, misses, evictions, admission rejects,
+// coalesced pulls, prewarm fetches, resident bytes, origin bytes
+// pulled, pulls in flight) is counted on the server's metrics registry.
 type Edge struct {
 	// Origin is the origin server's base URL, without a trailing slash.
 	Origin string
@@ -42,10 +51,11 @@ type Edge struct {
 	// 0 mirrors without limit. Set before serving traffic.
 	CacheBytes int64
 
-	mu       sync.Mutex
-	inflight map[string]*pull
-	cache    *assetCache
-	inst     edgeInstruments
+	flight edgecache.Flight
+	cache  *edgecache.Cache
+	inst   edgeInstruments
+
+	mu sync.Mutex
 	// demand counts the /vod/ requests currently between mirror and
 	// serve for each asset, pinning them so eviction cannot win the race
 	// against a session that is about to start.
@@ -67,48 +77,73 @@ type catGroupRec struct {
 	variants []string
 }
 
+// defaultPrewarmThreshold is the sketch frequency estimate (out of a
+// saturating 15) at which an asset counts as hot and its rate-group
+// siblings are prewarmed.
+const defaultPrewarmThreshold = 12
+
 // edgeInstruments are the edge's metric handles on its server's
 // registry.
 type edgeInstruments struct {
 	hits          *metrics.Counter
 	misses        *metrics.Counter
 	evictions     *metrics.Counter
+	rejects       *metrics.Counter
+	coalesced     *metrics.Counter
+	prewarms      *metrics.Counter
 	originBytes   *metrics.Counter
 	invalidations *metrics.Counter
 	pulls         *metrics.Gauge
 	cacheBytes    *metrics.Gauge
 }
 
-// pull tracks one in-progress origin fetch so concurrent demands for the
-// same content share a single upstream request.
-type pull struct {
-	done chan struct{}
-	err  error
-}
-
 // NewEdge creates an edge pulling through from the origin base URL. A nil
-// server gets a fresh streaming.Server on the real clock.
+// server gets a fresh streaming.Server on the real clock. The mirror
+// cache starts on the default TinyLFU policy with prewarm enabled; use
+// ConfigureCache before serving to change policy or tuning.
 func NewEdge(origin string, srv *streaming.Server) *Edge {
 	if srv == nil {
 		srv = streaming.NewServer(nil)
 	}
 	reg := srv.Metrics()
-	return &Edge{
-		Origin:   strings.TrimSuffix(origin, "/"),
-		Server:   srv,
-		inflight: make(map[string]*pull),
-		demand:   make(map[string]int),
-		cache:    newAssetCache(),
+	e := &Edge{
+		Origin: strings.TrimSuffix(origin, "/"),
+		Server: srv,
+		demand: make(map[string]int),
 		inst: edgeInstruments{
 			hits:          reg.Counter("lod_edge_cache_hits_total", "Mirror demands served from already-cached content."),
 			misses:        reg.Counter("lod_edge_cache_misses_total", "Mirror demands that required an origin pull."),
-			evictions:     reg.Counter("lod_edge_cache_evictions_total", "Mirrored assets dropped by the byte-capacity LRU."),
+			evictions:     reg.Counter("lod_edge_cache_evictions_total", "Mirrored assets dropped by byte-capacity pressure."),
+			rejects:       reg.Counter("lod_edge_admission_rejects_total", "Window candidates dropped by the TinyLFU admission duel instead of displacing a hotter resident."),
+			coalesced:     reg.Counter("lod_edge_coalesced_pulls_total", "Demands that attached to another demand's in-flight origin pull instead of issuing their own."),
+			prewarms:      reg.Counter("lod_edge_prewarm_fetches_total", "Rate-group sibling assets fetched ahead of demand after an asset turned hot."),
 			originBytes:   reg.Counter("lod_edge_origin_bytes_total", "Bytes pulled from the origin (mirrors, groups, live relays)."),
 			invalidations: reg.Counter("lod_edge_catalog_invalidations_total", "Mirrored copies dropped because their catalog entry changed or vanished."),
 			pulls:         reg.Gauge("lod_edge_pulls_in_flight", "Origin pulls currently in progress."),
 			cacheBytes:    reg.Gauge("lod_edge_cache_bytes", "Payload bytes of mirrored assets resident in the cache."),
 		},
 	}
+	e.ConfigureCache(edgecache.Config{PrewarmThreshold: defaultPrewarmThreshold})
+	return e
+}
+
+// ConfigureCache replaces the edge's mirror cache with a fresh one
+// built from cfg (policy, window fraction, sketch size, prewarm
+// threshold). The edge wires its own prewarm hook unless cfg carries
+// one. Call before serving traffic: booked residency does not carry
+// over.
+func (e *Edge) ConfigureCache(cfg edgecache.Config) {
+	if cfg.OnHot == nil && cfg.PrewarmThreshold > 0 {
+		cfg.OnHot = e.onHot
+	}
+	e.cache = edgecache.New(cfg)
+}
+
+// CacheStats returns the per-asset cache ledger — demands served
+// locally and origin pulls performed, per asset, cumulative across
+// evictions — sorted by total demand.
+func (e *Edge) CacheStats() []edgecache.AssetStats {
+	return e.cache.Stats()
 }
 
 func (e *Edge) client() *http.Client {
@@ -119,48 +154,53 @@ func (e *Edge) client() *http.Client {
 }
 
 // ensure runs fetch under a per-key singleflight: the first caller for a
-// key performs the fetch, concurrent callers wait for its outcome, and
-// later callers short-circuit via present.
-func (e *Edge) ensure(key string, present func() bool, fetch func() error) error {
+// key performs the fetch, concurrent callers attach to its outcome (and
+// are counted as coalesced pulls), and later callers short-circuit via
+// present. A nil ctx waits without cancellation; a non-nil ctx lets an
+// attached caller give up early while the fetch continues for the rest.
+func (e *Edge) ensure(ctx context.Context, key string, present func() bool, fetch func() error) error {
+	attached := false
 	for {
-		e.mu.Lock()
 		if present() {
-			e.mu.Unlock()
 			return nil
 		}
-		if fl, ok := e.inflight[key]; ok {
-			e.mu.Unlock()
-			<-fl.done
-			if fl.err != nil {
-				return fl.err
-			}
-			continue // re-check presence; the winner may have fetched our key
+		shared, err := e.flight.Do(ctx, key, func() error {
+			e.inst.pulls.Inc()
+			defer e.inst.pulls.Dec()
+			return fetch()
+		})
+		if !shared {
+			return err
 		}
-		fl := &pull{done: make(chan struct{})}
-		e.inflight[key] = fl
-		e.mu.Unlock()
-
-		e.inst.pulls.Inc()
-		fl.err = fetch()
-		e.inst.pulls.Dec()
-		e.mu.Lock()
-		delete(e.inflight, key)
-		e.mu.Unlock()
-		close(fl.done)
-		return fl.err
+		if !attached {
+			attached = true
+			e.inst.coalesced.Inc()
+		}
+		if err != nil {
+			return err
+		}
+		// Re-check presence: the leader we attached to may have fetched
+		// our key, or raced something else — loop decides.
 	}
 }
 
 // MirrorAsset ensures the named asset is registered on the edge's server,
 // fetching it from the origin on first demand (pull-through cache) and
-// booking it into the LRU mirror cache. Concurrent callers share one
-// origin transfer; a demand for cached content counts as a hit and
-// refreshes its recency. A missing origin asset returns
-// streaming.ErrNotFound.
+// booking it into the admission-controlled mirror cache. Concurrent
+// callers share one origin transfer; a demand for cached content counts
+// as a hit and refreshes its recency and frequency. A missing origin
+// asset returns streaming.ErrNotFound.
 func (e *Edge) MirrorAsset(name string) error {
+	return e.mirrorAsset(nil, name)
+}
+
+// mirrorAsset is MirrorAsset with a wait context: a nil ctx blocks
+// until the (possibly shared) pull resolves, a request ctx lets this
+// demand abandon a shared pull when its client goes away.
+func (e *Edge) mirrorAsset(ctx context.Context, name string) error {
 	if _, ok := e.Server.Asset(name); ok {
 		e.inst.hits.Inc()
-		e.cache.touch(name)
+		e.cache.Touch(name)
 		// Re-apply the budget on hits too: pins may have forced the cache
 		// over capacity earlier and released since.
 		e.enforceBudget(name)
@@ -168,7 +208,7 @@ func (e *Edge) MirrorAsset(name string) error {
 	}
 	e.inst.misses.Inc()
 	present := func() bool { _, ok := e.Server.Asset(name); return ok }
-	return e.ensure("asset/"+name, present, func() error { return e.fetchAsset(name) })
+	return e.ensure(ctx, "asset/"+name, present, func() error { return e.fetchAsset(name) })
 }
 
 func (e *Edge) fetchAsset(name string) error {
@@ -192,40 +232,105 @@ func (e *Edge) fetchAsset(name string) error {
 		return err
 	}
 	// Duplicate means we raced a direct registration; either way the
-	// asset is resident now and must be under cache accounting.
+	// asset is resident now and must be under cache accounting. The pull
+	// itself is a frequency observation — without it an asset that is
+	// always admission-rejected could never accumulate enough estimated
+	// demand to win a later duel.
+	e.cache.RecordPull(name)
 	e.trackAsset(name)
 	return nil
 }
 
-// trackAsset books a resident mirror into the LRU and applies the byte
-// budget.
+// trackAsset books a resident mirror into the cache and applies the
+// byte budget.
 func (e *Edge) trackAsset(name string) {
 	a, ok := e.Server.Asset(name)
 	if !ok {
 		return
 	}
-	e.cache.add(name, a.Bytes())
+	e.cache.Add(name, a.Bytes())
 	e.enforceBudget(name)
 }
 
-// enforceBudget evicts over-budget mirrors (never `except`, never
-// pinned assets), unregistering each victim from the edge server and
-// counting it. A victim that gained a pin between the cache's decision
-// and this removal (a demand raced in) is reinstated instead of
-// removed.
+// enforceBudget drops over-budget mirrors (never `except`, never pinned
+// assets), unregistering each victim from the edge server and counting
+// it — capacity evictions and admission rejections separately. A victim
+// that gained a pin between the cache's decision and this removal (a
+// demand raced in) is reinstated instead of removed.
 func (e *Edge) enforceBudget(except string) {
-	for _, victim := range e.cache.enforce(e.CacheBytes, except, e.pinned) {
+	evicted, rejected := e.cache.Enforce(e.CacheBytes, except, e.pinned)
+	e.dropVictims(evicted, e.inst.evictions)
+	e.dropVictims(rejected, e.inst.rejects)
+	e.inst.cacheBytes.Set(e.cache.Bytes())
+}
+
+func (e *Edge) dropVictims(victims []string, counter *metrics.Counter) {
+	for _, victim := range victims {
 		if e.pinned(victim) {
 			if a, ok := e.Server.Asset(victim); ok {
-				e.cache.add(victim, a.Bytes())
+				e.cache.Add(victim, a.Bytes())
 				continue
 			}
 		}
 		if e.Server.RemoveAsset(victim) {
-			e.inst.evictions.Inc()
+			counter.Inc()
 		}
 	}
-	e.inst.cacheBytes.Set(e.cache.bytes())
+}
+
+// onHot is the cache's prewarm hook: when an asset turns hot, fetch its
+// rate-group siblings ahead of demand in the background. Siblings come
+// from the synced cluster catalog and from locally mirrored groups.
+func (e *Edge) onHot(name string) {
+	siblings := e.groupSiblings(name)
+	if len(siblings) == 0 {
+		return
+	}
+	go func() {
+		for _, sib := range siblings {
+			if _, ok := e.Server.Asset(sib); ok {
+				continue
+			}
+			present := func() bool { _, ok := e.Server.Asset(sib); return ok }
+			if err := e.ensure(nil, "asset/"+sib, present, func() error { return e.fetchAsset(sib) }); err == nil {
+				e.inst.prewarms.Inc()
+			}
+		}
+	}()
+}
+
+// groupSiblings returns the other variants of every rate group that
+// contains the named asset, deduplicated.
+func (e *Edge) groupSiblings(name string) []string {
+	seen := map[string]bool{name: true}
+	var out []string
+	collect := func(variants []string) {
+		found := false
+		for _, v := range variants {
+			if v == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+		for _, v := range variants {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	e.catMu.Lock()
+	for _, rec := range e.catGroups {
+		collect(rec.variants)
+	}
+	e.catMu.Unlock()
+	for _, g := range e.Server.Groups() {
+		collect(g.Variants)
+	}
+	return out
 }
 
 // pinDemand pins an asset for the duration of one demand; the returned
@@ -288,8 +393,12 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 // server, mirroring every variant asset from the origin on first demand.
 // A group the origin doesn't have returns streaming.ErrNotFound.
 func (e *Edge) MirrorGroup(name string) error {
+	return e.mirrorGroup(nil, name)
+}
+
+func (e *Edge) mirrorGroup(ctx context.Context, name string) error {
 	present := func() bool { _, ok := e.Server.RateGroup(name); return ok }
-	return e.ensure("group/"+name, present, func() error { return e.fetchGroup(name) })
+	return e.ensure(ctx, "group/"+name, present, func() error { return e.fetchGroup(name) })
 }
 
 func (e *Edge) fetchGroup(name string) error {
@@ -349,8 +458,12 @@ func (e *Edge) fetchGroup(name string) error {
 // background until the origin broadcast ends, which closes the local
 // channel too. A missing origin channel returns streaming.ErrNotFound.
 func (e *Edge) RelayChannel(name string) error {
+	return e.relayChannel(nil, name)
+}
+
+func (e *Edge) relayChannel(ctx context.Context, name string) error {
 	present := func() bool { _, ok := e.Server.Channel(name); return ok }
-	return e.ensure("live/"+name, present, func() error { return e.startRelay(name) })
+	return e.ensure(ctx, "live/"+name, present, func() error { return e.startRelay(name) })
 }
 
 func (e *Edge) startRelay(name string) error {
@@ -401,8 +514,10 @@ func (e *Edge) startRelay(name string) error {
 // request for an unmirrored asset mirrors it first, a /group/ request for
 // an unmirrored group mirrors its variants first, and a /live/ request
 // for an unrelayed channel starts the relay first; then the request is
-// served locally like any other. Everything else (listings, /fetch/) is
-// served from the edge's local state only.
+// served locally like any other. Pulls are coalesced per asset, and a
+// demand whose request context dies while attached to a shared pull
+// gives up without cancelling the pull. Everything else (listings,
+// /fetch/) is served from the edge's local state only.
 func (e *Edge) Handler() http.Handler {
 	base := e.Server.Handler()
 	mux := http.NewServeMux()
@@ -414,7 +529,7 @@ func (e *Edge) Handler() http.Handler {
 		// asset after MirrorAsset sees it present; with the pin now held,
 		// one re-mirror is stable.
 		for attempt := 0; attempt < 2; attempt++ {
-			if err := e.MirrorAsset(name); err != nil {
+			if err := e.mirrorAsset(r.Context(), name); err != nil {
 				pullError(w, r, err)
 				return
 			}
@@ -426,7 +541,7 @@ func (e *Edge) Handler() http.Handler {
 	})
 	proto.HandleFunc(mux, proto.PrefixGroup, func(w http.ResponseWriter, r *http.Request) {
 		name := proto.StreamName(r.URL.Path, proto.StreamGroup)
-		if err := e.MirrorGroup(name); err != nil {
+		if err := e.mirrorGroup(r.Context(), name); err != nil {
 			pullError(w, r, err)
 			return
 		}
@@ -434,7 +549,7 @@ func (e *Edge) Handler() http.Handler {
 	})
 	proto.HandleFunc(mux, proto.PrefixLive, func(w http.ResponseWriter, r *http.Request) {
 		name := proto.StreamName(r.URL.Path, proto.StreamLive)
-		if err := e.RelayChannel(name); err != nil {
+		if err := e.relayChannel(r.Context(), name); err != nil {
 			pullError(w, r, err)
 			return
 		}
@@ -446,7 +561,9 @@ func (e *Edge) Handler() http.Handler {
 // pullError maps an origin pull failure onto the client response: a
 // missing upstream resource is the client's 404 (with the proto.Error
 // JSON body every /v1 error carries), anything else means the edge
-// could not reach or parse the origin — 502.
+// could not reach or parse the origin — 502. A demand abandoned because
+// its own request context died reports 499-style client disconnect as
+// 502 too; the transport is gone either way.
 func pullError(w http.ResponseWriter, _ *http.Request, err error) {
 	if errors.Is(err, streaming.ErrNotFound) {
 		proto.WriteError(w, http.StatusNotFound, err.Error())

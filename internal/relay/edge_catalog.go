@@ -88,16 +88,16 @@ func (e *Edge) SyncCatalog(cat proto.Catalog) []string {
 	return invalidated
 }
 
-// dropMirror removes one stale mirrored asset: out of the LRU
+// dropMirror removes one stale mirrored asset: out of the cache
 // accounting, off the edge server. Assets the cache never tracked were
 // not mirrored by this edge (direct registrations) and are left alone.
 func (e *Edge) dropMirror(name string) bool {
-	if !e.cache.remove(name) {
+	if !e.cache.Remove(name) {
 		return false
 	}
 	e.Server.RemoveAsset(name)
 	e.inst.invalidations.Inc()
-	e.inst.cacheBytes.Set(e.cache.bytes())
+	e.inst.cacheBytes.Set(e.cache.Bytes())
 	return true
 }
 

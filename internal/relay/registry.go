@@ -2,6 +2,7 @@ package relay
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/url"
 	"sort"
@@ -595,6 +596,16 @@ func (g *Registry) UnpublishGroup(name string) (uint64, bool, error) {
 	return st.Version, removed, err
 }
 
+// RollbackCatalog restores the published content of a retained catalog
+// snapshot through the store's apply goroutine and returns the catalog
+// version carrying the restore. Node membership is untouched and the
+// version keeps growing; catalog.ErrNoSnapshot reports an unknown or
+// pruned version.
+func (g *Registry) RollbackCatalog(version uint64) (uint64, error) {
+	st, err := g.store.Rollback(version)
+	return st.Version, err
+}
+
 // Pick selects the least-loaded live node and counts the assignment.
 // Ties break on node ID for determinism. Nodes named in exclude (by ID,
 // URL, or URL host) are skipped, so a failing-over client is never
@@ -728,6 +739,7 @@ func (g *Registry) Handler() http.Handler {
 	proto.HandleFunc(mux, proto.PathCatalog, g.handleCatalog)
 	proto.HandleFunc(mux, proto.PathCatalogPublish, g.handleCatalogPublish)
 	proto.HandleFunc(mux, proto.PathCatalogUnpublish, g.handleCatalogUnpublish)
+	proto.HandleFunc(mux, proto.PathCatalogRollback, g.handleCatalogRollback)
 	proto.HandleFunc(mux, proto.PrefixVOD, g.handleRedirect)
 	proto.HandleFunc(mux, proto.PrefixLive, g.handleRedirect)
 	proto.HandleFunc(mux, proto.PrefixGroup, g.handleRedirect)
@@ -891,6 +903,32 @@ func (g *Registry) handleCatalogUnpublish(w http.ResponseWriter, r *http.Request
 	}
 	if !removed {
 		proto.WriteError(w, http.StatusNotFound, "relay: not in catalog")
+		return
+	}
+	g.setCatalogVersion(w)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Registry) handleCatalogRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		proto.WriteError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var msg proto.RollbackMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		proto.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if msg.Version == 0 {
+		proto.WriteError(w, http.StatusBadRequest, "relay: rollback wants a snapshot version")
+		return
+	}
+	if _, err := g.RollbackCatalog(msg.Version); err != nil {
+		if errors.Is(err, catalog.ErrNoSnapshot) {
+			proto.WriteError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		proto.WriteErr(w, err)
 		return
 	}
 	g.setCatalogVersion(w)

@@ -272,3 +272,47 @@ func BenchmarkRegistryCatalogJSON(b *testing.B) {
 		g.CatalogJSON()
 	}
 }
+
+// TestRegistryCatalogRollbackHTTP exercises the rollback endpoint end
+// to end: publish, mutate, roll back to the earlier snapshot, and
+// confirm the content is restored under a strictly higher catalog
+// version. Unknown snapshot versions answer a recognizable 404.
+func TestRegistryCatalogRollbackHTTP(t *testing.T) {
+	dir := t.TempDir()
+	g := NewRegistryWithStore(nil, openStore(t, dir))
+	defer g.Close()
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	v1, err := PublishCatalog(nil, ts.URL, proto.PublishMsg{Asset: &proto.CatalogAsset{Name: "lec-1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnpublishCatalog(nil, ts.URL, proto.UnpublishMsg{Asset: "lec-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PublishCatalog(nil, ts.URL, proto.PublishMsg{Asset: &proto.CatalogAsset{Name: "lec-2"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	ver, err := RollbackCatalog(nil, ts.URL, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := GetCatalog(nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Version != ver || ver <= v1 {
+		t.Fatalf("post-rollback version = %d (catalog %d), want > %d", ver, cat.Version, v1)
+	}
+	if len(cat.Assets) != 1 || cat.Assets[0].Name != "lec-1" {
+		t.Fatalf("post-rollback assets = %+v, want only lec-1", cat.Assets)
+	}
+
+	if _, err := RollbackCatalog(nil, ts.URL, 9999); err == nil {
+		t.Fatal("rollback to unknown version succeeded")
+	} else if !IsNotFound(err) {
+		t.Fatalf("unknown-version rollback = %v, want a recognizable 404", err)
+	}
+}

@@ -229,6 +229,18 @@ func UnpublishCatalog(client *http.Client, base string, msg proto.UnpublishMsg) 
 	return postJSONVersioned(client, base+proto.Versioned(proto.PathCatalogUnpublish), msg)
 }
 
+// RollbackCatalog asks the registry to restore the published content of
+// a retained catalog snapshot (POST /v1/registry/rollback) and returns
+// the catalog version carrying the restore. A pruned or unknown
+// snapshot version is a 404 (IsNotFound). A nil client uses
+// http.DefaultClient.
+func RollbackCatalog(client *http.Client, base string, version uint64) (uint64, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return postJSONVersioned(client, base+proto.Versioned(proto.PathCatalogRollback), proto.RollbackMsg{Version: version})
+}
+
 // PublishAsset uploads a container to a streaming server's live publish
 // endpoint (POST /v1/publish/{name}), registering or replacing the
 // asset under traffic. A nil client uses http.DefaultClient.

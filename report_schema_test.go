@@ -29,6 +29,7 @@ var reportTopLevelKeys = []string{
 // cover the writer side).
 var reportOptionalKeys = map[string]bool{
 	"shards": true, // added with the sharded load drivers (lodbench -shards)
+	"cache":  true, // added with the popularity-aware edge cache (internal/edgecache)
 }
 
 // TestCommittedBenchRecordsMatchSchema golden-tests every BENCH_*.json
@@ -105,6 +106,42 @@ func TestCommittedBenchRecordsMatchSchema(t *testing.T) {
 			if extra != 0 {
 				t.Errorf("record has %d top-level keys, schema lists %d required + %d optional",
 					len(raw), len(reportTopLevelKeys), len(reportOptionalKeys))
+			}
+
+			// Records carrying the cache block must be self-consistent:
+			// the hit rate mirrors the cluster block, per-asset entries
+			// are sorted by demand and bounded to the top-K, and no
+			// asset's worst-edge pull count exceeds its total pulls.
+			if _, ok := raw["cache"]; ok {
+				c := rep.Cache
+				if c == nil {
+					t.Fatal("cache key present but block decoded nil")
+				}
+				if c.Policy != "tinylfu" && c.Policy != "lru" {
+					t.Errorf("cache.policy = %q, want tinylfu or lru", c.Policy)
+				}
+				if diff := c.HitRate - rep.Cluster.CacheHitRate; diff > 1e-9 || diff < -1e-9 {
+					t.Errorf("cache.hitRate = %v, cluster.cacheHitRate = %v", c.HitRate, rep.Cluster.CacheHitRate)
+				}
+				if len(c.PerAsset) > 10 {
+					t.Errorf("cache.perAsset has %d entries, top-K is 10", len(c.PerAsset))
+				}
+				for i, a := range c.PerAsset {
+					if a.Name == "" {
+						t.Errorf("cache.perAsset[%d] has no name", i)
+					}
+					if a.MaxEdgePulls > a.Pulls {
+						t.Errorf("cache.perAsset[%d] %s: maxEdgePulls %d > pulls %d",
+							i, a.Name, a.MaxEdgePulls, a.Pulls)
+					}
+					if i > 0 {
+						prev := c.PerAsset[i-1]
+						if prev.Hits+prev.Pulls < a.Hits+a.Pulls {
+							t.Errorf("cache.perAsset not sorted by demand at %d: %d < %d",
+								i, prev.Hits+prev.Pulls, a.Hits+a.Pulls)
+						}
+					}
+				}
 			}
 
 			// Records carrying the shards block must be self-consistent:
